@@ -1,0 +1,74 @@
+// Ablation A8: RAID1 mirror-balanced reads. The paper never reads
+// redundancy in normal operation ("the expected performance of reads is the
+// same as in PVFS"), leaving half of RAID1's aggregate read bandwidth on
+// the table. Serving alternating stripe units from the mirror copies is
+// the natural extension — this bench measures what it buys.
+#include "bench_common.hpp"
+
+using namespace csar;
+
+namespace {
+
+struct Outcome {
+  double plain_mbps;
+  double balanced_mbps;
+};
+
+Outcome run(std::uint32_t nservers) {
+  raid::Rig rig(bench::make_rig(raid::Scheme::raid1, nservers, 1,
+                                hw::profile_experimental2003()));
+  return wl::run_on(rig, [](raid::Rig& r) -> sim::Task<Outcome> {
+    auto f = co_await r.client_fs().create("f", r.layout(64 * KiB));
+    assert(f.ok());
+    const std::uint64_t total = 64 * MiB;
+    auto wr = co_await r.client_fs().write(*f, 0, Buffer::phantom(total));
+    assert(wr.ok());
+    (void)wr;
+
+    Outcome out{};
+    const sim::Time t0 = r.sim.now();
+    auto plain = co_await r.client_fs().read(*f, 0, total);
+    assert(plain.ok());
+    (void)plain;
+    out.plain_mbps =
+        static_cast<double>(total) / sim::to_seconds(r.sim.now() - t0) / 1e6;
+
+    const sim::Time t1 = r.sim.now();
+    auto balanced = co_await r.client_fs().read_balanced(*f, 0, total);
+    assert(balanced.ok());
+    (void)balanced;
+    out.balanced_mbps =
+        static_cast<double>(total) / sim::to_seconds(r.sim.now() - t1) / 1e6;
+    co_return out;
+  }(rig));
+}
+
+}  // namespace
+
+int main() {
+  report::banner("A8", "RAID1 mirror-balanced reads — extension ablation",
+                 "single client reading 64 MiB sequentially, RAID1");
+  report::expectations({
+      "plain reads use only the primary copies (the paper's behaviour)",
+      "balancing over both copies lifts single-client read bandwidth until",
+      "the client link caps it",
+  });
+
+  TextTable t({"ioservers", "plain read", "balanced read", "gain"});
+  std::map<std::uint32_t, Outcome> out;
+  for (std::uint32_t n : {2u, 4u, 6u}) {
+    out[n] = run(n);
+    t.add_row({TextTable::num(std::uint64_t{n}),
+               report::mbps(out[n].plain_mbps * 1e6),
+               report::mbps(out[n].balanced_mbps * 1e6),
+               TextTable::num(out[n].balanced_mbps / out[n].plain_mbps, 2) +
+                   "x"});
+  }
+  report::table("single-client RAID1 read bandwidth (MB/s)", t);
+
+  report::check("balanced beats plain at 4 servers",
+                out[4].balanced_mbps > 1.2 * out[4].plain_mbps);
+  report::check("plain read bandwidth unchanged by the feature's existence",
+                out[4].plain_mbps > 0);
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Ablation A7: reconstruction after a disk replacement — the cost of
+// getting redundancy back, per scheme. With idle survivors, both mirror
+// copies and parity reconstruction run at the replacement node's ingest
+// speed (survivor reads are parallel), so the schemes' rebuild *rates* are
+// comparable; the real asymmetry is READ AMPLIFICATION — parity rebuild
+// reads N-1 bytes from the survivors for every byte restored, mirror
+// rebuild reads one. That amplification is what steals foreground
+// bandwidth during a real rebuild (the trade the paper's §3 survey — Petal,
+// Tertiary Disk, RAID-x — wrestles with).
+#include "bench_common.hpp"
+#include "raid/recovery.hpp"
+
+using namespace csar;
+
+namespace {
+
+struct RebuildOutcome {
+  double mbps;
+  double read_amplification;  // survivor bytes read per file byte protected
+};
+
+RebuildOutcome rebuild_run(raid::Scheme scheme, std::uint32_t nservers,
+                           std::uint64_t file_bytes) {
+  raid::Rig rig(bench::make_rig(scheme, nservers, 1,
+                                hw::profile_experimental2003()));
+  const double mbps = wl::run_on(rig, [](raid::Rig& r,
+                            std::uint64_t total) -> sim::Task<double> {
+    auto f = co_await r.client_fs().create("f", r.layout(64 * KiB));
+    assert(f.ok());
+    auto wr = co_await r.client_fs().write(*f, 0, Buffer::phantom(total));
+    assert(wr.ok());
+    (void)wr;
+    auto fl = co_await r.client_fs().flush(*f);
+    assert(fl.ok());
+    (void)fl;
+
+    const std::uint32_t victim = 1;
+    r.server(victim).fail();
+    r.server(victim).wipe();
+    r.server(victim).recover();
+    raid::Recovery rec = r.recovery();
+    const sim::Time t0 = r.sim.now();
+    auto rb = co_await rec.rebuild_server(*f, victim, total);
+    assert(rb.ok());
+    (void)rb;
+    // Report rebuild speed in terms of the *file* bytes protected again.
+    co_return static_cast<double>(total) /
+        sim::to_seconds(r.sim.now() - t0) / 1e6;
+  }(rig, file_bytes));
+  // Survivor read traffic: what the rebuild pulled off the other servers,
+  // per byte of the (whole) file being re-protected.
+  std::uint64_t survivor_tx = 0;
+  for (std::uint32_t s = 0; s < nservers; ++s) {
+    if (s == 1) continue;  // the replaced server
+    survivor_tx += rig.cluster.node(rig.server(s).node_id()).tx().bytes_total();
+  }
+  const std::uint32_t dn = nservers;  // rebuilt share ~= file/n
+  (void)dn;
+  return {mbps, static_cast<double>(survivor_tx) /
+                    static_cast<double>(file_bytes)};
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t kFile = 256 * MiB;
+  report::banner("A7", "Server rebuild speed after disk replacement",
+                 bench::setup_line(6, 1, "experimental-2003", 64 * KiB) +
+                     ", 256 MiB file, server 1 replaced and rebuilt");
+  report::expectations({
+      "with idle survivors all schemes rebuild at comparable rates, scaling",
+      "with server count (the lost share shrinks)",
+      "the structural cost is survivor read traffic: parity rebuild reads",
+      "~(N-1) bytes per rebuilt byte, a mirror copy reads ~2 (data+mirror)",
+  });
+
+  TextTable t({"scheme", "speed @4", "amp @4", "speed @6", "amp @6",
+               "speed @8", "amp @8"});
+  std::map<std::pair<raid::Scheme, std::uint32_t>, RebuildOutcome> out;
+  for (raid::Scheme s : {raid::Scheme::raid1, raid::Scheme::raid5,
+                         raid::Scheme::hybrid}) {
+    std::vector<std::string> row = {raid::scheme_name(s)};
+    for (std::uint32_t n : {4u, 6u, 8u}) {
+      out[{s, n}] = rebuild_run(s, n, kFile);
+      row.push_back(report::mbps(out[{s, n}].mbps * 1e6));
+      row.push_back(TextTable::num(out[{s, n}].read_amplification, 2) + "x");
+    }
+    t.add_row(std::move(row));
+  }
+  report::table(
+      "rebuild speed (file MB/s) and survivor read amplification "
+      "(survivor bytes read / file byte)",
+      t);
+
+  // With idle survivors the speeds are comparable; the structural cost is
+  // the read amplification parity rebuild imposes on the survivors.
+  report::check("RAID1 amplification stays flat as servers grow",
+                out[{raid::Scheme::raid1, 8}].read_amplification <
+                    1.3 * out[{raid::Scheme::raid1, 4}].read_amplification);
+  // Per *rebuilt* byte (the lost share is file/N), parity rebuild reads
+  // ~(N-1)x: amplification per rebuilt byte = per-file amp x N.
+  report::check("RAID5 per-rebuilt-byte amplification grows with width",
+                out[{raid::Scheme::raid5, 8}].read_amplification * 8 >
+                    1.5 * out[{raid::Scheme::raid5, 4}].read_amplification *
+                        4);
+  report::check("RAID5 reads survivors harder than RAID1 at 6 servers",
+                out[{raid::Scheme::raid5, 6}].read_amplification >
+                    2.0 * out[{raid::Scheme::raid1, 6}].read_amplification);
+  report::check("rebuild speed scales with servers (smaller lost share)",
+                out[{raid::Scheme::raid5, 8}].mbps >
+                    out[{raid::Scheme::raid5, 4}].mbps);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation A2 (§6.7): how the stripe unit size drives the Hybrid scheme's
+// overflow fragmentation on a FLASH-like small-write workload — the reason
+// Table 2 shows Hybrid above RAID1 at 64K but below it at 16K.
+#include "bench_common.hpp"
+
+using namespace csar;
+
+int main() {
+  const auto profile = hw::profile_experimental2003();
+  report::banner("A2",
+                 "Stripe-unit sweep: Hybrid overflow fragmentation — §6.7",
+                 "6 I/O servers, FLASH-like workload (4 procs, 45 MB), "
+                 "su in {4K..256K}");
+  report::expectations({
+      "small stripe units: more full stripes + less overflow rounding -> "
+      "storage near RAID5",
+      "large stripe units: every request is a partial stripe, each "
+      "allocating two whole units -> storage beyond RAID1's 2x",
+  });
+
+  TextTable t({"stripe unit", "logical", "hybrid total", "overflow",
+               "vs RAID0", "overflow fraction"});
+  double ratio_small = 0;
+  double ratio_large = 0;
+  for (std::uint32_t su :
+       {4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB}) {
+    raid::Rig rig(
+        bench::make_rig(raid::Scheme::hybrid, 6, 4, profile));
+    wl::FlashParams p;
+    p.nprocs = 4;
+    p.stripe_unit = su;
+    (void)wl::run_on(rig, wl::flash_io(rig, p));
+    pvfs::StorageInfo sum;
+    for (std::uint32_t s = 0; s < rig.p.nservers; ++s) {
+      const auto info = rig.server(s).total_storage();
+      sum.data_bytes += info.data_bytes;
+      sum.red_bytes += info.red_bytes;
+      sum.overflow_bytes += info.overflow_bytes;
+    }
+    // Logical bytes written == the RAID0 footprint for this workload.
+    const double logical = 45e6;
+    const std::uint64_t total =
+        sum.data_bytes + sum.red_bytes + sum.overflow_bytes;
+    const double ratio = static_cast<double>(total) / logical;
+    if (su == 4 * KiB) ratio_small = ratio;
+    if (su == 256 * KiB) ratio_large = ratio;
+    // Fraction of the stored bytes sitting in (fragmented) overflow space.
+    const double ovfl_frac =
+        static_cast<double>(sum.overflow_bytes) / static_cast<double>(total);
+    t.add_row({format_bytes(su), TextTable::num(logical / 1e6, 0) + " MB",
+               TextTable::num(static_cast<double>(total) / 1e6, 0) + " MB",
+               TextTable::num(static_cast<double>(sum.overflow_bytes) / 1e6,
+                              0) +
+                   " MB",
+               TextTable::num(ratio, 2) + "x",
+               TextTable::num(ovfl_frac, 2)});
+  }
+  report::table("Hybrid storage vs stripe unit (FLASH-like workload)", t);
+
+  report::check("4K stripe unit cheaper than RAID1's 2.0x",
+                ratio_small < 2.0);
+  report::check("256K stripe unit costlier than RAID1's 2.0x",
+                ratio_large > 2.0);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the figure/table reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "raid/rig.hpp"
+#include "report/report.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/workloads.hpp"
+
+namespace csar::bench {
+
+/// The scheme lineup most figures compare.
+inline const std::vector<raid::Scheme>& main_schemes() {
+  static const std::vector<raid::Scheme> s = {
+      raid::Scheme::raid0, raid::Scheme::raid1, raid::Scheme::raid5,
+      raid::Scheme::hybrid};
+  return s;
+}
+
+inline raid::RigParams make_rig(raid::Scheme scheme, std::uint32_t nservers,
+                                std::uint32_t nclients,
+                                const hw::HwProfile& profile) {
+  raid::RigParams p;
+  p.scheme = scheme;
+  p.nservers = nservers;
+  p.nclients = nclients;
+  p.profile = profile;
+  return p;
+}
+
+/// "6 I/O servers, 4 clients, experimental-2003 testbed" style setup line.
+inline std::string setup_line(std::uint32_t nservers, std::uint32_t nclients,
+                              const char* profile_name,
+                              std::uint32_t stripe_unit) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%u I/O servers, %u client(s), %s profile, %s stripe unit",
+                nservers, nclients, profile_name,
+                format_bytes(stripe_unit).c_str());
+  return buf;
+}
+
+}  // namespace csar::bench

@@ -1,0 +1,60 @@
+// Figure 3: overhead of the distributed parity-locking protocol — five
+// clients concurrently rewriting the five data blocks of one RAID5 stripe.
+#include "bench_common.hpp"
+
+using namespace csar;
+
+int main() {
+  const std::uint32_t kSu = 64 * KiB;
+  const std::uint32_t kServers = 6;  // 5 data blocks per stripe, as in §5.1
+  const auto profile = hw::profile_experimental2003();
+  report::banner("F3", "Overhead of parity locking — Figure 3",
+                 bench::setup_line(kServers, 5, "experimental-2003", kSu) +
+                     ", 5 clients rewriting the 5 blocks of one stripe");
+  report::expectations({
+      "RAID0 (plain PVFS) is fastest: no redundancy traffic at all",
+      "R5 NO LOCK moves the same bytes as RAID5 but skips serialization",
+      "locking costs roughly 20% versus R5 NO LOCK",
+  });
+
+  const std::vector<raid::Scheme> schemes = {
+      raid::Scheme::raid0, raid::Scheme::raid5_nolock, raid::Scheme::raid5};
+  const std::vector<const char*> names = {"RAID0", "R5 NO LOCK", "RAID5"};
+  TextTable t({"scheme", "MB/s", "lock waits", "avg wait (ms)"});
+  std::map<raid::Scheme, double> bw;
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    raid::Rig rig(bench::make_rig(schemes[i], kServers, 5, profile));
+    wl::ContentionParams p;
+    p.stripe_unit = kSu;
+    p.nclients = 5;
+    p.rounds = 40;
+    const auto res = wl::run_on(rig, wl::stripe_contention(rig, p));
+    bw[schemes[i]] = res.write_bw();
+    std::uint64_t waits = 0;
+    sim::Duration wait_time = 0;
+    for (std::uint32_t s = 0; s < kServers; ++s) {
+      waits += rig.server(s).lock_stats().waits;
+      wait_time += rig.server(s).lock_stats().wait_time;
+    }
+    t.add_row({names[i], report::mbps(res.write_bw()),
+               TextTable::num(waits),
+               TextTable::num(waits ? sim::to_seconds(wait_time) * 1e3 /
+                                          static_cast<double>(waits)
+                                    : 0.0,
+                              2)});
+  }
+  report::table("5-client same-stripe write bandwidth (MB/s)", t);
+
+  const double lock_cost = 1.0 - bw[raid::Scheme::raid5] /
+                                     bw[raid::Scheme::raid5_nolock];
+  std::printf("locking overhead vs R5 NO LOCK: %.1f%%\n", lock_cost * 100.0);
+  // The paper measured ~20%. Our simulated no-lock baseline is faster
+  // relative to the lock-hold round trip than the 2003 testbed's, which
+  // inflates the relative cost; the qualitative claim — locking costs a
+  // moderate fraction, not a collapse — is what this checks.
+  report::check("locking overhead in [10%, 60%] (paper: ~20%)",
+                lock_cost > 0.10 && lock_cost < 0.60);
+  report::check("RAID0 fastest",
+                bw[raid::Scheme::raid0] > bw[raid::Scheme::raid5_nolock]);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 4(b): bandwidth of small (one-block) writes into a preexisting,
+// server-cached file, versus the number of I/O servers.
+#include "bench_common.hpp"
+
+using namespace csar;
+
+int main() {
+  const std::uint32_t kSu = 64 * KiB;
+  const auto profile = hw::profile_experimental2003();
+  report::banner(
+      "F4b", "Performance of small (one-block) writes — Figure 4(b)",
+      bench::setup_line(7, 1, "experimental-2003", kSu) +
+          ", single client rewriting a cached 16 MiB file block by block");
+  report::expectations({
+      "RAID1 and Hybrid are identical (both just write two copies)",
+      "RAID5 is clearly lower even though its pre-reads hit the server cache",
+      "(at N=2 a one-block write IS a full stripe, so RAID5 matches there)",
+  });
+
+  const std::vector<raid::Scheme> schemes = {
+      raid::Scheme::raid0, raid::Scheme::raid1, raid::Scheme::raid5,
+      raid::Scheme::hybrid};
+  TextTable t({"ioservers", "RAID0", "RAID1", "RAID5", "Hybrid"});
+  std::map<std::pair<std::uint32_t, raid::Scheme>, double> bw;
+  for (std::uint32_t n = 2; n <= 7; ++n) {
+    std::vector<std::string> row = {TextTable::num(std::uint64_t{n})};
+    for (raid::Scheme s : schemes) {
+      raid::Rig rig(bench::make_rig(s, n, 1, profile));
+      wl::MicroParams p;
+      p.stripe_unit = kSu;
+      p.total_bytes = 16 * MiB;
+      const auto res = wl::run_on(rig, wl::small_block_write(rig, p));
+      bw[{n, s}] = res.write_bw();
+      row.push_back(report::mbps(res.write_bw()));
+    }
+    t.add_row(std::move(row));
+  }
+  report::table("single-client one-block write bandwidth (MB/s)", t);
+
+  bool hybrid_eq_raid1 = true;
+  bool raid5_below = true;
+  for (std::uint32_t n = 3; n <= 7; ++n) {
+    if (std::abs(bw[{n, raid::Scheme::hybrid}] -
+                 bw[{n, raid::Scheme::raid1}]) >
+        0.10 * bw[{n, raid::Scheme::raid1}]) {
+      hybrid_eq_raid1 = false;
+    }
+    if (bw[{n, raid::Scheme::raid5}] >= 0.9 * bw[{n, raid::Scheme::raid1}]) {
+      raid5_below = false;
+    }
+  }
+  report::check("Hybrid == RAID1 at every server count (±10%)",
+                hybrid_eq_raid1);
+  report::check("RAID5 below RAID1 for N >= 3", raid5_below);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 5: ROMIO `perf` — concurrent clients each writing/reading a 4 MB
+// buffer at rank*size; read and (post-flush) write bandwidth vs clients.
+#include "bench_common.hpp"
+
+using namespace csar;
+
+int main() {
+  const std::uint32_t kSu = 64 * KiB;
+  const std::uint32_t kServers = 6;
+  const auto profile = hw::profile_experimental2003();
+  report::banner("F5", "ROMIO perf read (a) and write (b) — Figure 5",
+                 bench::setup_line(kServers, 6, "experimental-2003", kSu) +
+                     ", 4 MB buffers, write bandwidth measured after flush");
+  report::expectations({
+      "reads: all schemes substantially similar (redundancy is never read)",
+      "writes: RAID5 ~= Hybrid, both above RAID1 (large writes)",
+  });
+
+  TextTable tr({"clients", "RAID0", "RAID1", "RAID5", "Hybrid"});
+  TextTable tw({"clients", "RAID0", "RAID1", "RAID5", "Hybrid"});
+  std::map<std::pair<std::uint32_t, raid::Scheme>, wl::WorkloadResult> res;
+  const std::vector<std::uint32_t> client_counts = {1, 2, 4, 6};
+  for (std::uint32_t c : client_counts) {
+    std::vector<std::string> row_r = {TextTable::num(std::uint64_t{c})};
+    std::vector<std::string> row_w = {TextTable::num(std::uint64_t{c})};
+    for (raid::Scheme s : bench::main_schemes()) {
+      raid::Rig rig(bench::make_rig(s, kServers, c, profile));
+      wl::RomioParams p;
+      p.stripe_unit = kSu;
+      p.nclients = c;
+      p.rounds = 8;
+      res[{c, s}] = wl::run_on(rig, wl::romio_perf(rig, p));
+      row_r.push_back(report::mbps(res[{c, s}].read_bw()));
+      row_w.push_back(report::mbps(res[{c, s}].write_bw()));
+    }
+    tr.add_row(std::move(row_r));
+    tw.add_row(std::move(row_w));
+  }
+  report::table("(a) read bandwidth (MB/s)", tr);
+  report::table("(b) write bandwidth after flush (MB/s)", tw);
+
+  bool reads_similar = true;
+  bool writes_ordered = true;
+  for (std::uint32_t c : client_counts) {
+    const double r0 = res[{c, raid::Scheme::raid0}].read_bw();
+    for (raid::Scheme s : bench::main_schemes()) {
+      if (std::abs(res[{c, s}].read_bw() - r0) > 0.10 * r0) {
+        reads_similar = false;
+      }
+    }
+    if (res[{c, raid::Scheme::raid5}].write_bw() <=
+            res[{c, raid::Scheme::raid1}].write_bw() ||
+        res[{c, raid::Scheme::hybrid}].write_bw() <=
+            res[{c, raid::Scheme::raid1}].write_bw()) {
+      writes_ordered = false;
+    }
+  }
+  report::check("reads within 10% of RAID0 everywhere", reads_similar);
+  report::check("RAID5 and Hybrid beat RAID1 on writes everywhere",
+                writes_ordered);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 8: application output time for FLASH I/O, Cactus/BenchIO,
+// Hartree-Fock and BTIO Class B, normalized to RAID0.
+#include "bench_common.hpp"
+
+using namespace csar;
+
+namespace {
+
+using AppFn = wl::WorkloadResult (*)(raid::Rig&);
+
+wl::WorkloadResult run_flash(raid::Rig& rig) {
+  wl::FlashParams p;
+  p.nprocs = 8;
+  p.stripe_unit = 16 * KiB;
+  return wl::run_on(rig, wl::flash_io(rig, p));
+}
+wl::WorkloadResult run_cactus(raid::Rig& rig) {
+  wl::CactusParams p;
+  return wl::run_on(rig, wl::cactus_benchio(rig, p));
+}
+wl::WorkloadResult run_hf(raid::Rig& rig) {
+  wl::HartreeFockParams p;
+  return wl::run_on(rig, wl::hartree_fock(rig, p));
+}
+wl::WorkloadResult run_btio(raid::Rig& rig) {
+  wl::BtioParams p;
+  p.cls = wl::BtioClass::B;
+  p.nprocs = 9;
+  return wl::run_on(rig, wl::btio(rig, p));
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t kServers = 6;
+  const auto profile = hw::profile_experimental2003();
+  report::banner("F8", "Application output time, normalized to RAID0 — "
+                       "Figure 8",
+                 bench::setup_line(kServers, 9, "experimental-2003",
+                                   64 * KiB) +
+                     "; FLASH/Cactus on 8 procs, BTIO-B on 9, HF sequential");
+  report::expectations({
+      "Hybrid performs comparably to or better than the best of "
+      "RAID1/RAID5 on every application",
+      "Hartree-Fock is roughly flat across schemes (kernel-module overhead "
+      "levels everything)",
+  });
+
+  struct App {
+    const char* name;
+    AppFn fn;
+    std::uint32_t nclients;
+  };
+  const std::vector<App> apps = {{"FLASH-IO", run_flash, 8},
+                                 {"Cactus", run_cactus, 8},
+                                 {"HartreeFock", run_hf, 1},
+                                 {"BTIO-B", run_btio, 9}};
+
+  TextTable t({"app", "RAID0", "RAID1", "RAID5", "Hybrid"});
+  std::map<std::pair<std::string, raid::Scheme>, double> norm;
+  for (const auto& app : apps) {
+    std::map<raid::Scheme, double> secs;
+    for (raid::Scheme s : bench::main_schemes()) {
+      raid::Rig rig(bench::make_rig(s, kServers, app.nclients, profile));
+      secs[s] = sim::to_seconds(app.fn(rig).write_time);
+    }
+    std::vector<std::string> row = {app.name};
+    for (raid::Scheme s : bench::main_schemes()) {
+      const double n = secs[s] / secs[raid::Scheme::raid0];
+      norm[{app.name, s}] = n;
+      row.push_back(TextTable::num(n, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  report::table("output time normalized to RAID0 (lower is better)", t);
+
+  bool hybrid_best = true;
+  for (const auto& app : apps) {
+    const double best = std::min(norm[{app.name, raid::Scheme::raid1}],
+                                 norm[{app.name, raid::Scheme::raid5}]);
+    if (norm[{app.name, raid::Scheme::hybrid}] > 1.10 * best) {
+      hybrid_best = false;
+    }
+  }
+  report::check("Hybrid <= 1.1x the best of RAID1/RAID5 on every app",
+                hybrid_best);
+  const double hf_spread =
+      std::max({norm[{"HartreeFock", raid::Scheme::raid1}],
+                norm[{"HartreeFock", raid::Scheme::raid5}],
+                norm[{"HartreeFock", raid::Scheme::hybrid}]}) -
+      std::min({norm[{"HartreeFock", raid::Scheme::raid1}],
+                norm[{"HartreeFock", raid::Scheme::raid5}],
+                norm[{"HartreeFock", raid::Scheme::hybrid}]});
+  report::check("Hartree-Fock spread across schemes < 0.35", hf_spread < 0.35);
+  return 0;
+}

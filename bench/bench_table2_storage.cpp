@@ -1,0 +1,128 @@
+// Table 2: storage requirement (sum of the file sizes at the I/O servers)
+// per redundancy scheme, for BTIO classes A/B/C, FLASH I/O at two scales and
+// two stripe units, Hartree-Fock and Cactus/BenchIO.
+#include <functional>
+
+#include "bench_common.hpp"
+
+using namespace csar;
+
+namespace {
+
+pvfs::StorageInfo total_storage(raid::Rig& rig) {
+  pvfs::StorageInfo sum;
+  for (std::uint32_t s = 0; s < rig.p.nservers; ++s) {
+    const auto info = rig.server(s).total_storage();
+    sum.data_bytes += info.data_bytes;
+    sum.red_bytes += info.red_bytes;
+    sum.overflow_bytes += info.overflow_bytes;
+  }
+  return sum;
+}
+
+std::string mb(std::uint64_t bytes) {
+  return TextTable::num(static_cast<double>(bytes) / 1e6, 0) + " MB";
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t kServers = 6;  // 5 data units/stripe: Table 2's 1/5
+                                     // parity overhead
+  const auto profile = hw::profile_osc2003();
+  report::banner("T2", "Storage requirement for redundancy schemes — Table 2",
+                 bench::setup_line(kServers, 24, "OSC-2003", 64 * KiB));
+  report::expectations({
+      "RAID1 is exactly 2x RAID0 for every workload",
+      "RAID5 is exactly 1.2x RAID0 (1/5 parity with 6 servers)",
+      "Hybrid is close to RAID5 for large-write workloads (BTIO, Cactus)",
+      "Hybrid exceeds RAID1 for FLASH at the 64K stripe unit "
+      "(small writes fragment the overflow regions); 16K is far cheaper",
+  });
+
+  struct Row {
+    std::string name;
+    std::uint32_t nclients;
+    std::function<sim::Task<wl::WorkloadResult>(raid::Rig&)> fn;
+  };
+  auto btio_row = [](wl::BtioClass cls, std::uint32_t procs) {
+    return [cls, procs](raid::Rig& rig) {
+      wl::BtioParams p;
+      p.cls = cls;
+      p.nprocs = procs;
+      return wl::btio(rig, p);
+    };
+  };
+  auto flash_row = [](std::uint32_t procs, std::uint32_t su) {
+    return [procs, su](raid::Rig& rig) {
+      wl::FlashParams p;
+      p.nprocs = procs;
+      p.stripe_unit = su;
+      return wl::flash_io(rig, p);
+    };
+  };
+  const std::vector<Row> rows = {
+      {"BTIO Class A", 4, btio_row(wl::BtioClass::A, 4)},
+      {"BTIO Class B", 4, btio_row(wl::BtioClass::B, 4)},
+      {"BTIO Class C", 4, btio_row(wl::BtioClass::C, 4)},
+      {"FLASH (4p,16K su)", 4, flash_row(4, 16 * KiB)},
+      {"FLASH (4p,64K su)", 4, flash_row(4, 64 * KiB)},
+      {"FLASH (24p,16K su)", 24, flash_row(24, 16 * KiB)},
+      {"FLASH (24p,64K su)", 24, flash_row(24, 64 * KiB)},
+      {"Hartree-Fock", 1,
+       [](raid::Rig& rig) { return wl::hartree_fock(rig, {}); }},
+      {"CACTUS/BenchIO", 8,
+       [](raid::Rig& rig) { return wl::cactus_benchio(rig, {}); }},
+  };
+
+  TextTable t({"Benchmark", "RAID0", "RAID1", "RAID5", "Hybrid"});
+  bool raid1_double = true;
+  bool raid5_ratio = true;
+  std::map<std::string, std::map<raid::Scheme, std::uint64_t>> totals;
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {row.name};
+    for (raid::Scheme s : bench::main_schemes()) {
+      raid::Rig rig(bench::make_rig(s, kServers, row.nclients, profile));
+      (void)wl::run_on(rig, row.fn(rig));
+      const auto info = total_storage(rig);
+      const std::uint64_t total =
+          info.data_bytes + info.red_bytes + info.overflow_bytes;
+      totals[row.name][s] = total;
+      cells.push_back(mb(total));
+    }
+    t.add_row(std::move(cells));
+    const double r0 = static_cast<double>(totals[row.name][raid::Scheme::raid0]);
+    if (std::abs(totals[row.name][raid::Scheme::raid1] - 2.0 * r0) >
+        0.02 * r0) {
+      raid1_double = false;
+    }
+    const double r5 =
+        static_cast<double>(totals[row.name][raid::Scheme::raid5]) / r0;
+    if (r5 < 1.18 || r5 > 1.25) raid5_ratio = false;
+  }
+  report::table("total storage at the I/O servers", t);
+
+  report::check("RAID1 = 2.0x RAID0 everywhere", raid1_double);
+  report::check("RAID5 = ~1.2x RAID0 everywhere", raid5_ratio);
+  report::check(
+      "Hybrid close to RAID5 for BTIO Class A (mostly full stripes)",
+      totals["BTIO Class A"][raid::Scheme::hybrid] <
+          1.35 * totals["BTIO Class A"][raid::Scheme::raid5]);
+  report::check(
+      "Hybrid above RAID1 for FLASH 4p @ 64K stripe unit",
+      totals["FLASH (4p,64K su)"][raid::Scheme::hybrid] >
+          totals["FLASH (4p,64K su)"][raid::Scheme::raid1]);
+  // The paper's 4-proc/16K Hybrid number (74 MB) is well below RAID1; our
+  // workload model lands at RAID1's level there (small-request overhead is
+  // modeled pessimistically), but the stripe-unit direction — 16K far
+  // cheaper than 64K, and below RAID1 at scale — reproduces.
+  report::check(
+      "Hybrid below RAID1 for FLASH 24p @ 16K stripe unit",
+      totals["FLASH (24p,16K su)"][raid::Scheme::hybrid] <
+          totals["FLASH (24p,16K su)"][raid::Scheme::raid1]);
+  report::check(
+      "Hybrid 16K stripe unit far cheaper than 64K (4p)",
+      totals["FLASH (4p,16K su)"][raid::Scheme::hybrid] <
+          0.8 * totals["FLASH (4p,64K su)"][raid::Scheme::hybrid]);
+  return 0;
+}

@@ -1,0 +1,34 @@
+# One binary per reproduced table/figure plus ablations; all run standalone
+# and print paper-style rows with EXPECT/CHECK lines.
+# Included from the top-level CMakeLists (not add_subdirectory) so that
+# ${CMAKE_BINARY_DIR}/bench contains only the bench binaries and
+# `for b in build/bench/*; do $b; done` runs clean.
+function(csar_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  target_link_libraries(${name} PRIVATE csar_workloads csar_mpiio csar_report)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/src)
+endfunction()
+
+csar_add_bench(bench_fig1_disk_trend)
+csar_add_bench(bench_fig3_locking)
+csar_add_bench(bench_fig4_fullstripe)
+csar_add_bench(bench_fig4_smallwrite)
+csar_add_bench(bench_fig5_romio)
+csar_add_bench(bench_fig6_btio_classb)
+csar_add_bench(bench_fig7_btio_classc)
+csar_add_bench(bench_fig8_apps)
+csar_add_bench(bench_table2_storage)
+csar_add_bench(bench_sec52_write_buffering)
+csar_add_bench(bench_ablate_stripe_unit)
+csar_add_bench(bench_ablate_lock_scaling)
+csar_add_bench(bench_ablate_compaction)
+
+add_executable(bench_ablate_parity_kernel ${CMAKE_SOURCE_DIR}/bench/bench_ablate_parity_kernel.cpp)
+set_target_properties(bench_ablate_parity_kernel PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+target_link_libraries(bench_ablate_parity_kernel PRIVATE csar_common benchmark::benchmark)
+target_include_directories(bench_ablate_parity_kernel PRIVATE ${CMAKE_SOURCE_DIR}/src)
+csar_add_bench(bench_ablate_raid4)
+csar_add_bench(bench_ablate_collective)
+csar_add_bench(bench_ablate_rebuild)
+csar_add_bench(bench_ablate_mirror_reads)

@@ -1,0 +1,119 @@
+// checkpoint_app: a parallel scientific application checkpointing through
+// CSAR — the workload class the paper's introduction motivates (§1).
+//
+// Eight compute processes alternate "compute" phases with collective
+// checkpoint writes of a shared file, then restart from the newest
+// checkpoint. The example compares the three redundancy schemes on the same
+// run and prints where the time went.
+#include <cstdio>
+#include <vector>
+
+#include "common/units.hpp"
+#include "raid/rig.hpp"
+#include "sim/sync.hpp"
+#include "workloads/harness.hpp"
+
+using namespace csar;
+
+namespace {
+
+struct Outcome {
+  double checkpoint_secs;
+  double restore_secs;
+  std::uint64_t stored_bytes;
+};
+
+Outcome run(raid::Scheme scheme) {
+  constexpr std::uint32_t kProcs = 8;
+  constexpr std::uint32_t kSteps = 4;            // checkpoint rounds
+  constexpr std::uint64_t kPerProc = 64 * MiB;   // state per process
+  raid::RigParams params;
+  params.nservers = 6;
+  params.nclients = kProcs;
+  params.scheme = scheme;
+  raid::Rig rig(params);
+
+  return wl::run_on(rig, [](raid::Rig& r) -> sim::Task<Outcome> {
+    Outcome out{};
+    auto file = co_await r.client_fs(0).create("checkpoint.h5",
+                                               r.layout(64 * KiB));
+    assert(file.ok());
+    sim::Barrier barrier(r.sim, kProcs);
+
+    // --- checkpoint phases ---
+    const sim::Time t0 = r.sim.now();
+    sim::WaitGroup wg(r.sim);
+    wg.add(kProcs);
+    for (std::uint32_t p = 0; p < kProcs; ++p) {
+      r.sim.spawn([](raid::Rig& rr, pvfs::OpenFile f, std::uint32_t proc,
+                     sim::Barrier* bar, sim::WaitGroup* done)
+                      -> sim::Task<void> {
+        for (std::uint32_t step = 0; step < kSteps; ++step) {
+          // "Compute" between checkpoints.
+          co_await rr.sim.sleep(sim::ms(250));
+          // Collective checkpoint: each proc writes its slab in 4 MB
+          // chunks (like Cactus/BenchIO).
+          const std::uint64_t base = proc * kPerProc;
+          for (std::uint64_t off = 0; off < kPerProc; off += 4 * MiB) {
+            auto wr = co_await rr.client_fs(proc).write(
+                f, base + off, Buffer::phantom(4 * MiB));
+            assert(wr.ok());
+            (void)wr;
+          }
+          co_await bar->arrive_and_wait();
+        }
+        done->done();
+      }(r, *file, p, &barrier, &wg));
+    }
+    co_await wg.wait();
+    auto fl = co_await r.client_fs(0).flush(*file);
+    assert(fl.ok());
+    (void)fl;
+    out.checkpoint_secs =
+        sim::to_seconds(r.sim.now() - t0) - kSteps * 0.25;  // minus compute
+
+    // --- restart: every proc reads its slab back ---
+    const sim::Time t1 = r.sim.now();
+    sim::WaitGroup rg(r.sim);
+    rg.add(kProcs);
+    for (std::uint32_t p = 0; p < kProcs; ++p) {
+      r.sim.spawn([](raid::Rig& rr, pvfs::OpenFile f, std::uint32_t proc,
+                     sim::WaitGroup* done) -> sim::Task<void> {
+        auto rd = co_await rr.client_fs(proc).read(f, proc * kPerProc,
+                                                   kPerProc);
+        assert(rd.ok());
+        (void)rd;
+        done->done();
+      }(r, *file, p, &rg));
+    }
+    co_await rg.wait();
+    out.restore_secs = sim::to_seconds(r.sim.now() - t1);
+
+    auto usage = co_await r.client_fs(0).storage(*file);
+    out.stored_bytes =
+        usage.data_bytes + usage.red_bytes + usage.overflow_bytes;
+    co_return out;
+  }(rig));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("8 procs x 4 checkpoints x 64 MiB, 6 I/O servers\n\n");
+  std::printf("%-8s %16s %14s %12s\n", "scheme", "checkpoint I/O", "restore",
+              "stored");
+  const std::vector<raid::Scheme> schemes = {
+      raid::Scheme::raid0, raid::Scheme::raid1, raid::Scheme::raid5,
+      raid::Scheme::hybrid};
+  for (raid::Scheme s : schemes) {
+    const Outcome o = run(s);
+    std::printf("%-8s %14.2f s %12.2f s %12s\n", raid::scheme_name(s),
+                o.checkpoint_secs, o.restore_secs,
+                format_bytes(o.stored_bytes).c_str());
+  }
+  std::printf(
+      "\nNote how Hybrid checkpoints at RAID5-like speed while RAID0 offers\n"
+      "no protection at all: a single failed I/O server would lose the\n"
+      "checkpoint (see the failure_recovery example).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "buffer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "parity.hpp"
+
+namespace csar {
+
+Buffer Buffer::real(std::uint64_t size) {
+  Buffer b;
+  b.size_ = size;
+  b.materialized_ = true;
+  b.data_.assign(static_cast<std::size_t>(size), std::byte{0});
+  return b;
+}
+
+Buffer Buffer::phantom(std::uint64_t size) {
+  Buffer b;
+  b.size_ = size;
+  b.materialized_ = false;
+  return b;
+}
+
+Buffer Buffer::from_bytes(std::vector<std::byte> bytes) {
+  Buffer b;
+  b.size_ = bytes.size();
+  b.materialized_ = true;
+  b.data_ = std::move(bytes);
+  return b;
+}
+
+Buffer Buffer::pattern(std::uint64_t size, std::uint64_t seed) {
+  Buffer b = real(size);
+  // Cheap per-byte mix; distinct seeds give distinct, reproducible content.
+  std::uint64_t x = seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+  for (std::uint64_t i = 0; i < size; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    b.data_[static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((x >> 33) & 0xFF);
+  }
+  return b;
+}
+
+std::span<const std::byte> Buffer::bytes() const {
+  assert(materialized_);
+  return {data_.data(), data_.size()};
+}
+
+std::span<std::byte> Buffer::mutable_bytes() {
+  assert(materialized_);
+  return {data_.data(), data_.size()};
+}
+
+Buffer Buffer::slice(std::uint64_t off, std::uint64_t len) const {
+  assert(off + len <= size_);
+  if (!materialized_) return phantom(len);
+  Buffer b;
+  b.size_ = len;
+  b.materialized_ = true;
+  b.data_.assign(data_.begin() + static_cast<std::ptrdiff_t>(off),
+                 data_.begin() + static_cast<std::ptrdiff_t>(off + len));
+  return b;
+}
+
+void Buffer::write_at(std::uint64_t off, const Buffer& src) {
+  assert(off + src.size_ <= size_);
+  assert(materialized_ == src.materialized_);
+  if (!materialized_ || src.size_ == 0) return;
+  std::memcpy(data_.data() + off, src.data_.data(),
+              static_cast<std::size_t>(src.size_));
+}
+
+void Buffer::xor_with(const Buffer& other) {
+  if (!materialized_ || !other.materialized_) {
+    assert(materialized_ == other.materialized_);
+    return;
+  }
+  const std::uint64_t n = std::min(size_, other.size_);
+  xor_words({data_.data(), static_cast<std::size_t>(n)},
+            {other.data_.data(), static_cast<std::size_t>(n)});
+}
+
+void Buffer::xor_at(std::uint64_t off, const Buffer& src) {
+  assert(off + src.size_ <= size_);
+  assert(materialized_ == src.materialized_);
+  if (!materialized_ || src.size_ == 0) return;
+  xor_words({data_.data() + off, static_cast<std::size_t>(src.size_)},
+            {src.data_.data(), static_cast<std::size_t>(src.size_)});
+}
+
+void Buffer::resize(std::uint64_t size) {
+  size_ = size;
+  if (materialized_) data_.resize(static_cast<std::size_t>(size), std::byte{0});
+}
+
+bool Buffer::operator==(const Buffer& other) const {
+  if (size_ != other.size_) return false;
+  if (!materialized_ || !other.materialized_) {
+    return materialized_ == other.materialized_;
+  }
+  return data_ == other.data_;
+}
+
+}  // namespace csar

@@ -1,0 +1,73 @@
+// Buffer: a byte payload that is either materialized (real bytes, used by
+// tests/examples so that parity, mirroring and reconstruction are verified on
+// actual content) or phantom (size-only, used by large benchmarks such as
+// BTIO Class C whose 6.6 GB payload should not live in host RAM).
+//
+// Phantom buffers participate in all bookkeeping — sizes, extents, simulated
+// CPU/XOR charges — but carry no bytes. Mixing a phantom and a materialized
+// buffer in one mutating operation is a programming error (assert).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace csar {
+
+class Buffer {
+ public:
+  /// Empty materialized buffer.
+  Buffer() = default;
+
+  /// Materialized, zero-filled buffer of `size` bytes.
+  static Buffer real(std::uint64_t size);
+
+  /// Phantom buffer: size only, no storage.
+  static Buffer phantom(std::uint64_t size);
+
+  /// Materialized buffer taking ownership of `bytes`.
+  static Buffer from_bytes(std::vector<std::byte> bytes);
+
+  /// Materialized buffer filled with a deterministic pattern derived from
+  /// `seed` (used by tests to make every file region distinguishable).
+  static Buffer pattern(std::uint64_t size, std::uint64_t seed);
+
+  std::uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool materialized() const { return materialized_; }
+
+  /// Read-only view of the bytes; requires a materialized buffer.
+  std::span<const std::byte> bytes() const;
+
+  /// Mutable view of the bytes; requires a materialized buffer.
+  std::span<std::byte> mutable_bytes();
+
+  /// Copy of the sub-range [off, off+len). Phantom stays phantom.
+  Buffer slice(std::uint64_t off, std::uint64_t len) const;
+
+  /// Splice `src` into this buffer at `off`. Requires off+src.size()<=size().
+  /// Both buffers must have the same materialization.
+  void write_at(std::uint64_t off, const Buffer& src);
+
+  /// XOR `other` into this buffer (prefix of the shorter length). On phantom
+  /// buffers this is a no-op; callers charge simulated XOR cost separately.
+  void xor_with(const Buffer& other);
+
+  /// XOR `src` into this buffer starting at `off` (off+src.size()<=size()).
+  /// Both buffers must have the same materialization; no-op on phantom.
+  void xor_at(std::uint64_t off, const Buffer& src);
+
+  /// Grow (zero-extending) or shrink to `size`.
+  void resize(std::uint64_t size);
+
+  /// Content equality. Phantom buffers compare equal iff sizes match.
+  bool operator==(const Buffer& other) const;
+
+ private:
+  std::uint64_t size_ = 0;
+  bool materialized_ = true;
+  std::vector<std::byte> data_;
+};
+
+}  // namespace csar

@@ -1,0 +1,130 @@
+// IntervalMap<V>: disjoint half-open ranges [start,end) each carrying a
+// value. Inserting over existing ranges overwrites them, slicing partially
+// covered entries via a user-supplied Slicer so that the surviving pieces
+// keep consistent payloads.
+//
+// Used for sparse file content (V = Buffer) and for the Hybrid scheme's
+// overflow tables (V = overflow location).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace csar {
+
+/// Slicer concept: given a value covering `len_total` bytes, produce the
+/// payload for the sub-range starting `offset` bytes in, `len` bytes long.
+///   V operator()(const V& v, std::uint64_t offset, std::uint64_t len) const;
+template <typename V, typename Slicer>
+class IntervalMap {
+ public:
+  struct Chunk {
+    std::uint64_t start;
+    std::uint64_t end;
+    const V* value;
+  };
+
+  IntervalMap() = default;
+  explicit IntervalMap(Slicer slicer) : slicer_(std::move(slicer)) {}
+
+  /// Map [start,end) to `value`, overwriting any previous contents.
+  void insert(std::uint64_t start, std::uint64_t end, V value) {
+    if (start >= end) return;
+    erase(start, end);
+    entries_.emplace(start, Entry{end, std::move(value)});
+  }
+
+  /// Remove [start,end), splitting partially covered entries.
+  void erase(std::uint64_t start, std::uint64_t end) {
+    if (start >= end) return;
+    auto it = entries_.upper_bound(start);
+    if (it != entries_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > start) it = prev;
+    }
+    while (it != entries_.end() && it->first < end) {
+      const std::uint64_t rs = it->first;
+      const std::uint64_t re = it->second.end;
+      V v = std::move(it->second.value);
+      it = entries_.erase(it);
+      if (rs < start) {
+        entries_.emplace(rs, Entry{start, slicer_(v, 0, start - rs)});
+      }
+      if (re > end) {
+        entries_.emplace(end, Entry{re, slicer_(v, end - rs, re - end)});
+        break;
+      }
+    }
+  }
+
+  /// The mapped sub-ranges of [start,end), clipped, in order. The returned
+  /// `value` pointers refer to the *whole* stored entry; `start - entry_start`
+  /// gives the offset of the clipped chunk within it. To keep that
+  /// arithmetic trivial for callers, each Chunk also records the entry start.
+  struct Query {
+    std::uint64_t start;        ///< clipped chunk start
+    std::uint64_t end;          ///< clipped chunk end
+    std::uint64_t entry_start;  ///< start of the stored entry
+    const V* value;             ///< payload of the stored entry
+  };
+  std::vector<Query> query(std::uint64_t start, std::uint64_t end) const {
+    std::vector<Query> out;
+    if (start >= end) return out;
+    auto it = entries_.upper_bound(start);
+    if (it != entries_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > start) it = prev;
+    }
+    for (; it != entries_.end() && it->first < end; ++it) {
+      out.push_back({std::max(it->first, start),
+                     std::min(it->second.end, end), it->first,
+                     &it->second.value});
+    }
+    return out;
+  }
+
+  /// True iff any byte of [start, end) is mapped.
+  bool intersects(std::uint64_t start, std::uint64_t end) const {
+    if (start >= end) return false;
+    auto it = entries_.upper_bound(start);
+    if (it != entries_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > start) return true;
+    }
+    return it != entries_.end() && it->first < end;
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Total bytes covered by all entries.
+  std::uint64_t covered_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& [s, e] : entries_) sum += e.end - s;
+    return sum;
+  }
+
+  /// Largest mapped end offset, or 0 when empty.
+  std::uint64_t upper_bound() const {
+    return entries_.empty() ? 0 : entries_.rbegin()->second.end;
+  }
+
+  /// Visit every entry in order: f(start, end, const V&).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& [s, e] : entries_) f(s, e.end, e.value);
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t end;
+    V value;
+  };
+  std::map<std::uint64_t, Entry> entries_;
+  Slicer slicer_;
+};
+
+}  // namespace csar

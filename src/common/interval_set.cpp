@@ -1,0 +1,110 @@
+#include "interval_set.hpp"
+
+#include <cassert>
+
+namespace csar {
+
+void IntervalSet::insert(std::uint64_t start, std::uint64_t end) {
+  if (start >= end) return;
+  // Find the first range that could merge with us: the one before start, if
+  // it reaches start (adjacency merges too).
+  auto it = ranges_.upper_bound(start);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      start = prev->first;
+      end = std::max(end, prev->second);
+      it = ranges_.erase(prev);
+    }
+  }
+  // Swallow every range that begins at or before the (growing) end.
+  while (it != ranges_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = ranges_.erase(it);
+  }
+  ranges_.emplace(start, end);
+}
+
+void IntervalSet::erase(std::uint64_t start, std::uint64_t end) {
+  if (start >= end) return;
+  auto it = ranges_.upper_bound(start);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > start) it = prev;
+  }
+  while (it != ranges_.end() && it->first < end) {
+    const std::uint64_t rs = it->first;
+    const std::uint64_t re = it->second;
+    it = ranges_.erase(it);
+    if (rs < start) ranges_.emplace(rs, start);
+    if (re > end) {
+      ranges_.emplace(end, re);
+      break;
+    }
+  }
+}
+
+bool IntervalSet::covers(std::uint64_t start, std::uint64_t end) const {
+  if (start >= end) return true;
+  auto it = ranges_.upper_bound(start);
+  if (it == ranges_.begin()) return false;
+  auto prev = std::prev(it);
+  return prev->first <= start && prev->second >= end;
+}
+
+bool IntervalSet::intersects(std::uint64_t start, std::uint64_t end) const {
+  if (start >= end) return false;
+  auto it = ranges_.upper_bound(start);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > start) return true;
+  }
+  return it != ranges_.end() && it->first < end;
+}
+
+std::vector<Interval> IntervalSet::intersection(std::uint64_t start,
+                                                std::uint64_t end) const {
+  std::vector<Interval> out;
+  if (start >= end) return out;
+  auto it = ranges_.upper_bound(start);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > start) it = prev;
+  }
+  for (; it != ranges_.end() && it->first < end; ++it) {
+    out.push_back(
+        {std::max(it->first, start), std::min(it->second, end)});
+  }
+  return out;
+}
+
+std::vector<Interval> IntervalSet::holes(std::uint64_t start,
+                                         std::uint64_t end) const {
+  std::vector<Interval> out;
+  std::uint64_t cursor = start;
+  for (const auto& iv : intersection(start, end)) {
+    if (iv.start > cursor) out.push_back({cursor, iv.start});
+    cursor = iv.end;
+  }
+  if (cursor < end) out.push_back({cursor, end});
+  return out;
+}
+
+std::uint64_t IntervalSet::total() const {
+  std::uint64_t sum = 0;
+  for (const auto& [s, e] : ranges_) sum += e - s;
+  return sum;
+}
+
+std::uint64_t IntervalSet::upper_bound() const {
+  return ranges_.empty() ? 0 : ranges_.rbegin()->second;
+}
+
+std::vector<Interval> IntervalSet::to_vector() const {
+  std::vector<Interval> out;
+  out.reserve(ranges_.size());
+  for (const auto& [s, e] : ranges_) out.push_back({s, e});
+  return out;
+}
+
+}  // namespace csar

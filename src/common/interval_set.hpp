@@ -1,0 +1,63 @@
+// IntervalSet: a set of disjoint, coalesced half-open byte ranges [start,end).
+//
+// Used for sparse-file allocation maps, dirty-region tracking and overflow
+// invalidation. All operations keep the invariant that stored intervals are
+// non-empty, non-overlapping, non-adjacent (adjacent ranges are merged) and
+// sorted by start offset.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace csar {
+
+struct Interval {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;  ///< exclusive
+
+  std::uint64_t length() const { return end - start; }
+  bool empty() const { return end <= start; }
+  bool operator==(const Interval&) const = default;
+};
+
+class IntervalSet {
+ public:
+  /// Add [start, end). Overlapping/adjacent ranges are merged.
+  void insert(std::uint64_t start, std::uint64_t end);
+
+  /// Remove [start, end), splitting partially-covered ranges.
+  void erase(std::uint64_t start, std::uint64_t end);
+
+  /// True iff every byte of [start, end) is covered.
+  bool covers(std::uint64_t start, std::uint64_t end) const;
+
+  /// True iff any byte of [start, end) is covered.
+  bool intersects(std::uint64_t start, std::uint64_t end) const;
+
+  /// The covered sub-ranges of [start, end), in order.
+  std::vector<Interval> intersection(std::uint64_t start,
+                                     std::uint64_t end) const;
+
+  /// The uncovered sub-ranges ("holes") of [start, end), in order.
+  std::vector<Interval> holes(std::uint64_t start, std::uint64_t end) const;
+
+  /// Sum of lengths of all ranges.
+  std::uint64_t total() const;
+
+  /// End offset of the last range, or 0 if empty (size of a sparse file).
+  std::uint64_t upper_bound() const;
+
+  bool empty() const { return ranges_.empty(); }
+  std::size_t range_count() const { return ranges_.size(); }
+  void clear() { ranges_.clear(); }
+
+  /// All ranges in order (for iteration and debugging).
+  std::vector<Interval> to_vector() const;
+
+ private:
+  // start -> end
+  std::map<std::uint64_t, std::uint64_t> ranges_;
+};
+
+}  // namespace csar

@@ -1,0 +1,74 @@
+#include "log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace csar::log {
+
+namespace {
+Level g_level = Level::off;
+std::function<std::uint64_t()> g_time_source;
+
+const char* level_tag(Level lvl) {
+  switch (lvl) {
+    case Level::trace:
+      return "T";
+    case Level::debug:
+      return "D";
+    case Level::info:
+      return "I";
+    case Level::warn:
+      return "W";
+    case Level::error:
+      return "E";
+    case Level::off:
+      return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level lvl) { g_level = lvl; }
+Level level() { return g_level; }
+
+void set_time_source(std::function<std::uint64_t()> src) {
+  g_time_source = std::move(src);
+}
+
+void write(Level lvl, const char* fmt, ...) {
+  if (static_cast<int>(lvl) < static_cast<int>(g_level)) return;
+  char msg[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, ap);
+  va_end(ap);
+  if (g_time_source) {
+    const double t = static_cast<double>(g_time_source()) / 1e9;
+    std::fprintf(stderr, "[%s %12.6fs] %s\n", level_tag(lvl), t, msg);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_tag(lvl), msg);
+  }
+}
+
+void init_from_env() {
+  const char* v = std::getenv("CSAR_LOG");
+  if (v == nullptr) return;
+  const std::string s{v};
+  if (s == "trace") {
+    g_level = Level::trace;
+  } else if (s == "debug") {
+    g_level = Level::debug;
+  } else if (s == "info") {
+    g_level = Level::info;
+  } else if (s == "warn") {
+    g_level = Level::warn;
+  } else if (s == "error") {
+    g_level = Level::error;
+  } else {
+    g_level = Level::off;
+  }
+}
+
+}  // namespace csar::log

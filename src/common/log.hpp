@@ -1,0 +1,44 @@
+// Minimal leveled logger with an injectable time source so that log lines
+// carry *simulated* time when emitted from inside a simulation.
+//
+// Logging is off by default in tests and benches; enable with
+// csar::log::set_level or the CSAR_LOG environment variable
+// (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <functional>
+
+namespace csar::log {
+
+enum class Level { trace = 0, debug, info, warn, error, off };
+
+void set_level(Level lvl);
+Level level();
+
+/// Install a function returning the current simulated time in nanoseconds;
+/// pass nullptr to revert to no timestamp.
+void set_time_source(std::function<std::uint64_t()> src);
+
+/// printf-style logging. Prefer the CSAR_LOG_* macros, which skip argument
+/// evaluation when the level is disabled.
+void write(Level lvl, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/// Initialize the level from the CSAR_LOG environment variable (idempotent).
+void init_from_env();
+
+}  // namespace csar::log
+
+#define CSAR_LOG_AT(lvl, ...)                                       \
+  do {                                                              \
+    if (static_cast<int>(lvl) >= static_cast<int>(csar::log::level())) \
+      csar::log::write(lvl, __VA_ARGS__);                           \
+  } while (0)
+
+#define CSAR_TRACE(...) CSAR_LOG_AT(csar::log::Level::trace, __VA_ARGS__)
+#define CSAR_DEBUG(...) CSAR_LOG_AT(csar::log::Level::debug, __VA_ARGS__)
+#define CSAR_INFO(...) CSAR_LOG_AT(csar::log::Level::info, __VA_ARGS__)
+#define CSAR_WARN(...) CSAR_LOG_AT(csar::log::Level::warn, __VA_ARGS__)
+#define CSAR_ERROR(...) CSAR_LOG_AT(csar::log::Level::error, __VA_ARGS__)

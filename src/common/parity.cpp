@@ -1,0 +1,37 @@
+#include "parity.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace csar {
+
+void xor_bytes(std::span<std::byte> dst, std::span<const std::byte> src) {
+  assert(src.size() <= dst.size());
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] ^= src[i];
+}
+
+void xor_words(std::span<std::byte> dst, std::span<const std::byte> src) {
+  assert(src.size() <= dst.size());
+  std::size_t n = src.size();
+  std::size_t i = 0;
+  constexpr std::size_t W = sizeof(std::uint64_t);
+  for (; i + W <= n; i += W) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, dst.data() + i, W);
+    std::memcpy(&b, src.data() + i, W);
+    a ^= b;
+    std::memcpy(dst.data() + i, &a, W);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void xor_accumulate(std::span<std::byte> dst,
+                    std::span<const std::span<const std::byte>> sources) {
+  for (const auto& s : sources) {
+    xor_words(dst, s.subspan(0, std::min(s.size(), dst.size())));
+  }
+}
+
+}  // namespace csar

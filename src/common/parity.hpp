@@ -1,0 +1,29 @@
+// XOR parity kernels.
+//
+// The Swift/RAID paper (and §3 of the CSAR paper) reports that computing
+// parity one machine word at a time instead of one byte at a time
+// significantly improves RAID5/Hybrid performance. We keep both kernels: the
+// word-wise one is the production path; the byte-wise one exists for the
+// ablation benchmark reproducing that observation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace csar {
+
+/// dst[i] ^= src[i], one byte at a time (deliberately naive baseline).
+void xor_bytes(std::span<std::byte> dst, std::span<const std::byte> src);
+
+/// dst[i] ^= src[i], word-at-a-time with a byte tail. Handles unaligned
+/// buffers via memcpy word loads, which GCC lowers to plain loads on x86.
+void xor_words(std::span<std::byte> dst, std::span<const std::byte> src);
+
+/// Parity of `sources` accumulated into `dst` (dst must be zero-filled or
+/// hold the first source). Sources shorter than dst contribute only their
+/// prefix; this matches parity of zero-padded stripe units.
+void xor_accumulate(std::span<std::byte> dst,
+                    std::span<const std::span<const std::byte>> sources);
+
+}  // namespace csar

@@ -1,0 +1,27 @@
+#include "result.hpp"
+
+namespace csar {
+
+const char* errc_name(Errc e) {
+  switch (e) {
+    case Errc::ok:
+      return "ok";
+    case Errc::not_found:
+      return "not_found";
+    case Errc::already_exists:
+      return "already_exists";
+    case Errc::invalid_argument:
+      return "invalid_argument";
+    case Errc::server_failed:
+      return "server_failed";
+    case Errc::unavailable:
+      return "unavailable";
+    case Errc::corrupted:
+      return "corrupted";
+    case Errc::io_error:
+      return "io_error";
+  }
+  return "unknown";
+}
+
+}  // namespace csar

@@ -1,0 +1,36 @@
+// TextTable: fixed-column pretty printer for bench harness output, so every
+// figure/table reproduction prints rows in a uniform, diff-friendly format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csar {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string num(double v, int precision = 1);
+  static std::string num(std::uint64_t v);
+
+  /// Render with aligned columns; numeric-looking cells right-aligned.
+  std::string to_string() const;
+
+  /// Render as CSV (header + rows), for machine consumption.
+  std::string to_csv() const;
+
+  /// Print to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace csar

@@ -1,0 +1,33 @@
+#include "units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace csar {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 4> kSuffix = {"B", "KiB", "MiB",
+                                                         "GiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t s = 0;
+  while (v >= 1024.0 && s + 1 < kSuffix.size()) {
+    v /= 1024.0;
+    ++s;
+  }
+  char buf[64];
+  if (s == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, kSuffix[s]);
+  }
+  return buf;
+}
+
+std::string format_bandwidth(double bytes_per_sec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f MB/s", bytes_per_sec / 1e6);
+  return buf;
+}
+
+}  // namespace csar

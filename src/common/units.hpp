@@ -1,0 +1,38 @@
+// Byte-size units and alignment arithmetic used throughout CSAR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace csar {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+/// The paper reports sizes in decimal MB (e.g. "BTIO Class B outputs about
+/// 1600 MB"); we keep a decimal constant for workload definitions.
+inline constexpr std::uint64_t MB = 1000ULL * 1000ULL;
+
+/// Ceiling division for unsigned quantities.
+constexpr std::uint64_t div_ceil(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Round `x` down to a multiple of `align` (align > 0).
+constexpr std::uint64_t align_down(std::uint64_t x, std::uint64_t align) {
+  return x - (x % align);
+}
+
+/// Round `x` up to a multiple of `align` (align > 0).
+constexpr std::uint64_t align_up(std::uint64_t x, std::uint64_t align) {
+  return div_ceil(x, align) * align;
+}
+
+/// Human-readable byte count, e.g. "1.50 MiB". Used by reports and logs.
+std::string format_bytes(std::uint64_t bytes);
+
+/// Bandwidth pretty-printer, e.g. "87.3 MB/s" (decimal, as the paper plots).
+std::string format_bandwidth(double bytes_per_sec);
+
+}  // namespace csar

@@ -1,0 +1,135 @@
+// Node and Cluster: hardware composition for the simulated testbeds.
+//
+// A node has a full-duplex NIC (tx/rx bandwidth servers), a memory copy
+// engine, an XOR rate for parity computation, and — on I/O server nodes — a
+// disk with a page cache in front of it. A Cluster owns the nodes plus the
+// wire parameters, mirroring the paper's two testbeds (an 8-node
+// PIII/Myrinet cluster and the larger OSC Itanium cluster).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "hw/disk.hpp"
+#include "hw/page_cache.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace csar::hw {
+
+using NodeId = std::uint32_t;
+
+struct NodeParams {
+  double link_bytes_per_sec = 160e6;     ///< NIC rate per direction
+  sim::Duration link_per_op = sim::us(30);  ///< per-message protocol cost
+  double mem_bytes_per_sec = 300e6;      ///< copy-engine rate
+  double xor_bytes_per_sec = 1.6e9;      ///< word-wise parity rate (§3)
+  /// Per-connection ingest pacing at an I/O server: TCP + iod processing
+  /// limits what one client stream can push through one server. This is what
+  /// makes single-client bandwidth scale with the number of I/O servers
+  /// (Figure 4) instead of saturating the client link immediately.
+  double stream_bytes_per_sec = 20e6;
+  /// Per-connection rate for redundancy-*block* operations (parity and
+  /// mirror reads/writes). CSAR adds these as new routines outside the iod's
+  /// bulk streaming path; they act on cache-resident blocks and move at
+  /// link speed. Keeping them off the slow path is what bounds the parity
+  /// lock hold time (§5.1's ~20%-not-5x locking overhead).
+  double red_stream_bytes_per_sec = 1e9;
+  /// The iod is a single-process service loop: every request — bulk data
+  /// and parity blocks alike — passes through one dispatch pipeline with
+  /// this total capacity and per-request cost. Under heavy load (25 BTIO
+  /// writers) parity operations queue behind bulk bursts *while the parity
+  /// lock is held*, which is the mechanism behind the paper's dramatic
+  /// RAID5 collapse in Figure 6(a).
+  double iod_bytes_per_sec = 150e6;
+  sim::Duration iod_per_op = sim::us(100);
+  std::optional<DiskParams> disk;        ///< present on I/O servers
+  std::optional<CacheParams> cache;      ///< present on I/O servers
+};
+
+class Node {
+ public:
+  Node(sim::Simulation& sim, NodeId id, const NodeParams& params)
+      : id_(id),
+        p_(params),
+        tx_(sim, params.link_bytes_per_sec, params.link_per_op),
+        rx_(sim, params.link_bytes_per_sec, params.link_per_op),
+        mem_(sim, params.mem_bytes_per_sec) {
+    if (params.disk) {
+      disk_ = std::make_unique<Disk>(sim, *params.disk);
+      if (params.cache) {
+        cache_ = std::make_unique<PageCache>(sim, *disk_, mem_, *params.cache);
+      }
+    }
+  }
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const NodeParams& params() const { return p_; }
+
+  sim::BandwidthServer& tx() { return tx_; }
+  sim::BandwidthServer& rx() { return rx_; }
+  sim::BandwidthServer& mem() { return mem_; }
+  Disk* disk() { return disk_.get(); }
+  PageCache* cache() { return cache_.get(); }
+
+ private:
+  NodeId id_;
+  NodeParams p_;
+  sim::BandwidthServer tx_;
+  sim::BandwidthServer rx_;
+  sim::BandwidthServer mem_;
+  std::unique_ptr<Disk> disk_;
+  std::unique_ptr<PageCache> cache_;
+};
+
+/// Cluster-wide hardware parameters: node templates plus wire properties.
+struct HwProfile {
+  NodeParams server;
+  NodeParams client;
+  sim::Duration wire_latency = sim::us(10);
+  /// Size of the network receive chunks an I/O server consumes while a write
+  /// streams in (§5.2). Deliberately not a multiple of the page size, like
+  /// real socket reads.
+  std::uint32_t net_recv_chunk = 8800;
+};
+
+/// The 8-node experimental cluster: dual PIII 1 GHz, 1 GB RAM, Myrinet
+/// 1.3 Gb/s, two IBM 75GXP disks behind a 3Ware controller in RAID0 (§6.1).
+HwProfile profile_experimental2003();
+
+/// The OSC production cluster: Itanium II, 4 GB RAM, one 80 GB SCSI disk,
+/// Myrinet (§6.1). Used for experiments needing more than 8 nodes.
+HwProfile profile_osc2003();
+
+class Cluster {
+ public:
+  Cluster(sim::Simulation& sim, HwProfile profile)
+      : sim_(&sim), profile_(std::move(profile)) {}
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  NodeId add_server() { return add_node(profile_.server); }
+  NodeId add_client() { return add_node(profile_.client); }
+
+  Node& node(NodeId id) { return *nodes_[id]; }
+  std::size_t node_count() const { return nodes_.size(); }
+  sim::Simulation& sim() { return *sim_; }
+  const HwProfile& profile() const { return profile_; }
+
+ private:
+  NodeId add_node(const NodeParams& params) {
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(std::make_unique<Node>(*sim_, id, params));
+    return id;
+  }
+
+  sim::Simulation* sim_;
+  HwProfile profile_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace csar::hw

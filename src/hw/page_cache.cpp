@@ -1,0 +1,172 @@
+#include "hw/page_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace csar::hw {
+
+void PageCache::touch(std::uint64_t key) {
+  auto it = pages_.find(key);
+  assert(it != pages_.end());
+  lru_.splice(lru_.end(), lru_, it->second.lru_it);
+}
+
+void PageCache::insert(std::uint64_t fid, std::uint64_t page, bool dirty) {
+  const std::uint64_t key = key_of(fid, page);
+  auto it = pages_.find(key);
+  if (it != pages_.end()) {
+    if (dirty && !it->second.dirty) {
+      it->second.dirty = true;
+      ++dirty_count_;
+    }
+    touch(key);
+    return;
+  }
+  lru_.push_back(key);
+  pages_.emplace(key, Page{fid, page, dirty, std::prev(lru_.end())});
+  if (dirty) ++dirty_count_;
+}
+
+sim::Task<void> PageCache::ensure_room() {
+  if (resident_bytes() <= p_.capacity_bytes) co_return;
+  // Reclaim down to a hysteresis point one batch below capacity: victims are
+  // collected synchronously (so the LRU stays consistent), then dirty ones
+  // are written out in address order.
+  const std::uint64_t batch_bytes =
+      static_cast<std::uint64_t>(p_.evict_batch) * p_.page_size;
+  const std::uint64_t target =
+      p_.capacity_bytes > batch_bytes ? p_.capacity_bytes - batch_bytes : 0;
+  std::vector<std::uint64_t> dirty_addrs;
+  while (resident_bytes() > target && !lru_.empty()) {
+    const std::uint64_t key = lru_.front();
+    auto it = pages_.find(key);
+    assert(it != pages_.end());
+    if (it->second.dirty) {
+      dirty_addrs.push_back(
+          page_addr(it->second.fid, it->second.idx, p_.page_size));
+      --dirty_count_;
+      ++stats_.dirty_evictions;
+    } else {
+      ++stats_.clean_evictions;
+    }
+    lru_.pop_front();
+    pages_.erase(it);
+  }
+  std::sort(dirty_addrs.begin(), dirty_addrs.end());
+  // Coalesce address-contiguous victims into single disk writes.
+  std::size_t i = 0;
+  while (i < dirty_addrs.size()) {
+    std::size_t j = i + 1;
+    while (j < dirty_addrs.size() &&
+           dirty_addrs[j] == dirty_addrs[j - 1] + p_.page_size) {
+      ++j;
+    }
+    co_await disk_->write(dirty_addrs[i],
+                          static_cast<std::uint64_t>(j - i) * p_.page_size);
+    i = j;
+  }
+}
+
+sim::Task<void> PageCache::read(std::uint64_t fid, std::uint64_t off,
+                                std::uint64_t len,
+                                const ContentPred& has_content) {
+  if (len == 0) co_return;
+  const std::uint64_t first = off / p_.page_size;
+  const std::uint64_t last = (off + len - 1) / p_.page_size;
+  std::uint64_t run_start = 0;  // first page of a pending miss run
+  std::uint64_t run_len = 0;    // pages in the pending miss run
+  auto flush_run = [&]() -> sim::Task<void> {
+    if (run_len == 0) co_return;
+    co_await disk_->read(page_addr(fid, run_start, p_.page_size),
+                         run_len * p_.page_size);
+    for (std::uint64_t k = 0; k < run_len; ++k) {
+      insert(fid, run_start + k, /*dirty=*/false);
+    }
+    run_len = 0;
+    co_await ensure_room();
+  };
+  for (std::uint64_t pg = first; pg <= last; ++pg) {
+    const bool is_hole =
+        !has_content(pg * p_.page_size, (pg + 1) * p_.page_size);
+    if (is_hole || resident(key_of(fid, pg))) {
+      if (!is_hole) {
+        ++stats_.hits;
+        touch(key_of(fid, pg));
+      }
+      co_await flush_run();
+      continue;
+    }
+    ++stats_.misses;
+    if (run_len == 0) run_start = pg;
+    ++run_len;
+  }
+  co_await flush_run();
+  co_await mem_->transfer(len);
+}
+
+sim::Task<void> PageCache::write(std::uint64_t fid, std::uint64_t off,
+                                 std::uint64_t len,
+                                 const ContentPred& has_content,
+                                 bool pad_partial) {
+  if (len == 0) co_return;
+  const std::uint64_t first = off / p_.page_size;
+  const std::uint64_t last = (off + len - 1) / p_.page_size;
+  for (std::uint64_t pg = first; pg <= last; ++pg) {
+    const std::uint64_t pg_start = pg * p_.page_size;
+    const std::uint64_t pg_end = pg_start + p_.page_size;
+    const bool full =
+        pad_partial || (off <= pg_start && off + len >= pg_end);
+    const std::uint64_t key = key_of(fid, pg);
+    if (resident(key)) {
+      ++stats_.hits;
+      insert(fid, pg, /*dirty=*/true);  // marks dirty + LRU touch
+      continue;
+    }
+    if (!full && has_content(pg_start, pg_end)) {
+      // §5.2: a sub-page write to uncached, preexisting content forces the
+      // page to be read from disk before the write can be applied.
+      ++stats_.prereads;
+      co_await disk_->read(page_addr(fid, pg, p_.page_size), p_.page_size);
+    } else {
+      ++stats_.misses;
+    }
+    insert(fid, pg, /*dirty=*/true);
+    co_await ensure_room();
+  }
+  co_await mem_->transfer(len);
+}
+
+sim::Task<void> PageCache::flush_all() {
+  std::vector<std::uint64_t> dirty_addrs;
+  dirty_addrs.reserve(dirty_count_);
+  for (auto& [key, page] : pages_) {
+    if (page.dirty) {
+      dirty_addrs.push_back(page_addr(page.fid, page.idx, p_.page_size));
+      page.dirty = false;
+    }
+  }
+  dirty_count_ = 0;
+  std::sort(dirty_addrs.begin(), dirty_addrs.end());
+  std::size_t i = 0;
+  while (i < dirty_addrs.size()) {
+    std::size_t j = i + 1;
+    while (j < dirty_addrs.size() &&
+           dirty_addrs[j] == dirty_addrs[j - 1] + p_.page_size) {
+      ++j;
+    }
+    co_await disk_->write(dirty_addrs[i],
+                          static_cast<std::uint64_t>(j - i) * p_.page_size);
+    i = j;
+  }
+}
+
+void PageCache::drop_all() {
+  pages_.clear();
+  lru_.clear();
+  dirty_count_ = 0;
+}
+
+}  // namespace csar::hw

@@ -1,0 +1,136 @@
+// PageCache: a Linux-buffer-cache-like model of per-server file caching.
+//
+// The cache is timing/metadata only: it decides which accesses hit memory,
+// which go to the Disk, and when dirty write-back stalls the writer. File
+// *contents* live in the LocalFs layer; the cache tracks (file, page)
+// residency and dirtiness with LRU replacement.
+//
+// Behaviours reproduced from the paper:
+//  - §5.2: a write covering only part of a page whose old content exists and
+//    is not cached forces a pre-read of the page from disk (the
+//    "partial writes to preexisting files" problem; the write-buffering fix
+//    lives in the I/O server, which then issues block-aligned writes).
+//  - §6.5 (Class C): once dirty data exceeds capacity, each new page write
+//    stalls on evicting an old dirty page to disk, collapsing to disk rate.
+//  - §6.5 (overwrite runs): drop_all() models "contents removed from the
+//    cache" between the initial-write and overwrite phases.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "hw/disk.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+
+namespace csar::hw {
+
+struct CacheParams {
+  std::uint64_t capacity_bytes = 768ULL << 20;
+  std::uint32_t page_size = 4096;
+  /// Pages reclaimed per write-back burst once the cache is full. Batching
+  /// models write-back clustering; large bursts keep eviction sequential.
+  std::uint32_t evict_batch = 64;
+};
+
+class PageCache {
+ public:
+  /// `mem` is the node's copy engine: every cached read/write charges it for
+  /// the moved bytes.
+  PageCache(sim::Simulation& sim, Disk& disk, sim::BandwidthServer& mem,
+            const CacheParams& params)
+      : sim_(&sim), disk_(&disk), mem_(&mem), p_(params) {}
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Predicate telling whether a file has any on-disk content in a byte
+  /// range. Sparse holes (never-written ranges) must return false — on ext2
+  /// they have no allocated blocks and reading them costs no disk I/O.
+  using ContentPred =
+      std::function<bool(std::uint64_t start, std::uint64_t end)>;
+
+  /// A predicate for a dense file of the given size (tests, simple callers).
+  static ContentPred dense(std::uint64_t content_size) {
+    return [content_size](std::uint64_t start, std::uint64_t) {
+      return start < content_size;
+    };
+  }
+
+  /// Read `len` bytes at `off` of file `fid`. Pages that are holes under
+  /// `has_content` cost no disk I/O.
+  sim::Task<void> read(std::uint64_t fid, std::uint64_t off, std::uint64_t len,
+                       const ContentPred& has_content);
+
+  /// Write `len` bytes at `off`. A page only partially covered by the write,
+  /// whose old content exists under `has_content` and is not cached, is
+  /// pre-read from disk first. `pad_partial` disables the pre-read by
+  /// treating every touched page as fully written (the paper's padding
+  /// experiment in §6.5).
+  sim::Task<void> write(std::uint64_t fid, std::uint64_t off,
+                        std::uint64_t len, const ContentPred& has_content,
+                        bool pad_partial = false);
+
+  /// Write every dirty page to disk (fsync of the whole cache). Pages stay
+  /// resident and become clean.
+  sim::Task<void> flush_all();
+
+  /// Drop every page. Dirty pages are discarded, so callers flush first;
+  /// models `echo 3 > drop_caches` between experiment phases.
+  void drop_all();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t prereads = 0;          ///< partial-write pre-reads (§5.2)
+    std::uint64_t dirty_evictions = 0;
+    std::uint64_t clean_evictions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::uint64_t resident_bytes() const {
+    return static_cast<std::uint64_t>(pages_.size()) * p_.page_size;
+  }
+  std::uint64_t dirty_pages() const { return dirty_count_; }
+  const CacheParams& params() const { return p_; }
+
+  /// Disk address of a page: files are spaced 1 TiB apart in the linear
+  /// address space, so within-file sequential access is sequential on disk
+  /// and cross-file access seeks — a reasonable stand-in for ext2 layout.
+  static std::uint64_t page_addr(std::uint64_t fid, std::uint64_t page,
+                                 std::uint32_t page_size) {
+    return fid * (1ULL << 40) + page * page_size;
+  }
+
+ private:
+  struct Page {
+    std::uint64_t fid;
+    std::uint64_t idx;
+    bool dirty;
+    std::list<std::uint64_t>::iterator lru_it;  // position in lru_
+  };
+
+  static std::uint64_t key_of(std::uint64_t fid, std::uint64_t page) {
+    return fid * 0x100000000ULL ^ page;
+  }
+
+  bool resident(std::uint64_t key) const { return pages_.contains(key); }
+  void touch(std::uint64_t key);
+  void insert(std::uint64_t fid, std::uint64_t page, bool dirty);
+  /// Evict LRU pages until under capacity; dirty victims are written to disk
+  /// in address-sorted, coalesced runs.
+  sim::Task<void> ensure_room();
+
+  sim::Simulation* sim_;
+  Disk* disk_;
+  sim::BandwidthServer* mem_;
+  CacheParams p_;
+  std::unordered_map<std::uint64_t, Page> pages_;
+  std::list<std::uint64_t> lru_;  // front = least recently used
+  std::uint64_t dirty_count_ = 0;
+  Stats stats_;
+};
+
+}  // namespace csar::hw

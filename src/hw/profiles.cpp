@@ -1,0 +1,62 @@
+#include "common/units.hpp"
+#include "hw/node.hpp"
+
+namespace csar::hw {
+
+HwProfile profile_experimental2003() {
+  HwProfile p;
+  // Myrinet 1.3 Gb/s ~ 162 MB/s; GM/TCP keeps ~160 MB/s on large messages.
+  p.server.link_bytes_per_sec = 160e6;
+  p.server.link_per_op = sim::us(30);
+  p.server.mem_bytes_per_sec = 300e6;   // PIII-era copy bandwidth
+  p.server.xor_bytes_per_sec = 1.6e9;   // word-wise XOR, cache resident
+  p.server.stream_bytes_per_sec = 20e6; // single TCP stream through iod
+  DiskParams d;
+  d.bytes_per_sec = 70e6;  // two 75GXP disks in 3Ware RAID0
+  d.seek = sim::ms(9);
+  d.per_op = sim::us(50);
+  p.server.disk = d;
+  CacheParams c;
+  c.capacity_bytes = 768 * MiB;  // 1 GB RAM minus kernel + iod
+  c.page_size = 4096;
+  c.evict_batch = 128;
+  p.server.cache = c;
+
+  p.client = p.server;
+  p.client.disk.reset();
+  p.client.cache.reset();
+
+  p.wire_latency = sim::us(10);
+  p.net_recv_chunk = 8800;
+  return p;
+}
+
+HwProfile profile_osc2003() {
+  HwProfile p = profile_experimental2003();
+  // Itanium II nodes: faster memory, one 80 GB SCSI disk, 4 GB RAM.
+  p.server.mem_bytes_per_sec = 600e6;
+  p.server.stream_bytes_per_sec = 22e6;
+  // The production iod on the OSC nodes saturates earlier than the raw
+  // links: with ~25 concurrent writers per server its dispatch loop is the
+  // contended resource (early IA-64 system-call/copy path).
+  p.server.iod_bytes_per_sec = 100e6;
+  DiskParams d;
+  d.bytes_per_sec = 40e6;
+  d.seek = sim::ms(8);
+  d.per_op = sim::us(50);
+  p.server.disk = d;
+  CacheParams c;
+  // 4 GB RAM, but the write-absorbing capacity of a 2003 Linux page cache is
+  // bounded by the dirty-page limits (~40-50% of RAM) before writeback
+  // throttles the writer; 2 GiB is the effective absorption capacity.
+  c.capacity_bytes = 2 * GiB;
+  c.page_size = 4096;
+  c.evict_batch = 128;
+  p.server.cache = c;
+  p.client = p.server;
+  p.client.disk.reset();
+  p.client.cache.reset();
+  return p;
+}
+
+}  // namespace csar::hw

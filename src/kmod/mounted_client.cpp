@@ -1,0 +1,64 @@
+#include "kmod/mounted_client.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace csar::kmod {
+
+sim::Task<Result<void>> MountedClient::write(std::uint64_t off, Buffer data) {
+  ++stats_.writes;
+  co_await rig_->sim.sleep(p_.per_request);  // VFS + copies + pvfsd
+  // A write under the read-ahead window invalidates it.
+  if (!ra_data_.empty() && off < ra_start_ + ra_data_.size() &&
+      off + data.size() > ra_start_) {
+    ra_data_ = Buffer{};
+  }
+  co_await window_.acquire();
+  inflight_.add();
+  rig_->sim.spawn([](MountedClient* self, std::uint64_t o,
+                     Buffer payload) -> sim::Task<void> {
+    auto wr = co_await self->fs_->write(self->file_, o, std::move(payload));
+    if (!wr.ok()) self->pending_error_ = true;
+    self->window_.release();
+    self->inflight_.done();
+  }(this, off, std::move(data)));
+  co_return Result<void>::success();
+}
+
+sim::Task<Result<Buffer>> MountedClient::read(std::uint64_t off,
+                                              std::uint64_t len) {
+  ++stats_.reads;
+  co_await rig_->sim.sleep(p_.per_request);
+  // Reads must observe the write-behind queue (POSIX: read-after-write
+  // within one process is coherent) — drain it first.
+  co_await inflight_.wait();
+
+  if (!ra_data_.empty() && off >= ra_start_ &&
+      off + len <= ra_start_ + ra_data_.size()) {
+    ++stats_.readahead_hits;
+    co_return ra_data_.slice(off - ra_start_, len);
+  }
+  if (p_.readahead_bytes > std::max<std::uint64_t>(len, 1)) {
+    // Fill a window starting at the requested offset.
+    ++stats_.readahead_fills;
+    auto rd = co_await fs_->read(file_, off,
+                                 std::max(p_.readahead_bytes, len));
+    if (!rd.ok()) co_return rd.error();
+    ra_start_ = off;
+    ra_data_ = std::move(rd.value());
+    co_return ra_data_.slice(0, len);
+  }
+  co_return co_await fs_->read(file_, off, len);
+}
+
+sim::Task<Result<void>> MountedClient::fsync() {
+  co_await inflight_.wait();
+  const bool had_error = pending_error_;
+  pending_error_ = false;
+  auto fl = co_await fs_->flush(file_);
+  if (!fl.ok()) co_return fl;
+  if (had_error) co_return Error{Errc::io_error, "async write failed"};
+  co_return Result<void>::success();
+}
+
+}  // namespace csar::kmod

@@ -1,0 +1,135 @@
+#include "localfs/local_fs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/units.hpp"
+
+namespace csar::localfs {
+
+void LocalFs::create(const std::string& name) { get_or_create(name); }
+
+void LocalFs::remove(const std::string& name) { files_.erase(name); }
+
+void LocalFs::wipe() {
+  files_.clear();
+  cache_->drop_all();
+}
+
+std::uint64_t LocalFs::size(const std::string& name) const {
+  auto it = files_.find(name);
+  return it == files_.end() ? 0 : it->second.content.upper_bound();
+}
+
+LocalFs::File& LocalFs::get_or_create(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    it = files_.emplace(name, File{next_fid_++, {}}).first;
+  }
+  return it->second;
+}
+
+sim::Task<void> LocalFs::apply(File& f, std::uint64_t off, Buffer payload) {
+  // Old content exists only where the (sparse) content map has entries;
+  // holes cost no pre-read, exactly like unallocated ext2 blocks.
+  auto has_content = [&content = f.content](std::uint64_t s, std::uint64_t e) {
+    return content.intersects(s, e);
+  };
+  co_await cache_->write(f.fid, off, payload.size(), has_content,
+                         p_.pad_partial_blocks);
+  const std::uint64_t end = off + payload.size();
+  f.content.insert(off, end, std::move(payload));
+}
+
+sim::Task<void> LocalFs::write(const std::string& name, std::uint64_t off,
+                               Buffer payload) {
+  if (payload.empty()) co_return;
+  File& f = get_or_create(name);
+  co_await apply(f, off, std::move(payload));
+}
+
+sim::Task<void> LocalFs::write_stream(const std::string& name,
+                                      std::uint64_t off, Buffer payload,
+                                      std::uint32_t net_chunk) {
+  if (payload.empty()) co_return;
+  File& f = get_or_create(name);
+  const std::uint64_t len = payload.size();
+  auto has_content = [&content = f.content](std::uint64_t s, std::uint64_t e) {
+    return content.intersects(s, e);
+  };
+  const std::uint32_t page = cache_->params().page_size;
+
+  if (!p_.write_buffering) {
+    // The iod writes whatever each non-blocking receive returned; chunk
+    // boundaries are unrelated to file blocks, so interior blocks are
+    // usually written in two partial pieces (§5.2).
+    assert(net_chunk > 0);
+    for (std::uint64_t pos = 0; pos < len; pos += net_chunk) {
+      const std::uint64_t n = std::min<std::uint64_t>(net_chunk, len - pos);
+      co_await cache_->write(f.fid, off + pos, n, has_content,
+                             p_.pad_partial_blocks);
+    }
+  } else {
+    // Write buffering (§5.2 fix): chunks accumulate in a buffer that is a
+    // multiple of the block size, so the file sees block-aligned writes in
+    // write_buffer_bytes bursts; only the request edges stay partial.
+    const std::uint64_t burst = std::max<std::uint64_t>(
+        p_.write_buffer_bytes - p_.write_buffer_bytes % page, page);
+    const std::uint64_t head_end = std::min(align_up(off, page), off + len);
+    const std::uint64_t tail_start =
+        std::max(align_down(off + len, page), head_end);
+    if (head_end > off) {
+      co_await cache_->write(f.fid, off, head_end - off, has_content,
+                             p_.pad_partial_blocks);
+    }
+    for (std::uint64_t pos = head_end; pos < tail_start; pos += burst) {
+      const std::uint64_t n = std::min(burst, tail_start - pos);
+      co_await cache_->write(f.fid, pos, n, has_content, p_.pad_partial_blocks);
+    }
+    if (off + len > tail_start) {
+      co_await cache_->write(f.fid, tail_start, off + len - tail_start,
+                             has_content, p_.pad_partial_blocks);
+    }
+  }
+  f.content.insert(off, off + len, std::move(payload));
+}
+
+sim::Task<Buffer> LocalFs::read(const std::string& name, std::uint64_t off,
+                                std::uint64_t len, bool materialized_hint) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    // Absent file: reads see zeros and cost only the copy-out.
+    co_return materialized_hint ? Buffer::real(len) : Buffer::phantom(len);
+  }
+  File& f = it->second;
+  auto has_content = [&content = f.content](std::uint64_t s, std::uint64_t e) {
+    return content.intersects(s, e);
+  };
+  co_await cache_->read(f.fid, off, len, has_content);
+
+  // Assemble content; if any stored chunk is phantom, the result is phantom.
+  const auto chunks = f.content.query(off, off + len);
+  bool phantom = !materialized_hint;
+  for (const auto& c : chunks) {
+    if (!c.value->materialized()) phantom = true;
+  }
+  if (phantom) co_return Buffer::phantom(len);
+  Buffer out = Buffer::real(len);
+  for (const auto& c : chunks) {
+    out.write_at(c.start - off,
+                 c.value->slice(c.start - c.entry_start, c.end - c.start));
+  }
+  co_return out;
+}
+
+sim::Task<void> LocalFs::flush() { co_await cache_->flush_all(); }
+
+void LocalFs::drop_caches() { cache_->drop_all(); }
+
+std::uint64_t LocalFs::total_content_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& [name, f] : files_) sum += f.content.upper_bound();
+  return sum;
+}
+
+}  // namespace csar::localfs

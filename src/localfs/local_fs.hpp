@@ -1,0 +1,122 @@
+// LocalFs: the local file system on each I/O server.
+//
+// PVFS I/O daemons store their portion of every PVFS file as a plain file in
+// the server's local file system (ext2 on the paper's testbed). This module
+// models that layer: sparse files addressed by name, with content held in an
+// interval map and all timing charged through the node's PageCache/Disk.
+//
+// Two behaviours from §5.2 of the paper live here:
+//
+//  - write_stream() applies a payload the way the iod's non-blocking network
+//    receive loop does: in receive-chunk-sized pieces whose boundaries are
+//    unrelated to file-system blocks. Without write buffering, nearly every
+//    block of a preexisting uncached file is therefore written partially and
+//    must be pre-read from disk.
+//  - With write buffering enabled (the paper's fix), arriving chunks are
+//    accumulated in a per-request buffer that is a multiple of the block
+//    size, so the file sees block-aligned writes except at the request
+//    edges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/buffer.hpp"
+#include "common/interval_map.hpp"
+#include "hw/page_cache.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+
+namespace csar::localfs {
+
+struct LocalFsParams {
+  /// §5.2 fix: accumulate network chunks into block-aligned writes.
+  bool write_buffering = true;
+  /// Write-buffer size; a multiple of the cache page size.
+  std::uint32_t write_buffer_bytes = 64 * 1024;
+  /// §6.5 padding experiment: pad partial block writes to full blocks,
+  /// suppressing pre-reads at the cost of writing garbage padding.
+  bool pad_partial_blocks = false;
+};
+
+class LocalFs {
+ public:
+  LocalFs(sim::Simulation& sim, hw::PageCache& cache,
+          const LocalFsParams& params)
+      : sim_(&sim), cache_(&cache), p_(params) {}
+  LocalFs(const LocalFs&) = delete;
+  LocalFs& operator=(const LocalFs&) = delete;
+
+  bool exists(const std::string& name) const { return files_.contains(name); }
+  void create(const std::string& name);
+  void remove(const std::string& name);
+
+  /// Delete every file (a fresh blank disk; used when simulating disk
+  /// replacement before a rebuild). The page cache is dropped too.
+  void wipe();
+
+  /// Logical size (largest written offset) of a file; 0 if absent.
+  std::uint64_t size(const std::string& name) const;
+
+  /// Apply `payload` at `off` as a single aligned write (used for
+  /// server-internal writes such as recovery).
+  sim::Task<void> write(const std::string& name, std::uint64_t off,
+                        Buffer payload);
+
+  /// Apply `payload` at `off` as it would arrive from the network, in
+  /// `net_chunk`-byte pieces (see file comment). Creates the file if needed.
+  sim::Task<void> write_stream(const std::string& name, std::uint64_t off,
+                               Buffer payload, std::uint32_t net_chunk);
+
+  /// Read `len` bytes at `off`; holes read as zeros. The returned buffer is
+  /// materialized iff the stored content at that range is (phantom files
+  /// yield phantom reads).
+  sim::Task<Buffer> read(const std::string& name, std::uint64_t off,
+                         std::uint64_t len, bool materialized_hint = true);
+
+  /// fsync every file: push all dirty pages to disk.
+  sim::Task<void> flush();
+
+  /// Drop the page cache (used between experiment phases); flush first.
+  void drop_caches();
+
+  /// Sum of logical file sizes — the paper's Table 2 metric ("sum of the
+  /// file sizes at the I/O servers").
+  std::uint64_t total_content_bytes() const;
+
+  /// Content equality helper for tests: materialized bytes at a range.
+  sim::Task<Buffer> peek(const std::string& name, std::uint64_t off,
+                         std::uint64_t len) {
+    return read(name, off, len);
+  }
+
+  const hw::PageCache& cache() const { return *cache_; }
+  const LocalFsParams& params() const { return p_; }
+
+ private:
+  struct BufferSlicer {
+    Buffer operator()(const Buffer& b, std::uint64_t off,
+                      std::uint64_t len) const {
+      return b.slice(off, len);
+    }
+  };
+  struct File {
+    std::uint64_t fid;  ///< page-cache file id
+    IntervalMap<Buffer, BufferSlicer> content;
+  };
+
+  File& get_or_create(const std::string& name);
+
+  /// One block-semantics write: timing through the cache (pre-reads for
+  /// partial uncached preexisting blocks), then content update.
+  sim::Task<void> apply(File& f, std::uint64_t off, Buffer payload);
+
+  sim::Simulation* sim_;
+  hw::PageCache* cache_;
+  LocalFsParams p_;
+  std::unordered_map<std::string, File> files_;
+  std::uint64_t next_fid_ = 1;
+};
+
+}  // namespace csar::localfs

@@ -1,0 +1,45 @@
+// Fabric: message transport over the cluster's NICs.
+//
+// A transfer occupies the sender's TX link, crosses the wire, then occupies
+// the receiver's RX link (store-and-forward). Concurrent transfers from one
+// node serialize on its TX link — this is precisely the effect that caps
+// RAID1 write bandwidth in the paper (the client pushes 2x the bytes through
+// its own link, so it plateaus at half the I/O-server count of RAID0).
+//
+// Message payloads themselves move as C++ objects through sim::Channel
+// mailboxes; the fabric only charges the time.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/node.hpp"
+#include "sim/task.hpp"
+
+namespace csar::net {
+
+class Fabric {
+ public:
+  /// Fixed protocol bytes charged per message on top of the payload.
+  static constexpr std::uint64_t kHeaderBytes = 128;
+
+  explicit Fabric(hw::Cluster& cluster) : cluster_(&cluster) {}
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Move `payload_bytes` (+ header) from `src` to `dst`; completes when the
+  /// last byte has been received.
+  sim::Task<void> transfer(hw::NodeId src, hw::NodeId dst,
+                           std::uint64_t payload_bytes) {
+    const std::uint64_t bytes = payload_bytes + kHeaderBytes;
+    co_await cluster_->node(src).tx().transfer(bytes);
+    co_await cluster_->sim().sleep(cluster_->profile().wire_latency);
+    co_await cluster_->node(dst).rx().transfer(bytes);
+  }
+
+  hw::Cluster& cluster() { return *cluster_; }
+
+ private:
+  hw::Cluster* cluster_;
+};
+
+}  // namespace csar::net

@@ -1,0 +1,208 @@
+#include "pvfs/client.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "sim/sync.hpp"
+
+namespace csar::pvfs {
+
+sim::Task<MetaResponse> Client::meta_rpc(MetaRequest r) {
+  sim::Channel<MetaResponse> ch(cluster_->sim());
+  r.from = node_;
+  r.reply = &ch;
+  co_await fabric_->transfer(node_, manager_->node_id(),
+                             r.name.size() + sizeof(MetaRequest));
+  manager_->inbox().send(std::move(r));
+  co_return co_await ch.recv();
+}
+
+sim::Task<Result<OpenFile>> Client::create(std::string name,
+                                           StripeLayout layout) {
+  assert(layout.nservers == nservers() &&
+         "layout server count must match the cluster");
+  MetaRequest r;
+  r.op = MetaOp::create;
+  r.name = std::move(name);
+  r.layout = layout;
+  MetaResponse resp = co_await meta_rpc(std::move(r));
+  if (!resp.ok) co_return Error{resp.err, "create"};
+  co_return resp.file;
+}
+
+sim::Task<Result<OpenFile>> Client::open(std::string name) {
+  MetaRequest r;
+  r.op = MetaOp::open;
+  r.name = std::move(name);
+  MetaResponse resp = co_await meta_rpc(std::move(r));
+  if (!resp.ok) co_return Error{resp.err, "open"};
+  co_return resp.file;
+}
+
+sim::Task<Result<void>> Client::remove(std::string name) {
+  // Resolve the handle first so the servers' local files can be purged,
+  // then drop the metadata entry.
+  MetaRequest lookup;
+  lookup.op = MetaOp::open;
+  lookup.name = name;
+  MetaResponse meta = co_await meta_rpc(std::move(lookup));
+  if (!meta.ok) co_return Error{meta.err, "remove"};
+
+  std::vector<std::pair<std::uint32_t, Request>> reqs;
+  for (std::uint32_t s = 0; s < nservers(); ++s) {
+    Request r;
+    r.op = Op::remove_file;
+    r.handle = meta.file.handle;
+    reqs.emplace_back(s, std::move(r));
+  }
+  auto resps = co_await rpc_all(std::move(reqs));
+  for (const auto& resp : resps) {
+    if (!resp.ok) co_return Error{resp.err, "remove (server purge)"};
+  }
+
+  MetaRequest r;
+  r.op = MetaOp::remove;
+  r.name = std::move(name);
+  MetaResponse resp = co_await meta_rpc(std::move(r));
+  if (!resp.ok) co_return Error{resp.err, "remove"};
+  co_return Result<void>::success();
+}
+
+sim::Task<Response> Client::rpc(std::uint32_t s, Request r) {
+  assert(s < servers_.size());
+  sim::Channel<Response> ch(cluster_->sim());
+  r.from = node_;
+  r.reply = &ch;
+  const std::uint64_t wire = r.wire_bytes();
+  IoServer* srv = servers_[s];
+  co_await fabric_->transfer(node_, srv->node_id(), wire);
+  srv->inbox().send(std::move(r));
+  co_return co_await ch.recv();
+}
+
+sim::Task<std::vector<Response>> Client::rpc_all(
+    std::vector<std::pair<std::uint32_t, Request>> requests) {
+  std::vector<Response> out(requests.size());
+  std::vector<sim::Task<void>> tasks;
+  tasks.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    tasks.push_back(
+        [](Client* self, std::uint32_t s, Request r,
+           Response* slot) -> sim::Task<void> {
+          *slot = co_await self->rpc(s, std::move(r));
+        }(this, requests[i].first, std::move(requests[i].second), &out[i]));
+  }
+  co_await sim::when_all(cluster_->sim(), std::move(tasks));
+  co_return out;
+}
+
+Buffer Client::gather_for_server(const StripeLayout& layout,
+                                 std::uint64_t off, const Buffer& data,
+                                 std::uint32_t s) {
+  // Per-unit pieces of one server appear in increasing local (and global)
+  // order and tile the server's merged extent exactly.
+  std::uint64_t total = 0;
+  for (const auto& e : layout.decompose(off, data.size())) {
+    if (e.server == s) total += e.len;
+  }
+  if (!data.materialized()) return Buffer::phantom(total);
+  Buffer out = Buffer::real(total);
+  std::uint64_t pos = 0;
+  for (const auto& e : layout.decompose(off, data.size())) {
+    if (e.server != s) continue;
+    out.write_at(pos, data.slice(e.global_off - off, e.len));
+    pos += e.len;
+  }
+  return out;
+}
+
+sim::Task<Result<void>> Client::write_striped(const OpenFile& f,
+                                              std::uint64_t off,
+                                              const Buffer& data) {
+  if (data.empty()) co_return Result<void>::success();
+  std::vector<std::pair<std::uint32_t, Request>> reqs;
+  for (const auto& e : f.layout.decompose_merged(off, data.size())) {
+    Request r;
+    r.op = Op::write_data;
+    r.handle = f.handle;
+    r.off = e.local_off;
+    r.payload = gather_for_server(f.layout, off, data, e.server);
+    r.su = f.layout.stripe_unit;
+    reqs.emplace_back(e.server, std::move(r));
+  }
+  auto resps = co_await rpc_all(std::move(reqs));
+  for (const auto& resp : resps) {
+    if (!resp.ok) co_return Error{resp.err, "write_striped"};
+  }
+  co_return Result<void>::success();
+}
+
+sim::Task<Result<Buffer>> Client::read(const OpenFile& f, std::uint64_t off,
+                                       std::uint64_t len) {
+  if (len == 0) co_return Buffer::real(0);
+  const auto merged = f.layout.decompose_merged(off, len);
+  std::vector<std::pair<std::uint32_t, Request>> reqs;
+  for (const auto& e : merged) {
+    Request r;
+    r.op = Op::read_data;
+    r.handle = f.handle;
+    r.off = e.local_off;
+    r.len = e.len;
+    r.su = f.layout.stripe_unit;
+    reqs.emplace_back(e.server, std::move(r));
+  }
+  auto resps = co_await rpc_all(std::move(reqs));
+  bool phantom = false;
+  for (std::size_t i = 0; i < resps.size(); ++i) {
+    if (!resps[i].ok) co_return Error{resps[i].err, "read"};
+    if (!resps[i].data.materialized()) phantom = true;
+  }
+  if (phantom) co_return Buffer::phantom(len);
+  // Scatter each server's locally-contiguous reply back into file order.
+  Buffer out = Buffer::real(len);
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    const std::uint32_t s = merged[i].server;
+    std::uint64_t pos = 0;
+    for (const auto& e : f.layout.decompose(off, len)) {
+      if (e.server != s) continue;
+      out.write_at(e.global_off - off, resps[i].data.slice(pos, e.len));
+      pos += e.len;
+    }
+  }
+  co_return out;
+}
+
+sim::Task<Result<void>> Client::flush(const OpenFile& f) {
+  std::vector<std::pair<std::uint32_t, Request>> reqs;
+  for (std::uint32_t s = 0; s < nservers(); ++s) {
+    Request r;
+    r.op = Op::flush;
+    r.handle = f.handle;
+    reqs.emplace_back(s, std::move(r));
+  }
+  auto resps = co_await rpc_all(std::move(reqs));
+  for (const auto& resp : resps) {
+    if (!resp.ok) co_return Error{resp.err, "flush"};
+  }
+  co_return Result<void>::success();
+}
+
+sim::Task<StorageInfo> Client::storage(const OpenFile& f) {
+  std::vector<std::pair<std::uint32_t, Request>> reqs;
+  for (std::uint32_t s = 0; s < nservers(); ++s) {
+    Request r;
+    r.op = Op::storage_query;
+    r.handle = f.handle;
+    reqs.emplace_back(s, std::move(r));
+  }
+  auto resps = co_await rpc_all(std::move(reqs));
+  StorageInfo total;
+  for (const auto& resp : resps) {
+    total.data_bytes += resp.storage.data_bytes;
+    total.red_bytes += resp.storage.red_bytes;
+    total.overflow_bytes += resp.storage.overflow_bytes;
+  }
+  co_return total;
+}
+
+}  // namespace csar::pvfs

@@ -1,0 +1,91 @@
+// Client: the PVFS client library.
+//
+// Resolves striping and talks directly to the I/O servers. This class is
+// scheme-agnostic: it provides metadata ops, the plain striped (RAID0) data
+// path, and the per-server RPC building blocks the redundancy schemes in
+// csar::raid compose (parity reads with locking, overflow writes, etc.).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/result.hpp"
+#include "hw/node.hpp"
+#include "net/fabric.hpp"
+#include "pvfs/io_server.hpp"
+#include "pvfs/layout.hpp"
+#include "pvfs/manager.hpp"
+#include "sim/task.hpp"
+
+namespace csar::pvfs {
+
+class Client {
+ public:
+  Client(hw::Cluster& cluster, net::Fabric& fabric, Manager& manager,
+         std::vector<IoServer*> servers, hw::NodeId node)
+      : cluster_(&cluster),
+        fabric_(&fabric),
+        manager_(&manager),
+        servers_(std::move(servers)),
+        node_(node) {}
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  hw::NodeId node_id() const { return node_; }
+  std::uint32_t nservers() const {
+    return static_cast<std::uint32_t>(servers_.size());
+  }
+  hw::Cluster& cluster() { return *cluster_; }
+  net::Fabric& fabric() { return *fabric_; }
+  IoServer& server(std::uint32_t s) { return *servers_[s]; }
+
+  // --- metadata ---
+  sim::Task<Result<OpenFile>> create(std::string name, StripeLayout layout);
+  sim::Task<Result<OpenFile>> open(std::string name);
+  sim::Task<Result<void>> remove(std::string name);
+
+  // --- RPC building block ---
+  /// Send `r` to server `s`, charging the network both ways; returns the
+  /// server's response.
+  sim::Task<Response> rpc(std::uint32_t s, Request r);
+
+  /// Issue all requests concurrently; responses returned in request order.
+  sim::Task<std::vector<Response>> rpc_all(
+      std::vector<std::pair<std::uint32_t, Request>> requests);
+
+  // --- plain striped data path (PVFS semantics; RAID0) ---
+  /// Write `data` at `off`, striped across the I/O servers, no redundancy.
+  sim::Task<Result<void>> write_striped(const OpenFile& f, std::uint64_t off,
+                                        const Buffer& data);
+
+  /// Read `len` bytes at `off`; unwritten regions read as zeros. Servers
+  /// return their newest copy (overflow regions included), so this is the
+  /// read path for every redundancy scheme in normal (non-degraded) mode.
+  sim::Task<Result<Buffer>> read(const OpenFile& f, std::uint64_t off,
+                                 std::uint64_t len);
+
+  /// fsync all servers (the paper reports post-flush bandwidths).
+  sim::Task<Result<void>> flush(const OpenFile& f);
+
+  /// Per-server storage breakdown for a handle, summed (Table 2).
+  sim::Task<StorageInfo> storage(const OpenFile& f);
+
+  /// Gather the bytes of `data` (placed at file offset `off`) that land on
+  /// server `s`, in server-local order — the payload of one merged write.
+  static Buffer gather_for_server(const StripeLayout& layout,
+                                  std::uint64_t off, const Buffer& data,
+                                  std::uint32_t s);
+
+ private:
+  sim::Task<MetaResponse> meta_rpc(MetaRequest r);
+
+  hw::Cluster* cluster_;
+  net::Fabric* fabric_;
+  Manager* manager_;
+  std::vector<IoServer*> servers_;
+  hw::NodeId node_;
+};
+
+}  // namespace csar::pvfs

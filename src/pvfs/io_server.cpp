@@ -1,0 +1,457 @@
+#include "pvfs/io_server.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/units.hpp"
+#include "sim/time.hpp"
+
+namespace csar::pvfs {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::read_data:
+      return "read_data";
+    case Op::write_data:
+      return "write_data";
+    case Op::read_red:
+      return "read_red";
+    case Op::write_red:
+      return "write_red";
+    case Op::write_overflow:
+      return "write_overflow";
+    case Op::read_data_raw:
+      return "read_data_raw";
+    case Op::read_mirror:
+      return "read_mirror";
+    case Op::read_own_overflow:
+      return "read_own_overflow";
+    case Op::flush:
+      return "flush";
+    case Op::storage_query:
+      return "storage_query";
+    case Op::compact_overflow:
+      return "compact_overflow";
+    case Op::remove_file:
+      return "remove_file";
+    case Op::ping:
+      return "ping";
+    case Op::shutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+IoServer::IoServer(hw::Cluster& cluster, net::Fabric& fabric, hw::NodeId node,
+                   std::uint32_t server_index, const IoServerParams& params)
+    : cluster_(&cluster),
+      fabric_(&fabric),
+      node_(node),
+      index_(server_index),
+      p_(params),
+      inbox_(cluster.sim()),
+      fs_(cluster.sim(), *cluster.node(node).cache(), params.fs),
+      iod_(cluster.sim(), cluster.node(node).params().iod_bytes_per_sec,
+           cluster.node(node).params().iod_per_op) {
+  assert(cluster.node(node).cache() != nullptr &&
+         "I/O servers need a disk+cache node");
+}
+
+void IoServer::start() {
+  if (started_) return;
+  started_ = true;
+  cluster_->sim().spawn(dispatcher());
+}
+
+void IoServer::stop() {
+  Request r;
+  r.op = Op::shutdown;
+  inbox_.send(std::move(r));
+}
+
+sim::Task<void> IoServer::dispatcher() {
+  for (;;) {
+    Request r = co_await inbox_.recv();
+    if (r.op == Op::shutdown) break;
+    cluster_->sim().spawn(handle(std::move(r)));
+  }
+}
+
+sim::BandwidthServer& IoServer::stream_for(hw::NodeId client,
+                                           bool redundancy) {
+  auto key = std::make_pair(client, redundancy);
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    const auto& params = cluster_->node(node_).params();
+    const double rate = redundancy ? params.red_stream_bytes_per_sec
+                                   : params.stream_bytes_per_sec;
+    it = streams_
+             .emplace(key,
+                      std::make_unique<sim::BandwidthServer>(
+                          cluster_->sim(), rate))
+             .first;
+  }
+  return *it->second;
+}
+
+sim::Task<void> IoServer::pace(const Request& r, std::uint64_t bytes) {
+  // Redundancy-*block* operations take CSAR's fast path (cache-resident
+  // parity/mirror blocks, outside the iod streaming loop). Bulk payloads —
+  // data files and overflow regions — go through the per-connection stream.
+  const bool redundancy =
+      r.op == Op::read_red || r.op == Op::write_red ||
+      r.op == Op::read_mirror || r.op == Op::read_own_overflow;
+  co_await stream_for(r.from, redundancy).transfer(bytes);
+}
+
+sim::Task<void> IoServer::reply(const Request& r, Response resp) {
+  co_await fabric_->transfer(node_, r.from, resp.wire_bytes());
+  r.reply->send(std::move(resp));
+}
+
+void IoServer::apply_invalidation(const Request& r) {
+  if (r.inval_own.empty() && r.inval_mirror.empty()) return;
+  auto& hs = handles_[r.handle];
+  if (!r.inval_own.empty()) hs.own.erase(r.inval_own.start, r.inval_own.end);
+  if (!r.inval_mirror.empty()) {
+    hs.mirror.erase(r.inval_mirror.start, r.inval_mirror.end);
+  }
+}
+
+sim::Task<void> IoServer::handle(Request r) {
+  if (failed_) {
+    Response resp;
+    resp.ok = false;
+    resp.err = Errc::server_failed;
+    co_await reply(r, std::move(resp));
+    co_return;
+  }
+  // Every request passes through the single-process iod dispatch loop;
+  // under bursts, small parity operations queue behind bulk data here.
+  co_await iod_.transfer(std::max(r.wire_bytes(), r.len));
+  switch (r.op) {
+    case Op::read_data: {
+      Response resp = co_await do_read_data(r);
+      co_await reply(r, std::move(resp));
+      break;
+    }
+    case Op::write_data: {
+      Response resp = co_await do_write_data(r);
+      co_await reply(r, std::move(resp));
+      break;
+    }
+    case Op::read_red: {
+      if (p_.parity_locking && r.lock) {
+        auto& lk = locks_[lock_key(r.handle, r.off, r.su)];
+        if (lk.held) {
+          // §5.1: queue behind the in-flight read-modify-write.
+          ++lock_stats_.waits;
+          lk.waiting.emplace_back(std::move(r), cluster_->sim().now());
+          co_return;
+        }
+        lk.held = true;
+        ++lock_stats_.acquisitions;
+      }
+      Response resp = co_await do_read_red(r);
+      co_await reply(r, std::move(resp));
+      break;
+    }
+    case Op::write_red: {
+      Response resp = co_await do_write_red(r);
+      const std::uint64_t key = lock_key(r.handle, r.off, r.su);
+      const bool release = p_.parity_locking && r.unlock;
+      // Release as soon as the parity write is applied; the ack to the
+      // writer is asynchronous and need not extend the critical section.
+      if (release) {
+        auto it = locks_.find(key);
+        assert(it != locks_.end() && it->second.held);
+        if (!it->second.waiting.empty()) {
+          // Hand the lock to the first queued parity read.
+          auto [queued, enq_time] = std::move(it->second.waiting.front());
+          it->second.waiting.pop_front();
+          lock_stats_.wait_time += cluster_->sim().now() - enq_time;
+          ++lock_stats_.acquisitions;
+          cluster_->sim().spawn(
+              [](IoServer* self, Request q) -> sim::Task<void> {
+                Response qresp = co_await self->do_read_red(q);
+                co_await self->reply(q, std::move(qresp));
+              }(this, std::move(queued)));
+        } else {
+          it->second.held = false;
+        }
+      }
+      co_await reply(r, std::move(resp));
+      break;
+    }
+    case Op::write_overflow: {
+      Response resp = co_await do_write_overflow(r);
+      co_await reply(r, std::move(resp));
+      break;
+    }
+    case Op::read_data_raw: {
+      Response resp;
+      resp.data = co_await fs_.read(data_name(r.handle), r.off, r.len);
+      co_await pace(r, r.len);
+      co_await reply(r, std::move(resp));
+      break;
+    }
+    case Op::read_mirror: {
+      Response resp = co_await do_read_mirror(r);
+      co_await reply(r, std::move(resp));
+      break;
+    }
+    case Op::read_own_overflow: {
+      Response resp = co_await do_read_own_overflow(r);
+      co_await reply(r, std::move(resp));
+      break;
+    }
+    case Op::flush: {
+      co_await fs_.flush();
+      co_await reply(r, Response{});
+      break;
+    }
+    case Op::compact_overflow: {
+      Response resp = co_await do_compact_overflow(r);
+      co_await reply(r, std::move(resp));
+      break;
+    }
+    case Op::remove_file: {
+      fs_.remove(data_name(r.handle));
+      fs_.remove(red_name(r.handle));
+      fs_.remove(ovfl_name(r.handle));
+      handles_.erase(r.handle);
+      // Drop any parity locks of the dead handle; queued readers are
+      // answered with not_found so their clients do not hang.
+      for (auto it = locks_.begin(); it != locks_.end();) {
+        if (it->first / 0x40000000ULL == r.handle) {
+          for (auto& [queued, enq] : it->second.waiting) {
+            Response gone;
+            gone.ok = false;
+            gone.err = Errc::not_found;
+            cluster_->sim().spawn(
+                [](IoServer* self, Request q, Response g) -> sim::Task<void> {
+                  co_await self->reply(q, std::move(g));
+                }(this, std::move(queued), std::move(gone)));
+          }
+          it = locks_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      co_await reply(r, Response{});
+      break;
+    }
+    case Op::storage_query: {
+      Response resp;
+      resp.storage.data_bytes = fs_.size(data_name(r.handle));
+      resp.storage.red_bytes = fs_.size(red_name(r.handle));
+      auto it = handles_.find(r.handle);
+      resp.storage.overflow_bytes =
+          it == handles_.end() ? 0 : it->second.overflow_alloc;
+      co_await reply(r, std::move(resp));
+      break;
+    }
+    case Op::ping: {
+      co_await reply(r, Response{});
+      break;
+    }
+    case Op::shutdown:
+      break;  // handled by the dispatcher
+  }
+}
+
+sim::Task<Response> IoServer::do_read_data(const Request& r) {
+  Response resp;
+  Buffer base = co_await fs_.read(data_name(r.handle), r.off, r.len);
+  // Overlay live overflow entries: the overflow region holds the newest copy
+  // of partially-written stripes (§4, Hybrid reads). The plan is copied out
+  // of the table *before* any await — a concurrent full-stripe write may
+  // invalidate entries while the overflow file is being read.
+  auto it = handles_.find(r.handle);
+  if (it != handles_.end() && !it->second.own.empty()) {
+    struct MergePiece {
+      std::uint64_t start;
+      std::uint64_t end;
+      std::uint64_t src;
+    };
+    std::vector<MergePiece> plan;
+    for (const auto& chunk : it->second.own.query(r.off, r.off + r.len)) {
+      plan.push_back({chunk.start, chunk.end,
+                      *chunk.value + (chunk.start - chunk.entry_start)});
+    }
+    for (const auto& mp : plan) {
+      Buffer piece = co_await fs_.read(ovfl_name(r.handle), mp.src,
+                                       mp.end - mp.start,
+                                       base.materialized());
+      if (base.materialized() && piece.materialized()) {
+        base.write_at(mp.start - r.off, piece);
+      } else if (base.materialized()) {
+        base = Buffer::phantom(r.len);
+      }
+    }
+  }
+  co_await pace(r, r.len);
+  resp.data = std::move(base);
+  co_return resp;
+}
+
+sim::Task<Response> IoServer::do_write_data(const Request& r) {
+  handles_.try_emplace(r.handle);  // note the handle for storage accounting
+  co_await pace(r, r.payload.size());
+  const std::uint64_t off = r.off;
+  const std::uint64_t len = r.payload.size();
+  Buffer payload = r.payload.slice(0, len);
+  co_await fs_.write_stream(data_name(r.handle), off, std::move(payload),
+                            cluster_->profile().net_recv_chunk);
+  apply_invalidation(r);
+  co_return Response{};
+}
+
+sim::Task<Response> IoServer::do_read_red(const Request& r) {
+  Response resp;
+  resp.data = co_await fs_.read(red_name(r.handle), r.off, r.len);
+  co_await pace(r, r.len);
+  co_return resp;
+}
+
+sim::Task<Response> IoServer::do_write_red(const Request& r) {
+  handles_.try_emplace(r.handle);
+  co_await pace(r, r.payload.size());
+  Buffer payload = r.payload.slice(0, r.payload.size());
+  co_await fs_.write_stream(red_name(r.handle), r.off, std::move(payload),
+                            cluster_->profile().net_recv_chunk);
+  apply_invalidation(r);
+  co_return Response{};
+}
+
+sim::Task<Response> IoServer::do_write_overflow(const Request& r) {
+  assert(r.su > 0);
+  co_await pace(r, r.payload.size());
+  auto& hs = handles_[r.handle];
+  // Overflow space is allocated in whole stripe units and never reclaimed
+  // in place (old blocks must survive for stripe reconstruction; see §4 and
+  // the fragmentation discussion in §6.7).
+  const std::uint64_t alloc = hs.overflow_alloc;
+  const std::uint64_t len = r.payload.size();
+  hs.overflow_alloc += align_up(len, r.su);
+  Buffer payload = r.payload.slice(0, len);
+  co_await fs_.write_stream(ovfl_name(r.handle), alloc, std::move(payload),
+                            cluster_->profile().net_recv_chunk);
+  OverflowTable& table = r.mirror ? hs.mirror : hs.own;
+  table.insert(r.off, r.off + len, alloc);
+  co_return Response{};
+}
+
+sim::Task<Response> IoServer::do_read_mirror(const Request& r) {
+  Response resp;
+  auto it = handles_.find(r.handle);
+  if (it != handles_.end()) {
+    struct PlanPiece {
+      std::uint64_t start;
+      std::uint64_t end;
+      std::uint64_t src;
+    };
+    std::vector<PlanPiece> plan;  // copied before awaiting (see read_data)
+    for (const auto& chunk : it->second.mirror.query(r.off, r.off + r.len)) {
+      plan.push_back({chunk.start, chunk.end,
+                      *chunk.value + (chunk.start - chunk.entry_start)});
+    }
+    for (const auto& pp : plan) {
+      OverflowPiece piece;
+      piece.local_off = pp.start;
+      piece.data = co_await fs_.read(ovfl_name(r.handle), pp.src,
+                                     pp.end - pp.start);
+      resp.pieces.push_back(std::move(piece));
+    }
+  }
+  co_await pace(r, resp.wire_bytes());
+  co_return resp;
+}
+
+sim::Task<Response> IoServer::do_read_own_overflow(const Request& r) {
+  Response resp;
+  auto it = handles_.find(r.handle);
+  if (it != handles_.end()) {
+    struct PlanPiece {
+      std::uint64_t start;
+      std::uint64_t end;
+      std::uint64_t src;
+    };
+    std::vector<PlanPiece> plan;  // copied before awaiting (see read_data)
+    for (const auto& chunk : it->second.own.query(r.off, r.off + r.len)) {
+      plan.push_back({chunk.start, chunk.end,
+                      *chunk.value + (chunk.start - chunk.entry_start)});
+    }
+    for (const auto& pp : plan) {
+      OverflowPiece piece;
+      piece.local_off = pp.start;
+      piece.data = co_await fs_.read(ovfl_name(r.handle), pp.src,
+                                     pp.end - pp.start);
+      resp.pieces.push_back(std::move(piece));
+    }
+  }
+  co_await pace(r, resp.wire_bytes());
+  co_return resp;
+}
+
+sim::Task<Response> IoServer::do_compact_overflow(const Request& r) {
+  // The paper's proposed cleaner (§6.7): overflow space is append-only
+  // during normal operation, so dead entries (superseded or invalidated)
+  // keep their allocation until this pass rewrites the live ones densely.
+  Response resp;
+  auto it = handles_.find(r.handle);
+  if (it == handles_.end()) co_return resp;
+  auto& hs = it->second;
+  assert(r.su > 0);
+
+  struct Live {
+    bool mirror;
+    std::uint64_t start;
+    std::uint64_t end;
+    std::uint64_t old_src;
+  };
+  std::vector<Live> live;
+  hs.own.for_each([&](std::uint64_t s, std::uint64_t e, std::uint64_t src) {
+    live.push_back({false, s, e, src});
+  });
+  hs.mirror.for_each([&](std::uint64_t s, std::uint64_t e, std::uint64_t src) {
+    live.push_back({true, s, e, src});
+  });
+
+  // Read every live piece, drop the old file, and rewrite densely.
+  std::vector<Buffer> contents;
+  contents.reserve(live.size());
+  for (const auto& piece : live) {
+    contents.push_back(co_await fs_.read(ovfl_name(r.handle), piece.old_src,
+                                         piece.end - piece.start));
+  }
+  fs_.remove(ovfl_name(r.handle));
+  hs.own.clear();
+  hs.mirror.clear();
+  hs.overflow_alloc = 0;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const std::uint64_t alloc = hs.overflow_alloc;
+    const std::uint64_t len = live[i].end - live[i].start;
+    hs.overflow_alloc += align_up(len, r.su);
+    co_await fs_.write(ovfl_name(r.handle), alloc, std::move(contents[i]));
+    OverflowTable& table = live[i].mirror ? hs.mirror : hs.own;
+    table.insert(live[i].start, live[i].end, alloc);
+  }
+  resp.storage.overflow_bytes = hs.overflow_alloc;
+  co_return resp;
+}
+
+StorageInfo IoServer::total_storage() const {
+  StorageInfo total;
+  for (const auto& [h, hs] : handles_) {
+    total.data_bytes += fs_.size(data_name(h));
+    total.red_bytes += fs_.size(red_name(h));
+    total.overflow_bytes += hs.overflow_alloc;
+  }
+  return total;
+}
+
+}  // namespace csar::pvfs

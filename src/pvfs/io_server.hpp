@@ -1,0 +1,163 @@
+// IoServer: one CSAR I/O daemon.
+//
+// Each server stores, per PVFS file handle, up to three local files (§4):
+//   h<handle>.data  — its striped portion of the file, identical to PVFS
+//   h<handle>.red   — redundancy: RAID1 mirror blocks or RAID5 parity units
+//   h<handle>.ovfl  — Hybrid overflow regions (primary + mirror copies)
+// plus, for the Hybrid scheme, tables listing the live overflow regions.
+//
+// The server also implements the paper's distributed parity-lock protocol
+// (§5.1): a read of a parity block sets a lock on that block; later parity
+// reads for the same block queue behind it; the write of the parity block
+// releases the lock (or hands it to the first queued reader).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/interval_map.hpp"
+#include "hw/node.hpp"
+#include "localfs/local_fs.hpp"
+#include "net/fabric.hpp"
+#include "pvfs/messages.hpp"
+#include "sim/channel.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace csar::pvfs {
+
+struct IoServerParams {
+  localfs::LocalFsParams fs;
+  /// When false, read_red ignores `lock` and write_red ignores `unlock`:
+  /// the paper's R5 NO LOCK ablation (Figure 3 / §6.5).
+  bool parity_locking = true;
+};
+
+class IoServer {
+ public:
+  IoServer(hw::Cluster& cluster, net::Fabric& fabric, hw::NodeId node,
+           std::uint32_t server_index, const IoServerParams& params);
+  IoServer(const IoServer&) = delete;
+  IoServer& operator=(const IoServer&) = delete;
+
+  /// Spawn the dispatcher process; call once before the simulation runs.
+  void start();
+
+  /// Enqueue a shutdown message (clean teardown for tests).
+  void stop();
+
+  sim::Channel<Request>& inbox() { return inbox_; }
+  hw::NodeId node_id() const { return node_; }
+  std::uint32_t index() const { return index_; }
+
+  /// Fail/recover this server (single-disk-failure experiments). While
+  /// failed, every request is answered with Errc::server_failed.
+  void fail() { failed_ = true; }
+  void recover() { failed_ = false; }
+  bool failed() const { return failed_; }
+
+  /// Simulate replacing the disk with a blank one: all local files, overflow
+  /// tables and locks are lost. Call before raid::Recovery::rebuild_server.
+  void wipe() {
+    fs_.wipe();
+    handles_.clear();
+    locks_.clear();
+  }
+
+  localfs::LocalFs& fs() { return fs_; }
+
+  struct LockStats {
+    std::uint64_t acquisitions = 0;
+    std::uint64_t waits = 0;         ///< parity reads that had to queue
+    sim::Duration wait_time = 0;     ///< total simulated queueing time
+  };
+  const LockStats& lock_stats() const { return lock_stats_; }
+
+  /// Aggregate storage across all handles on this server.
+  StorageInfo total_storage() const;
+
+  /// Local file naming convention (exposed for tests/white-box inspection).
+  static std::string data_name(std::uint64_t h) {
+    return "h" + std::to_string(h) + ".data";
+  }
+  static std::string red_name(std::uint64_t h) {
+    return "h" + std::to_string(h) + ".red";
+  }
+  static std::string ovfl_name(std::uint64_t h) {
+    return "h" + std::to_string(h) + ".ovfl";
+  }
+
+ private:
+  struct ParityLock {
+    bool held = false;
+    std::deque<std::pair<Request, sim::Time>> waiting;  // + enqueue time
+  };
+
+  struct OffsetSlicer {
+    std::uint64_t operator()(std::uint64_t base, std::uint64_t off,
+                             std::uint64_t /*len*/) const {
+      return base + off;
+    }
+  };
+  /// data-file local range -> offset of its content in the overflow file.
+  using OverflowTable = IntervalMap<std::uint64_t, OffsetSlicer>;
+
+  struct HandleState {
+    OverflowTable own;     ///< primary overflow entries (this server's data)
+    OverflowTable mirror;  ///< mirror entries held for the previous server
+    std::uint64_t overflow_alloc = 0;  ///< allocation cursor (fragmented)
+  };
+
+  sim::Task<void> dispatcher();
+  sim::Task<void> handle(Request r);
+  sim::Task<void> reply(const Request& r, Response resp);
+
+  sim::Task<Response> do_read_data(const Request& r);
+  sim::Task<Response> do_write_data(const Request& r);
+  sim::Task<Response> do_read_red(const Request& r);
+  sim::Task<Response> do_write_red(const Request& r);
+  sim::Task<Response> do_write_overflow(const Request& r);
+  sim::Task<Response> do_read_mirror(const Request& r);
+  sim::Task<Response> do_read_own_overflow(const Request& r);
+  sim::Task<Response> do_compact_overflow(const Request& r);
+
+  /// Per-connection ingest/egress pacing: one iod request stream moves at
+  /// most stream_bytes_per_sec, serialized per (client, connection). The
+  /// CSAR client uses a separate connection for redundancy traffic
+  /// (mirror/parity/overflow), so redundancy requests do not steal data
+  /// bandwidth on the same server — this is what lets RAID1 scale per
+  /// server like RAID0 until the *client link* saturates (Figure 4a).
+  sim::Task<void> pace(const Request& r, std::uint64_t bytes);
+  sim::BandwidthServer& stream_for(hw::NodeId client, bool redundancy);
+
+  void apply_invalidation(const Request& r);
+  std::uint64_t lock_key(std::uint64_t handle, std::uint64_t red_off,
+                         std::uint32_t su) const {
+    return handle * 0x40000000ULL + red_off / su;
+  }
+
+  hw::Cluster* cluster_;
+  net::Fabric* fabric_;
+  hw::NodeId node_;
+  std::uint32_t index_;
+  IoServerParams p_;
+  sim::Channel<Request> inbox_;
+  localfs::LocalFs fs_;
+  /// The single-process iod dispatch loop every request passes through.
+  sim::BandwidthServer iod_;
+  /// (client node, redundancy?) -> serialized per-connection stream pacing.
+  std::map<std::pair<hw::NodeId, bool>,
+           std::unique_ptr<sim::BandwidthServer>>
+      streams_;
+  std::unordered_map<std::uint64_t, HandleState> handles_;
+  std::unordered_map<std::uint64_t, ParityLock> locks_;
+  LockStats lock_stats_;
+  bool failed_ = false;
+  bool started_ = false;
+};
+
+}  // namespace csar::pvfs

@@ -1,0 +1,137 @@
+// StripeLayout: PVFS round-robin striping math plus CSAR's parity geometry.
+//
+// Data layout (identical to PVFS, §4 of the paper): the file is split into
+// stripe units of `su` bytes; unit u lives on server (u % n) at local unit
+// index (u / n) of that server's data file.
+//
+// Parity geometry (Figure 2): a parity group is N-1 *consecutive* stripe
+// units. Because N-1 consecutive units occupy N-1 distinct servers, exactly
+// one server holds none of the group's data; that server stores the group's
+// parity unit in its redundancy file, and it rotates group by group
+// (for group g the parity server is ((g+1)*(N-1)) mod N). Every parity
+// group is therefore recoverable from a single server failure, while the
+// data layout stays byte-identical to plain PVFS.
+//
+// A "full stripe" is W = (N-1)*su consecutive bytes aligned on a multiple of
+// W. The Hybrid write rule decomposes every write into a leading partial
+// stripe, an integral run of full stripes and a trailing partial stripe.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace csar::pvfs {
+
+/// Where parity units live.
+enum class ParityPlacement : std::uint8_t {
+  /// CSAR (Figure 2): data striped over all N servers; a group's parity
+  /// goes to the one server holding none of its data, rotating per group.
+  rotating,
+  /// RAID4 (the Swift comparison in §3): data striped over servers
+  /// 0..N-2, server N-1 is a dedicated parity server.
+  fixed,
+};
+
+struct StripeLayout {
+  std::uint32_t stripe_unit = 64 * 1024;  ///< su: bytes per unit
+  std::uint32_t nservers = 6;             ///< N: number of I/O servers
+  ParityPlacement placement = ParityPlacement::rotating;
+  /// PVFS's `base` attribute: the server holding the file's first stripe
+  /// unit. Spreads the "first server" hot spot when many files coexist.
+  std::uint32_t base = 0;
+
+  std::uint64_t su() const { return stripe_unit; }
+  std::uint32_t n() const { return nservers; }
+
+  /// Servers holding data units: all N (rotating) or N-1 (fixed parity).
+  std::uint32_t data_servers() const {
+    return placement == ParityPlacement::rotating ? nservers : nservers - 1;
+  }
+
+  /// Width of a full stripe (parity group) in bytes: (N-1) * su in both
+  /// placements (a group is one unit per data server under `fixed`, and
+  /// N-1 consecutive units under `rotating`). Parity schemes need N >= 2.
+  std::uint64_t stripe_width() const {
+    assert(nservers >= 2);
+    return static_cast<std::uint64_t>(nservers - 1) * stripe_unit;
+  }
+
+  // --- unit math ---
+  std::uint64_t unit_of(std::uint64_t off) const { return off / stripe_unit; }
+  std::uint32_t server_of_unit(std::uint64_t u) const {
+    return static_cast<std::uint32_t>((base + u) % data_servers());
+  }
+  std::uint64_t local_unit(std::uint64_t u) const {
+    return u / data_servers();
+  }
+
+  /// Server-local byte offset of global file offset `off`.
+  std::uint64_t local_off(std::uint64_t off) const {
+    return local_unit(unit_of(off)) * stripe_unit + off % stripe_unit;
+  }
+
+  // --- parity group math ---
+  std::uint64_t group_of_unit(std::uint64_t u) const {
+    return u / (nservers - 1);
+  }
+  std::uint64_t group_of_off(std::uint64_t off) const {
+    return group_of_unit(unit_of(off));
+  }
+  /// Global byte range [start, end) covered by group g.
+  std::uint64_t group_start(std::uint64_t g) const {
+    return g * stripe_width();
+  }
+  std::uint64_t group_end(std::uint64_t g) const {
+    return (g + 1) * stripe_width();
+  }
+  /// The server holding group g's parity unit — the one server with none of
+  /// the group's data (rotating), or the dedicated server N-1 (fixed).
+  std::uint32_t parity_server(std::uint64_t g) const {
+    if (placement == ParityPlacement::fixed) return nservers - 1;
+    // The one server holding none of group g's data, shifted by `base`
+    // exactly like the data placement.
+    return static_cast<std::uint32_t>(
+        (base + (g + 1) * (nservers - 1)) % nservers);
+  }
+  /// Local unit index of group g's parity inside the parity server's
+  /// redundancy file: every N-th group per server when rotating, every
+  /// group when fixed.
+  std::uint64_t parity_local_unit(std::uint64_t g) const {
+    return placement == ParityPlacement::fixed ? g : g / nservers;
+  }
+  /// Server-local byte offset of group g's parity unit.
+  std::uint64_t parity_local_off(std::uint64_t g) const {
+    return parity_local_unit(g) * stripe_unit;
+  }
+
+  // --- request decomposition ---
+  struct Extent {
+    std::uint32_t server;      ///< I/O server holding this piece
+    std::uint64_t global_off;  ///< offset within the PVFS file
+    std::uint64_t local_off;   ///< offset within the server's data file
+    std::uint64_t len;
+  };
+
+  /// Split [off, off+len) into per-unit extents in global-offset order.
+  std::vector<Extent> decompose(std::uint64_t off, std::uint64_t len) const;
+
+  /// Split [off, off+len) into per-server extents, merging unit runs that
+  /// are contiguous in a server's local file (which happens exactly when the
+  /// global range covers consecutive rows). Order: by server id.
+  std::vector<Extent> decompose_merged(std::uint64_t off,
+                                       std::uint64_t len) const;
+
+  /// The Hybrid/RAID5 write split (§4): leading partial stripe, integral
+  /// full stripes, trailing partial stripe. Any part may be empty.
+  struct WriteSplit {
+    std::uint64_t head_start = 0, head_end = 0;  ///< partial group at start
+    std::uint64_t full_start = 0, full_end = 0;  ///< whole groups
+    std::uint64_t tail_start = 0, tail_end = 0;  ///< partial group at end
+  };
+  WriteSplit split_write(std::uint64_t off, std::uint64_t len) const;
+};
+
+}  // namespace csar::pvfs

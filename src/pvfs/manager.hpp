@@ -1,0 +1,124 @@
+// Manager: the PVFS metadata daemon.
+//
+// Maintains the file table (name -> handle + stripe layout) and serves
+// create/open/remove over RPC. PVFS clients contact the manager once per
+// open and then talk to the I/O servers directly — the manager is off the
+// data path, which is what gives striped file systems their scalability.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.hpp"
+#include "hw/node.hpp"
+#include "net/fabric.hpp"
+#include "pvfs/layout.hpp"
+#include "sim/channel.hpp"
+#include "sim/task.hpp"
+
+namespace csar::pvfs {
+
+struct OpenFile {
+  std::uint64_t handle = 0;
+  StripeLayout layout;
+};
+
+enum class MetaOp : std::uint8_t { create, open, remove, shutdown };
+
+struct MetaRequest {
+  MetaOp op{};
+  std::string name;
+  StripeLayout layout;
+  hw::NodeId from = 0;
+  sim::Channel<struct MetaResponse>* reply = nullptr;
+};
+
+struct MetaResponse {
+  bool ok = true;
+  Errc err = Errc::ok;
+  OpenFile file;
+};
+
+class Manager {
+ public:
+  Manager(hw::Cluster& cluster, net::Fabric& fabric, hw::NodeId node)
+      : cluster_(&cluster), fabric_(&fabric), node_(node),
+        inbox_(cluster.sim()) {}
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  void start() {
+    if (started_) return;
+    started_ = true;
+    cluster_->sim().spawn(dispatcher());
+  }
+
+  void stop() {
+    MetaRequest r;
+    r.op = MetaOp::shutdown;
+    inbox_.send(std::move(r));
+  }
+
+  sim::Channel<MetaRequest>& inbox() { return inbox_; }
+  hw::NodeId node_id() const { return node_; }
+  std::size_t file_count() const { return files_.size(); }
+
+ private:
+  sim::Task<void> dispatcher() {
+    for (;;) {
+      MetaRequest r = co_await inbox_.recv();
+      if (r.op == MetaOp::shutdown) break;
+      MetaResponse resp = serve(r);
+      co_await fabric_->transfer(node_, r.from, sizeof(MetaResponse));
+      r.reply->send(std::move(resp));
+    }
+  }
+
+  MetaResponse serve(const MetaRequest& r) {
+    MetaResponse resp;
+    switch (r.op) {
+      case MetaOp::create: {
+        if (files_.contains(r.name)) {
+          resp.ok = false;
+          resp.err = Errc::already_exists;
+          break;
+        }
+        OpenFile f{next_handle_++, r.layout};
+        files_.emplace(r.name, f);
+        resp.file = f;
+        break;
+      }
+      case MetaOp::open: {
+        auto it = files_.find(r.name);
+        if (it == files_.end()) {
+          resp.ok = false;
+          resp.err = Errc::not_found;
+          break;
+        }
+        resp.file = it->second;
+        break;
+      }
+      case MetaOp::remove: {
+        if (files_.erase(r.name) == 0) {
+          resp.ok = false;
+          resp.err = Errc::not_found;
+        }
+        break;
+      }
+      case MetaOp::shutdown:
+        break;
+    }
+    return resp;
+  }
+
+  hw::Cluster* cluster_;
+  net::Fabric* fabric_;
+  hw::NodeId node_;
+  sim::Channel<MetaRequest> inbox_;
+  std::map<std::string, OpenFile> files_;
+  std::uint64_t next_handle_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace csar::pvfs

@@ -1,0 +1,94 @@
+// Wire protocol between CSAR clients and I/O servers / the manager.
+//
+// Messages move as C++ objects through sim::Channel mailboxes; the network
+// cost is charged separately through net::Fabric by the sender. Offsets in
+// I/O server requests are *server-local* file offsets (PVFS clients resolve
+// striping before talking to servers); `owner`-qualified overflow operations
+// use the owning server's local offsets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/interval_set.hpp"
+#include "common/result.hpp"
+#include "hw/node.hpp"
+#include "sim/channel.hpp"
+
+namespace csar::pvfs {
+
+enum class Op : std::uint8_t {
+  read_data,      ///< read data file, merged with own overflow entries
+  write_data,     ///< write data file; may carry overflow invalidations
+  read_red,       ///< read redundancy file; `lock` acquires the parity lock
+  write_red,      ///< write redundancy file; `unlock` releases the lock
+  write_overflow, ///< Hybrid: store a partial-stripe copy (primary/mirror)
+  read_data_raw,  ///< recovery: data file without overflow merge
+  read_mirror,    ///< recovery: mirror overflow pieces held for `owner`
+  read_own_overflow,  ///< recovery: this server's own overflow pieces
+  flush,          ///< fsync all local files
+  storage_query,  ///< per-handle storage breakdown (Table 2)
+  compact_overflow,  ///< §6.7 cleaner: rewrite the overflow file densely,
+                     ///< reclaiming space dead entries still occupy
+  remove_file,    ///< delete every local file of a handle (unlink)
+  ping,           ///< liveness probe (health monitoring); replies ok
+  shutdown,       ///< stop the server dispatcher (teardown only)
+};
+
+const char* op_name(Op op);
+
+/// A piece of overflow content, in the owning server's local data-file
+/// coordinates.
+struct OverflowPiece {
+  std::uint64_t local_off = 0;
+  Buffer data;
+};
+
+/// Per-handle storage usage on one server.
+struct StorageInfo {
+  std::uint64_t data_bytes = 0;      ///< logical data file size
+  std::uint64_t red_bytes = 0;       ///< logical redundancy file size
+  std::uint64_t overflow_bytes = 0;  ///< *allocated* overflow (fragmented)
+};
+
+struct Response {
+  bool ok = true;
+  Errc err = Errc::ok;
+  Buffer data;
+  std::vector<OverflowPiece> pieces;
+  StorageInfo storage;
+
+  /// Approximate bytes this response occupies on the wire.
+  std::uint64_t wire_bytes() const {
+    std::uint64_t b = data.size();
+    for (const auto& p : pieces) b += p.data.size() + 16;
+    return b;
+  }
+};
+
+struct Request {
+  Op op{};
+  std::uint64_t handle = 0;
+  std::uint64_t off = 0;  ///< server-local offset (data or redundancy file)
+  std::uint64_t len = 0;  ///< read length
+  Buffer payload;         ///< write content
+  std::uint32_t su = 0;   ///< stripe unit (lock granularity / overflow alloc)
+  bool lock = false;      ///< read_red: acquire the parity-block lock
+  bool unlock = false;    ///< write_red: release the parity-block lock
+  bool mirror = false;    ///< write_overflow: store as mirror copy
+  std::uint32_t owner = 0;  ///< overflow ops: owning server index
+  /// write_data / write_red: full-stripe invalidation of own overflow
+  /// entries (this server's local data range) and of mirror entries held
+  /// for the preceding server (that server's local data range).
+  Interval inval_own{0, 0};
+  Interval inval_mirror{0, 0};
+
+  hw::NodeId from = 0;
+  sim::Channel<Response>* reply = nullptr;
+
+  /// Approximate bytes this request occupies on the wire.
+  std::uint64_t wire_bytes() const { return payload.size(); }
+};
+
+}  // namespace csar::pvfs

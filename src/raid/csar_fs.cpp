@@ -1,0 +1,530 @@
+#include "raid/csar_fs.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <utility>
+
+#include "raid/recovery.hpp"
+#include "sim/time.hpp"
+
+namespace csar::raid {
+
+namespace {
+
+using pvfs::Op;
+using pvfs::Request;
+using pvfs::StripeLayout;
+
+/// A partial-stripe segment of a write (the head or tail of the split).
+struct PartialSeg {
+  std::uint64_t start;
+  std::uint64_t end;
+  std::uint64_t group;
+};
+
+std::vector<PartialSeg> partial_segments(const StripeLayout& layout,
+                                         const StripeLayout::WriteSplit& ws) {
+  std::vector<PartialSeg> out;
+  if (ws.head_end > ws.head_start) {
+    out.push_back(
+        {ws.head_start, ws.head_end, layout.group_of_off(ws.head_start)});
+  }
+  if (ws.tail_end > ws.tail_start) {
+    out.push_back(
+        {ws.tail_start, ws.tail_end, layout.group_of_off(ws.tail_start)});
+  }
+  // Head group < tail group, so this is already ascending — the ordered
+  // parity-lock acquisition the paper uses to avoid deadlock (§5.1).
+  return out;
+}
+
+/// Byte columns of the parity unit touched by a partial segment. With more
+/// than one touched unit the union of per-unit column ranges may have a gap;
+/// we read/write the covering range, which is what "reads the corresponding
+/// parity region" amounts to.
+struct ColRange {
+  std::uint64_t lo;
+  std::uint64_t hi;
+};
+
+ColRange col_range(const StripeLayout& layout, const PartialSeg& seg) {
+  const std::uint64_t su = layout.su();
+  const std::uint64_t u0 = layout.unit_of(seg.start);
+  const std::uint64_t u1 = layout.unit_of(seg.end - 1);
+  if (u0 == u1) return {seg.start % su, (seg.end - 1) % su + 1};
+  return {0, su};
+}
+
+/// Force `b` to match the materialization of the write payload; server reads
+/// of sparse regions come back materialized (zeros) even in phantom runs.
+Buffer match_materialization(Buffer b, bool materialized) {
+  if (b.materialized() == materialized) return b;
+  assert(!materialized && "cannot materialize a phantom buffer");
+  return Buffer::phantom(b.size());
+}
+
+}  // namespace
+
+sim::Task<void> CsarFs::charge_xor(std::uint64_t bytes) {
+  if (p_.scheme == Scheme::raid5_npc || bytes == 0) co_return;
+  auto& node = client_->cluster().node(client_->node_id());
+  const double rate = node.params().xor_bytes_per_sec;
+  // Parity computation happens on the client's single-threaded send path —
+  // it occupies the same pipeline as the socket writes, which is why the
+  // paper measures it as a ~8% hit on streaming writes (RAID5 vs
+  // RAID5-npc, Figure 4a).
+  co_await node.tx().occupy(sim::transfer_time(bytes, rate));
+}
+
+Buffer CsarFs::full_group_parity(const StripeLayout& layout, std::uint64_t g,
+                                 std::uint64_t off,
+                                 const Buffer& data) const {
+  const std::uint64_t su = layout.su();
+  if (!data.materialized()) return Buffer::phantom(su);
+  Buffer parity = Buffer::real(su);
+  for (std::uint64_t pos = layout.group_start(g); pos < layout.group_end(g);
+       pos += su) {
+    parity.xor_with(data.slice(pos - off, su));
+  }
+  return parity;
+}
+
+void CsarFs::build_full_parity_writes(
+    const pvfs::OpenFile& f, std::uint64_t off, const Buffer& data,
+    std::uint64_t g0, std::uint64_t g1, bool /*hybrid_invalidate*/,
+    std::vector<std::pair<std::uint32_t, pvfs::Request>>& reqs,
+    std::uint64_t& xor_bytes) {
+  const StripeLayout& layout = f.layout;
+  const std::uint64_t su = layout.su();
+  // Bucket groups by parity server; each bucket's parity units are
+  // contiguous in that server's redundancy file (every N-th group), so one
+  // merged write per server suffices.
+  std::map<std::uint32_t, std::vector<std::uint64_t>> buckets;
+  for (std::uint64_t g = g0; g < g1; ++g) {
+    buckets[layout.parity_server(g)].push_back(g);
+  }
+  for (auto& [server, groups] : buckets) {
+    Buffer payload = data.materialized()
+                         ? Buffer::real(groups.size() * su)
+                         : Buffer::phantom(groups.size() * su);
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      assert(i == 0 || layout.parity_local_unit(groups[i]) ==
+                           layout.parity_local_unit(groups[i - 1]) + 1);
+      if (data.materialized()) {
+        payload.write_at(i * su,
+                         full_group_parity(layout, groups[i], off, data));
+      }
+      xor_bytes += layout.stripe_width();
+    }
+    Request r;
+    r.op = Op::write_red;
+    r.handle = f.handle;
+    r.off = layout.parity_local_off(groups.front());
+    r.payload = std::move(payload);
+    r.su = layout.stripe_unit;
+    reqs.emplace_back(server, std::move(r));
+  }
+}
+
+sim::Task<Result<void>> CsarFs::write(const pvfs::OpenFile& f,
+                                      std::uint64_t off, Buffer data) {
+  if (data.empty()) co_return Result<void>::success();
+  switch (p_.scheme) {
+    case Scheme::raid0:
+      co_return co_await client_->write_striped(f, off, data);
+    case Scheme::raid1:
+      co_return co_await write_raid1(f, off, data);
+    case Scheme::raid4:
+    case Scheme::raid5:
+    case Scheme::raid5_nolock:
+    case Scheme::raid5_npc:
+      co_return co_await write_raid5(f, off, data);
+    case Scheme::hybrid:
+      co_return co_await write_hybrid(f, off, data);
+  }
+  co_return Error{Errc::invalid_argument, "unknown scheme"};
+}
+
+sim::Task<Result<void>> CsarFs::write_raid1(const pvfs::OpenFile& f,
+                                            std::uint64_t off,
+                                            const Buffer& data) {
+  // Block mirroring (§4): every data block is written twice — in place on
+  // its own server, and at the same local offset into the *next* server's
+  // redundancy file, so a single failed server can be served by its
+  // successor. The client pushes 2x the bytes through its own link.
+  const StripeLayout& layout = f.layout;
+  std::vector<std::pair<std::uint32_t, Request>> reqs;
+  for (const auto& e : layout.decompose_merged(off, data.size())) {
+    Buffer payload = pvfs::Client::gather_for_server(layout, off, data,
+                                                     e.server);
+    Request w;
+    w.op = Op::write_data;
+    w.handle = f.handle;
+    w.off = e.local_off;
+    w.payload = payload.slice(0, payload.size());
+    w.su = layout.stripe_unit;
+    reqs.emplace_back(e.server, std::move(w));
+
+    Request m;
+    m.op = Op::write_red;
+    m.handle = f.handle;
+    m.off = e.local_off;
+    m.payload = std::move(payload);
+    m.su = layout.stripe_unit;
+    reqs.emplace_back((e.server + 1) % layout.n(), std::move(m));
+  }
+  auto resps = co_await client_->rpc_all(std::move(reqs));
+  for (const auto& resp : resps) {
+    if (!resp.ok) co_return Error{resp.err, "raid1 write"};
+  }
+  co_return Result<void>::success();
+}
+
+sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
+                                            std::uint64_t off,
+                                            const Buffer& data) {
+  const StripeLayout& layout = f.layout;
+  const std::uint64_t su = layout.su();
+  const std::uint64_t len = data.size();
+  const auto ws = layout.split_write(off, len);
+  const auto segs = partial_segments(layout, ws);
+  const bool locking = p_.scheme != Scheme::raid5_nolock;
+  std::uint64_t xor_bytes = 0;
+
+  // 1. For each partially-written group the client needs the old parity
+  //    (taking the parity-block lock) and the old contents of the regions
+  //    being overwritten. The old-data reads are lock-free and proceed in
+  //    parallel with the parity reads — parity deltas of disjoint regions
+  //    commute, so only the parity read->write pair must be atomic (§5.1).
+  //    The parity reads themselves are ordered lowest-group-first, the
+  //    paper's deadlock-avoidance rule.
+  struct SegCtx {
+    PartialSeg seg;
+    ColRange cols;
+    Buffer parity;  // old parity, updated in place to the new parity
+  };
+  std::vector<SegCtx> ctx;
+  ctx.reserve(segs.size());
+  for (const auto& seg : segs) {
+    ctx.push_back({seg, col_range(layout, seg), Buffer{}});
+  }
+
+  std::vector<std::pair<std::uint32_t, Request>> reads;
+  std::vector<std::pair<std::size_t, StripeLayout::Extent>> read_meta;
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    const auto& seg = ctx[i].seg;
+    for (const auto& e : layout.decompose(seg.start, seg.end - seg.start)) {
+      Request r;
+      r.op = Op::read_data_raw;
+      r.handle = f.handle;
+      r.off = e.local_off;
+      r.len = e.len;
+      reads.emplace_back(e.server, std::move(r));
+      read_meta.emplace_back(i, e);
+    }
+  }
+  std::vector<pvfs::Response> old_data;
+  auto old_data_reader = client_->cluster().sim().spawn(
+      [](pvfs::Client* cl, std::vector<std::pair<std::uint32_t, Request>> rq,
+         std::vector<pvfs::Response>* out) -> sim::Task<void> {
+        *out = co_await cl->rpc_all(std::move(rq));
+      }(client_, std::move(reads), &old_data));
+
+  bool parity_error = false;
+  Errc parity_errc = Errc::ok;
+  std::size_t locks_held = 0;  // ctx[0..locks_held) completed their reads
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    const ColRange cr = ctx[i].cols;
+    Request r;
+    r.op = Op::read_red;
+    r.handle = f.handle;
+    r.off = layout.parity_local_off(ctx[i].seg.group) + cr.lo;
+    r.len = cr.hi - cr.lo;
+    r.lock = locking;
+    r.su = layout.stripe_unit;
+    auto resp = co_await client_->rpc(
+        layout.parity_server(ctx[i].seg.group), std::move(r));
+    if (!resp.ok) {
+      parity_error = true;
+      parity_errc = resp.err;
+      break;
+    }
+    ctx[i].parity = match_materialization(std::move(resp.data),
+                                          data.materialized());
+    locks_held = i + 1;
+  }
+  co_await old_data_reader.join();
+  if (parity_error) {
+    // A later parity read failed after earlier ones already took their
+    // locks: release them by rewriting the unchanged old parity with the
+    // unlock flag, so the stripe is not wedged for future writers.
+    for (std::size_t i = 0; locking && i < locks_held; ++i) {
+      Request w;
+      w.op = Op::write_red;
+      w.handle = f.handle;
+      w.off = layout.parity_local_off(ctx[i].seg.group) + ctx[i].cols.lo;
+      w.payload = std::move(ctx[i].parity);
+      w.unlock = true;
+      w.su = layout.stripe_unit;
+      (void)co_await client_->rpc(layout.parity_server(ctx[i].seg.group),
+                                  std::move(w));
+    }
+    co_return Error{parity_errc, "raid5 parity read"};
+  }
+
+  // 3. Delta-compute the new parity: new_p = old_p ^ old_d ^ new_d.
+  for (std::size_t k = 0; k < old_data.size(); ++k) {
+    if (!old_data[k].ok) {
+      // Same lock-release duty as above: all parity locks are held here.
+      for (std::size_t i = 0; locking && i < locks_held; ++i) {
+        Request w;
+        w.op = Op::write_red;
+        w.handle = f.handle;
+        w.off = layout.parity_local_off(ctx[i].seg.group) + ctx[i].cols.lo;
+        w.payload = std::move(ctx[i].parity);
+        w.unlock = true;
+        w.su = layout.stripe_unit;
+        (void)co_await client_->rpc(layout.parity_server(ctx[i].seg.group),
+                                    std::move(w));
+      }
+      co_return Error{old_data[k].err, "raid5 old data"};
+    }
+    const std::size_t i = read_meta[k].first;
+    const auto& e = read_meta[k].second;
+    Buffer delta = match_materialization(std::move(old_data[k].data),
+                                         data.materialized());
+    delta.xor_with(data.slice(e.global_off - off, e.len));
+    ctx[i].parity.xor_at(e.global_off % su - ctx[i].cols.lo, delta);
+    xor_bytes += 2 * e.len;
+  }
+
+  // 4. Issue every write in parallel: the updated parity for partial groups
+  //    *first* (their transfer releases the parity-block locks — sending
+  //    them ahead of the bulk data keeps the critical section short), then
+  //    the full data range (in place), then fresh parity for fully covered
+  //    groups.
+  std::vector<std::pair<std::uint32_t, Request>> writes;
+  for (auto& c : ctx) {
+    Request w;
+    w.op = Op::write_red;
+    w.handle = f.handle;
+    w.off = layout.parity_local_off(c.seg.group) + c.cols.lo;
+    w.payload = std::move(c.parity);
+    w.unlock = locking;
+    w.su = layout.stripe_unit;
+    writes.emplace_back(layout.parity_server(c.seg.group), std::move(w));
+  }
+  for (const auto& e : layout.decompose_merged(off, len)) {
+    Request w;
+    w.op = Op::write_data;
+    w.handle = f.handle;
+    w.off = e.local_off;
+    w.payload = pvfs::Client::gather_for_server(layout, off, data, e.server);
+    w.su = layout.stripe_unit;
+    writes.emplace_back(e.server, std::move(w));
+  }
+  if (ws.full_end > ws.full_start) {
+    build_full_parity_writes(f, off, data, ws.full_start / layout.stripe_width(),
+                             ws.full_end / layout.stripe_width(),
+                             /*hybrid_invalidate=*/false, writes, xor_bytes);
+  }
+  co_await charge_xor(xor_bytes);
+  auto resps = co_await client_->rpc_all(std::move(writes));
+  for (const auto& resp : resps) {
+    if (!resp.ok) co_return Error{resp.err, "raid5 write"};
+  }
+  co_return Result<void>::success();
+}
+
+sim::Task<Result<void>> CsarFs::write_hybrid(const pvfs::OpenFile& f,
+                                             std::uint64_t off,
+                                             const Buffer& data) {
+  const StripeLayout& layout = f.layout;
+  const std::uint32_t n = layout.n();
+  const std::uint64_t len = data.size();
+  const auto ws = layout.split_write(off, len);
+  const auto segs = partial_segments(layout, ws);
+  std::uint64_t xor_bytes = 0;
+
+  std::vector<std::pair<std::uint32_t, Request>> writes;
+
+  // Full-stripe run: RAID5 fast path — in-place data + fresh parity, plus
+  // invalidation of any overflow entries the new stripes supersede.
+  if (ws.full_end > ws.full_start) {
+    const std::uint64_t span = ws.full_end - ws.full_start;
+    const auto merged = layout.decompose_merged(ws.full_start, span);
+    // Per-server local data extents, for overflow invalidation: server s
+    // invalidates its own entries over its extent, and the mirror entries it
+    // holds for server s-1 over *that* server's extent.
+    std::vector<Interval> extent(n, Interval{0, 0});
+    for (const auto& e : merged) {
+      extent[e.server] = {e.local_off, e.local_off + e.len};
+    }
+    for (const auto& e : merged) {
+      Request w;
+      w.op = Op::write_data;
+      w.handle = f.handle;
+      w.off = e.local_off;
+      w.payload = pvfs::Client::gather_for_server(layout, ws.full_start,
+                                                  data.slice(ws.full_start - off,
+                                                             span),
+                                                  e.server);
+      w.su = layout.stripe_unit;
+      w.inval_own = extent[e.server];
+      w.inval_mirror = extent[(e.server + n - 1) % n];
+      writes.emplace_back(e.server, std::move(w));
+    }
+    const std::size_t parity_first = writes.size();
+    build_full_parity_writes(f, off, data,
+                             ws.full_start / layout.stripe_width(),
+                             ws.full_end / layout.stripe_width(),
+                             /*hybrid_invalidate=*/true, writes, xor_bytes);
+    // A server that holds no data unit in the span (possible when the span
+    // is shorter than N groups) still receives its parity write; attach the
+    // invalidations there so its stale mirror entries die too.
+    // The invalidation is idempotent with the one on the data write, so it
+    // is attached unconditionally.
+    for (std::size_t i = parity_first; i < writes.size(); ++i) {
+      const std::uint32_t s = writes[i].first;
+      writes[i].second.inval_own = extent[s];
+      writes[i].second.inval_mirror = extent[(s + n - 1) % n];
+    }
+  }
+
+  // Partial-stripe segments: the updated blocks are written twice into
+  // overflow regions (owner + successor), never touching the data file, so
+  // the group's stale parity still reconstructs the *old* stripe (§4).
+  for (const auto& seg : segs) {
+    for (const auto& e : layout.decompose(seg.start, seg.end - seg.start)) {
+      Buffer piece = data.slice(e.global_off - off, e.len);
+      Request primary;
+      primary.op = Op::write_overflow;
+      primary.handle = f.handle;
+      primary.off = e.local_off;
+      primary.payload = piece.slice(0, piece.size());
+      primary.owner = e.server;
+      primary.su = layout.stripe_unit;
+      writes.emplace_back(e.server, std::move(primary));
+
+      Request mirror;
+      mirror.op = Op::write_overflow;
+      mirror.handle = f.handle;
+      mirror.off = e.local_off;
+      mirror.payload = std::move(piece);
+      mirror.owner = e.server;
+      mirror.mirror = true;
+      mirror.su = layout.stripe_unit;
+      writes.emplace_back((e.server + 1) % n, std::move(mirror));
+    }
+  }
+
+  co_await charge_xor(xor_bytes);
+  auto resps = co_await client_->rpc_all(std::move(writes));
+  for (const auto& resp : resps) {
+    if (!resp.ok) co_return Error{resp.err, "hybrid write"};
+  }
+  co_return Result<void>::success();
+}
+
+sim::Task<Result<void>> CsarFs::compact(const pvfs::OpenFile& f,
+                                        std::uint64_t file_size) {
+  const StripeLayout& layout = f.layout;
+  const std::uint64_t w = layout.stripe_width();
+  // Rewrite in bursts of 8 stripes; the final burst is zero-padded to a
+  // stripe boundary so no new partial-stripe overflow is created (bytes
+  // past file_size were zeros either way).
+  const std::uint64_t burst = 8 * w;
+  const std::uint64_t padded = align_up(file_size, w);
+  for (std::uint64_t off = 0; off < padded; off += burst) {
+    const std::uint64_t len = std::min(burst, padded - off);
+    auto rd = co_await client_->read(f, off, len);
+    if (!rd.ok()) co_return rd.error();
+    auto wr = co_await write(f, off, std::move(rd.value()));
+    if (!wr.ok()) co_return wr;
+  }
+  // Garbage-collect the (now fully invalidated) overflow regions.
+  std::vector<std::pair<std::uint32_t, pvfs::Request>> reqs;
+  for (std::uint32_t s = 0; s < layout.n(); ++s) {
+    pvfs::Request r;
+    r.op = pvfs::Op::compact_overflow;
+    r.handle = f.handle;
+    r.su = layout.stripe_unit;
+    reqs.emplace_back(s, std::move(r));
+  }
+  auto resps = co_await client_->rpc_all(std::move(reqs));
+  for (const auto& resp : resps) {
+    if (!resp.ok) co_return Error{resp.err, "compact"};
+  }
+  co_return Result<void>::success();
+}
+
+sim::Task<Result<Buffer>> CsarFs::read_balanced(const pvfs::OpenFile& f,
+                                                std::uint64_t off,
+                                                std::uint64_t len) {
+  if (p_.scheme != Scheme::raid1) {
+    co_return co_await client_->read(f, off, len);
+  }
+  if (len == 0) co_return Buffer::real(0);
+  const StripeLayout& layout = f.layout;
+  // Per-unit pieces, alternating primary/mirror by global unit index.
+  const auto pieces = layout.decompose(off, len);
+  std::vector<std::pair<std::uint32_t, Request>> reads;
+  reads.reserve(pieces.size());
+  for (const auto& e : pieces) {
+    const std::uint64_t u = layout.unit_of(e.global_off);
+    Request r;
+    r.handle = f.handle;
+    r.off = e.local_off;
+    r.len = e.len;
+    r.su = layout.stripe_unit;
+    if (u % 2 == 0) {
+      r.op = Op::read_data;
+      reads.emplace_back(e.server, std::move(r));
+    } else {
+      // The mirror lives at the same local offset in the successor's
+      // redundancy file.
+      r.op = Op::read_red;
+      reads.emplace_back((e.server + 1) % layout.n(), std::move(r));
+    }
+  }
+  auto resps = co_await client_->rpc_all(std::move(reads));
+  bool phantom = false;
+  for (const auto& resp : resps) {
+    if (!resp.ok) co_return Error{resp.err, "balanced read"};
+    if (!resp.data.materialized()) phantom = true;
+  }
+  if (phantom) co_return Buffer::phantom(len);
+  Buffer out = Buffer::real(len);
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    out.write_at(pieces[i].global_off - off, resps[i].data);
+  }
+  co_return out;
+}
+
+sim::Task<std::optional<std::uint32_t>> CsarFs::find_failed_server(
+    const pvfs::OpenFile& f) {
+  for (std::uint32_t s = 0; s < f.layout.n(); ++s) {
+    Request r;
+    r.op = Op::storage_query;
+    r.handle = f.handle;
+    auto resp = co_await client_->rpc(s, std::move(r));
+    if (!resp.ok && resp.err == Errc::server_failed) {
+      co_return s;
+    }
+  }
+  co_return std::nullopt;
+}
+
+sim::Task<Result<Buffer>> CsarFs::read_resilient(const pvfs::OpenFile& f,
+                                                 std::uint64_t off,
+                                                 std::uint64_t len) {
+  auto rd = co_await client_->read(f, off, len);
+  if (rd.ok() || rd.error().code != Errc::server_failed) co_return rd;
+  auto failed = co_await find_failed_server(f);
+  if (!failed.has_value()) co_return rd;  // transient: report the error
+  Recovery rec(*client_, p_.scheme);
+  co_return co_await rec.degraded_read(f, off, len, *failed);
+}
+
+}  // namespace csar::raid

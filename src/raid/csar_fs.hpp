@@ -1,0 +1,130 @@
+// CsarFs: the user-facing CSAR file system API.
+//
+// Wraps a pvfs::Client with one of the redundancy schemes from the paper.
+// Reads are identical for every scheme in normal operation (redundancy is
+// never read; servers already return the newest copy, overflow included).
+// Writes dispatch to the per-scheme paths:
+//
+//  RAID0   data only (plain PVFS).
+//  RAID1   data + block mirror on the next server's redundancy file.
+//  RAID5   data in place; for each touched parity group the client reads
+//          old data + old parity (taking the parity-block lock, §5.1),
+//          XORs the delta, and writes data + new parity (releasing the
+//          lock). Full groups skip the reads — parity is computed fresh.
+//  Hybrid  the write is split (§4) into [partial | full stripes | partial]:
+//          the full-stripe run takes the RAID5 fast path (and invalidates
+//          overlapping overflow entries); the partial edges are written
+//          twice into overflow regions (owner server + its successor),
+//          never updating the data file in place, so the stale parity still
+//          reconstructs the old stripe content.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/result.hpp"
+#include "pvfs/client.hpp"
+#include "raid/scheme.hpp"
+#include "sim/task.hpp"
+
+namespace csar::raid {
+
+struct CsarParams {
+  Scheme scheme = Scheme::hybrid;
+};
+
+class CsarFs {
+ public:
+  CsarFs(pvfs::Client& client, CsarParams params)
+      : client_(&client), p_(params) {}
+  CsarFs(const CsarFs&) = delete;
+  CsarFs& operator=(const CsarFs&) = delete;
+
+  Scheme scheme() const { return p_.scheme; }
+  pvfs::Client& client() { return *client_; }
+
+  // --- metadata (pass-through to the PVFS manager) ---
+  sim::Task<Result<pvfs::OpenFile>> create(std::string name,
+                                           pvfs::StripeLayout layout) {
+    return client_->create(std::move(name), layout);
+  }
+  sim::Task<Result<pvfs::OpenFile>> open(std::string name) {
+    return client_->open(std::move(name));
+  }
+
+  // --- data path ---
+  sim::Task<Result<void>> write(const pvfs::OpenFile& f, std::uint64_t off,
+                                Buffer data);
+  sim::Task<Result<Buffer>> read(const pvfs::OpenFile& f, std::uint64_t off,
+                                 std::uint64_t len) {
+    return client_->read(f, off, len);
+  }
+
+  /// Failover read: like read(), but when an I/O server is down the client
+  /// locates it and transparently reconstructs the lost pieces from the
+  /// redundancy (degraded-mode read). This is what "tolerant of single
+  /// disk failures" means to an application: reads keep working.
+  sim::Task<Result<Buffer>> read_resilient(const pvfs::OpenFile& f,
+                                           std::uint64_t off,
+                                           std::uint64_t len);
+
+  /// Probe every I/O server and report the index of the first failed one.
+  sim::Task<std::optional<std::uint32_t>> find_failed_server(
+      const pvfs::OpenFile& f);
+
+  /// RAID1 mirror-balanced read: alternate stripe units between the primary
+  /// copy and the mirror on the successor server, spreading read load over
+  /// both copies — the classic RAID1 read optimization ("our scheme lends
+  /// itself to simple extensions", §5.1). Falls back to read() for every
+  /// other scheme.
+  sim::Task<Result<Buffer>> read_balanced(const pvfs::OpenFile& f,
+                                          std::uint64_t off,
+                                          std::uint64_t len);
+  sim::Task<Result<void>> flush(const pvfs::OpenFile& f) {
+    return client_->flush(f);
+  }
+
+  /// Total bytes stored across all servers for this file, including
+  /// redundancy and overflow allocation — the paper's Table 2 metric.
+  sim::Task<pvfs::StorageInfo> storage(const pvfs::OpenFile& f) {
+    return client_->storage(f);
+  }
+
+  /// The background cleaner the paper proposes in §6.7: read the file in
+  /// its entirety and rewrite it in large full-stripe chunks, migrating all
+  /// overflow data back into the RAID5 layout; then garbage-collect the
+  /// overflow files. Afterwards the Hybrid scheme's long-term storage
+  /// equals RAID5's. Only meaningful for Scheme::hybrid.
+  sim::Task<Result<void>> compact(const pvfs::OpenFile& f,
+                                  std::uint64_t file_size);
+
+ private:
+  sim::Task<Result<void>> write_raid1(const pvfs::OpenFile& f,
+                                      std::uint64_t off, const Buffer& data);
+  sim::Task<Result<void>> write_raid5(const pvfs::OpenFile& f,
+                                      std::uint64_t off, const Buffer& data);
+  sim::Task<Result<void>> write_hybrid(const pvfs::OpenFile& f,
+                                       std::uint64_t off, const Buffer& data);
+
+  /// Charge the client CPU for XOR-ing `bytes` (skipped for RAID5-npc).
+  sim::Task<void> charge_xor(std::uint64_t bytes);
+
+  /// Parity unit content for a group fully covered by this write.
+  Buffer full_group_parity(const pvfs::StripeLayout& layout, std::uint64_t g,
+                           std::uint64_t off, const Buffer& data) const;
+
+  /// Append per-server merged parity writes for the fully covered groups
+  /// [g0, g1) to `reqs`. `inval` attaches Hybrid overflow invalidations.
+  void build_full_parity_writes(
+      const pvfs::OpenFile& f, std::uint64_t off, const Buffer& data,
+      std::uint64_t g0, std::uint64_t g1, bool hybrid_invalidate,
+      std::vector<std::pair<std::uint32_t, pvfs::Request>>& reqs,
+      std::uint64_t& xor_bytes);
+
+  pvfs::Client* client_;
+  CsarParams p_;
+};
+
+}  // namespace csar::raid

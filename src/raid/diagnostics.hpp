@@ -1,0 +1,48 @@
+// Diagnostics: per-rig hardware and protocol counters as a table — what a
+// systems paper's "where did the time go" appendix would show. Benches
+// print this with CSAR_DIAG=1.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "raid/rig.hpp"
+
+namespace csar::raid {
+
+/// One row per I/O server: disk traffic, seeks, cache behaviour, parity
+/// lock activity.
+inline TextTable rig_stats_table(Rig& rig) {
+  TextTable t({"server", "disk rd", "disk wr", "seeks", "cache hit%",
+               "prereads", "dirty evict", "lock acq", "lock waits",
+               "wait tot (ms)"});
+  for (std::uint32_t s = 0; s < rig.p.nservers; ++s) {
+    auto& node = rig.cluster.node(rig.server(s).node_id());
+    const auto d = node.disk()->stats();
+    const auto& c = node.cache()->stats();
+    const auto& l = rig.server(s).lock_stats();
+    const std::uint64_t accesses = c.hits + c.misses + c.prereads;
+    const double hit_pct =
+        accesses == 0 ? 0.0
+                      : 100.0 * static_cast<double>(c.hits) /
+                            static_cast<double>(accesses);
+    t.add_row({"s" + std::to_string(s), format_bytes(d.bytes_read),
+               format_bytes(d.bytes_written), TextTable::num(d.seeks),
+               TextTable::num(hit_pct, 1), TextTable::num(c.prereads),
+               TextTable::num(c.dirty_evictions),
+               TextTable::num(l.acquisitions), TextTable::num(l.waits),
+               TextTable::num(sim::to_seconds(l.wait_time) * 1e3, 1)});
+  }
+  return t;
+}
+
+/// Print the table when the CSAR_DIAG environment variable is set.
+inline void maybe_print_diagnostics(Rig& rig, const char* label) {
+  if (std::getenv("CSAR_DIAG") == nullptr) return;
+  std::printf("\n-- diagnostics: %s --\n", label);
+  rig_stats_table(rig).print();
+}
+
+}  // namespace csar::raid

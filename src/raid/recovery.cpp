@@ -1,0 +1,709 @@
+#include "raid/recovery.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/sync.hpp"
+
+namespace csar::raid {
+
+namespace {
+using pvfs::Op;
+using pvfs::Request;
+using pvfs::StripeLayout;
+}  // namespace
+
+sim::Task<Result<Buffer>> Recovery::reconstruct_base(const pvfs::OpenFile& f,
+                                                     std::uint32_t failed,
+                                                     std::uint64_t global_off,
+                                                     std::uint64_t len) {
+  const StripeLayout& layout = f.layout;
+  const std::uint64_t su = layout.su();
+  const std::uint64_t u_failed = layout.unit_of(global_off);
+  assert(layout.server_of_unit(u_failed) == failed);
+  assert(layout.unit_of(global_off + len - 1) == u_failed &&
+         "piece must lie within one stripe unit");
+  const std::uint64_t g = layout.group_of_unit(u_failed);
+  const std::uint64_t c0 = global_off % su;
+
+  std::vector<std::pair<std::uint32_t, Request>> reads;
+  {
+    Request r;
+    r.op = Op::read_red;
+    r.handle = f.handle;
+    r.off = layout.parity_local_off(g) + c0;
+    r.len = len;
+    r.lock = false;
+    r.su = layout.stripe_unit;
+    reads.emplace_back(layout.parity_server(g), std::move(r));
+  }
+  for (std::uint64_t u = g * (layout.n() - 1); u < (g + 1) * (layout.n() - 1);
+       ++u) {
+    if (u == u_failed) continue;
+    Request r;
+    r.op = Op::read_data_raw;
+    r.handle = f.handle;
+    r.off = layout.local_unit(u) * su + c0;
+    r.len = len;
+    reads.emplace_back(layout.server_of_unit(u), std::move(r));
+  }
+  auto resps = co_await client_->rpc_all(std::move(reads));
+  Buffer out;
+  bool first = true;
+  for (auto& resp : resps) {
+    if (!resp.ok) co_return Error{resp.err, "reconstruct_base"};
+    if (first) {
+      out = std::move(resp.data);
+      first = false;
+    } else if (out.materialized() == resp.data.materialized()) {
+      out.xor_with(resp.data);
+    } else {
+      out = Buffer::phantom(len);
+    }
+  }
+  // Charge the client for the reconstruction XOR.
+  auto& node = client_->cluster().node(client_->node_id());
+  co_await node.mem().occupy(sim::transfer_time(
+      len * resps.size(), node.params().xor_bytes_per_sec));
+  co_return out;
+}
+
+sim::Task<Result<Buffer>> Recovery::reconstruct_piece(const pvfs::OpenFile& f,
+                                                      std::uint32_t failed,
+                                                      std::uint64_t global_off,
+                                                      std::uint64_t len) {
+  const StripeLayout& layout = f.layout;
+  const std::uint32_t successor = (failed + 1) % layout.n();
+  const std::uint64_t local = layout.local_off(global_off);
+  switch (scheme_) {
+    case Scheme::raid0:
+      co_return Error{Errc::server_failed, "RAID0 cannot reconstruct"};
+    case Scheme::raid1: {
+      // The mirror of the failed server's blocks lives at the same local
+      // offsets in the successor's redundancy file.
+      Request r;
+      r.op = Op::read_red;
+      r.handle = f.handle;
+      r.off = local;
+      r.len = len;
+      r.su = layout.stripe_unit;
+      auto resp = co_await client_->rpc(successor, std::move(r));
+      if (!resp.ok) co_return Error{resp.err, "raid1 mirror read"};
+      co_return std::move(resp.data);
+    }
+    case Scheme::raid4:
+    case Scheme::raid5:
+    case Scheme::raid5_nolock:
+    case Scheme::raid5_npc:
+      co_return co_await reconstruct_base(f, failed, global_off, len);
+    case Scheme::hybrid: {
+      auto base = co_await reconstruct_base(f, failed, global_off, len);
+      if (!base.ok()) co_return base;
+      Buffer out = std::move(base.value());
+      // Overlay the newest partial-stripe data from the mirrored overflow
+      // copies on the successor.
+      Request r;
+      r.op = Op::read_mirror;
+      r.handle = f.handle;
+      r.off = local;
+      r.len = len;
+      r.owner = failed;
+      auto resp = co_await client_->rpc(successor, std::move(r));
+      if (!resp.ok) co_return Error{resp.err, "mirror overflow read"};
+      for (const auto& piece : resp.pieces) {
+        if (out.materialized() && piece.data.materialized()) {
+          out.write_at(piece.local_off - local, piece.data);
+        } else {
+          out = Buffer::phantom(len);
+        }
+      }
+      co_return out;
+    }
+  }
+  co_return Error{Errc::invalid_argument, "unknown scheme"};
+}
+
+sim::Task<Result<Buffer>> Recovery::degraded_read(const pvfs::OpenFile& f,
+                                                  std::uint64_t off,
+                                                  std::uint64_t len,
+                                                  std::uint32_t failed) {
+  if (len == 0) co_return Buffer::real(0);
+  Buffer out = Buffer::real(len);
+  bool phantom = false;
+  bool error = false;
+  Error first_error;
+  std::vector<sim::Task<void>> tasks;
+  for (const auto& e : f.layout.decompose(off, len)) {
+    tasks.push_back(
+        [](Recovery* self, const pvfs::OpenFile* file,
+           StripeLayout::Extent ext, std::uint32_t fsrv, std::uint64_t base,
+           Buffer* sink, bool* phant, bool* err,
+           Error* ferr) -> sim::Task<void> {
+          Result<Buffer> piece = Buffer::real(0);
+          if (ext.server == fsrv) {
+            piece = co_await self->reconstruct_piece(*file, fsrv,
+                                                     ext.global_off, ext.len);
+          } else {
+            Request r;
+            r.op = Op::read_data;
+            r.handle = file->handle;
+            r.off = ext.local_off;
+            r.len = ext.len;
+            r.su = file->layout.stripe_unit;
+            auto resp = co_await self->client_->rpc(ext.server, std::move(r));
+            piece = resp.ok ? Result<Buffer>(std::move(resp.data))
+                            : Result<Buffer>(Error{resp.err, "read"});
+          }
+          if (!piece.ok()) {
+            if (!*err) *ferr = piece.error();
+            *err = true;
+            co_return;
+          }
+          if (!piece.value().materialized()) {
+            *phant = true;
+          } else if (sink->materialized()) {
+            sink->write_at(ext.global_off - base, piece.value());
+          }
+        }(this, &f, e, failed, off, &out, &phantom, &error, &first_error));
+  }
+  co_await sim::when_all(client_->cluster().sim(), std::move(tasks));
+  if (error) co_return first_error;
+  if (phantom) co_return Buffer::phantom(len);
+  co_return out;
+}
+
+namespace {
+
+/// A partial-stripe segment [start, end) of a degraded write.
+struct Seg {
+  std::uint64_t start;
+  std::uint64_t end;
+};
+
+/// Overlay the new bytes of `seg` (taken from `data`, which starts at file
+/// offset `off`) that fall into stripe unit `u` onto `after`, a buffer
+/// holding that unit's columns starting at column `c0`.
+void overlay_new(const StripeLayout& layout, std::uint64_t off,
+                 const Buffer& data, const Seg& seg, std::uint64_t u,
+                 std::uint64_t c0, Buffer& after) {
+  for (const auto& e : layout.decompose(seg.start, seg.end - seg.start)) {
+    if (layout.unit_of(e.global_off) != u) continue;
+    after.write_at(e.global_off % layout.su() - c0,
+                   data.slice(e.global_off - off, e.len));
+  }
+}
+
+}  // namespace
+
+sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
+                                                 std::uint64_t off,
+                                                 Buffer data,
+                                                 std::uint32_t failed) {
+  const StripeLayout& layout = f.layout;
+  const std::uint32_t n = layout.n();
+  const std::uint64_t su = layout.su();
+  const std::uint64_t len = data.size();
+  if (len == 0) co_return Result<void>::success();
+
+  if (scheme_ == Scheme::raid0) {
+    for (const auto& e : layout.decompose(off, len)) {
+      if (e.server == failed) {
+        co_return Error{Errc::server_failed, "RAID0 degraded write"};
+      }
+    }
+    co_return co_await client_->write_striped(f, off, data);
+  }
+
+  if (scheme_ == Scheme::raid1) {
+    // Update whichever of the two copies is alive; the rebuild restores the
+    // other from it.
+    std::vector<std::pair<std::uint32_t, Request>> reqs;
+    for (const auto& e : layout.decompose_merged(off, len)) {
+      Buffer payload =
+          pvfs::Client::gather_for_server(layout, off, data, e.server);
+      if (e.server != failed) {
+        Request w;
+        w.op = Op::write_data;
+        w.handle = f.handle;
+        w.off = e.local_off;
+        w.payload = payload.slice(0, payload.size());
+        w.su = layout.stripe_unit;
+        reqs.emplace_back(e.server, std::move(w));
+      }
+      const std::uint32_t mirror = (e.server + 1) % n;
+      if (mirror != failed) {
+        Request m;
+        m.op = Op::write_red;
+        m.handle = f.handle;
+        m.off = e.local_off;
+        m.payload = std::move(payload);
+        m.su = layout.stripe_unit;
+        reqs.emplace_back(mirror, std::move(m));
+      }
+    }
+    auto resps = co_await client_->rpc_all(std::move(reqs));
+    for (const auto& resp : resps) {
+      if (!resp.ok) co_return Error{resp.err, "raid1 degraded write"};
+    }
+    co_return Result<void>::success();
+  }
+
+  // Parity schemes (RAID5 variants and the Hybrid full-stripe path share
+  // the same degraded logic; Hybrid's partial path differs below).
+  const auto ws = layout.split_write(off, len);
+  const bool hybrid = scheme_ == Scheme::hybrid;
+  std::vector<std::pair<std::uint32_t, Request>> writes;
+
+  // --- full groups: compute fresh parity; the failed data unit's content
+  //     is representable only through the parity, so the parity write is
+  //     what makes the write durable. ---
+  if (ws.full_end > ws.full_start) {
+    for (std::uint64_t g = ws.full_start / layout.stripe_width();
+         g < ws.full_end / layout.stripe_width(); ++g) {
+      const std::uint32_t ps = layout.parity_server(g);
+      if (ps != failed) {
+        Buffer parity = data.materialized() ? Buffer::real(su)
+                                            : Buffer::phantom(su);
+        for (std::uint64_t pos = layout.group_start(g);
+             pos < layout.group_end(g); pos += su) {
+          if (data.materialized()) parity.xor_with(data.slice(pos - off, su));
+        }
+        Request w;
+        w.op = Op::write_red;
+        w.handle = f.handle;
+        w.off = layout.parity_local_off(g);
+        w.payload = std::move(parity);
+        w.su = layout.stripe_unit;
+        if (hybrid) {
+          // The parity server holds no data unit of g, but it may hold
+          // mirror overflow entries for its predecessor's unit (crucially,
+          // when the predecessor is the *failed* server whose new content
+          // now lives only in this parity): invalidate them here, exactly
+          // as the normal write path does.
+          const std::uint32_t prev = (ps + n - 1) % n;
+          for (std::uint64_t v = g * (n - 1); v < (g + 1) * (n - 1); ++v) {
+            if (layout.server_of_unit(v) == prev) {
+              w.inval_mirror = {layout.local_unit(v) * su,
+                                layout.local_unit(v) * su + su};
+            }
+          }
+        }
+        writes.emplace_back(ps, std::move(w));
+      }
+      for (std::uint64_t u = g * (n - 1); u < (g + 1) * (n - 1); ++u) {
+        const std::uint32_t s = layout.server_of_unit(u);
+        if (s == failed) continue;
+        Request w;
+        w.op = Op::write_data;
+        w.handle = f.handle;
+        w.off = layout.local_unit(u) * su;
+        w.payload = data.slice(u * su - off, su);
+        w.su = layout.stripe_unit;
+        if (hybrid) {
+          w.inval_own = {w.off, w.off + su};
+          // Mirror entries this server holds for its (possibly failed)
+          // predecessor within the same group.
+          const std::uint32_t prev = (s + n - 1) % n;
+          for (std::uint64_t v = g * (n - 1); v < (g + 1) * (n - 1); ++v) {
+            if (layout.server_of_unit(v) == prev) {
+              w.inval_mirror = {layout.local_unit(v) * su,
+                                layout.local_unit(v) * su + su};
+            }
+          }
+        }
+        writes.emplace_back(s, std::move(w));
+      }
+    }
+  }
+
+  // --- partial segments (ascending group order, as in §5.1) ---
+  std::vector<Seg> segs;
+  if (ws.head_end > ws.head_start) segs.push_back({ws.head_start, ws.head_end});
+  if (ws.tail_end > ws.tail_start) segs.push_back({ws.tail_start, ws.tail_end});
+
+  if (hybrid) {
+    // Partial stripes: primary + mirror overflow copies; write whichever of
+    // the pair is alive.
+    for (const auto& seg : segs) {
+      for (const auto& e : layout.decompose(seg.start, seg.end - seg.start)) {
+        Buffer piece = data.slice(e.global_off - off, e.len);
+        if (e.server != failed) {
+          Request primary;
+          primary.op = Op::write_overflow;
+          primary.handle = f.handle;
+          primary.off = e.local_off;
+          primary.payload = piece.slice(0, piece.size());
+          primary.owner = e.server;
+          primary.su = layout.stripe_unit;
+          writes.emplace_back(e.server, std::move(primary));
+        }
+        const std::uint32_t mirror_srv = (e.server + 1) % n;
+        if (mirror_srv != failed) {
+          Request mirror;
+          mirror.op = Op::write_overflow;
+          mirror.handle = f.handle;
+          mirror.off = e.local_off;
+          mirror.payload = std::move(piece);
+          mirror.owner = e.server;
+          mirror.mirror = true;
+          mirror.su = layout.stripe_unit;
+          writes.emplace_back(mirror_srv, std::move(mirror));
+        }
+      }
+    }
+  } else {
+    // RAID5: degraded partial stripes use reconstruct-write — read the old
+    // parity (locked) plus every surviving unit's columns, rebuild the lost
+    // unit's old content, overlay the new data, and recompute the parity
+    // outright.
+    const bool locking = scheme_ != Scheme::raid5_nolock;
+    for (const auto& seg : segs) {
+      const std::uint64_t g = layout.group_of_off(seg.start);
+      const std::uint32_t ps = layout.parity_server(g);
+      // Column range: the whole span touched within the group.
+      std::uint64_t c0 = su;
+      std::uint64_t c1 = 0;
+      for (const auto& e : layout.decompose(seg.start, seg.end - seg.start)) {
+        c0 = std::min(c0, e.global_off % su);
+        c1 = std::max(c1, e.global_off % su + e.len);
+      }
+
+      if (ps == failed) {
+        // Parity lost: just update the surviving data (the rebuild will
+        // recompute the parity from it). A write to a lost *data* unit in
+        // this group would be unrecordable — report it.
+        for (const auto& e :
+             layout.decompose(seg.start, seg.end - seg.start)) {
+          if (e.server == failed) {
+            co_return Error{Errc::server_failed,
+                            "degraded write to lost unit with lost parity"};
+          }
+          Request w;
+          w.op = Op::write_data;
+          w.handle = f.handle;
+          w.off = e.local_off;
+          w.payload = data.slice(e.global_off - off, e.len);
+          w.su = layout.stripe_unit;
+          writes.emplace_back(e.server, std::move(w));
+        }
+        continue;
+      }
+
+      // Read parity (locked) and all surviving units over [c0, c1).
+      Request pr;
+      pr.op = Op::read_red;
+      pr.handle = f.handle;
+      pr.off = layout.parity_local_off(g) + c0;
+      pr.len = c1 - c0;
+      pr.lock = locking;
+      pr.su = layout.stripe_unit;
+      auto presp = co_await client_->rpc(ps, std::move(pr));
+      if (!presp.ok) co_return Error{presp.err, "degraded parity read"};
+
+      std::vector<std::pair<std::uint32_t, Request>> reads;
+      std::vector<std::uint64_t> read_units;
+      for (std::uint64_t u = g * (n - 1); u < (g + 1) * (n - 1); ++u) {
+        if (layout.server_of_unit(u) == failed) continue;
+        Request r;
+        r.op = Op::read_data_raw;
+        r.handle = f.handle;
+        r.off = layout.local_unit(u) * su + c0;
+        r.len = c1 - c0;
+        reads.emplace_back(layout.server_of_unit(u), std::move(r));
+        read_units.push_back(u);
+      }
+      auto old = co_await client_->rpc_all(std::move(reads));
+      for (const auto& resp : old) {
+        if (!resp.ok) co_return Error{resp.err, "degraded old-data read"};
+      }
+
+      Buffer parity;
+      if (data.materialized()) {
+        // Reconstruct the lost unit's old columns, then rebuild parity as
+        // the XOR of every unit's *after* content.
+        Buffer lost_old = Buffer::real(c1 - c0);
+        lost_old.xor_with(presp.data);
+        for (const auto& resp : old) lost_old.xor_with(resp.data);
+        parity = Buffer::real(c1 - c0);
+        for (std::size_t i = 0; i < old.size(); ++i) {
+          Buffer after = old[i].data.slice(0, c1 - c0);
+          overlay_new(layout, off, data, seg, read_units[i], c0, after);
+          parity.xor_with(after);
+        }
+        // The failed unit's after-content.
+        const std::uint64_t u_failed = [&]() -> std::uint64_t {
+          for (std::uint64_t u = g * (n - 1); u < (g + 1) * (n - 1); ++u) {
+            if (layout.server_of_unit(u) == failed) return u;
+          }
+          return ~0ULL;
+        }();
+        if (u_failed != ~0ULL) {
+          Buffer after = std::move(lost_old);
+          overlay_new(layout, off, data, seg, u_failed, c0, after);
+          parity.xor_with(after);
+        }
+      } else {
+        parity = Buffer::phantom(c1 - c0);
+      }
+      auto& node = client_->cluster().node(client_->node_id());
+      co_await node.tx().occupy(sim::transfer_time(
+          (c1 - c0) * n, node.params().xor_bytes_per_sec));
+
+      Request pw;
+      pw.op = Op::write_red;
+      pw.handle = f.handle;
+      pw.off = layout.parity_local_off(g) + c0;
+      pw.payload = std::move(parity);
+      pw.unlock = locking;
+      pw.su = layout.stripe_unit;
+      writes.emplace_back(ps, std::move(pw));
+
+      for (const auto& e : layout.decompose(seg.start, seg.end - seg.start)) {
+        if (e.server == failed) continue;
+        Request w;
+        w.op = Op::write_data;
+        w.handle = f.handle;
+        w.off = e.local_off;
+        w.payload = data.slice(e.global_off - off, e.len);
+        w.su = layout.stripe_unit;
+        writes.emplace_back(e.server, std::move(w));
+      }
+    }
+  }
+
+  auto resps = co_await client_->rpc_all(std::move(writes));
+  for (const auto& resp : resps) {
+    if (!resp.ok) co_return Error{resp.err, "degraded write"};
+  }
+  co_return Result<void>::success();
+}
+
+sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
+                                                 std::uint32_t failed,
+                                                 std::uint64_t file_size) {
+  const StripeLayout& layout = f.layout;
+  const std::uint32_t n = layout.n();
+  const std::uint64_t su = layout.su();
+  const std::uint32_t successor = (failed + 1) % n;
+  const std::uint32_t predecessor = (failed + n - 1) % n;
+  if (file_size == 0) co_return Result<void>::success();
+
+  // 1. Data file: reconstruct every unit the failed server held. For parity
+  //    schemes this restores the *base* content (data file only), keeping
+  //    the surviving parity consistent; overflow entries are restored
+  //    separately in step 3. Units are rebuilt with a pipeline window so
+  //    the survivor reads and replacement writes stream concurrently — the
+  //    rebuilding node's links become the bottleneck, as in a real rebuild.
+  const std::uint32_t dn = layout.data_servers();
+  {
+    constexpr std::uint32_t kWindow = 16;
+    sim::Semaphore window(client_->cluster().sim(), kWindow);
+    sim::WaitGroup wg(client_->cluster().sim());
+    bool error = false;
+    Error first_error;
+    for (std::uint64_t u = failed; failed < dn && u * su < file_size;
+         u += dn) {
+      co_await window.acquire();
+      wg.add();
+      client_->cluster().sim().spawn(
+          [](Recovery* self, pvfs::OpenFile file, std::uint32_t fsrv,
+             std::uint64_t unit, std::uint64_t len, sim::Semaphore* sem,
+             sim::WaitGroup* done, bool* err, Error* ferr) -> sim::Task<void> {
+            const StripeLayout& lay = file.layout;
+            // NOTE: deliberately not a ?: expression — GCC 12 miscompiles
+            // co_await inside conditional expressions (double-destruction
+            // of the materialized result).
+            Result<Buffer> piece = Buffer{};
+            if (self->scheme_ == Scheme::raid1) {
+              piece = co_await self->reconstruct_piece(file, fsrv,
+                                                       unit * lay.su(), len);
+            } else {
+              piece = co_await self->reconstruct_base(file, fsrv,
+                                                      unit * lay.su(), len);
+            }
+            if (!piece.ok()) {
+              if (!*err) *ferr = piece.error();
+              *err = true;
+            } else {
+              Request w;
+              w.op = Op::write_data;
+              w.handle = file.handle;
+              w.off = lay.local_unit(unit) * lay.su();
+              w.payload = std::move(piece.value());
+              w.su = lay.stripe_unit;
+              auto resp = co_await self->client_->rpc(fsrv, std::move(w));
+              if (!resp.ok) {
+                if (!*err) *ferr = Error{resp.err, "rebuild data write"};
+                *err = true;
+              }
+            }
+            sem->release();
+            done->done();
+          }(this, f, failed, u,
+            std::min<std::uint64_t>(su, file_size - u * su), &window, &wg,
+            &error, &first_error));
+    }
+    co_await wg.wait();
+    if (error) co_return first_error;
+  }
+
+  // 2. Redundancy file (pipelined like step 1).
+  {
+    constexpr std::uint32_t kWindow = 16;
+    sim::Semaphore window(client_->cluster().sim(), kWindow);
+    sim::WaitGroup wg(client_->cluster().sim());
+    bool error = false;
+    Error first_error;
+    if (scheme_ == Scheme::raid1) {
+      // Mirror blocks of the predecessor's data, at its local offsets.
+      for (std::uint64_t u = predecessor; u * su < file_size; u += dn) {
+        co_await window.acquire();
+        wg.add();
+        client_->cluster().sim().spawn(
+            [](Recovery* self, pvfs::OpenFile file, std::uint32_t fsrv,
+               std::uint32_t pred, std::uint64_t unit, std::uint64_t len,
+               sim::Semaphore* sem, sim::WaitGroup* done, bool* err,
+               Error* ferr) -> sim::Task<void> {
+              const StripeLayout& lay = file.layout;
+              Request r;
+              r.op = Op::read_data_raw;
+              r.handle = file.handle;
+              r.off = lay.local_unit(unit) * lay.su();
+              r.len = len;
+              auto resp = co_await self->client_->rpc(pred, std::move(r));
+              if (!resp.ok) {
+                if (!*err) *ferr = Error{resp.err, "rebuild mirror read"};
+                *err = true;
+              } else {
+                Request w;
+                w.op = Op::write_red;
+                w.handle = file.handle;
+                w.off = lay.local_unit(unit) * lay.su();
+                w.payload = std::move(resp.data);
+                w.su = lay.stripe_unit;
+                auto wr = co_await self->client_->rpc(fsrv, std::move(w));
+                if (!wr.ok) {
+                  if (!*err) *ferr = Error{wr.err, "rebuild mirror write"};
+                  *err = true;
+                }
+              }
+              sem->release();
+              done->done();
+            }(this, f, failed, predecessor, u,
+              std::min<std::uint64_t>(su, file_size - u * su), &window, &wg,
+              &error, &first_error));
+      }
+    } else if (uses_parity(scheme_)) {
+      // Recompute the parity units this server held: groups whose parity
+      // placement lands here.
+      const std::uint64_t ngroups =
+          div_ceil(file_size, layout.stripe_width());
+      for (std::uint64_t g = 0; g < ngroups; ++g) {
+        if (layout.parity_server(g) != failed) continue;
+        co_await window.acquire();
+        wg.add();
+        client_->cluster().sim().spawn(
+            [](Recovery* self, pvfs::OpenFile file, std::uint32_t fsrv,
+               std::uint64_t group, sim::Semaphore* sem, sim::WaitGroup* done,
+               bool* err, Error* ferr) -> sim::Task<void> {
+              const StripeLayout& lay = file.layout;
+              const std::uint64_t unit_sz = lay.su();
+              std::vector<std::pair<std::uint32_t, Request>> reads;
+              for (std::uint64_t u = group * (lay.n() - 1);
+                   u < (group + 1) * (lay.n() - 1); ++u) {
+                Request r;
+                r.op = Op::read_data_raw;
+                r.handle = file.handle;
+                r.off = lay.local_unit(u) * unit_sz;
+                r.len = unit_sz;
+                reads.emplace_back(lay.server_of_unit(u), std::move(r));
+              }
+              auto resps = co_await self->client_->rpc_all(std::move(reads));
+              Buffer parity = Buffer::real(unit_sz);
+              bool bad = false;
+              for (auto& resp : resps) {
+                if (!resp.ok) {
+                  if (!*err) *ferr = Error{resp.err, "rebuild parity read"};
+                  *err = true;
+                  bad = true;
+                  break;
+                }
+                if (parity.materialized() && resp.data.materialized()) {
+                  parity.xor_with(resp.data);
+                } else {
+                  parity = Buffer::phantom(unit_sz);
+                }
+              }
+              if (!bad) {
+                Request w;
+                w.op = Op::write_red;
+                w.handle = file.handle;
+                w.off = lay.parity_local_off(group);
+                w.payload = std::move(parity);
+                w.su = lay.stripe_unit;
+                auto wr = co_await self->client_->rpc(fsrv, std::move(w));
+                if (!wr.ok) {
+                  if (!*err) *ferr = Error{wr.err, "rebuild parity write"};
+                  *err = true;
+                }
+              }
+              sem->release();
+              done->done();
+            }(this, f, failed, g, &window, &wg, &error, &first_error));
+      }
+    }
+    co_await wg.wait();
+    if (error) co_return first_error;
+  }
+
+  // 3. Hybrid overflow: restore this server's own entries from the mirrors
+  //    on its successor, and the mirror entries it held for its predecessor
+  //    from that server's own table.
+  if (scheme_ == Scheme::hybrid) {
+    Request rm;
+    rm.op = Op::read_mirror;
+    rm.handle = f.handle;
+    rm.off = 0;
+    rm.len = file_size;  // local offsets are bounded by the file size
+    rm.owner = failed;
+    auto mirrors = co_await client_->rpc(successor, std::move(rm));
+    if (!mirrors.ok) co_return Error{mirrors.err, "rebuild overflow read"};
+    for (auto& piece : mirrors.pieces) {
+      Request w;
+      w.op = Op::write_overflow;
+      w.handle = f.handle;
+      w.off = piece.local_off;
+      w.payload = std::move(piece.data);
+      w.owner = failed;
+      w.su = layout.stripe_unit;
+      auto wr = co_await client_->rpc(failed, std::move(w));
+      if (!wr.ok) co_return Error{wr.err, "rebuild overflow write"};
+    }
+
+    Request ro;
+    ro.op = Op::read_own_overflow;
+    ro.handle = f.handle;
+    ro.off = 0;
+    ro.len = file_size;
+    auto own = co_await client_->rpc(predecessor, std::move(ro));
+    if (!own.ok) co_return Error{own.err, "rebuild mirror-table read"};
+    for (auto& piece : own.pieces) {
+      Request w;
+      w.op = Op::write_overflow;
+      w.handle = f.handle;
+      w.off = piece.local_off;
+      w.payload = std::move(piece.data);
+      w.owner = predecessor;
+      w.mirror = true;
+      w.su = layout.stripe_unit;
+      auto wr = co_await client_->rpc(failed, std::move(w));
+      if (!wr.ok) co_return Error{wr.err, "rebuild mirror-table write"};
+    }
+  }
+  co_return Result<void>::success();
+}
+
+}  // namespace csar::raid

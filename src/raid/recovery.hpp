@@ -1,0 +1,78 @@
+// Recovery: degraded reads and server reconstruction after a single I/O
+// server failure — the fault-tolerance the redundancy schemes exist for
+// (the paper's stated long-term objective, §1).
+//
+//  RAID1   a failed server's data is served from (and rebuilt out of) the
+//          mirror blocks on its successor's redundancy file.
+//  RAID5   a lost data unit is the XOR of its group's surviving N-2 data
+//          units and the group's parity unit.
+//  Hybrid  RAID5 reconstruction yields the *base* stripe content (parity is
+//          computed only against the data files, which partial writes never
+//          touch); the newest partial-stripe data is then overlaid from the
+//          mirrored overflow copies on the failed server's successor. This
+//          is exactly why the Hybrid scheme must write partial stripes to
+//          overflow instead of updating blocks in place.
+#pragma once
+
+#include <cstdint>
+
+#include "common/buffer.hpp"
+#include "common/result.hpp"
+#include "pvfs/client.hpp"
+#include "raid/scheme.hpp"
+#include "sim/task.hpp"
+
+namespace csar::raid {
+
+class Recovery {
+ public:
+  Recovery(pvfs::Client& client, Scheme scheme)
+      : client_(&client), scheme_(scheme) {}
+
+  /// Read [off, off+len) of `f` while server `failed` is down; data on
+  /// surviving servers is read normally, lost pieces are reconstructed.
+  sim::Task<Result<Buffer>> degraded_read(const pvfs::OpenFile& f,
+                                          std::uint64_t off,
+                                          std::uint64_t len,
+                                          std::uint32_t failed);
+
+  /// Write [off, off+data.size()) of `f` while server `failed` is down —
+  /// continued operation in degraded mode. Redundancy is maintained so the
+  /// write survives: RAID1 updates whichever of the two copies is alive;
+  /// RAID5 records writes to lost units *in the parity* (reconstruct-write)
+  /// and skips parity updates for groups whose parity server is down (the
+  /// rebuild recomputes those); Hybrid routes partial-stripe copies to
+  /// whichever of the owner/successor pair survives.
+  sim::Task<Result<void>> degraded_write(const pvfs::OpenFile& f,
+                                         std::uint64_t off, Buffer data,
+                                         std::uint32_t failed);
+
+  /// Rebuild everything server `failed` stored for `f` — its data file,
+  /// its redundancy file (mirror blocks or parity units), its own overflow
+  /// entries (from the mirrors on its successor) and the mirror entries it
+  /// held for its predecessor. The server must already be back online
+  /// (recover()ed onto a blank disk); `file_size` bounds the scan.
+  sim::Task<Result<void>> rebuild_server(const pvfs::OpenFile& f,
+                                         std::uint32_t failed,
+                                         std::uint64_t file_size);
+
+ private:
+  /// Reconstruct the bytes of one lost piece (within a single stripe unit
+  /// of the failed server), including the Hybrid overflow overlay.
+  sim::Task<Result<Buffer>> reconstruct_piece(const pvfs::OpenFile& f,
+                                              std::uint32_t failed,
+                                              std::uint64_t global_off,
+                                              std::uint64_t len);
+
+  /// RAID5/Hybrid base reconstruction: XOR of survivors + parity, without
+  /// the overflow overlay.
+  sim::Task<Result<Buffer>> reconstruct_base(const pvfs::OpenFile& f,
+                                             std::uint32_t failed,
+                                             std::uint64_t global_off,
+                                             std::uint64_t len);
+
+  pvfs::Client* client_;
+  Scheme scheme_;
+};
+
+}  // namespace csar::raid

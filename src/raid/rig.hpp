@@ -1,0 +1,109 @@
+// Rig: a fully assembled CSAR deployment — simulation, cluster nodes,
+// fabric, metadata manager, I/O servers and per-client CsarFs instances.
+// Every test, benchmark and example builds one of these.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "hw/node.hpp"
+#include "localfs/local_fs.hpp"
+#include "net/fabric.hpp"
+#include "pvfs/client.hpp"
+#include "pvfs/io_server.hpp"
+#include "pvfs/manager.hpp"
+#include "raid/csar_fs.hpp"
+#include "raid/recovery.hpp"
+#include "raid/scheme.hpp"
+#include "sim/simulation.hpp"
+
+namespace csar::raid {
+
+struct RigParams {
+  hw::HwProfile profile = hw::profile_experimental2003();
+  std::uint32_t nservers = 6;
+  std::uint32_t nclients = 1;
+  Scheme scheme = Scheme::hybrid;
+  localfs::LocalFsParams fs;
+  /// Server-side lock protocol switch (R5 NO LOCK also works client-side by
+  /// not requesting locks; this hard-disables the server machinery).
+  bool parity_locking = true;
+};
+
+class Rig {
+ public:
+  explicit Rig(const RigParams& params)
+      : p(params), cluster(sim, params.profile), fabric(cluster) {
+    const hw::NodeId manager_node = cluster.add_client();
+    manager = std::make_unique<pvfs::Manager>(cluster, fabric, manager_node);
+    manager->start();
+
+    pvfs::IoServerParams sp;
+    sp.fs = params.fs;
+    sp.parity_locking = params.parity_locking;
+    for (std::uint32_t s = 0; s < params.nservers; ++s) {
+      const hw::NodeId node = cluster.add_server();
+      servers.push_back(
+          std::make_unique<pvfs::IoServer>(cluster, fabric, node, s, sp));
+      servers.back()->start();
+    }
+    std::vector<pvfs::IoServer*> server_ptrs;
+    for (auto& s : servers) server_ptrs.push_back(s.get());
+
+    for (std::uint32_t c = 0; c < params.nclients; ++c) {
+      const hw::NodeId node = cluster.add_client();
+      clients.push_back(std::make_unique<pvfs::Client>(
+          cluster, fabric, *manager, server_ptrs, node));
+      fs.push_back(std::make_unique<CsarFs>(*clients.back(),
+                                            CsarParams{params.scheme}));
+    }
+  }
+
+  ~Rig() {
+    // Drain dispatcher processes so their coroutine frames are destroyed
+    // before the channels they await on.
+    stop_all();
+    sim.run();
+  }
+
+  /// A layout matching this rig's server count and scheme (RAID4 uses the
+  /// fixed parity placement, everything else the rotating one).
+  pvfs::StripeLayout layout(std::uint32_t stripe_unit) const {
+    return pvfs::StripeLayout{stripe_unit, p.nservers,
+                              placement_for(p.scheme)};
+  }
+
+  CsarFs& client_fs(std::uint32_t c = 0) { return *fs[c]; }
+  pvfs::Client& client(std::uint32_t c = 0) { return *clients[c]; }
+  pvfs::IoServer& server(std::uint32_t s) { return *servers[s]; }
+
+  Recovery recovery() { return Recovery(*clients[0], p.scheme); }
+
+  /// Drop every server's page cache (the paper's "contents removed from the
+  /// cache" overwrite setup). Flush first for a realistic state.
+  void drop_all_caches() {
+    for (auto& s : servers) s->fs().drop_caches();
+  }
+
+  void stop_all() {
+    if (stopped_) return;
+    stopped_ = true;
+    for (auto& s : servers) s->stop();
+    manager->stop();
+  }
+
+  RigParams p;
+  sim::Simulation sim;
+  hw::Cluster cluster;
+  net::Fabric fabric;
+  std::unique_ptr<pvfs::Manager> manager;
+  std::vector<std::unique_ptr<pvfs::IoServer>> servers;
+  std::vector<std::unique_ptr<pvfs::Client>> clients;
+  std::vector<std::unique_ptr<CsarFs>> fs;
+
+ private:
+  bool stopped_ = false;
+};
+
+}  // namespace csar::raid

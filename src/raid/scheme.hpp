@@ -1,0 +1,57 @@
+// Redundancy schemes studied in the paper (§4) plus the two ablations used
+// in its evaluation (§5.1, §6.2).
+#pragma once
+
+#include <cstdint>
+
+#include "pvfs/layout.hpp"
+
+namespace csar::raid {
+
+enum class Scheme : std::uint8_t {
+  raid0,         ///< plain PVFS striping, no redundancy (the baseline)
+  raid1,         ///< striped block mirroring (mirror on the next server)
+  raid4,         ///< fixed parity server (Swift implemented this; §3 notes
+                 ///< it performed worse than RAID5 — see the ablation)
+  raid5,         ///< rotated parity, client RMW + distributed parity locks
+  raid5_nolock,  ///< "R5 NO LOCK": parity may be left inconsistent (Fig. 3)
+  raid5_npc,     ///< "RAID5-npc": parity computation not charged (Fig. 4a)
+  hybrid,        ///< CSAR: RAID5 for full stripes, mirrored overflow for
+                 ///< partial stripes (the paper's contribution)
+};
+
+inline const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::raid0:
+      return "RAID0";
+    case Scheme::raid1:
+      return "RAID1";
+    case Scheme::raid4:
+      return "RAID4";
+    case Scheme::raid5:
+      return "RAID5";
+    case Scheme::raid5_nolock:
+      return "R5-NOLOCK";
+    case Scheme::raid5_npc:
+      return "RAID5-npc";
+    case Scheme::hybrid:
+      return "Hybrid";
+  }
+  return "?";
+}
+
+/// True for the schemes that store block parity (RAID4, all RAID5 variants
+/// and the Hybrid full-stripe path).
+inline bool uses_parity(Scheme s) {
+  return s == Scheme::raid4 || s == Scheme::raid5 ||
+         s == Scheme::raid5_nolock || s == Scheme::raid5_npc ||
+         s == Scheme::hybrid;
+}
+
+/// The parity placement a scheme's files should be created with.
+inline pvfs::ParityPlacement placement_for(Scheme s) {
+  return s == Scheme::raid4 ? pvfs::ParityPlacement::fixed
+                            : pvfs::ParityPlacement::rotating;
+}
+
+}  // namespace csar::raid

@@ -1,0 +1,239 @@
+#include "raid/scrub.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "common/interval_map.hpp"
+#include "common/units.hpp"
+
+namespace csar::raid {
+
+namespace {
+using pvfs::Op;
+using pvfs::Request;
+using pvfs::StripeLayout;
+
+struct BufferSlicer {
+  Buffer operator()(const Buffer& b, std::uint64_t off,
+                    std::uint64_t len) const {
+    return b.slice(off, len);
+  }
+};
+}  // namespace
+
+sim::Task<Result<Scrubber::Report>> Scrubber::run(const pvfs::OpenFile& f,
+                                                  std::uint64_t file_size,
+                                                  bool repair) {
+  Report report;
+  if (file_size == 0) co_return report;
+  switch (scheme_) {
+    case Scheme::raid0:
+      co_return report;  // nothing to audit
+    case Scheme::raid1: {
+      auto r = co_await scrub_mirrors(f, file_size, repair, report);
+      if (!r.ok()) co_return r.error();
+      co_return report;
+    }
+    case Scheme::raid4:
+    case Scheme::raid5:
+    case Scheme::raid5_nolock:
+    case Scheme::raid5_npc: {
+      auto r = co_await scrub_parity(f, file_size, repair, report);
+      if (!r.ok()) co_return r.error();
+      co_return report;
+    }
+    case Scheme::hybrid: {
+      auto r = co_await scrub_parity(f, file_size, repair, report);
+      if (!r.ok()) co_return r.error();
+      auto o = co_await scrub_overflow(f, file_size, repair, report);
+      if (!o.ok()) co_return o.error();
+      co_return report;
+    }
+  }
+  co_return Error{Errc::invalid_argument, "unknown scheme"};
+}
+
+sim::Task<Result<void>> Scrubber::scrub_parity(const pvfs::OpenFile& f,
+                                               std::uint64_t file_size,
+                                               bool repair, Report& report) {
+  const StripeLayout& layout = f.layout;
+  const std::uint64_t su = layout.su();
+  const std::uint64_t ngroups = div_ceil(file_size, layout.stripe_width());
+  for (std::uint64_t g = 0; g < ngroups; ++g) {
+    // Gather the group's data units and its stored parity.
+    std::vector<std::pair<std::uint32_t, Request>> reads;
+    for (std::uint64_t u = g * (layout.n() - 1);
+         u < (g + 1) * (layout.n() - 1); ++u) {
+      Request r;
+      r.op = Op::read_data_raw;
+      r.handle = f.handle;
+      r.off = layout.local_unit(u) * su;
+      r.len = su;
+      reads.emplace_back(layout.server_of_unit(u), std::move(r));
+    }
+    {
+      Request r;
+      r.op = Op::read_red;
+      r.handle = f.handle;
+      r.off = layout.parity_local_off(g);
+      r.len = su;
+      r.su = layout.stripe_unit;
+      reads.emplace_back(layout.parity_server(g), std::move(r));
+    }
+    auto resps = co_await client_->rpc_all(std::move(reads));
+    Buffer expect;
+    bool materialized = true;
+    for (std::size_t i = 0; i < resps.size(); ++i) {
+      if (!resps[i].ok) co_return Error{resps[i].err, "scrub read"};
+      if (!resps[i].data.materialized()) materialized = false;
+    }
+    ++report.groups_checked;
+    if (!materialized) continue;  // phantom content: nothing to compare
+    expect = Buffer::real(su);
+    for (std::size_t i = 0; i + 1 < resps.size(); ++i) {
+      expect.xor_with(resps[i].data);
+    }
+    // Charge the audit XOR on the scrubbing client.
+    auto& node = client_->cluster().node(client_->node_id());
+    co_await node.tx().occupy(sim::transfer_time(
+        su * layout.n(), node.params().xor_bytes_per_sec));
+    if (resps.back().data == expect) continue;
+    ++report.parity_mismatches;
+    if (repair) {
+      Request w;
+      w.op = Op::write_red;
+      w.handle = f.handle;
+      w.off = layout.parity_local_off(g);
+      w.payload = std::move(expect);
+      w.su = layout.stripe_unit;
+      auto wr = co_await client_->rpc(layout.parity_server(g), std::move(w));
+      if (!wr.ok) co_return Error{wr.err, "scrub parity rewrite"};
+      ++report.repaired;
+    }
+  }
+  co_return Result<void>::success();
+}
+
+sim::Task<Result<void>> Scrubber::scrub_mirrors(const pvfs::OpenFile& f,
+                                                std::uint64_t file_size,
+                                                bool repair, Report& report) {
+  const StripeLayout& layout = f.layout;
+  const std::uint64_t su = layout.su();
+  for (std::uint64_t u = 0; u * su < file_size; ++u) {
+    const std::uint32_t s = layout.server_of_unit(u);
+    const std::uint64_t local = layout.local_unit(u) * su;
+    const std::uint64_t len = std::min<std::uint64_t>(su, file_size - u * su);
+    Request rd;
+    rd.op = Op::read_data_raw;
+    rd.handle = f.handle;
+    rd.off = local;
+    rd.len = len;
+    Request rm;
+    rm.op = Op::read_red;
+    rm.handle = f.handle;
+    rm.off = local;
+    rm.len = len;
+    rm.su = layout.stripe_unit;
+    std::vector<std::pair<std::uint32_t, Request>> reads;
+    reads.emplace_back(s, std::move(rd));
+    reads.emplace_back((s + 1) % layout.n(), std::move(rm));
+    auto resps = co_await client_->rpc_all(std::move(reads));
+    for (const auto& resp : resps) {
+      if (!resp.ok) co_return Error{resp.err, "scrub mirror read"};
+    }
+    ++report.mirror_units_checked;
+    if (!resps[0].data.materialized() || !resps[1].data.materialized()) {
+      continue;
+    }
+    if (resps[0].data == resps[1].data) continue;
+    ++report.mirror_mismatches;
+    if (repair) {
+      Request w;
+      w.op = Op::write_red;
+      w.handle = f.handle;
+      w.off = local;
+      w.payload = std::move(resps[0].data);
+      w.su = layout.stripe_unit;
+      auto wr = co_await client_->rpc((s + 1) % layout.n(), std::move(w));
+      if (!wr.ok) co_return Error{wr.err, "scrub mirror rewrite"};
+      ++report.repaired;
+    }
+  }
+  co_return Result<void>::success();
+}
+
+sim::Task<Result<void>> Scrubber::scrub_overflow(const pvfs::OpenFile& f,
+                                                 std::uint64_t file_size,
+                                                 bool repair,
+                                                 Report& report) {
+  const StripeLayout& layout = f.layout;
+  for (std::uint32_t s = 0; s < layout.n(); ++s) {
+    // Primary entries on s must match the mirrors on s+1.
+    Request ro;
+    ro.op = Op::read_own_overflow;
+    ro.handle = f.handle;
+    ro.off = 0;
+    ro.len = file_size;
+    auto own = co_await client_->rpc(s, std::move(ro));
+    if (!own.ok) co_return Error{own.err, "scrub overflow read"};
+    if (own.pieces.empty()) continue;
+
+    Request rm;
+    rm.op = Op::read_mirror;
+    rm.handle = f.handle;
+    rm.off = 0;
+    rm.len = file_size;
+    rm.owner = s;
+    auto mirror = co_await client_->rpc((s + 1) % layout.n(), std::move(rm));
+    if (!mirror.ok) co_return Error{mirror.err, "scrub mirror-table read"};
+
+    IntervalMap<Buffer, BufferSlicer> mirror_map;
+    bool mirror_materialized = true;
+    for (auto& piece : mirror.pieces) {
+      if (!piece.data.materialized()) mirror_materialized = false;
+      const std::uint64_t end = piece.local_off + piece.data.size();
+      mirror_map.insert(piece.local_off, end, std::move(piece.data));
+    }
+    for (const auto& piece : own.pieces) {
+      ++report.overflow_pairs_checked;
+      const std::uint64_t start = piece.local_off;
+      const std::uint64_t end = start + piece.data.size();
+      bool match = true;
+      if (!piece.data.materialized() || !mirror_materialized) {
+        // Phantom: compare coverage only.
+        match = mirror_map.covered_bytes() > 0 || mirror_map.intersects(
+                                                      start, end);
+      } else {
+        Buffer assembled = Buffer::real(end - start);
+        std::uint64_t covered = 0;
+        for (const auto& chunk : mirror_map.query(start, end)) {
+          assembled.write_at(
+              chunk.start - start,
+              chunk.value->slice(chunk.start - chunk.entry_start,
+                                 chunk.end - chunk.start));
+          covered += chunk.end - chunk.start;
+        }
+        match = covered == end - start && assembled == piece.data;
+      }
+      if (match) continue;
+      ++report.overflow_mismatches;
+      if (repair) {
+        Request w;
+        w.op = Op::write_overflow;
+        w.handle = f.handle;
+        w.off = start;
+        w.payload = piece.data.slice(0, piece.data.size());
+        w.owner = s;
+        w.mirror = true;
+        w.su = layout.stripe_unit;
+        auto wr =
+            co_await client_->rpc((s + 1) % layout.n(), std::move(w));
+        if (!wr.ok) co_return Error{wr.err, "scrub overflow rewrite"};
+        ++report.repaired;
+      }
+    }
+  }
+  co_return Result<void>::success();
+}
+
+}  // namespace csar::raid

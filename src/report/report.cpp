@@ -1,0 +1,38 @@
+#include "report/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace csar::report {
+
+void banner(const std::string& experiment_id, const std::string& title,
+            const std::string& setup) {
+  std::printf("\n================================================================\n");
+  std::printf("[%s] %s\n", experiment_id.c_str(), title.c_str());
+  std::printf("setup: %s\n", setup.c_str());
+  std::printf("================================================================\n");
+}
+
+void expectations(const std::vector<std::string>& lines) {
+  for (const auto& l : lines) std::printf("EXPECT: %s\n", l.c_str());
+}
+
+void table(const std::string& caption, const TextTable& t) {
+  std::printf("\n-- %s --\n", caption.c_str());
+  t.print();
+  if (std::getenv("CSAR_CSV") != nullptr) {
+    std::printf("\ncsv:\n%s", t.to_csv().c_str());
+  }
+}
+
+void check(const std::string& what, bool ok) {
+  std::printf("CHECK %-60s %s\n", what.c_str(), ok ? "[ok]" : "[MISMATCH]");
+}
+
+std::string mbps(double bytes_per_sec) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", bytes_per_sec / 1e6);
+  return buf;
+}
+
+}  // namespace csar::report

@@ -1,0 +1,31 @@
+// Bench-harness output helpers: every figure/table reproduction prints a
+// uniform banner (what is being reproduced, on which simulated testbed),
+// the result table, and the qualitative EXPECT lines from the paper that
+// the numbers should exhibit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace csar::report {
+
+/// Print the experiment banner.
+void banner(const std::string& experiment_id, const std::string& title,
+            const std::string& setup);
+
+/// Print the qualitative shapes the paper reports for this artifact.
+void expectations(const std::vector<std::string>& lines);
+
+/// Print a named result table (and its CSV form when CSAR_CSV is set).
+void table(const std::string& caption, const TextTable& t);
+
+/// Simple pass/fail line for a self-check on the reproduced shape.
+void check(const std::string& what, bool ok);
+
+/// Megabytes-per-second cell, one decimal.
+std::string mbps(double bytes_per_sec);
+
+}  // namespace csar::report

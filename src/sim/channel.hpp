@@ -1,0 +1,85 @@
+// Channel<T>: unbounded FIFO message queue with awaitable receive.
+//
+// The building block for mailboxes and RPC completion queues. send() never
+// blocks (the network fabric provides backpressure by charging link time
+// before delivery); recv() suspends until a message is available. Receivers
+// are served FIFO.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/simulation.hpp"
+
+namespace csar::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulation& sim) : sim_(&sim) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Deliver a message; wakes the longest-waiting receiver, if any.
+  void send(T value) {
+    if (!waiters_.empty()) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      w.slot->emplace(std::move(value));
+      sim_->schedule_now(w.h);
+      return;
+    }
+    items_.push_back(std::move(value));
+  }
+
+  /// Awaitable receive. Completes immediately when a message is queued.
+  auto recv() {
+    struct Awaiter {
+      Channel* ch;
+      std::optional<T> slot;
+      bool await_ready() noexcept {
+        if (!ch->items_.empty()) {
+          slot.emplace(std::move(ch->items_.front()));
+          ch->items_.pop_front();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch->waiters_.push_back(Waiter{h, &slot});
+      }
+      T await_resume() {
+        assert(slot.has_value());
+        return std::move(*slot);
+      }
+    };
+    return Awaiter{this, std::nullopt};
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::size_t waiting_receivers() const { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> h;
+    std::optional<T>* slot;
+  };
+
+  Simulation* sim_;
+  std::deque<T> items_;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace csar::sim

@@ -1,0 +1,52 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+
+namespace csar::sim {
+
+Simulation::RootCoro Simulation::run_root(Task<void> t,
+                                          std::shared_ptr<ProcessState> st) {
+  co_await std::move(t);
+  st->done = true;
+  --st->sim->live_processes_;
+  for (auto j : st->joiners) st->sim->schedule_now(j);
+  st->joiners.clear();
+}
+
+ProcessHandle Simulation::spawn(Task<void> t) {
+  auto st = std::make_shared<ProcessState>();
+  st->sim = this;
+  ++live_processes_;
+  run_root(std::move(t), st);
+  return ProcessHandle{st};
+}
+
+void Simulation::schedule_at(Time t, std::coroutine_handle<> h) {
+  assert(t >= now_ && "cannot schedule in the past");
+  queue_.push(Event{t, next_seq_++, h});
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.t >= now_);
+  now_ = ev.t;
+  ++events_executed_;
+  ev.h.resume();
+  return true;
+}
+
+Time Simulation::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+Time Simulation::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().t <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace csar::sim

@@ -1,0 +1,145 @@
+// Simulation: single-threaded discrete-event executor for Task coroutines.
+//
+// Processes are coroutines spawned on the simulation; they advance simulated
+// time only by awaiting (sleep, channels, resources). Events with equal
+// timestamps fire in schedule order (FIFO by sequence number), making every
+// run deterministic.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace csar::sim {
+
+class Simulation;
+
+/// Shared completion state of a spawned process.
+struct ProcessState {
+  bool done = false;
+  Simulation* sim = nullptr;
+  std::vector<std::coroutine_handle<>> joiners;
+};
+
+/// Handle to a spawned process; lets other coroutines await its completion.
+class ProcessHandle {
+ public:
+  ProcessHandle() = default;
+  explicit ProcessHandle(std::shared_ptr<ProcessState> st)
+      : state_(std::move(st)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  bool done() const { return state_ && state_->done; }
+
+  /// Awaitable: suspends until the process finishes (no-op if it already
+  /// has). Join order among multiple joiners is FIFO.
+  auto join() const {
+    struct Awaiter {
+      std::shared_ptr<ProcessState> st;
+      bool await_ready() const noexcept { return st->done; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        st->joiners.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  std::shared_ptr<ProcessState> state_;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Start `t` as a process at the current time. The task body runs
+  /// immediately (same timestamp) until its first suspension.
+  ProcessHandle spawn(Task<void> t);
+
+  /// Awaitable: resume after `d` simulated nanoseconds.
+  auto sleep(Duration d) { return SleepAwaiter{this, now_ + d}; }
+
+  /// Awaitable: resume at absolute time `t` (>= now).
+  auto sleep_until(Time t) {
+    return SleepAwaiter{this, t < now_ ? now_ : t};
+  }
+
+  /// Awaitable: yield to other same-time events, then resume.
+  auto yield() { return SleepAwaiter{this, now_}; }
+
+  /// Enqueue a raw coroutine resume at time `t` (>= now). Used by
+  /// synchronization primitives; most code awaits instead.
+  void schedule_at(Time t, std::coroutine_handle<> h);
+
+  /// Enqueue a raw coroutine resume at the current time, after already
+  /// queued same-time events.
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  /// Run until the event queue is empty. Returns the final time.
+  Time run();
+
+  /// Run until the queue is empty or `deadline` is passed; events after the
+  /// deadline stay queued. Returns the current time.
+  Time run_until(Time deadline);
+
+  /// Execute one event; false if the queue was empty.
+  bool step();
+
+  /// Number of spawned processes that have not yet finished. Nonzero after
+  /// run() indicates a deadlock (process blocked forever).
+  std::size_t live_processes() const { return live_processes_; }
+
+  /// Total events executed (diagnostics).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct SleepAwaiter {
+    Simulation* sim;
+    Time wake;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      sim->schedule_at(wake, h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  // Detached, self-destroying wrapper that runs a Task as a root process.
+  struct RootCoro {
+    struct promise_type {
+      RootCoro get_return_object() const noexcept { return {}; }
+      std::suspend_never initial_suspend() const noexcept { return {}; }
+      std::suspend_never final_suspend() const noexcept { return {}; }
+      void return_void() const noexcept {}
+      void unhandled_exception() const noexcept { std::terminate(); }
+    };
+  };
+  static RootCoro run_root(Task<void> t, std::shared_ptr<ProcessState> st);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_processes_ = 0;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace csar::sim

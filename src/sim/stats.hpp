@@ -1,0 +1,94 @@
+// Small statistics helpers for experiments: running counters, min/mean/max
+// accumulators and fixed-bucket latency histograms.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace csar::sim {
+
+/// Accumulates samples; reports count/min/mean/max.
+class Accumulator {
+ public:
+  void add(double v) {
+    ++n_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Measures aggregate bandwidth over a window of simulated time.
+class BandwidthMeter {
+ public:
+  void start(Time t) { start_ = t; }
+  void stop(Time t) { stop_ = t; }
+  void add_bytes(std::uint64_t b) { bytes_ += b; }
+
+  std::uint64_t bytes() const { return bytes_; }
+  Duration elapsed() const { return stop_ > start_ ? stop_ - start_ : 0; }
+
+  /// Bytes per second over the [start, stop] window; 0 if the window is
+  /// empty.
+  double bytes_per_sec() const {
+    const Duration e = elapsed();
+    return e == 0 ? 0.0
+                  : static_cast<double>(bytes_) / to_seconds(e);
+  }
+
+ private:
+  Time start_ = 0;
+  Time stop_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Log2-bucketed histogram of durations (ns), for latency distributions.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() : buckets_(64, 0) {}
+
+  void add(Duration d) {
+    int b = 0;
+    while ((1ULL << (b + 1)) <= d && b < 62) ++b;
+    ++buckets_[static_cast<std::size_t>(d == 0 ? 0 : b + 1)];
+    acc_.add(static_cast<double>(d));
+  }
+
+  const Accumulator& summary() const { return acc_; }
+
+  /// Smallest duration `p` such that >= q fraction of samples are <= p
+  /// (bucket upper bound approximation).
+  Duration percentile(double q) const {
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(acc_.count()));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      seen += buckets_[b];
+      if (seen >= target) return b == 0 ? 0 : (1ULL << b);
+    }
+    return std::numeric_limits<Duration>::max();
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  Accumulator acc_;
+};
+
+}  // namespace csar::sim

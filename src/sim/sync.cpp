@@ -1,0 +1,12 @@
+#include "sim/sync.hpp"
+
+namespace csar::sim {
+
+Task<void> when_all(Simulation& sim, std::vector<Task<void>> tasks) {
+  std::vector<ProcessHandle> handles;
+  handles.reserve(tasks.size());
+  for (auto& t : tasks) handles.push_back(sim.spawn(std::move(t)));
+  for (auto& h : handles) co_await h.join();
+}
+
+}  // namespace csar::sim

@@ -1,0 +1,136 @@
+// Task<T>: the coroutine type for simulation processes.
+//
+// A Task is lazy: creating one does not run any code. It starts when
+// co_awaited by a parent coroutine (symmetric transfer), or when handed to
+// Simulation::spawn, which runs it as a detached/joinable process. Exactly
+// one of those must happen; a Task that is never awaited or spawned is
+// destroyed without running.
+//
+// Tasks propagate exceptions to their awaiter. Processes at the root are not
+// expected to throw (CSAR's data path uses Result<T>); an escape there
+// terminates, which is the right behaviour for a deterministic simulator.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace csar::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation = std::noop_coroutine();
+  std::exception_ptr exception;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      // Resume whoever awaited us; the frame stays alive (suspended at the
+      // final point) until the owning Task is destroyed.
+      return h.promise().continuation;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() const noexcept { return {}; }
+  FinalAwaiter final_suspend() const noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  std::optional<T> value;
+
+  Task<T> get_return_object() noexcept;
+  void return_value(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object() noexcept;
+  void return_void() const noexcept {}
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : h_(h) {}
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+
+  /// Awaiting starts the child and suspends the parent until it completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;  // symmetric transfer into the child
+      }
+      T await_resume() {
+        auto& p = h.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+        if constexpr (!std::is_void_v<T>) {
+          assert(p.value.has_value());
+          return std::move(*p.value);
+        }
+      }
+    };
+    return Awaiter{h_};
+  }
+
+  /// Release ownership of the coroutine handle (used by Simulation::spawn).
+  Handle release() { return std::exchange(h_, {}); }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  Handle h_{};
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> Promise<T>::get_return_object() noexcept {
+  return Task<T>{
+      std::coroutine_handle<Promise<T>>::from_promise(*this)};
+}
+
+inline Task<void> Promise<void>::get_return_object() noexcept {
+  return Task<void>{
+      std::coroutine_handle<Promise<void>>::from_promise(*this)};
+}
+
+}  // namespace detail
+
+}  // namespace csar::sim

@@ -1,0 +1,35 @@
+// Simulated time: 64-bit nanoseconds since simulation start.
+//
+// Integer nanoseconds keep event ordering exact and runs bit-reproducible;
+// helpers convert to/from seconds for workload definitions and reports.
+#pragma once
+
+#include <cstdint>
+
+namespace csar::sim {
+
+using Time = std::uint64_t;      ///< absolute simulated time, ns
+using Duration = std::uint64_t;  ///< simulated interval, ns
+
+constexpr Duration ns(std::uint64_t v) { return v; }
+constexpr Duration us(std::uint64_t v) { return v * 1000ULL; }
+constexpr Duration ms(std::uint64_t v) { return v * 1000000ULL; }
+constexpr Duration sec(std::uint64_t v) { return v * 1000000000ULL; }
+
+/// Fractional seconds -> duration (rounds to nearest ns).
+constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * 1e9 + 0.5);
+}
+
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / 1e9; }
+
+/// Duration of moving `bytes` at `bytes_per_sec` (at least 1 ns when
+/// bytes > 0 so zero-duration transfers cannot starve the event loop).
+constexpr Duration transfer_time(std::uint64_t bytes, double bytes_per_sec) {
+  if (bytes == 0 || bytes_per_sec <= 0.0) return 0;
+  const double s = static_cast<double>(bytes) / bytes_per_sec;
+  const Duration d = from_seconds(s);
+  return d == 0 ? 1 : d;
+}
+
+}  // namespace csar::sim

@@ -1,0 +1,64 @@
+// Harness helpers shared by the workload generators and bench binaries.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "raid/rig.hpp"
+#include "sim/sync.hpp"
+
+namespace csar::wl {
+
+/// Run a task to completion on the rig's simulation and return its value
+/// (blocking helper for bench/example main()s).
+template <typename T>
+T run_on(raid::Rig& rig, sim::Task<T> t) {
+  std::optional<T> out;
+  rig.sim.spawn([](sim::Task<T> task, std::optional<T>* o) -> sim::Task<void> {
+    o->emplace(co_await std::move(task));
+  }(std::move(t), &out));
+  rig.sim.run();
+  assert(out.has_value() && "workload deadlocked");
+  return std::move(*out);
+}
+
+/// Aggregate outcome of one workload run.
+struct WorkloadResult {
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+  sim::Duration write_time = 0;
+  sim::Duration read_time = 0;
+
+  double write_bw() const {
+    return write_time == 0
+               ? 0.0
+               : static_cast<double>(bytes_written) /
+                     sim::to_seconds(write_time);
+  }
+  double read_bw() const {
+    return read_time == 0
+               ? 0.0
+               : static_cast<double>(bytes_read) / sim::to_seconds(read_time);
+  }
+};
+
+/// Spawn `nclients` concurrent client coroutines and wait for all of them.
+/// `fn(client)` produces each client's task.
+inline sim::Task<void> run_clients(
+    raid::Rig& rig, std::uint32_t nclients,
+    const std::function<sim::Task<void>(std::uint32_t)>& fn) {
+  sim::WaitGroup wg(rig.sim);
+  wg.add(nclients);
+  for (std::uint32_t c = 0; c < nclients; ++c) {
+    rig.sim.spawn([](sim::Task<void> body,
+                     sim::WaitGroup* done) -> sim::Task<void> {
+      co_await std::move(body);
+      done->done();
+    }(fn(c), &wg));
+  }
+  co_await wg.wait();
+}
+
+}  // namespace csar::wl

@@ -1,0 +1,198 @@
+#include "workloads/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/sync.hpp"
+
+namespace csar::wl {
+
+std::uint32_t Trace::nclients() const {
+  std::uint32_t n = 0;
+  for (const auto& op : ops_) {
+    if (op.kind != TraceOp::Kind::barrier) n = std::max(n, op.client + 1);
+  }
+  return n;
+}
+
+std::uint64_t Trace::bytes_written() const {
+  std::uint64_t sum = 0;
+  for (const auto& op : ops_) {
+    if (op.kind == TraceOp::Kind::write) sum += op.length;
+  }
+  return sum;
+}
+
+std::uint64_t Trace::bytes_read() const {
+  std::uint64_t sum = 0;
+  for (const auto& op : ops_) {
+    if (op.kind == TraceOp::Kind::read) sum += op.length;
+  }
+  return sum;
+}
+
+std::uint64_t Trace::extent() const {
+  std::uint64_t end = 0;
+  for (const auto& op : ops_) {
+    if (op.kind != TraceOp::Kind::barrier) {
+      end = std::max(end, op.offset + op.length);
+    }
+  }
+  return end;
+}
+
+double Trace::fraction_below(std::uint64_t threshold) const {
+  std::uint64_t total = 0;
+  std::uint64_t below = 0;
+  for (const auto& op : ops_) {
+    if (op.kind == TraceOp::Kind::barrier) continue;
+    ++total;
+    if (op.length < threshold) ++below;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(below) / static_cast<double>(total);
+}
+
+std::string Trace::serialize() const {
+  std::string out;
+  out += "# CSAR request trace v1\n";
+  char line[96];
+  for (const auto& op : ops_) {
+    switch (op.kind) {
+      case TraceOp::Kind::write:
+      case TraceOp::Kind::read:
+        std::snprintf(line, sizeof(line), "%c %u %llu %llu\n",
+                      op.kind == TraceOp::Kind::write ? 'W' : 'R', op.client,
+                      static_cast<unsigned long long>(op.offset),
+                      static_cast<unsigned long long>(op.length));
+        out += line;
+        break;
+      case TraceOp::Kind::barrier:
+        out += "B\n";
+        break;
+    }
+  }
+  return out;
+}
+
+Result<Trace> Trace::parse(const std::string& text) {
+  Trace trace;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    if (line[0] == 'B') {
+      trace.add_barrier();
+      continue;
+    }
+    char kind = 0;
+    unsigned client = 0;
+    unsigned long long off = 0;
+    unsigned long long len = 0;
+    if (std::sscanf(line.c_str(), "%c %u %llu %llu", &kind, &client, &off,
+                    &len) != 4 ||
+        (kind != 'W' && kind != 'R')) {
+      return Error{Errc::invalid_argument,
+                   "trace parse error at line " + std::to_string(lineno)};
+    }
+    if (kind == 'W') {
+      trace.add_write(client, off, len);
+    } else {
+      trace.add_read(client, off, len);
+    }
+  }
+  return trace;
+}
+
+sim::Task<WorkloadResult> replay(raid::Rig& rig, const Trace& trace,
+                                 std::uint32_t stripe_unit) {
+  WorkloadResult res;
+  const std::uint32_t n = trace.nclients();
+  if (n == 0) co_return res;
+  assert(rig.p.nclients >= n && "rig needs a client per trace client");
+  auto f = co_await rig.client_fs(0).create(
+      "trace-" + std::to_string(rig.manager->file_count()),
+      rig.layout(stripe_unit));
+  assert(f.ok());
+  const pvfs::OpenFile file = *f;
+
+  // Pre-split the trace into per-client op sequences with barrier markers.
+  // Barriers are global: every client participates in each one.
+  std::uint32_t barriers = 0;
+  for (const auto& op : trace.ops()) {
+    if (op.kind == TraceOp::Kind::barrier) ++barriers;
+  }
+  sim::Barrier barrier(rig.sim, n);
+  (void)barriers;
+
+  const sim::Time t0 = rig.sim.now();
+  co_await run_clients(rig, n, [&](std::uint32_t c) -> sim::Task<void> {
+    return [](raid::Rig& r, pvfs::OpenFile fl, const Trace* tr,
+              std::uint32_t client, sim::Barrier* bar) -> sim::Task<void> {
+      for (const auto& op : tr->ops()) {
+        switch (op.kind) {
+          case TraceOp::Kind::barrier:
+            co_await bar->arrive_and_wait();
+            break;
+          case TraceOp::Kind::write:
+            if (op.client == client) {
+              auto wr = co_await r.client_fs(client).write(
+                  fl, op.offset, Buffer::phantom(op.length));
+              assert(wr.ok());
+              (void)wr;
+            }
+            break;
+          case TraceOp::Kind::read:
+            if (op.client == client) {
+              auto rd = co_await r.client_fs(client).read(fl, op.offset,
+                                                          op.length);
+              assert(rd.ok());
+              (void)rd;
+            }
+            break;
+        }
+      }
+    }(rig, file, &trace, c, &barrier);
+  });
+  res.bytes_written = trace.bytes_written();
+  res.bytes_read = trace.bytes_read();
+  res.write_time = rig.sim.now() - t0;
+  res.read_time = res.write_time;
+  co_return res;
+}
+
+Trace synthesize_flash_trace(std::uint32_t nprocs, std::uint64_t total_bytes,
+                             double small_fraction, std::uint64_t seed) {
+  Trace trace;
+  const std::uint64_t quota = total_bytes / nprocs;
+  constexpr std::uint64_t kMetaArea = 256 * 1024;
+  for (std::uint32_t proc = 0; proc < nprocs; ++proc) {
+    Rng rng(seed * 1000 + proc);
+    const std::uint64_t region = static_cast<std::uint64_t>(proc) * quota;
+    std::uint64_t meta_off = region;
+    std::uint64_t data_off = align_up(region + kMetaArea, 64 * 1024);
+    const std::uint64_t end = region + quota;
+    while (data_off < end) {
+      if (rng.chance(small_fraction) &&
+          meta_off + 2048 < region + kMetaArea) {
+        const std::uint64_t len = rng.range(256, 2048);
+        trace.add_write(proc, meta_off, len);
+        meta_off += len;
+      } else {
+        const std::uint64_t len = std::min<std::uint64_t>(
+            rng.range(7, 18) * 16 * 1024, end - data_off);
+        trace.add_write(proc, data_off, len);
+        data_off += len;
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace csar::wl

@@ -1,0 +1,82 @@
+// Request traces: record the PVFS-level request stream of any workload and
+// replay it later against a different configuration.
+//
+// The paper characterizes every application by its request stream as seen
+// at the PVFS layer ("46% of the requests were less than 2KB", "most write
+// requests of size 16K", "writes are usually 4 MB and not aligned"). Traces
+// make that notion first-class: capture once, then replay the identical
+// stream against any scheme / stripe unit / server count — the cleanest way
+// to compare redundancy schemes on real access patterns.
+//
+// Text format (one op per line, '#' comments):
+//   W <client> <offset> <length>
+//   R <client> <offset> <length>
+//   B                      -- barrier across all clients in the trace
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "raid/rig.hpp"
+#include "workloads/harness.hpp"
+
+namespace csar::wl {
+
+struct TraceOp {
+  enum class Kind : std::uint8_t { write, read, barrier };
+  Kind kind = Kind::write;
+  std::uint32_t client = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
+
+class Trace {
+ public:
+  void add_write(std::uint32_t client, std::uint64_t off, std::uint64_t len) {
+    ops_.push_back({TraceOp::Kind::write, client, off, len});
+  }
+  void add_read(std::uint32_t client, std::uint64_t off, std::uint64_t len) {
+    ops_.push_back({TraceOp::Kind::read, client, off, len});
+  }
+  void add_barrier() { ops_.push_back({TraceOp::Kind::barrier, 0, 0, 0}); }
+
+  const std::vector<TraceOp>& ops() const { return ops_; }
+  bool empty() const { return ops_.empty(); }
+  std::size_t size() const { return ops_.size(); }
+
+  /// Number of distinct clients referenced (max client index + 1).
+  std::uint32_t nclients() const;
+
+  /// Total bytes written / read.
+  std::uint64_t bytes_written() const;
+  std::uint64_t bytes_read() const;
+
+  /// Highest offset touched (the file size a replay needs).
+  std::uint64_t extent() const;
+
+  /// Request-size histogram summary, the paper's characterization style:
+  /// fraction of requests strictly below `threshold` bytes.
+  double fraction_below(std::uint64_t threshold) const;
+
+  // --- text serialization ---
+  std::string serialize() const;
+  static Result<Trace> parse(const std::string& text);
+
+ private:
+  std::vector<TraceOp> ops_;
+};
+
+/// Replay a trace on a rig: ops of each client run in order on that
+/// client's CsarFs; different clients run concurrently; barriers
+/// synchronize all of them. Returns the measured result.
+sim::Task<WorkloadResult> replay(raid::Rig& rig, const Trace& trace,
+                                 std::uint32_t stripe_unit);
+
+/// Synthesize a trace from one of the paper's application characterizations
+/// without running a simulation (deterministic in `seed`): a FLASH-like
+/// mixed-size stream for `nprocs` clients.
+Trace synthesize_flash_trace(std::uint32_t nprocs, std::uint64_t total_bytes,
+                             double small_fraction, std::uint64_t seed);
+
+}  // namespace csar::wl

@@ -1,0 +1,137 @@
+#include "common/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csar {
+namespace {
+
+TEST(Buffer, RealZeroFilled) {
+  Buffer b = Buffer::real(16);
+  EXPECT_EQ(b.size(), 16u);
+  EXPECT_TRUE(b.materialized());
+  for (auto byte : b.bytes()) EXPECT_EQ(byte, std::byte{0});
+}
+
+TEST(Buffer, PhantomCarriesOnlySize) {
+  Buffer b = Buffer::phantom(1ull << 40);  // 1 TiB costs nothing
+  EXPECT_EQ(b.size(), 1ull << 40);
+  EXPECT_FALSE(b.materialized());
+}
+
+TEST(Buffer, PatternDeterministic) {
+  Buffer a = Buffer::pattern(64, 42);
+  Buffer b = Buffer::pattern(64, 42);
+  Buffer c = Buffer::pattern(64, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a == c, true);
+}
+
+TEST(Buffer, SliceCopiesRange) {
+  Buffer a = Buffer::pattern(64, 7);
+  Buffer s = a.slice(8, 16);
+  EXPECT_EQ(s.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(s.bytes()[i], a.bytes()[i + 8]);
+  }
+}
+
+TEST(Buffer, PhantomSliceStaysPhantom) {
+  Buffer p = Buffer::phantom(100);
+  Buffer s = p.slice(10, 20);
+  EXPECT_FALSE(s.materialized());
+  EXPECT_EQ(s.size(), 20u);
+}
+
+TEST(Buffer, WriteAtSplices) {
+  Buffer dst = Buffer::real(32);
+  Buffer src = Buffer::pattern(8, 3);
+  dst.write_at(12, src);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(dst.bytes()[12 + i], src.bytes()[i]);
+  }
+  EXPECT_EQ(dst.bytes()[11], std::byte{0});
+  EXPECT_EQ(dst.bytes()[20], std::byte{0});
+}
+
+TEST(Buffer, XorSelfGivesZero) {
+  Buffer a = Buffer::pattern(128, 9);
+  Buffer b = Buffer::pattern(128, 9);
+  a.xor_with(b);
+  for (auto byte : a.bytes()) EXPECT_EQ(byte, std::byte{0});
+}
+
+TEST(Buffer, XorRoundTrip) {
+  Buffer a = Buffer::pattern(100, 1);
+  const Buffer orig = a.slice(0, 100);
+  Buffer k = Buffer::pattern(100, 2);
+  a.xor_with(k);
+  EXPECT_FALSE(a == orig);
+  a.xor_with(k);
+  EXPECT_EQ(a, orig);
+}
+
+TEST(Buffer, ResizeZeroExtends) {
+  Buffer a = Buffer::pattern(8, 5);
+  a.resize(16);
+  EXPECT_EQ(a.size(), 16u);
+  for (std::size_t i = 8; i < 16; ++i) EXPECT_EQ(a.bytes()[i], std::byte{0});
+}
+
+TEST(Buffer, EqualityBySizeForPhantom) {
+  EXPECT_TRUE(Buffer::phantom(5) == Buffer::phantom(5));
+  EXPECT_FALSE(Buffer::phantom(5) == Buffer::phantom(6));
+  EXPECT_FALSE(Buffer::phantom(5) == Buffer::real(5));
+}
+
+
+TEST(Buffer, XorAtOffsetColumns) {
+  // The RAID5 delta path XORs a delta into parity at a column offset.
+  Buffer parity = Buffer::pattern(100, 1);
+  Buffer delta = Buffer::pattern(30, 2);
+  Buffer expect = parity.slice(0, 100);
+  for (std::size_t i = 0; i < 30; ++i) {
+    expect.mutable_bytes()[40 + i] =
+        expect.bytes()[40 + i] ^ delta.bytes()[i];
+  }
+  parity.xor_at(40, delta);
+  EXPECT_EQ(parity, expect);
+}
+
+TEST(Buffer, XorAtPhantomNoOp) {
+  Buffer a = Buffer::phantom(100);
+  Buffer b = Buffer::phantom(40);
+  a.xor_at(10, b);  // must not crash and must stay phantom
+  EXPECT_FALSE(a.materialized());
+  EXPECT_EQ(a.size(), 100u);
+}
+
+TEST(Buffer, XorAtEmptySource) {
+  Buffer a = Buffer::pattern(10, 1);
+  const Buffer orig = a.slice(0, 10);
+  a.xor_at(5, Buffer::real(0));
+  EXPECT_EQ(a, orig);
+}
+
+TEST(Buffer, MoveLeavesSourceEmptyVector) {
+  Buffer a = Buffer::pattern(64, 1);
+  const void* data = a.bytes().data();
+  Buffer b = std::move(a);
+  EXPECT_EQ(b.bytes().data(), data);  // ownership transferred, no copy
+  EXPECT_EQ(b.size(), 64u);
+}
+
+TEST(Buffer, SliceAtEnd) {
+  Buffer a = Buffer::pattern(10, 1);
+  Buffer s = a.slice(10, 0);
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Buffer, PatternZeroLength) {
+  Buffer a = Buffer::pattern(0, 77);
+  EXPECT_TRUE(a.empty());
+  EXPECT_TRUE(a.materialized());
+}
+
+}  // namespace
+}  // namespace csar

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "common/buffer.hpp"
+#include "common/interval_map.hpp"
+#include "common/interval_set.hpp"
+#include "common/rng.hpp"
+
+namespace csar {
+namespace {
+
+TEST(IntervalSet, InsertAndCovers) {
+  IntervalSet s;
+  s.insert(10, 20);
+  EXPECT_TRUE(s.covers(10, 20));
+  EXPECT_TRUE(s.covers(12, 15));
+  EXPECT_FALSE(s.covers(5, 12));
+  EXPECT_FALSE(s.covers(15, 25));
+  EXPECT_EQ(s.total(), 10u);
+}
+
+TEST(IntervalSet, AdjacentRangesMerge) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(10, 20);
+  EXPECT_EQ(s.range_count(), 1u);
+  EXPECT_TRUE(s.covers(0, 20));
+}
+
+TEST(IntervalSet, OverlappingInsertMerges) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(20, 30);
+  s.insert(5, 25);
+  EXPECT_EQ(s.range_count(), 1u);
+  EXPECT_TRUE(s.covers(0, 30));
+  EXPECT_EQ(s.total(), 30u);
+}
+
+TEST(IntervalSet, EraseSplits) {
+  IntervalSet s;
+  s.insert(0, 30);
+  s.erase(10, 20);
+  EXPECT_EQ(s.range_count(), 2u);
+  EXPECT_TRUE(s.covers(0, 10));
+  EXPECT_TRUE(s.covers(20, 30));
+  EXPECT_FALSE(s.intersects(10, 20));
+}
+
+TEST(IntervalSet, EraseAcrossRanges) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(20, 30);
+  s.insert(40, 50);
+  s.erase(5, 45);
+  EXPECT_EQ(s.total(), 10u);
+  EXPECT_TRUE(s.covers(0, 5));
+  EXPECT_TRUE(s.covers(45, 50));
+}
+
+TEST(IntervalSet, HolesOfSparseRange) {
+  IntervalSet s;
+  s.insert(10, 20);
+  s.insert(30, 40);
+  auto holes = s.holes(0, 50);
+  ASSERT_EQ(holes.size(), 3u);
+  EXPECT_EQ(holes[0], (Interval{0, 10}));
+  EXPECT_EQ(holes[1], (Interval{20, 30}));
+  EXPECT_EQ(holes[2], (Interval{40, 50}));
+}
+
+TEST(IntervalSet, IntersectionClips) {
+  IntervalSet s;
+  s.insert(10, 20);
+  s.insert(30, 40);
+  auto iv = s.intersection(15, 35);
+  ASSERT_EQ(iv.size(), 2u);
+  EXPECT_EQ(iv[0], (Interval{15, 20}));
+  EXPECT_EQ(iv[1], (Interval{30, 35}));
+}
+
+TEST(IntervalSet, UpperBound) {
+  IntervalSet s;
+  EXPECT_EQ(s.upper_bound(), 0u);
+  s.insert(10, 20);
+  s.insert(100, 150);
+  EXPECT_EQ(s.upper_bound(), 150u);
+}
+
+TEST(IntervalSet, EmptyInsertIgnored) {
+  IntervalSet s;
+  s.insert(5, 5);
+  EXPECT_TRUE(s.empty());
+}
+
+// Property test: IntervalSet behaves like a reference bitset under random
+// insert/erase sequences.
+TEST(IntervalSetProperty, MatchesReferenceBitset) {
+  constexpr std::uint64_t kUniverse = 512;
+  Rng rng(2026);
+  for (int trial = 0; trial < 20; ++trial) {
+    IntervalSet s;
+    std::vector<bool> ref(kUniverse, false);
+    for (int op = 0; op < 200; ++op) {
+      const std::uint64_t a = rng.below(kUniverse);
+      const std::uint64_t b = rng.below(kUniverse);
+      const std::uint64_t lo = std::min(a, b);
+      const std::uint64_t hi = std::max(a, b);
+      if (rng.chance(0.6)) {
+        s.insert(lo, hi);
+        for (std::uint64_t i = lo; i < hi; ++i) ref[i] = true;
+      } else {
+        s.erase(lo, hi);
+        for (std::uint64_t i = lo; i < hi; ++i) ref[i] = false;
+      }
+    }
+    std::uint64_t ref_total = 0;
+    for (bool v : ref) ref_total += v ? 1 : 0;
+    ASSERT_EQ(s.total(), ref_total);
+    // Check coverage at every point, plus invariants on the range list.
+    for (std::uint64_t i = 0; i < kUniverse; ++i) {
+      ASSERT_EQ(s.covers(i, i + 1), ref[i]) << "at offset " << i;
+    }
+    auto ranges = s.to_vector();
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      ASSERT_LT(ranges[i].start, ranges[i].end);
+      if (i > 0) {
+        ASSERT_GT(ranges[i].start, ranges[i - 1].end);  // coalesced
+      }
+    }
+  }
+}
+
+// --- IntervalMap with Buffer payloads (the sparse-file use case) ---
+
+struct BufferSlicer {
+  Buffer operator()(const Buffer& b, std::uint64_t off,
+                    std::uint64_t len) const {
+    return b.slice(off, len);
+  }
+};
+using FileMap = IntervalMap<Buffer, BufferSlicer>;
+
+TEST(IntervalMap, InsertAndQuery) {
+  FileMap m;
+  m.insert(0, 8, Buffer::pattern(8, 1));
+  auto q = m.query(0, 8);
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q[0].start, 0u);
+  EXPECT_EQ(q[0].end, 8u);
+}
+
+TEST(IntervalMap, OverwriteSplitsOldEntry) {
+  FileMap m;
+  Buffer base = Buffer::pattern(16, 1);
+  m.insert(0, 16, base.slice(0, 16));
+  m.insert(4, 12, Buffer::pattern(8, 2));
+  auto q = m.query(0, 16);
+  ASSERT_EQ(q.size(), 3u);
+  // Left remnant keeps the original prefix bytes.
+  EXPECT_EQ(q[0].start, 0u);
+  EXPECT_EQ(q[0].end, 4u);
+  EXPECT_EQ(*q[0].value, base.slice(0, 4));
+  // Middle is the new write.
+  EXPECT_EQ(q[1].start, 4u);
+  EXPECT_EQ(q[1].end, 12u);
+  // Right remnant keeps the original suffix bytes.
+  EXPECT_EQ(q[2].start, 12u);
+  EXPECT_EQ(q[2].end, 16u);
+  EXPECT_EQ(*q[2].value, base.slice(12, 4));
+}
+
+TEST(IntervalMap, QueryClipsAndReportsEntryStart) {
+  FileMap m;
+  m.insert(10, 30, Buffer::pattern(20, 3));
+  auto q = m.query(15, 20);
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q[0].start, 15u);
+  EXPECT_EQ(q[0].end, 20u);
+  EXPECT_EQ(q[0].entry_start, 10u);
+}
+
+TEST(IntervalMap, EraseMiddle) {
+  FileMap m;
+  m.insert(0, 30, Buffer::pattern(30, 4));
+  m.erase(10, 20);
+  EXPECT_EQ(m.covered_bytes(), 20u);
+  EXPECT_TRUE(m.query(10, 20).empty());
+  EXPECT_EQ(m.query(0, 10).size(), 1u);
+  EXPECT_EQ(m.query(20, 30).size(), 1u);
+}
+
+TEST(IntervalMap, CoveredBytesAndUpperBound) {
+  FileMap m;
+  EXPECT_EQ(m.upper_bound(), 0u);
+  m.insert(100, 200, Buffer::phantom(100));
+  m.insert(300, 350, Buffer::phantom(50));
+  EXPECT_EQ(m.covered_bytes(), 150u);
+  EXPECT_EQ(m.upper_bound(), 350u);
+}
+
+// Property: after arbitrary writes, reading back through the map yields
+// exactly the bytes of the latest write at every offset.
+TEST(IntervalMapProperty, LatestWriteWins) {
+  constexpr std::uint64_t kUniverse = 256;
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    FileMap m;
+    std::vector<std::byte> ref(kUniverse, std::byte{0});
+    std::vector<bool> written(kUniverse, false);
+    for (int op = 0; op < 100; ++op) {
+      const std::uint64_t a = rng.below(kUniverse);
+      const std::uint64_t b = rng.below(kUniverse);
+      const std::uint64_t lo = std::min(a, b);
+      const std::uint64_t hi = std::max(a, b);
+      if (lo == hi) continue;
+      Buffer w = Buffer::pattern(hi - lo, rng.next());
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        ref[i] = w.bytes()[i - lo];
+        written[i] = true;
+      }
+      m.insert(lo, hi, std::move(w));
+    }
+    for (const auto& chunk : m.query(0, kUniverse)) {
+      for (std::uint64_t off = chunk.start; off < chunk.end; ++off) {
+        ASSERT_TRUE(written[off]);
+        ASSERT_EQ(chunk.value->bytes()[off - chunk.entry_start], ref[off])
+            << "offset " << off;
+      }
+    }
+    std::uint64_t covered = 0;
+    for (bool w : written) covered += w ? 1 : 0;
+    ASSERT_EQ(m.covered_bytes(), covered);
+  }
+}
+
+}  // namespace
+}  // namespace csar

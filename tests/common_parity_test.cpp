@@ -1,0 +1,98 @@
+#include "common/parity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/rng.hpp"
+
+namespace csar {
+namespace {
+
+std::vector<std::byte> random_bytes(Rng& rng, std::size_t n) {
+  std::vector<std::byte> v(n);
+  for (auto& b : v) b = static_cast<std::byte>(rng.below(256));
+  return v;
+}
+
+TEST(Parity, XorBytesBasic) {
+  std::vector<std::byte> a = {std::byte{0xF0}, std::byte{0x0F}};
+  std::vector<std::byte> b = {std::byte{0xFF}, std::byte{0xFF}};
+  xor_bytes(a, b);
+  EXPECT_EQ(a[0], std::byte{0x0F});
+  EXPECT_EQ(a[1], std::byte{0xF0});
+}
+
+// Word-wise and byte-wise kernels must agree on every length (alignment
+// tails are where word-wise code goes wrong).
+class ParityKernelEquivalence : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(ParityKernelEquivalence, WordMatchesByte) {
+  const std::size_t n = GetParam();
+  Rng rng(1234 + n);
+  auto src = random_bytes(rng, n);
+  auto dst1 = random_bytes(rng, n);
+  auto dst2 = dst1;
+  xor_bytes(dst1, src);
+  xor_words(dst2, src);
+  EXPECT_EQ(dst1, dst2) << "length " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ParityKernelEquivalence,
+                         ::testing::Values(0, 1, 2, 3, 7, 8, 9, 15, 16, 17,
+                                           63, 64, 65, 1023, 1024, 4096,
+                                           4097));
+
+TEST(Parity, SelfInverse) {
+  Rng rng(99);
+  auto src = random_bytes(rng, 257);
+  auto dst = random_bytes(rng, 257);
+  const auto orig = dst;
+  xor_words(dst, src);
+  xor_words(dst, src);
+  EXPECT_EQ(dst, orig);
+}
+
+TEST(Parity, AccumulateRecoversMissingSource) {
+  // RAID5 invariant: P = D0 ^ D1 ^ D2  =>  D1 = P ^ D0 ^ D2.
+  Rng rng(5);
+  constexpr std::size_t kN = 128;
+  auto d0 = random_bytes(rng, kN);
+  auto d1 = random_bytes(rng, kN);
+  auto d2 = random_bytes(rng, kN);
+  std::vector<std::byte> parity(kN, std::byte{0});
+  std::vector<std::span<const std::byte>> all = {d0, d1, d2};
+  xor_accumulate(parity, all);
+
+  std::vector<std::byte> rebuilt(kN, std::byte{0});
+  std::vector<std::span<const std::byte>> survivors = {parity, d0, d2};
+  xor_accumulate(rebuilt, survivors);
+  EXPECT_EQ(rebuilt, d1);
+}
+
+TEST(Parity, ShortSourceContributesPrefix) {
+  // Parity of zero-padded units: a short source only affects its prefix.
+  std::vector<std::byte> dst(8, std::byte{0});
+  std::vector<std::byte> s1 = {std::byte{0xAA}, std::byte{0xBB}};
+  std::vector<std::span<const std::byte>> srcs = {s1};
+  xor_accumulate(dst, srcs);
+  EXPECT_EQ(dst[0], std::byte{0xAA});
+  EXPECT_EQ(dst[1], std::byte{0xBB});
+  for (std::size_t i = 2; i < 8; ++i) EXPECT_EQ(dst[i], std::byte{0});
+}
+
+TEST(Parity, BufferXorUsesWordKernel) {
+  Buffer a = Buffer::pattern(1000, 1);
+  Buffer b = Buffer::pattern(1000, 2);
+  Buffer expect = Buffer::real(1000);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    expect.mutable_bytes()[i] = a.bytes()[i] ^ b.bytes()[i];
+  }
+  a.xor_with(b);
+  EXPECT_EQ(a, expect);
+}
+
+}  // namespace
+}  // namespace csar

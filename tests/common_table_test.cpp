@@ -1,0 +1,40 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csar {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"scheme", "MB/s"});
+  t.add_row({"RAID0", "100.0"});
+  t.add_row({"Hybrid", "73.0"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("scheme"), std::string::npos);
+  EXPECT_NE(s.find("RAID0"), std::string::npos);
+  EXPECT_NE(s.find("73.0"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, NumFormatters) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(std::uint64_t{42}), "42");
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"x", "yyyy"});
+  t.add_row({"longer", "1"});
+  const std::string s = t.to_string();
+  // Each line has the same visible width for the first column.
+  const auto first_nl = s.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csar

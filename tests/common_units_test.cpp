@@ -1,0 +1,67 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csar {
+namespace {
+
+TEST(Units, Constants) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+  EXPECT_EQ(MB, 1000000u);
+}
+
+TEST(Units, DivCeil) {
+  EXPECT_EQ(div_ceil(0, 4), 0u);
+  EXPECT_EQ(div_ceil(1, 4), 1u);
+  EXPECT_EQ(div_ceil(4, 4), 1u);
+  EXPECT_EQ(div_ceil(5, 4), 2u);
+  EXPECT_EQ(div_ceil(8, 4), 2u);
+}
+
+TEST(Units, AlignDown) {
+  EXPECT_EQ(align_down(0, 16), 0u);
+  EXPECT_EQ(align_down(15, 16), 0u);
+  EXPECT_EQ(align_down(16, 16), 16u);
+  EXPECT_EQ(align_down(17, 16), 16u);
+}
+
+TEST(Units, AlignUp) {
+  EXPECT_EQ(align_up(0, 16), 0u);
+  EXPECT_EQ(align_up(1, 16), 16u);
+  EXPECT_EQ(align_up(16, 16), 16u);
+  EXPECT_EQ(align_up(17, 16), 32u);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(3 * MiB), "3.00 MiB");
+}
+
+TEST(Units, FormatBandwidth) {
+  EXPECT_EQ(format_bandwidth(87.3e6), "87.3 MB/s");
+}
+
+// Property sweep: align_down <= x <= align_up, both multiples of align.
+class AlignProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlignProperty, Invariants) {
+  const std::uint64_t align = GetParam();
+  for (std::uint64_t x : {0ULL, 1ULL, 7ULL, 63ULL, 64ULL, 65ULL, 1000ULL,
+                          123456789ULL}) {
+    EXPECT_LE(align_down(x, align), x);
+    EXPECT_GE(align_up(x, align), x);
+    EXPECT_EQ(align_down(x, align) % align, 0u);
+    EXPECT_EQ(align_up(x, align) % align, 0u);
+    EXPECT_LT(x - align_down(x, align), align);
+    EXPECT_LT(align_up(x, align) - x, align);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alignments, AlignProperty,
+                         ::testing::Values(1, 2, 16, 64, 512, 4096, 65536));
+
+}  // namespace
+}  // namespace csar

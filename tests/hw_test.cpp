@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "hw/disk.hpp"
+#include "hw/node.hpp"
+#include "hw/page_cache.hpp"
+#include "sim/simulation.hpp"
+
+namespace csar::hw {
+namespace {
+
+TEST(Disk, SequentialAccessSkipsSeek) {
+  sim::Simulation sim;
+  DiskParams p;
+  p.bytes_per_sec = 100e6;
+  p.seek = sim::ms(10);
+  p.per_op = 0;
+  Disk disk(sim, p);
+  sim.spawn([](Disk& d) -> sim::Task<void> {
+    co_await d.write(0, 1'000'000);        // seek + 10ms transfer
+    co_await d.write(1'000'000, 1'000'000);  // sequential: 10ms only
+  }(disk));
+  sim.run();
+  EXPECT_EQ(sim.now(), sim::ms(10) + sim::ms(10) + sim::ms(10));
+  EXPECT_EQ(disk.stats().seeks, 1u);
+  EXPECT_EQ(disk.stats().writes, 2u);
+  EXPECT_EQ(disk.stats().bytes_written, 2'000'000u);
+}
+
+TEST(Disk, RandomAccessSeeksEveryTime) {
+  sim::Simulation sim;
+  DiskParams p;
+  p.bytes_per_sec = 100e6;
+  p.seek = sim::ms(10);
+  p.per_op = 0;
+  Disk disk(sim, p);
+  sim.spawn([](Disk& d) -> sim::Task<void> {
+    co_await d.read(0, 4096);
+    co_await d.read(1'000'000, 4096);
+    co_await d.read(0, 4096);
+  }(disk));
+  sim.run();
+  EXPECT_EQ(disk.stats().seeks, 3u);
+}
+
+TEST(Disk, ConcurrentRequestsSerializeFifo) {
+  sim::Simulation sim;
+  DiskParams p;
+  p.bytes_per_sec = 100e6;
+  p.seek = 0;
+  p.per_op = 0;
+  Disk disk(sim, p);
+  std::vector<sim::Time> done;
+  auto io = [](Disk& d, std::vector<sim::Time>& v,
+               sim::Simulation& s) -> sim::Task<void> {
+    co_await d.write(0, 1'000'000);  // 10 ms each (no seek from 0? -> first
+                                     // seeks cost 0 here)
+    v.push_back(s.now());
+  };
+  sim.spawn(io(disk, done, sim));
+  sim.spawn(io(disk, done, sim));
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], sim::ms(10));
+  EXPECT_EQ(done[1], sim::ms(20));
+}
+
+struct CacheFixture {
+  sim::Simulation sim;
+  Disk disk;
+  sim::BandwidthServer mem;
+  PageCache cache;
+
+  explicit CacheFixture(CacheParams cp, DiskParams dp = fast_disk())
+      : disk(sim, dp), mem(sim, 1e12), cache(sim, disk, mem, cp) {}
+
+  static DiskParams fast_disk() {
+    DiskParams p;
+    p.bytes_per_sec = 100e6;
+    p.seek = sim::ms(10);
+    p.per_op = 0;
+    return p;
+  }
+};
+
+TEST(PageCache, WriteMissThenReadHit) {
+  CacheParams cp;
+  cp.capacity_bytes = 1 << 20;
+  cp.page_size = 4096;
+  CacheFixture f(cp);
+  f.sim.spawn([](CacheFixture& fx) -> sim::Task<void> {
+    co_await fx.cache.write(1, 0, 4096, PageCache::dense(0));  // new content: no pre-read
+    co_await fx.cache.read(1, 0, 4096, PageCache::dense(4096));  // hit
+  }(f));
+  f.sim.run();
+  EXPECT_EQ(f.cache.stats().prereads, 0u);
+  EXPECT_EQ(f.cache.stats().hits, 1u);
+  EXPECT_EQ(f.disk.stats().reads, 0u);
+}
+
+TEST(PageCache, PartialWriteToUncachedPreexistingPagePrereads) {
+  // The §5.2 behaviour: sub-page write + old content on disk + cold cache
+  // => read-modify-write.
+  CacheParams cp;
+  cp.capacity_bytes = 1 << 20;
+  cp.page_size = 4096;
+  CacheFixture f(cp);
+  f.sim.spawn([](CacheFixture& fx) -> sim::Task<void> {
+    co_await fx.cache.write(1, 0, 8192, PageCache::dense(0));  // create two pages
+    co_await fx.cache.flush_all();
+    fx.cache.drop_all();                     // cold cache
+    co_await fx.cache.write(1, 100, 200, PageCache::dense(8192));  // partial, preexisting
+  }(f));
+  f.sim.run();
+  EXPECT_EQ(f.cache.stats().prereads, 1u);
+  EXPECT_EQ(f.disk.stats().reads, 1u);
+}
+
+TEST(PageCache, FullPageWriteNeverPrereads) {
+  CacheParams cp;
+  cp.capacity_bytes = 1 << 20;
+  cp.page_size = 4096;
+  CacheFixture f(cp);
+  f.sim.spawn([](CacheFixture& fx) -> sim::Task<void> {
+    co_await fx.cache.write(1, 0, 4096, PageCache::dense(0));
+    co_await fx.cache.flush_all();
+    fx.cache.drop_all();
+    co_await fx.cache.write(1, 0, 4096, PageCache::dense(4096));  // full overwrite
+  }(f));
+  f.sim.run();
+  EXPECT_EQ(f.cache.stats().prereads, 0u);
+}
+
+TEST(PageCache, PadPartialSuppressesPreread) {
+  // §6.5 padding experiment: treating partial writes as full blocks removes
+  // the pre-read.
+  CacheParams cp;
+  cp.capacity_bytes = 1 << 20;
+  cp.page_size = 4096;
+  CacheFixture f(cp);
+  f.sim.spawn([](CacheFixture& fx) -> sim::Task<void> {
+    co_await fx.cache.write(1, 0, 8192, PageCache::dense(0));
+    co_await fx.cache.flush_all();
+    fx.cache.drop_all();
+    co_await fx.cache.write(1, 100, 200, PageCache::dense(8192), /*pad_partial=*/true);
+  }(f));
+  f.sim.run();
+  EXPECT_EQ(f.cache.stats().prereads, 0u);
+}
+
+TEST(PageCache, HoleWritesNeedNoPreread) {
+  CacheParams cp;
+  cp.capacity_bytes = 1 << 20;
+  cp.page_size = 4096;
+  CacheFixture f(cp);
+  f.sim.spawn([](CacheFixture& fx) -> sim::Task<void> {
+    // Partial write far beyond existing content: page is a hole.
+    co_await fx.cache.write(1, 1 << 20, 100, PageCache::dense(4096));
+  }(f));
+  f.sim.run();
+  EXPECT_EQ(f.cache.stats().prereads, 0u);
+}
+
+TEST(PageCache, EvictionWritesDirtyPages) {
+  CacheParams cp;
+  cp.capacity_bytes = 16 * 4096;  // 16 pages
+  cp.page_size = 4096;
+  cp.evict_batch = 4;
+  CacheFixture f(cp);
+  f.sim.spawn([](CacheFixture& fx) -> sim::Task<void> {
+    co_await fx.cache.write(1, 0, 64 * 4096, PageCache::dense(0));  // 4x capacity
+  }(f));
+  f.sim.run();
+  EXPECT_GT(f.cache.stats().dirty_evictions, 0u);
+  EXPECT_GT(f.disk.stats().bytes_written, 0u);
+  EXPECT_LE(f.cache.resident_bytes(), 16u * 4096);
+}
+
+TEST(PageCache, CacheAbsorbsUntilFullThenDiskBound) {
+  // Below capacity the disk is untouched (write-behind absorbs); beyond it
+  // the writer stalls on evictions — the Class C effect.
+  CacheParams cp;
+  cp.capacity_bytes = 256 * 4096;
+  cp.page_size = 4096;
+  CacheFixture small(cp);
+  small.sim.spawn([](CacheFixture& fx) -> sim::Task<void> {
+    co_await fx.cache.write(1, 0, 128 * 4096, PageCache::dense(0));  // half capacity
+  }(small));
+  small.sim.run();
+  EXPECT_EQ(small.disk.stats().writes, 0u);
+  const sim::Time t_small = small.sim.now();
+
+  CacheFixture big(cp);
+  big.sim.spawn([](CacheFixture& fx) -> sim::Task<void> {
+    co_await fx.cache.write(1, 0, 1024 * 4096, PageCache::dense(0));  // 4x capacity
+  }(big));
+  big.sim.run();
+  EXPECT_GT(big.disk.stats().writes, 0u);
+  // 8x the data but much more than 8x the time (disk-bound region).
+  EXPECT_GT(big.sim.now(), 8 * t_small);
+}
+
+TEST(PageCache, FlushAllCleansEverything) {
+  CacheParams cp;
+  cp.capacity_bytes = 1 << 20;
+  cp.page_size = 4096;
+  CacheFixture f(cp);
+  f.sim.spawn([](CacheFixture& fx) -> sim::Task<void> {
+    co_await fx.cache.write(1, 0, 32 * 4096, PageCache::dense(0));
+    co_await fx.cache.flush_all();
+  }(f));
+  f.sim.run();
+  EXPECT_EQ(f.cache.dirty_pages(), 0u);
+  EXPECT_EQ(f.disk.stats().bytes_written, 32u * 4096);
+  // Sequential flush: one coalesced write.
+  EXPECT_EQ(f.disk.stats().writes, 1u);
+}
+
+TEST(PageCache, ReadMissBatchesContiguousRuns) {
+  CacheParams cp;
+  cp.capacity_bytes = 1 << 22;
+  cp.page_size = 4096;
+  CacheFixture f(cp);
+  f.sim.spawn([](CacheFixture& fx) -> sim::Task<void> {
+    co_await fx.cache.write(1, 0, 64 * 4096, PageCache::dense(0));
+    co_await fx.cache.flush_all();
+    fx.cache.drop_all();
+    co_await fx.cache.read(1, 0, 64 * 4096, PageCache::dense(64 * 4096));
+  }(f));
+  f.sim.run();
+  EXPECT_EQ(f.disk.stats().reads, 1u);  // one coalesced disk read
+  // 64 write-path insertions + 64 read-path misses after the drop.
+  EXPECT_EQ(f.cache.stats().misses, 128u);
+}
+
+TEST(Node, ServerHasDiskAndCacheClientDoesNot) {
+  sim::Simulation sim;
+  Cluster cluster(sim, profile_experimental2003());
+  const NodeId s = cluster.add_server();
+  const NodeId c = cluster.add_client();
+  EXPECT_NE(cluster.node(s).disk(), nullptr);
+  EXPECT_NE(cluster.node(s).cache(), nullptr);
+  EXPECT_EQ(cluster.node(c).disk(), nullptr);
+  EXPECT_EQ(cluster.node(c).cache(), nullptr);
+}
+
+TEST(Profiles, SaneParameters) {
+  const auto exp = profile_experimental2003();
+  EXPECT_GT(exp.server.link_bytes_per_sec, 100e6);
+  EXPECT_TRUE(exp.server.disk.has_value());
+  EXPECT_GT(exp.server.cache->capacity_bytes, 100ull << 20);
+  const auto osc = profile_osc2003();
+  EXPECT_LT(osc.server.disk->bytes_per_sec, exp.server.disk->bytes_per_sec);
+  EXPECT_GT(osc.server.cache->capacity_bytes,
+            exp.server.cache->capacity_bytes);
+}
+
+}  // namespace
+}  // namespace csar::hw

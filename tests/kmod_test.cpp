@@ -1,0 +1,176 @@
+// The mounted (kernel-module) access path: write-behind semantics,
+// read-after-write coherence, read-ahead, and error reporting at fsync.
+#include "kmod/mounted_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "raid/rig.hpp"
+#include "test_util.hpp"
+
+namespace csar::kmod {
+namespace {
+
+using csar::test::RefFile;
+using csar::test::run_sim_void;
+using raid::Rig;
+using raid::RigParams;
+using raid::Scheme;
+
+constexpr std::uint32_t kSu = 4096;
+
+RigParams rig_params(Scheme scheme = Scheme::hybrid) {
+  RigParams p;
+  p.scheme = scheme;
+  p.nservers = 4;
+  return p;
+}
+
+TEST(MountedClient, WriteReturnsBeforeIoCompletes) {
+  Rig rig(rig_params());
+  run_sim_void(rig, [](Rig& r) -> sim::Task<void> {
+    auto f = co_await r.client_fs().create("f", r.layout(kSu));
+    CO_ASSERT_TRUE(f.ok());
+    MountParams mp;
+    mp.per_request = sim::us(100);
+    MountedClient mount(r, r.client_fs(), *f, mp);
+    const sim::Time t0 = r.sim.now();
+    auto wr = co_await mount.write(0, Buffer::pattern(64 * kSu, 1));
+    CO_ASSERT_TRUE(wr.ok());
+    // Only the kernel cost elapsed; the PVFS write is still in flight.
+    EXPECT_EQ(r.sim.now() - t0, sim::us(100));
+    co_await mount.drain();
+    EXPECT_GT(r.sim.now() - t0, sim::us(100));
+  }(rig));
+}
+
+TEST(MountedClient, WriteBehindWindowBoundsInflight) {
+  Rig rig(rig_params());
+  run_sim_void(rig, [](Rig& r) -> sim::Task<void> {
+    auto f = co_await r.client_fs().create("f", r.layout(kSu));
+    CO_ASSERT_TRUE(f.ok());
+    MountParams tight;
+    tight.per_request = sim::ns(1);
+    tight.write_behind = 1;  // fully synchronous after the first
+    MountedClient sync_mount(r, r.client_fs(), *f, tight);
+    const sim::Time t0 = r.sim.now();
+    for (int i = 0; i < 8; ++i) {
+      auto wr = co_await sync_mount.write(
+          static_cast<std::uint64_t>(i) * kSu, Buffer::pattern(kSu, i));
+      CO_ASSERT_TRUE(wr.ok());
+    }
+    co_await sync_mount.drain();
+    const sim::Duration serial = r.sim.now() - t0;
+
+    auto f2 = co_await r.client_fs().create("f2", r.layout(kSu));
+    CO_ASSERT_TRUE(f2.ok());
+    MountParams wide = tight;
+    wide.write_behind = 8;
+    MountedClient async_mount(r, r.client_fs(), *f2, wide);
+    const sim::Time t1 = r.sim.now();
+    for (int i = 0; i < 8; ++i) {
+      auto wr = co_await async_mount.write(
+          static_cast<std::uint64_t>(i) * kSu, Buffer::pattern(kSu, i));
+      CO_ASSERT_TRUE(wr.ok());
+    }
+    co_await async_mount.drain();
+    const sim::Duration pipelined = r.sim.now() - t1;
+    EXPECT_LT(pipelined, serial);  // the window overlaps the writes
+  }(rig));
+}
+
+TEST(MountedClient, ReadAfterWriteIsCoherent) {
+  Rig rig(rig_params());
+  run_sim_void(rig, [](Rig& r) -> sim::Task<void> {
+    auto f = co_await r.client_fs().create("f", r.layout(kSu));
+    CO_ASSERT_TRUE(f.ok());
+    MountedClient mount(r, r.client_fs(), *f);
+    Buffer data = Buffer::pattern(3 * kSu, 9);
+    auto wr = co_await mount.write(0, data.slice(0, data.size()));
+    CO_ASSERT_TRUE(wr.ok());
+    // The read must observe the still-in-flight write.
+    auto rd = co_await mount.read(kSu, kSu);
+    CO_ASSERT_TRUE(rd.ok());
+    EXPECT_EQ(*rd, data.slice(kSu, kSu));
+  }(rig));
+}
+
+TEST(MountedClient, SequentialReadsHitReadahead) {
+  Rig rig(rig_params());
+  run_sim_void(rig, [](Rig& r) -> sim::Task<void> {
+    auto f = co_await r.client_fs().create("f", r.layout(kSu));
+    CO_ASSERT_TRUE(f.ok());
+    Buffer data = Buffer::pattern(64 * kSu, 3);
+    auto wr = co_await r.client_fs().write(*f, 0, data.slice(0, data.size()));
+    CO_ASSERT_TRUE(wr.ok());
+    MountParams mp;
+    mp.readahead_bytes = 32 * kSu;
+    MountedClient mount(r, r.client_fs(), *f, mp);
+    for (std::uint64_t off = 0; off < 32 * kSu; off += kSu) {
+      auto rd = co_await mount.read(off, kSu);
+      CO_ASSERT_TRUE(rd.ok());
+      EXPECT_EQ(*rd, data.slice(off, kSu));
+    }
+    // One fill served the rest.
+    EXPECT_EQ(mount.stats().readahead_fills, 1u);
+    EXPECT_EQ(mount.stats().readahead_hits, 31u);
+  }(rig));
+}
+
+TEST(MountedClient, WriteInvalidatesReadahead) {
+  Rig rig(rig_params());
+  run_sim_void(rig, [](Rig& r) -> sim::Task<void> {
+    auto f = co_await r.client_fs().create("f", r.layout(kSu));
+    CO_ASSERT_TRUE(f.ok());
+    Buffer base = Buffer::pattern(8 * kSu, 1);
+    auto seed = co_await r.client_fs().write(*f, 0, base.slice(0, 8 * kSu));
+    CO_ASSERT_TRUE(seed.ok());
+    MountedClient mount(r, r.client_fs(), *f);
+    auto warm = co_await mount.read(0, kSu);  // fills the window
+    CO_ASSERT_TRUE(warm.ok());
+    Buffer patch = Buffer::pattern(100, 2);
+    auto wr = co_await mount.write(kSu, patch.slice(0, 100));
+    CO_ASSERT_TRUE(wr.ok());
+    auto rd = co_await mount.read(kSu, 100);  // must see the new bytes
+    CO_ASSERT_TRUE(rd.ok());
+    EXPECT_EQ(*rd, patch);
+  }(rig));
+}
+
+TEST(MountedClient, FsyncReportsAsyncWriteErrors) {
+  Rig rig(rig_params(Scheme::raid0));
+  run_sim_void(rig, [](Rig& r) -> sim::Task<void> {
+    auto f = co_await r.client_fs().create("f", r.layout(kSu));
+    CO_ASSERT_TRUE(f.ok());
+    MountedClient mount(r, r.client_fs(), *f);
+    r.server(1).fail();
+    auto wr = co_await mount.write(0, Buffer::pattern(8 * kSu, 1));
+    EXPECT_TRUE(wr.ok());  // staged fine; failure is asynchronous
+    co_await mount.drain();
+    EXPECT_TRUE(mount.pending_error());  // the write really did fail
+    r.server(1).recover();
+    auto sync = co_await mount.fsync();
+    EXPECT_FALSE(sync.ok());  // POSIX: the error surfaces at fsync
+    EXPECT_FALSE(mount.pending_error());  // and is consumed by it
+    auto sync2 = co_await mount.fsync();
+    EXPECT_TRUE(sync2.ok());
+  }(rig));
+}
+
+TEST(MountedClient, FsyncFlushesServers) {
+  Rig rig(rig_params());
+  run_sim_void(rig, [](Rig& r) -> sim::Task<void> {
+    auto f = co_await r.client_fs().create("f", r.layout(kSu));
+    CO_ASSERT_TRUE(f.ok());
+    MountedClient mount(r, r.client_fs(), *f);
+    auto wr = co_await mount.write(0, Buffer::pattern(64 * kSu, 1));
+    CO_ASSERT_TRUE(wr.ok());
+    auto sync = co_await mount.fsync();
+    EXPECT_TRUE(sync.ok());
+    for (std::uint32_t s = 0; s < r.p.nservers; ++s) {
+      EXPECT_EQ(r.server(s).fs().cache().dirty_pages(), 0u);
+    }
+  }(rig));
+}
+
+}  // namespace
+}  // namespace csar::kmod

@@ -1,0 +1,134 @@
+// Health monitoring and failover reads: failure detection latency and the
+// read path that transparently switches to degraded mode.
+#include "raid/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include "raid/rig.hpp"
+#include "test_util.hpp"
+
+namespace csar::raid {
+namespace {
+
+using csar::test::RefFile;
+using csar::test::run_sim_void;
+
+constexpr std::uint32_t kSu = 4096;
+
+RigParams rig_params(Scheme scheme = Scheme::hybrid) {
+  RigParams p;
+  p.scheme = scheme;
+  p.nservers = 4;
+  return p;
+}
+
+TEST(HealthMonitor, AllAliveInitially) {
+  Rig rig(rig_params());
+  HealthMonitor mon(rig.client());
+  mon.start();
+  run_sim_void(rig, [](Rig& r, HealthMonitor* m) -> sim::Task<void> {
+    co_await r.sim.sleep(sim::sec(2));
+    for (std::uint32_t s = 0; s < r.p.nservers; ++s) {
+      EXPECT_TRUE(m->is_alive(s));
+    }
+    EXPECT_FALSE(m->first_failed().has_value());
+    EXPECT_GT(m->probes_sent(), 4u);
+    EXPECT_EQ(m->transitions(), 0u);
+    m->stop();
+  }(rig, &mon));
+}
+
+TEST(HealthMonitor, DetectsFailureWithinOneInterval) {
+  Rig rig(rig_params());
+  HealthParams hp;
+  hp.interval = sim::ms(100);
+  HealthMonitor mon(rig.client(), hp);
+  mon.start();
+  run_sim_void(rig, [](Rig& r, HealthMonitor* m) -> sim::Task<void> {
+    co_await r.sim.sleep(sim::sec(1));
+    const sim::Time fail_time = r.sim.now();
+    r.server(2).fail();
+    co_await r.sim.sleep(sim::ms(300));  // a few probe rounds
+    EXPECT_FALSE(m->is_alive(2));
+    CO_ASSERT_TRUE(m->first_failed().has_value());
+    EXPECT_EQ(*m->first_failed(), 2u);
+    // Detection latency bounded by roughly one interval (plus probe RTTs).
+    EXPECT_LE(m->status_since(2) - fail_time, sim::ms(150));
+    m->stop();
+  }(rig, &mon));
+}
+
+TEST(HealthMonitor, DetectsRecovery) {
+  Rig rig(rig_params());
+  HealthParams hp;
+  hp.interval = sim::ms(100);
+  HealthMonitor mon(rig.client(), hp);
+  mon.start();
+  run_sim_void(rig, [](Rig& r, HealthMonitor* m) -> sim::Task<void> {
+    r.server(1).fail();
+    co_await r.sim.sleep(sim::ms(300));
+    EXPECT_FALSE(m->is_alive(1));
+    r.server(1).recover();
+    co_await r.sim.sleep(sim::ms(300));
+    EXPECT_TRUE(m->is_alive(1));
+    EXPECT_EQ(m->transitions(), 2u);
+    m->stop();
+  }(rig, &mon));
+}
+
+TEST(FailoverRead, TransparentlyReconstructs) {
+  for (Scheme scheme : {Scheme::raid1, Scheme::raid5, Scheme::hybrid}) {
+    Rig rig(rig_params(scheme));
+    run_sim_void(rig, [](Rig& r) -> sim::Task<void> {
+      auto& fs = r.client_fs();
+      auto f = co_await fs.create("f", r.layout(kSu));
+      CO_ASSERT_TRUE(f.ok());
+      Buffer data = Buffer::pattern(10 * kSu, 1);
+      auto wr = co_await fs.write(*f, 0, data.slice(0, data.size()));
+      CO_ASSERT_TRUE(wr.ok());
+      // Plain read fails while a server is down; read_resilient does not.
+      r.server(1).fail();
+      auto plain = co_await fs.read(*f, 0, 10 * kSu);
+      EXPECT_FALSE(plain.ok());
+      auto resilient = co_await fs.read_resilient(*f, 0, 10 * kSu);
+      CO_ASSERT_TRUE(resilient.ok());
+      EXPECT_EQ(*resilient, data) << scheme_name(r.p.scheme);
+      r.server(1).recover();
+      // With everyone healthy it behaves exactly like read().
+      auto healthy = co_await fs.read_resilient(*f, 0, 10 * kSu);
+      CO_ASSERT_TRUE(healthy.ok());
+      EXPECT_EQ(*healthy, data);
+    }(rig));
+  }
+}
+
+TEST(FailoverRead, Raid0StillFails) {
+  Rig rig(rig_params(Scheme::raid0));
+  run_sim_void(rig, [](Rig& r) -> sim::Task<void> {
+    auto& fs = r.client_fs();
+    auto f = co_await fs.create("f", r.layout(kSu));
+    CO_ASSERT_TRUE(f.ok());
+    auto wr = co_await fs.write(*f, 0, Buffer::pattern(10 * kSu, 1));
+    CO_ASSERT_TRUE(wr.ok());
+    r.server(1).fail();
+    auto rd = co_await fs.read_resilient(*f, 0, 10 * kSu);
+    EXPECT_FALSE(rd.ok());  // no redundancy to fail over to
+  }(rig));
+}
+
+TEST(FailoverRead, FindFailedServerLocatesIt) {
+  Rig rig(rig_params());
+  run_sim_void(rig, [](Rig& r) -> sim::Task<void> {
+    auto f = co_await r.client_fs().create("f", r.layout(kSu));
+    CO_ASSERT_TRUE(f.ok());
+    auto none = co_await r.client_fs().find_failed_server(*f);
+    EXPECT_FALSE(none.has_value());
+    r.server(3).fail();
+    auto found = co_await r.client_fs().find_failed_server(*f);
+    CO_ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, 3u);
+  }(rig));
+}
+
+}  // namespace
+}  // namespace csar::raid

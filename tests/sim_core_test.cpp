@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace csar::sim {
+namespace {
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(us(1), 1000u);
+  EXPECT_EQ(ms(1), 1000000u);
+  EXPECT_EQ(sec(1), 1000000000u);
+  EXPECT_DOUBLE_EQ(to_seconds(sec(3)), 3.0);
+  EXPECT_EQ(from_seconds(1.5), 1500000000u);
+}
+
+TEST(SimTime, TransferTime) {
+  EXPECT_EQ(transfer_time(0, 1e6), 0u);
+  EXPECT_EQ(transfer_time(1000000, 1e6), sec(1));
+  // Sub-ns transfers round up to 1 ns to guarantee progress.
+  EXPECT_EQ(transfer_time(1, 1e12), 1u);
+}
+
+TEST(Simulation, StartsAtZeroAndIdles) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+TEST(Simulation, SleepAdvancesClock) {
+  Simulation sim;
+  Time woke = 0;
+  sim.spawn([](Simulation& s, Time& w) -> Task<void> {
+    co_await s.sleep(ms(5));
+    w = s.now();
+  }(sim, woke));
+  sim.run();
+  EXPECT_EQ(woke, ms(5));
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+TEST(Simulation, ProcessBodyRunsEagerlyUntilFirstSuspend) {
+  Simulation sim;
+  bool started = false;
+  sim.spawn([](Simulation& s, bool& f) -> Task<void> {
+    f = true;
+    co_await s.sleep(1);
+  }(sim, started));
+  EXPECT_TRUE(started);  // before run()
+  sim.run();
+}
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  auto proc = [](Simulation& s, std::vector<int>& ord, Duration d,
+                 int id) -> Task<void> {
+    co_await s.sleep(d);
+    ord.push_back(id);
+  };
+  sim.spawn(proc(sim, order, ms(3), 3));
+  sim.spawn(proc(sim, order, ms(1), 1));
+  sim.spawn(proc(sim, order, ms(2), 2));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, SameTimeEventsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  auto proc = [](Simulation& s, std::vector<int>& ord, int id) -> Task<void> {
+    co_await s.sleep(ms(1));
+    ord.push_back(id);
+  };
+  for (int i = 0; i < 5; ++i) sim.spawn(proc(sim, order, i));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, NestedTaskAwait) {
+  Simulation sim;
+  std::vector<std::string> trace;
+  auto inner = [](Simulation& s, std::vector<std::string>& t) -> Task<int> {
+    t.push_back("inner-start");
+    co_await s.sleep(ms(2));
+    t.push_back("inner-end");
+    co_return 42;
+  };
+  auto outer = [&inner](Simulation& s,
+                        std::vector<std::string>& t) -> Task<void> {
+    t.push_back("outer-start");
+    const int v = co_await inner(s, t);
+    t.push_back("outer-got-" + std::to_string(v));
+  };
+  sim.spawn(outer(sim, trace));
+  sim.run();
+  EXPECT_EQ(trace, (std::vector<std::string>{"outer-start", "inner-start",
+                                             "inner-end", "outer-got-42"}));
+  EXPECT_EQ(sim.now(), ms(2));
+}
+
+TEST(Simulation, JoinWaitsForProcess) {
+  Simulation sim;
+  Time join_time = 0;
+  auto worker = [](Simulation& s) -> Task<void> { co_await s.sleep(ms(7)); };
+  auto handle = sim.spawn(worker(sim));
+  sim.spawn([](Simulation& s, ProcessHandle h, Time& jt) -> Task<void> {
+    co_await h.join();
+    jt = s.now();
+  }(sim, handle, join_time));
+  sim.run();
+  EXPECT_EQ(join_time, ms(7));
+  EXPECT_TRUE(handle.done());
+}
+
+TEST(Simulation, JoinOfFinishedProcessIsImmediate) {
+  Simulation sim;
+  auto handle = sim.spawn([](Simulation& s) -> Task<void> {
+    co_await s.sleep(1);
+  }(sim));
+  sim.run();
+  ASSERT_TRUE(handle.done());
+  bool joined = false;
+  sim.spawn([](ProcessHandle h, bool& j) -> Task<void> {
+    co_await h.join();
+    j = true;
+  }(handle, joined));
+  sim.run();
+  EXPECT_TRUE(joined);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  auto proc = [](Simulation& s, Duration d, int& f) -> Task<void> {
+    co_await s.sleep(d);
+    ++f;
+  };
+  sim.spawn(proc(sim, ms(1), fired));
+  sim.spawn(proc(sim, ms(10), fired));
+  sim.run_until(ms(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), ms(5));
+  EXPECT_EQ(sim.live_processes(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, YieldInterleavesSameTime) {
+  Simulation sim;
+  std::vector<int> order;
+  auto proc = [](Simulation& s, std::vector<int>& ord, int id) -> Task<void> {
+    for (int i = 0; i < 2; ++i) {
+      ord.push_back(id);
+      co_await s.yield();
+    }
+  };
+  sim.spawn(proc(sim, order, 1));
+  sim.spawn(proc(sim, order, 2));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
+  EXPECT_EQ(sim.now(), 0u);  // yield does not advance time
+}
+
+TEST(Simulation, TaskReturnsValueChain) {
+  Simulation sim;
+  int result = 0;
+  auto leaf = [](Simulation& s) -> Task<int> {
+    co_await s.sleep(1);
+    co_return 10;
+  };
+  auto mid = [&leaf](Simulation& s) -> Task<int> {
+    const int a = co_await leaf(s);
+    const int b = co_await leaf(s);
+    co_return a + b;
+  };
+  sim.spawn([](Task<int> t, int& r) -> Task<void> {
+    r = co_await std::move(t);
+  }(mid(sim), result));
+  sim.run();
+  EXPECT_EQ(result, 20);
+  EXPECT_EQ(sim.now(), 2u);
+}
+
+TEST(Simulation, ManyProcessesScale) {
+  Simulation sim;
+  int done = 0;
+  auto proc = [](Simulation& s, int id, int& d) -> Task<void> {
+    co_await s.sleep(static_cast<Duration>(id % 97));
+    co_await s.sleep(static_cast<Duration>(id % 31));
+    ++d;
+  };
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) sim.spawn(proc(sim, i, done));
+  sim.run();
+  EXPECT_EQ(done, kN);
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+
+TEST(Simulation, TaskExceptionPropagatesToAwaiter) {
+  Simulation sim;
+  bool caught = false;
+  auto thrower = [](Simulation& s) -> Task<int> {
+    co_await s.sleep(1);
+    throw std::runtime_error("boom");
+    co_return 0;  // unreachable
+  };
+  sim.spawn([](Simulation&, Task<int> t, bool* c) -> Task<void> {
+    try {
+      (void)co_await std::move(t);
+    } catch (const std::runtime_error& e) {
+      *c = std::string(e.what()) == "boom";
+    }
+  }(sim, thrower(sim), &caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Simulation, ExceptionUnwindsNestedAwaits) {
+  Simulation sim;
+  int cleanup_count = 0;
+  struct Guard {
+    int* n;
+    ~Guard() { ++*n; }
+  };
+  auto inner = [](Simulation& s) -> Task<void> {
+    co_await s.sleep(1);
+    throw std::logic_error("deep");
+  };
+  auto mid = [&inner](Simulation& s, int* n) -> Task<void> {
+    Guard g{n};
+    co_await inner(s);
+  };
+  bool caught = false;
+  sim.spawn([](Simulation&, Task<void> t, int* n, bool* c) -> Task<void> {
+    Guard g{n};
+    try {
+      co_await std::move(t);
+    } catch (const std::logic_error&) {
+      *c = true;
+    }
+  }(sim, mid(sim, &cleanup_count), &cleanup_count, &caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(cleanup_count, 2);  // both guards ran during unwind
+}
+
+TEST(Simulation, UnstartedTaskDestroyedSafely) {
+  Simulation sim;
+  bool body_ran = false;
+  {
+    auto t = [](bool* ran) -> Task<void> {
+      *ran = true;
+      co_return;
+    }(&body_ran);
+    // Never awaited, never spawned: destroyed lazily.
+  }
+  EXPECT_FALSE(body_ran);
+  sim.run();
+}
+
+TEST(Simulation, EventsExecutedCounts) {
+  Simulation sim;
+  sim.spawn([](Simulation& s) -> Task<void> {
+    co_await s.sleep(1);
+    co_await s.sleep(1);
+  }(sim));
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulation, SleepZeroStillYields) {
+  // sleep(0) must go through the event queue (fairness), not run inline.
+  Simulation sim;
+  std::vector<int> order;
+  sim.spawn([](Simulation& s, std::vector<int>* o) -> Task<void> {
+    o->push_back(1);
+    co_await s.sleep(0);
+    o->push_back(3);
+  }(sim, &order));
+  order.push_back(2);  // runs after the eager prologue, before the event
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Channel, SendThenRecv) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  int got = 0;
+  ch.send(5);
+  sim.spawn([](Channel<int>& c, int& g) -> Task<void> {
+    g = co_await c.recv();
+  }(ch, got));
+  sim.run();
+  EXPECT_EQ(got, 5);
+}
+
+TEST(Channel, RecvBlocksUntilSend) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  Time recv_time = 0;
+  sim.spawn([](Simulation& s, Channel<int>& c, Time& t) -> Task<void> {
+    (void)co_await c.recv();
+    t = s.now();
+  }(sim, ch, recv_time));
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<void> {
+    co_await s.sleep(ms(3));
+    c.send(1);
+  }(sim, ch));
+  sim.run();
+  EXPECT_EQ(recv_time, ms(3));
+}
+
+TEST(Channel, FifoAcrossManyMessages) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  sim.spawn([](Channel<int>& c, std::vector<int>& g) -> Task<void> {
+    for (int i = 0; i < 10; ++i) g.push_back(co_await c.recv());
+  }(ch, got));
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      co_await s.sleep(1);
+      c.send(i);
+    }
+  }(sim, ch));
+  sim.run();
+  EXPECT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+}
+
+TEST(Channel, MultipleReceiversFifo) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  std::vector<std::pair<int, int>> got;  // (receiver, value)
+  auto rx = [](Channel<int>& c, std::vector<std::pair<int, int>>& g,
+               int id) -> Task<void> {
+    const int v = co_await c.recv();
+    g.emplace_back(id, v);
+  };
+  sim.spawn(rx(ch, got, 1));
+  sim.spawn(rx(ch, got, 2));
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<void> {
+    co_await s.sleep(1);
+    c.send(100);
+    c.send(200);
+  }(sim, ch));
+  sim.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], (std::pair<int, int>{1, 100}));  // first waiter first
+  EXPECT_EQ(got[1], (std::pair<int, int>{2, 200}));
+}
+
+TEST(Channel, TryRecv) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  EXPECT_FALSE(ch.try_recv().has_value());
+  ch.send(9);
+  auto v = ch.try_recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(Simulation, DeadlockLeavesLiveProcesses) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  sim.spawn([](Channel<int>& c) -> Task<void> {
+    (void)co_await c.recv();  // never satisfied
+  }(ch));
+  sim.run();
+  EXPECT_EQ(sim.live_processes(), 1u);
+}
+
+}  // namespace
+}  // namespace csar::sim

@@ -1,0 +1,172 @@
+// Workload generators: totals, feasibility, and the qualitative bandwidth
+// relationships each one exists to exhibit.
+#include "workloads/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "raid/rig.hpp"
+#include "workloads/harness.hpp"
+
+namespace csar::wl {
+namespace {
+
+using raid::Rig;
+using raid::RigParams;
+using raid::Scheme;
+
+RigParams rig_params(Scheme scheme, std::uint32_t nclients = 1,
+                     std::uint32_t nservers = 6) {
+  RigParams p;
+  p.scheme = scheme;
+  p.nservers = nservers;
+  p.nclients = nclients;
+  return p;
+}
+
+TEST(FullStripeWrite, ReportsRequestedBytes) {
+  Rig rig(rig_params(Scheme::raid5));
+  MicroParams p;
+  p.total_bytes = 32ull << 20;
+  auto res = run_on(rig, full_stripe_write(rig, p));
+  EXPECT_EQ(res.bytes_written, align_down(p.total_bytes,
+                                          4ull * 5 * p.stripe_unit));
+  EXPECT_GT(res.write_bw(), 1e6);
+}
+
+TEST(FullStripeWrite, HybridMatchesRaid5) {
+  double bw[2];
+  int i = 0;
+  for (Scheme s : {Scheme::raid5, Scheme::hybrid}) {
+    Rig rig(rig_params(s));
+    MicroParams p;
+    p.total_bytes = 32ull << 20;
+    bw[i++] = run_on(rig, full_stripe_write(rig, p)).write_bw();
+  }
+  EXPECT_NEAR(bw[0], bw[1], 0.02 * bw[0]);
+}
+
+TEST(SmallBlockWrite, HybridMatchesRaid1AndBeatsRaid5) {
+  std::map<Scheme, double> bw;
+  for (Scheme s : {Scheme::raid1, Scheme::raid5, Scheme::hybrid}) {
+    Rig rig(rig_params(s));
+    MicroParams p;
+    p.total_bytes = 16ull << 20;
+    bw[s] = run_on(rig, small_block_write(rig, p)).write_bw();
+  }
+  EXPECT_NEAR(bw[Scheme::hybrid], bw[Scheme::raid1],
+              0.10 * bw[Scheme::raid1]);
+  EXPECT_LT(bw[Scheme::raid5], bw[Scheme::raid1]);
+}
+
+TEST(StripeContention, LockingCostsThroughput) {
+  // Figure 3's shape: R5 with locking is slower than R5-NO-LOCK, which is
+  // slower than RAID0.
+  std::map<Scheme, double> bw;
+  for (Scheme s : {Scheme::raid0, Scheme::raid5, Scheme::raid5_nolock}) {
+    Rig rig(rig_params(s, /*nclients=*/5));
+    ContentionParams p;
+    bw[s] = run_on(rig, stripe_contention(rig, p)).write_bw();
+  }
+  EXPECT_LT(bw[Scheme::raid5], bw[Scheme::raid5_nolock]);
+  EXPECT_LT(bw[Scheme::raid5_nolock], bw[Scheme::raid0]);
+}
+
+TEST(RomioPerf, ReadsSchemeIndependentWritesFavorParity) {
+  std::map<Scheme, WorkloadResult> res;
+  for (Scheme s : {Scheme::raid0, Scheme::raid1, Scheme::raid5,
+                   Scheme::hybrid}) {
+    Rig rig(rig_params(s, /*nclients=*/4));
+    RomioParams p;
+    p.rounds = 4;
+    res[s] = run_on(rig, romio_perf(rig, p));
+  }
+  // Reads: all schemes close to RAID0 ("substantially similar read
+  // bandwidth", Figure 5a; Hybrid pays a small overflow-merge cost).
+  for (auto& [s, r] : res) {
+    EXPECT_NEAR(r.read_bw(), res[Scheme::raid0].read_bw(),
+                0.10 * res[Scheme::raid0].read_bw())
+        << raid::scheme_name(s);
+  }
+  // Writes: RAID5/Hybrid beat RAID1 on 4 MB requests (Figure 5b).
+  EXPECT_GT(res[Scheme::raid5].write_bw(), res[Scheme::raid1].write_bw());
+  EXPECT_GT(res[Scheme::hybrid].write_bw(), res[Scheme::raid1].write_bw());
+}
+
+TEST(Btio, TotalsMatchTable2Raid0Column) {
+  EXPECT_EQ(btio_total_bytes(BtioClass::A), 419 * MB);
+  EXPECT_EQ(btio_total_bytes(BtioClass::B), 1698 * MB);
+  EXPECT_EQ(btio_total_bytes(BtioClass::C), 6802 * MB);
+}
+
+TEST(Btio, ClassAWritesExpectedVolume) {
+  Rig rig(rig_params(Scheme::hybrid, /*nclients=*/4));
+  BtioParams p;
+  p.cls = BtioClass::A;
+  p.nprocs = 4;
+  auto res = run_on(rig, btio(rig, p));
+  // Chunking may shave a remainder; stay within 1%.
+  EXPECT_NEAR(static_cast<double>(res.bytes_written),
+              static_cast<double>(419 * MB), 0.01 * 419 * MB);
+  EXPECT_GT(res.write_bw(), 1e6);
+}
+
+TEST(Btio, OverwritePenalizesRaid5NotHybrid) {
+  // §6.5 Figure 6(b): on a cold-cache overwrite, RAID5's partial-stripe
+  // pre-reads go to disk and its bandwidth "drops much below" the other
+  // schemes; Hybrid (no RMW) keeps most of its initial-write bandwidth.
+  BtioParams p;
+  p.cls = BtioClass::A;
+  p.nprocs = 4;
+  std::map<Scheme, double> initial;
+  std::map<Scheme, double> rewrite;
+  for (Scheme s : {Scheme::raid5, Scheme::hybrid}) {
+    Rig fresh(rig_params(s, 4));
+    p.overwrite = false;
+    initial[s] = run_on(fresh, btio(fresh, p)).write_bw();
+    Rig over(rig_params(s, 4));
+    p.overwrite = true;
+    rewrite[s] = run_on(over, btio(over, p)).write_bw();
+  }
+  // RAID5 loses significantly on overwrite; Hybrid does not.
+  EXPECT_LT(rewrite[Scheme::raid5], 0.8 * initial[Scheme::raid5]);
+  EXPECT_GT(rewrite[Scheme::hybrid], 0.85 * initial[Scheme::hybrid]);
+  // And in the overwrite case, Hybrid clearly beats RAID5.
+  EXPECT_GT(rewrite[Scheme::hybrid], 1.2 * rewrite[Scheme::raid5]);
+}
+
+TEST(FlashIo, RunsAtBothScales) {
+  for (std::uint32_t procs : {4u, 24u}) {
+    Rig rig(rig_params(Scheme::hybrid, procs));
+    FlashParams p;
+    p.nprocs = procs;
+    auto res = run_on(rig, flash_io(rig, p));
+    const std::uint64_t expect = procs == 4 ? 45 * MB : 235 * MB;
+    EXPECT_NEAR(static_cast<double>(res.bytes_written),
+                static_cast<double>(expect), 0.02 * expect);
+  }
+}
+
+TEST(Cactus, WritesTable2Total) {
+  Rig rig(rig_params(Scheme::raid0, 8));
+  auto res = run_on(rig, cactus_benchio(rig, CactusParams{}));
+  EXPECT_NEAR(static_cast<double>(res.bytes_written),
+              static_cast<double>(2949 * MB), 0.01 * 2949 * MB);
+}
+
+TEST(HartreeFock, KernelModuleOverheadLevelsSchemes) {
+  // §6.6: through the kernel module the four schemes end up within ~5%.
+  std::map<Scheme, double> t;
+  for (Scheme s : {Scheme::raid0, Scheme::raid1, Scheme::raid5,
+                   Scheme::hybrid}) {
+    Rig rig(rig_params(s));
+    HartreeFockParams p;
+    t[s] = sim::to_seconds(run_on(rig, hartree_fock(rig, p)).write_time);
+  }
+  for (auto& [s, secs] : t) {
+    EXPECT_NEAR(secs, t[Scheme::raid0], 0.35 * t[Scheme::raid0])
+        << raid::scheme_name(s);
+  }
+}
+
+}  // namespace
+}  // namespace csar::wl
