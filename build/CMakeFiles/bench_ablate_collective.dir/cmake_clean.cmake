@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_collective.dir/bench/bench_ablate_collective.cpp.o"
+  "CMakeFiles/bench_ablate_collective.dir/bench/bench_ablate_collective.cpp.o.d"
+  "bench/bench_ablate_collective"
+  "bench/bench_ablate_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

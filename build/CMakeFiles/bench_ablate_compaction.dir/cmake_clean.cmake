@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_compaction.dir/bench/bench_ablate_compaction.cpp.o"
+  "CMakeFiles/bench_ablate_compaction.dir/bench/bench_ablate_compaction.cpp.o.d"
+  "bench/bench_ablate_compaction"
+  "bench/bench_ablate_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_lock_scaling.dir/bench/bench_ablate_lock_scaling.cpp.o"
+  "CMakeFiles/bench_ablate_lock_scaling.dir/bench/bench_ablate_lock_scaling.cpp.o.d"
+  "bench/bench_ablate_lock_scaling"
+  "bench/bench_ablate_lock_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_lock_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_mirror_reads.dir/bench/bench_ablate_mirror_reads.cpp.o"
+  "CMakeFiles/bench_ablate_mirror_reads.dir/bench/bench_ablate_mirror_reads.cpp.o.d"
+  "bench/bench_ablate_mirror_reads"
+  "bench/bench_ablate_mirror_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_mirror_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_parity_kernel.dir/bench/bench_ablate_parity_kernel.cpp.o"
+  "CMakeFiles/bench_ablate_parity_kernel.dir/bench/bench_ablate_parity_kernel.cpp.o.d"
+  "bench/bench_ablate_parity_kernel"
+  "bench/bench_ablate_parity_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_parity_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

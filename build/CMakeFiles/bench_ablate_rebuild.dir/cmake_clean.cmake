@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_rebuild.dir/bench/bench_ablate_rebuild.cpp.o"
+  "CMakeFiles/bench_ablate_rebuild.dir/bench/bench_ablate_rebuild.cpp.o.d"
+  "bench/bench_ablate_rebuild"
+  "bench/bench_ablate_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

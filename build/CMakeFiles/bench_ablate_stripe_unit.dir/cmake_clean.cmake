@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_stripe_unit.dir/bench/bench_ablate_stripe_unit.cpp.o"
+  "CMakeFiles/bench_ablate_stripe_unit.dir/bench/bench_ablate_stripe_unit.cpp.o.d"
+  "bench/bench_ablate_stripe_unit"
+  "bench/bench_ablate_stripe_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_stripe_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

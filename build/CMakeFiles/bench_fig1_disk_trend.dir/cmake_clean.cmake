@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_disk_trend.dir/bench/bench_fig1_disk_trend.cpp.o"
+  "CMakeFiles/bench_fig1_disk_trend.dir/bench/bench_fig1_disk_trend.cpp.o.d"
+  "bench/bench_fig1_disk_trend"
+  "bench/bench_fig1_disk_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_disk_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_locking.dir/bench/bench_fig3_locking.cpp.o"
+  "CMakeFiles/bench_fig3_locking.dir/bench/bench_fig3_locking.cpp.o.d"
+  "bench/bench_fig3_locking"
+  "bench/bench_fig3_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_fullstripe.dir/bench/bench_fig4_fullstripe.cpp.o"
+  "CMakeFiles/bench_fig4_fullstripe.dir/bench/bench_fig4_fullstripe.cpp.o.d"
+  "bench/bench_fig4_fullstripe"
+  "bench/bench_fig4_fullstripe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_fullstripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

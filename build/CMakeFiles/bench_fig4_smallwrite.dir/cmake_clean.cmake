@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_smallwrite.dir/bench/bench_fig4_smallwrite.cpp.o"
+  "CMakeFiles/bench_fig4_smallwrite.dir/bench/bench_fig4_smallwrite.cpp.o.d"
+  "bench/bench_fig4_smallwrite"
+  "bench/bench_fig4_smallwrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_smallwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_romio.dir/bench/bench_fig5_romio.cpp.o"
+  "CMakeFiles/bench_fig5_romio.dir/bench/bench_fig5_romio.cpp.o.d"
+  "bench/bench_fig5_romio"
+  "bench/bench_fig5_romio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_romio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_btio_classb.dir/bench/bench_fig6_btio_classb.cpp.o"
+  "CMakeFiles/bench_fig6_btio_classb.dir/bench/bench_fig6_btio_classb.cpp.o.d"
+  "bench/bench_fig6_btio_classb"
+  "bench/bench_fig6_btio_classb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_btio_classb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

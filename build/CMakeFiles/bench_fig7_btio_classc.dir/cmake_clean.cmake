@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_btio_classc.dir/bench/bench_fig7_btio_classc.cpp.o"
+  "CMakeFiles/bench_fig7_btio_classc.dir/bench/bench_fig7_btio_classc.cpp.o.d"
+  "bench/bench_fig7_btio_classc"
+  "bench/bench_fig7_btio_classc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_btio_classc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

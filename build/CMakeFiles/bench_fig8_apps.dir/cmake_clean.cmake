@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_apps.dir/bench/bench_fig8_apps.cpp.o"
+  "CMakeFiles/bench_fig8_apps.dir/bench/bench_fig8_apps.cpp.o.d"
+  "bench/bench_fig8_apps"
+  "bench/bench_fig8_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_write_buffering.dir/bench/bench_sec52_write_buffering.cpp.o"
+  "CMakeFiles/bench_sec52_write_buffering.dir/bench/bench_sec52_write_buffering.cpp.o.d"
+  "bench/bench_sec52_write_buffering"
+  "bench/bench_sec52_write_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_write_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

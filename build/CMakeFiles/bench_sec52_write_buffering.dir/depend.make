@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec52_write_buffering.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_storage.dir/bench/bench_table2_storage.cpp.o"
+  "CMakeFiles/bench_table2_storage.dir/bench/bench_table2_storage.cpp.o.d"
+  "bench/bench_table2_storage"
+  "bench/bench_table2_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_writers.dir/concurrent_writers.cpp.o"
+  "CMakeFiles/concurrent_writers.dir/concurrent_writers.cpp.o.d"
+  "concurrent_writers"
+  "concurrent_writers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_writers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csar_shell.dir/csar_shell.cpp.o"
+  "CMakeFiles/csar_shell.dir/csar_shell.cpp.o.d"
+  "csar_shell"
+  "csar_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csar_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

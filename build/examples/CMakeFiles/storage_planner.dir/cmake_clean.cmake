@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_planner.dir/storage_planner.cpp.o"
+  "CMakeFiles/storage_planner.dir/storage_planner.cpp.o.d"
+  "storage_planner"
+  "storage_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/buffer.cpp" "src/common/CMakeFiles/csar_common.dir/buffer.cpp.o" "gcc" "src/common/CMakeFiles/csar_common.dir/buffer.cpp.o.d"
+  "/root/repo/src/common/interval_set.cpp" "src/common/CMakeFiles/csar_common.dir/interval_set.cpp.o" "gcc" "src/common/CMakeFiles/csar_common.dir/interval_set.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/common/CMakeFiles/csar_common.dir/log.cpp.o" "gcc" "src/common/CMakeFiles/csar_common.dir/log.cpp.o.d"
+  "/root/repo/src/common/parity.cpp" "src/common/CMakeFiles/csar_common.dir/parity.cpp.o" "gcc" "src/common/CMakeFiles/csar_common.dir/parity.cpp.o.d"
+  "/root/repo/src/common/result.cpp" "src/common/CMakeFiles/csar_common.dir/result.cpp.o" "gcc" "src/common/CMakeFiles/csar_common.dir/result.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/csar_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/csar_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/csar_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/csar_common.dir/table.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/common/CMakeFiles/csar_common.dir/units.cpp.o" "gcc" "src/common/CMakeFiles/csar_common.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

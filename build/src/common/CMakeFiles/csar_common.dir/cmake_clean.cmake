@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csar_common.dir/buffer.cpp.o"
+  "CMakeFiles/csar_common.dir/buffer.cpp.o.d"
+  "CMakeFiles/csar_common.dir/interval_set.cpp.o"
+  "CMakeFiles/csar_common.dir/interval_set.cpp.o.d"
+  "CMakeFiles/csar_common.dir/log.cpp.o"
+  "CMakeFiles/csar_common.dir/log.cpp.o.d"
+  "CMakeFiles/csar_common.dir/parity.cpp.o"
+  "CMakeFiles/csar_common.dir/parity.cpp.o.d"
+  "CMakeFiles/csar_common.dir/result.cpp.o"
+  "CMakeFiles/csar_common.dir/result.cpp.o.d"
+  "CMakeFiles/csar_common.dir/rng.cpp.o"
+  "CMakeFiles/csar_common.dir/rng.cpp.o.d"
+  "CMakeFiles/csar_common.dir/table.cpp.o"
+  "CMakeFiles/csar_common.dir/table.cpp.o.d"
+  "CMakeFiles/csar_common.dir/units.cpp.o"
+  "CMakeFiles/csar_common.dir/units.cpp.o.d"
+  "libcsar_common.a"
+  "libcsar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

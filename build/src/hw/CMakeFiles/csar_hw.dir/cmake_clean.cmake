@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csar_hw.dir/page_cache.cpp.o"
+  "CMakeFiles/csar_hw.dir/page_cache.cpp.o.d"
+  "CMakeFiles/csar_hw.dir/profiles.cpp.o"
+  "CMakeFiles/csar_hw.dir/profiles.cpp.o.d"
+  "libcsar_hw.a"
+  "libcsar_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csar_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

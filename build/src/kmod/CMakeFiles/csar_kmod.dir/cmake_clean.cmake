@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csar_kmod.dir/mounted_client.cpp.o"
+  "CMakeFiles/csar_kmod.dir/mounted_client.cpp.o.d"
+  "libcsar_kmod.a"
+  "libcsar_kmod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csar_kmod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csar_localfs.dir/local_fs.cpp.o"
+  "CMakeFiles/csar_localfs.dir/local_fs.cpp.o.d"
+  "libcsar_localfs.a"
+  "libcsar_localfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csar_localfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

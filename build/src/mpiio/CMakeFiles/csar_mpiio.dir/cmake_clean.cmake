@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csar_mpiio.dir/collective.cpp.o"
+  "CMakeFiles/csar_mpiio.dir/collective.cpp.o.d"
+  "libcsar_mpiio.a"
+  "libcsar_mpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csar_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csar_pvfs.dir/client.cpp.o"
+  "CMakeFiles/csar_pvfs.dir/client.cpp.o.d"
+  "CMakeFiles/csar_pvfs.dir/io_server.cpp.o"
+  "CMakeFiles/csar_pvfs.dir/io_server.cpp.o.d"
+  "CMakeFiles/csar_pvfs.dir/layout.cpp.o"
+  "CMakeFiles/csar_pvfs.dir/layout.cpp.o.d"
+  "libcsar_pvfs.a"
+  "libcsar_pvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csar_pvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

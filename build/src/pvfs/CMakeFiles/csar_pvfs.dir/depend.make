@@ -1,0 +1,2 @@
+# Empty dependencies file for csar_pvfs.
+# This may be replaced when dependencies are built.

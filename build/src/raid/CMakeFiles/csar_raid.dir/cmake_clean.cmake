@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csar_raid.dir/csar_fs.cpp.o"
+  "CMakeFiles/csar_raid.dir/csar_fs.cpp.o.d"
+  "CMakeFiles/csar_raid.dir/recovery.cpp.o"
+  "CMakeFiles/csar_raid.dir/recovery.cpp.o.d"
+  "CMakeFiles/csar_raid.dir/scrub.cpp.o"
+  "CMakeFiles/csar_raid.dir/scrub.cpp.o.d"
+  "libcsar_raid.a"
+  "libcsar_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csar_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csar_report.dir/report.cpp.o"
+  "CMakeFiles/csar_report.dir/report.cpp.o.d"
+  "libcsar_report.a"
+  "libcsar_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csar_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csar_sim.dir/simulation.cpp.o"
+  "CMakeFiles/csar_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/csar_sim.dir/sync.cpp.o"
+  "CMakeFiles/csar_sim.dir/sync.cpp.o.d"
+  "libcsar_sim.a"
+  "libcsar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csar_workloads.dir/trace.cpp.o"
+  "CMakeFiles/csar_workloads.dir/trace.cpp.o.d"
+  "CMakeFiles/csar_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/csar_workloads.dir/workloads.cpp.o.d"
+  "libcsar_workloads.a"
+  "libcsar_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csar_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

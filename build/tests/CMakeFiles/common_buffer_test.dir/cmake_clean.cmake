@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_buffer_test.dir/common_buffer_test.cpp.o"
+  "CMakeFiles/common_buffer_test.dir/common_buffer_test.cpp.o.d"
+  "common_buffer_test"
+  "common_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_interval_test.dir/common_interval_test.cpp.o"
+  "CMakeFiles/common_interval_test.dir/common_interval_test.cpp.o.d"
+  "common_interval_test"
+  "common_interval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_interval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

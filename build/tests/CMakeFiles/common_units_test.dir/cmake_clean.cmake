@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_units_test.dir/common_units_test.cpp.o"
+  "CMakeFiles/common_units_test.dir/common_units_test.cpp.o.d"
+  "common_units_test"
+  "common_units_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

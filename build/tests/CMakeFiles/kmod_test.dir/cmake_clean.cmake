@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmod_test.dir/kmod_test.cpp.o"
+  "CMakeFiles/kmod_test.dir/kmod_test.cpp.o.d"
+  "kmod_test"
+  "kmod_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localfs_test.dir/localfs_test.cpp.o"
+  "CMakeFiles/localfs_test.dir/localfs_test.cpp.o.d"
+  "localfs_test"
+  "localfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiio_test.dir/mpiio_test.cpp.o"
+  "CMakeFiles/mpiio_test.dir/mpiio_test.cpp.o.d"
+  "mpiio_test"
+  "mpiio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_io_server_test.dir/pvfs_io_server_test.cpp.o"
+  "CMakeFiles/pvfs_io_server_test.dir/pvfs_io_server_test.cpp.o.d"
+  "pvfs_io_server_test"
+  "pvfs_io_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_io_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_layout_test.dir/pvfs_layout_test.cpp.o"
+  "CMakeFiles/pvfs_layout_test.dir/pvfs_layout_test.cpp.o.d"
+  "pvfs_layout_test"
+  "pvfs_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

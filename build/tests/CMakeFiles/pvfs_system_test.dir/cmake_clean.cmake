@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_system_test.dir/pvfs_system_test.cpp.o"
+  "CMakeFiles/pvfs_system_test.dir/pvfs_system_test.cpp.o.d"
+  "pvfs_system_test"
+  "pvfs_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid4_test.dir/raid4_test.cpp.o"
+  "CMakeFiles/raid4_test.dir/raid4_test.cpp.o.d"
+  "raid4_test"
+  "raid4_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

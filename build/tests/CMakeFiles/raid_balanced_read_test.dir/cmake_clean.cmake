@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_balanced_read_test.dir/raid_balanced_read_test.cpp.o"
+  "CMakeFiles/raid_balanced_read_test.dir/raid_balanced_read_test.cpp.o.d"
+  "raid_balanced_read_test"
+  "raid_balanced_read_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_balanced_read_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

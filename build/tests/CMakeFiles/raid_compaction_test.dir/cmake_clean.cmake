@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_compaction_test.dir/raid_compaction_test.cpp.o"
+  "CMakeFiles/raid_compaction_test.dir/raid_compaction_test.cpp.o.d"
+  "raid_compaction_test"
+  "raid_compaction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_compaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

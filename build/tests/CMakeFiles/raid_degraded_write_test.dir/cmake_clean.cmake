@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_degraded_write_test.dir/raid_degraded_write_test.cpp.o"
+  "CMakeFiles/raid_degraded_write_test.dir/raid_degraded_write_test.cpp.o.d"
+  "raid_degraded_write_test"
+  "raid_degraded_write_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_degraded_write_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

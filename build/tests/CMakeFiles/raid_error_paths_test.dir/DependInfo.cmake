@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/raid_error_paths_test.cpp" "tests/CMakeFiles/raid_error_paths_test.dir/raid_error_paths_test.cpp.o" "gcc" "tests/CMakeFiles/raid_error_paths_test.dir/raid_error_paths_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/raid/CMakeFiles/csar_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvfs/CMakeFiles/csar_pvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/localfs/CMakeFiles/csar_localfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/csar_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/csar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

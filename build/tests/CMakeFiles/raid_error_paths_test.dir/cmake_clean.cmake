@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_error_paths_test.dir/raid_error_paths_test.cpp.o"
+  "CMakeFiles/raid_error_paths_test.dir/raid_error_paths_test.cpp.o.d"
+  "raid_error_paths_test"
+  "raid_error_paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_error_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

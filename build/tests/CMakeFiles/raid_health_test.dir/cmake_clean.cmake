@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_health_test.dir/raid_health_test.cpp.o"
+  "CMakeFiles/raid_health_test.dir/raid_health_test.cpp.o.d"
+  "raid_health_test"
+  "raid_health_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_health_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

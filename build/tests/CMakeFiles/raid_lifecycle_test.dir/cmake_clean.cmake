@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_lifecycle_test.dir/raid_lifecycle_test.cpp.o"
+  "CMakeFiles/raid_lifecycle_test.dir/raid_lifecycle_test.cpp.o.d"
+  "raid_lifecycle_test"
+  "raid_lifecycle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

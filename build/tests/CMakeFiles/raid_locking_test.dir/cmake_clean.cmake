@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_locking_test.dir/raid_locking_test.cpp.o"
+  "CMakeFiles/raid_locking_test.dir/raid_locking_test.cpp.o.d"
+  "raid_locking_test"
+  "raid_locking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_locking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

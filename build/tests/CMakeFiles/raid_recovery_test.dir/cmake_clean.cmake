@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_recovery_test.dir/raid_recovery_test.cpp.o"
+  "CMakeFiles/raid_recovery_test.dir/raid_recovery_test.cpp.o.d"
+  "raid_recovery_test"
+  "raid_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

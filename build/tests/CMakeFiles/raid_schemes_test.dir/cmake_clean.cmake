@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_schemes_test.dir/raid_schemes_test.cpp.o"
+  "CMakeFiles/raid_schemes_test.dir/raid_schemes_test.cpp.o.d"
+  "raid_schemes_test"
+  "raid_schemes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_schemes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_scrub_test.dir/raid_scrub_test.cpp.o"
+  "CMakeFiles/raid_scrub_test.dir/raid_scrub_test.cpp.o.d"
+  "raid_scrub_test"
+  "raid_scrub_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_scrub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_trace_test.dir/workloads_trace_test.cpp.o"
+  "CMakeFiles/workloads_trace_test.dir/workloads_trace_test.cpp.o.d"
+  "workloads_trace_test"
+  "workloads_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
