@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_fault_storm.dir/bench/bench_ablate_fault_storm.cpp.o"
+  "CMakeFiles/bench_ablate_fault_storm.dir/bench/bench_ablate_fault_storm.cpp.o.d"
+  "bench/bench_ablate_fault_storm"
+  "bench/bench_ablate_fault_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_fault_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -204,18 +204,18 @@ CMakeFiles/bench_fig4_smallwrite.dir/bench/bench_fig4_smallwrite.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/hw/node.hpp \
- /usr/include/c++/12/optional \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/rng.hpp \
+ /root/repo/src/hw/node.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/hw/disk.hpp /root/repo/src/sim/simulation.hpp \
- /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/sim/time.hpp /root/repo/src/sim/sync.hpp \
- /root/repo/src/hw/page_cache.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/hw/disk.hpp /root/repo/src/common/interval_set.hpp \
+ /root/repo/src/sim/simulation.hpp /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/task.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/time.hpp \
+ /root/repo/src/sim/sync.hpp /root/repo/src/hw/page_cache.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
@@ -230,9 +230,8 @@ CMakeFiles/bench_fig4_smallwrite.dir/bench/bench_fig4_smallwrite.cpp.o: \
  /root/repo/src/common/result.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/pvfs/io_server.hpp /root/repo/src/pvfs/messages.hpp \
- /root/repo/src/common/interval_set.hpp /root/repo/src/sim/channel.hpp \
- /root/repo/src/pvfs/layout.hpp /root/repo/src/pvfs/manager.hpp \
- /root/repo/src/raid/csar_fs.hpp /root/repo/src/raid/scheme.hpp \
- /root/repo/src/raid/recovery.hpp /root/repo/src/report/report.hpp \
- /root/repo/src/workloads/harness.hpp \
+ /root/repo/src/sim/channel.hpp /root/repo/src/pvfs/layout.hpp \
+ /root/repo/src/pvfs/manager.hpp /root/repo/src/raid/csar_fs.hpp \
+ /root/repo/src/raid/scheme.hpp /root/repo/src/raid/recovery.hpp \
+ /root/repo/src/report/report.hpp /root/repo/src/workloads/harness.hpp \
  /root/repo/src/workloads/workloads.hpp

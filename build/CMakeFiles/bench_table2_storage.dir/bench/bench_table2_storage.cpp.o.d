@@ -214,8 +214,9 @@ CMakeFiles/bench_table2_storage.dir/bench/bench_table2_storage.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/hw/node.hpp \
- /usr/include/c++/12/optional /root/repo/src/hw/disk.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/rng.hpp \
+ /root/repo/src/hw/node.hpp /usr/include/c++/12/optional \
+ /root/repo/src/hw/disk.hpp /root/repo/src/common/interval_set.hpp \
  /root/repo/src/sim/simulation.hpp /usr/include/c++/12/coroutine \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
@@ -231,9 +232,8 @@ CMakeFiles/bench_table2_storage.dir/bench/bench_table2_storage.cpp.o: \
  /root/repo/src/common/result.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/pvfs/io_server.hpp /root/repo/src/pvfs/messages.hpp \
- /root/repo/src/common/interval_set.hpp /root/repo/src/sim/channel.hpp \
- /root/repo/src/pvfs/layout.hpp /root/repo/src/pvfs/manager.hpp \
- /root/repo/src/raid/csar_fs.hpp /root/repo/src/raid/scheme.hpp \
- /root/repo/src/raid/recovery.hpp /root/repo/src/report/report.hpp \
- /root/repo/src/workloads/harness.hpp \
+ /root/repo/src/sim/channel.hpp /root/repo/src/pvfs/layout.hpp \
+ /root/repo/src/pvfs/manager.hpp /root/repo/src/raid/csar_fs.hpp \
+ /root/repo/src/raid/scheme.hpp /root/repo/src/raid/recovery.hpp \
+ /root/repo/src/report/report.hpp /root/repo/src/workloads/harness.hpp \
  /root/repo/src/workloads/workloads.hpp

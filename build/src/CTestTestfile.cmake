@@ -11,6 +11,7 @@ subdirs("net")
 subdirs("localfs")
 subdirs("pvfs")
 subdirs("raid")
+subdirs("fault")
 subdirs("mpiio")
 subdirs("kmod")
 subdirs("workloads")

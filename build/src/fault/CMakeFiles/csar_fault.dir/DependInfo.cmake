@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/fault.cpp" "src/fault/CMakeFiles/csar_fault.dir/fault.cpp.o" "gcc" "src/fault/CMakeFiles/csar_fault.dir/fault.cpp.o.d"
+  "/root/repo/src/fault/storm.cpp" "src/fault/CMakeFiles/csar_fault.dir/storm.cpp.o" "gcc" "src/fault/CMakeFiles/csar_fault.dir/storm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/raid/CMakeFiles/csar_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvfs/CMakeFiles/csar_pvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/localfs/CMakeFiles/csar_localfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/csar_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/csar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

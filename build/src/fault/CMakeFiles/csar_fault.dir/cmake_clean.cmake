@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csar_fault.dir/fault.cpp.o"
+  "CMakeFiles/csar_fault.dir/fault.cpp.o.d"
+  "CMakeFiles/csar_fault.dir/storm.cpp.o"
+  "CMakeFiles/csar_fault.dir/storm.cpp.o.d"
+  "libcsar_fault.a"
+  "libcsar_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csar_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

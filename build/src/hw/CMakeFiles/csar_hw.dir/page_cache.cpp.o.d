@@ -106,6 +106,9 @@ src/hw/CMakeFiles/csar_hw.dir/page_cache.cpp.o: \
  /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/hw/disk.hpp \
+ /root/repo/src/common/interval_set.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/sim/simulation.hpp /usr/include/c++/12/coroutine \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \

@@ -146,8 +146,8 @@ src/localfs/CMakeFiles/csar_localfs.dir/local_fs.cpp.o: \
  /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/hw/disk.hpp \
- /root/repo/src/sim/simulation.hpp /usr/include/c++/12/coroutine \
- /usr/include/c++/12/memory \
+ /root/repo/src/common/interval_set.hpp /root/repo/src/sim/simulation.hpp \
+ /usr/include/c++/12/coroutine /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \

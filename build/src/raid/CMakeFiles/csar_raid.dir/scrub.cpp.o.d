@@ -128,8 +128,9 @@ src/raid/CMakeFiles/csar_raid.dir/scrub.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/buffer.hpp \
  /usr/include/c++/12/cstddef /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/hw/node.hpp \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/array /root/repo/src/common/rng.hpp \
+ /root/repo/src/hw/node.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -204,7 +205,12 @@ src/raid/CMakeFiles/csar_raid.dir/scrub.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
- /root/repo/src/hw/disk.hpp /root/repo/src/sim/simulation.hpp \
+ /root/repo/src/hw/disk.hpp /root/repo/src/common/interval_set.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/sim/simulation.hpp \
  /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_heap.h \
@@ -214,18 +220,14 @@ src/raid/CMakeFiles/csar_raid.dir/scrub.cpp.o: \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/sim/resource.hpp /root/repo/src/net/fabric.hpp \
- /root/repo/src/pvfs/io_server.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/common/interval_map.hpp \
+ /root/repo/src/pvfs/io_server.hpp /root/repo/src/common/interval_map.hpp \
  /root/repo/src/localfs/local_fs.hpp /root/repo/src/pvfs/messages.hpp \
- /root/repo/src/common/interval_set.hpp /root/repo/src/sim/channel.hpp \
- /root/repo/src/pvfs/layout.hpp /root/repo/src/common/units.hpp \
- /root/repo/src/pvfs/manager.hpp /root/repo/src/raid/scheme.hpp
+ /root/repo/src/sim/channel.hpp /root/repo/src/pvfs/layout.hpp \
+ /root/repo/src/common/units.hpp /root/repo/src/pvfs/manager.hpp \
+ /root/repo/src/raid/scheme.hpp

@@ -197,10 +197,15 @@ src/workloads/CMakeFiles/csar_workloads.dir/workloads.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/hw/node.hpp \
- /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/rng.hpp \
+ /root/repo/src/hw/node.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/hw/disk.hpp /root/repo/src/sim/simulation.hpp \
+ /root/repo/src/hw/disk.hpp /root/repo/src/common/interval_set.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/sim/simulation.hpp \
  /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_heap.h \
@@ -211,9 +216,7 @@ src/workloads/CMakeFiles/csar_workloads.dir/workloads.cpp.o: \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/list \
@@ -221,18 +224,15 @@ src/workloads/CMakeFiles/csar_workloads.dir/workloads.cpp.o: \
  /root/repo/src/sim/resource.hpp /root/repo/src/localfs/local_fs.hpp \
  /root/repo/src/common/buffer.hpp /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /root/repo/src/common/interval_map.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/net/fabric.hpp \
- /root/repo/src/pvfs/client.hpp /root/repo/src/common/result.hpp \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/net/fabric.hpp /root/repo/src/pvfs/client.hpp \
+ /root/repo/src/common/result.hpp /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/pvfs/io_server.hpp /root/repo/src/pvfs/messages.hpp \
- /root/repo/src/common/interval_set.hpp /root/repo/src/sim/channel.hpp \
- /root/repo/src/pvfs/layout.hpp /root/repo/src/common/units.hpp \
- /root/repo/src/pvfs/manager.hpp /root/repo/src/raid/csar_fs.hpp \
- /root/repo/src/raid/scheme.hpp /root/repo/src/raid/recovery.hpp \
- /root/repo/src/workloads/harness.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/channel.hpp /root/repo/src/pvfs/layout.hpp \
+ /root/repo/src/common/units.hpp /root/repo/src/pvfs/manager.hpp \
+ /root/repo/src/raid/csar_fs.hpp /root/repo/src/raid/scheme.hpp \
+ /root/repo/src/raid/recovery.hpp /root/repo/src/workloads/harness.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/common/rng.hpp /root/repo/src/kmod/mounted_client.hpp
+ /root/repo/src/kmod/mounted_client.hpp

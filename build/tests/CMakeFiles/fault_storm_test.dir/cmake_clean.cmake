@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_storm_test.dir/fault_storm_test.cpp.o"
+  "CMakeFiles/fault_storm_test.dir/fault_storm_test.cpp.o.d"
+  "fault_storm_test"
+  "fault_storm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_storm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -293,12 +293,12 @@ tests/CMakeFiles/hw_test.dir/hw_test.cpp.o: /root/repo/tests/hw_test.cpp \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/hw/disk.hpp /root/repo/src/sim/simulation.hpp \
- /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/task.hpp /root/repo/src/sim/time.hpp \
- /root/repo/src/sim/sync.hpp /root/repo/src/hw/node.hpp \
- /root/repo/src/hw/page_cache.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/sim/resource.hpp
+ /root/repo/src/hw/disk.hpp /root/repo/src/common/interval_set.hpp \
+ /root/repo/src/sim/simulation.hpp /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.hpp \
+ /root/repo/src/sim/time.hpp /root/repo/src/sim/sync.hpp \
+ /root/repo/src/hw/node.hpp /root/repo/src/hw/page_cache.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/sim/resource.hpp

@@ -208,15 +208,15 @@ tests/CMakeFiles/mpiio_test.dir/mpiio_test.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/hw/node.hpp \
- /root/repo/src/hw/disk.hpp /root/repo/src/sim/simulation.hpp \
- /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.hpp \
- /root/repo/src/sim/time.hpp /root/repo/src/sim/sync.hpp \
- /root/repo/src/hw/page_cache.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/rng.hpp \
+ /root/repo/src/hw/node.hpp /root/repo/src/hw/disk.hpp \
+ /root/repo/src/sim/simulation.hpp /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/task.hpp /root/repo/src/sim/time.hpp \
+ /root/repo/src/sim/sync.hpp /root/repo/src/hw/page_cache.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
@@ -311,5 +311,4 @@ tests/CMakeFiles/mpiio_test.dir/mpiio_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/common/rng.hpp /root/repo/tests/test_util.hpp \
- /root/repo/src/workloads/harness.hpp
+ /root/repo/tests/test_util.hpp /root/repo/src/workloads/harness.hpp

@@ -211,24 +211,24 @@ tests/CMakeFiles/pvfs_io_server_test.dir/pvfs_io_server_test.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/hw/node.hpp \
  /usr/include/c++/12/optional /root/repo/src/hw/disk.hpp \
- /root/repo/src/sim/simulation.hpp /usr/include/c++/12/coroutine \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.hpp \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/sim/time.hpp /root/repo/src/sim/sync.hpp \
- /root/repo/src/hw/page_cache.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/common/interval_set.hpp /root/repo/src/sim/simulation.hpp \
+ /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/task.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/sim/time.hpp \
+ /root/repo/src/sim/sync.hpp /root/repo/src/hw/page_cache.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/sim/resource.hpp /root/repo/src/localfs/local_fs.hpp \
  /root/repo/src/common/buffer.hpp /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /root/repo/src/net/fabric.hpp \
- /root/repo/src/pvfs/messages.hpp /root/repo/src/common/interval_set.hpp \
- /root/repo/src/common/result.hpp /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/sim/channel.hpp \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
+ /root/repo/src/pvfs/messages.hpp /root/repo/src/common/result.hpp \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/sim/channel.hpp /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \
@@ -307,7 +307,7 @@ tests/CMakeFiles/pvfs_io_server_test.dir/pvfs_io_server_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/raid/diagnostics.hpp /root/repo/src/common/table.hpp \
  /root/repo/src/common/units.hpp /root/repo/src/raid/rig.hpp \
- /root/repo/src/pvfs/client.hpp /root/repo/src/pvfs/layout.hpp \
- /root/repo/src/pvfs/manager.hpp /root/repo/src/raid/csar_fs.hpp \
- /root/repo/src/raid/scheme.hpp /root/repo/src/raid/recovery.hpp \
- /root/repo/tests/test_util.hpp
+ /root/repo/src/common/rng.hpp /root/repo/src/pvfs/client.hpp \
+ /root/repo/src/pvfs/layout.hpp /root/repo/src/pvfs/manager.hpp \
+ /root/repo/src/raid/csar_fs.hpp /root/repo/src/raid/scheme.hpp \
+ /root/repo/src/raid/recovery.hpp /root/repo/tests/test_util.hpp

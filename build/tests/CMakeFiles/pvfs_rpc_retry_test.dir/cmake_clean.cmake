@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_rpc_retry_test.dir/pvfs_rpc_retry_test.cpp.o"
+  "CMakeFiles/pvfs_rpc_retry_test.dir/pvfs_rpc_retry_test.cpp.o.d"
+  "pvfs_rpc_retry_test"
+  "pvfs_rpc_retry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_rpc_retry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

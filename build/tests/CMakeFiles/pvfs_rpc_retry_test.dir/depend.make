@@ -1,0 +1,2 @@
+# Empty dependencies file for pvfs_rpc_retry_test.
+# This may be replaced when dependencies are built.

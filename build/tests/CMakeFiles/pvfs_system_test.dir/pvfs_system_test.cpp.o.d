@@ -296,18 +296,19 @@ tests/CMakeFiles/pvfs_system_test.dir/pvfs_system_test.cpp.o: \
  /root/repo/src/pvfs/io_server.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/common/interval_map.hpp /root/repo/src/hw/node.hpp \
- /root/repo/src/hw/disk.hpp /root/repo/src/sim/simulation.hpp \
- /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.hpp \
- /root/repo/src/sim/time.hpp /root/repo/src/sim/sync.hpp \
- /root/repo/src/hw/page_cache.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/sim/resource.hpp /root/repo/src/localfs/local_fs.hpp \
- /root/repo/src/common/buffer.hpp /usr/include/c++/12/span \
- /root/repo/src/net/fabric.hpp /root/repo/src/pvfs/messages.hpp \
- /root/repo/src/common/interval_set.hpp /root/repo/src/common/result.hpp \
+ /root/repo/src/hw/disk.hpp /root/repo/src/common/interval_set.hpp \
+ /root/repo/src/sim/simulation.hpp /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/task.hpp /root/repo/src/sim/time.hpp \
+ /root/repo/src/sim/sync.hpp /root/repo/src/hw/page_cache.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/sim/resource.hpp \
+ /root/repo/src/localfs/local_fs.hpp /root/repo/src/common/buffer.hpp \
+ /usr/include/c++/12/span /root/repo/src/net/fabric.hpp \
+ /root/repo/src/pvfs/messages.hpp /root/repo/src/common/result.hpp \
  /root/repo/src/sim/channel.hpp /root/repo/src/raid/rig.hpp \
- /root/repo/src/pvfs/client.hpp /root/repo/src/pvfs/layout.hpp \
- /root/repo/src/common/units.hpp /root/repo/src/pvfs/manager.hpp \
- /root/repo/src/raid/csar_fs.hpp /root/repo/src/raid/scheme.hpp \
- /root/repo/src/raid/recovery.hpp /root/repo/tests/test_util.hpp
+ /root/repo/src/common/rng.hpp /root/repo/src/pvfs/client.hpp \
+ /root/repo/src/pvfs/layout.hpp /root/repo/src/common/units.hpp \
+ /root/repo/src/pvfs/manager.hpp /root/repo/src/raid/csar_fs.hpp \
+ /root/repo/src/raid/scheme.hpp /root/repo/src/raid/recovery.hpp \
+ /root/repo/tests/test_util.hpp

@@ -293,8 +293,9 @@ tests/CMakeFiles/raid_error_paths_test.dir/raid_error_paths_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/raid/rig.hpp /root/repo/src/hw/node.hpp \
- /root/repo/src/hw/disk.hpp /root/repo/src/sim/simulation.hpp \
+ /root/repo/src/raid/rig.hpp /root/repo/src/common/rng.hpp \
+ /root/repo/src/hw/node.hpp /root/repo/src/hw/disk.hpp \
+ /root/repo/src/common/interval_set.hpp /root/repo/src/sim/simulation.hpp \
  /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
@@ -306,8 +307,8 @@ tests/CMakeFiles/raid_error_paths_test.dir/raid_error_paths_test.cpp.o: \
  /usr/include/c++/12/span /root/repo/src/common/interval_map.hpp \
  /root/repo/src/net/fabric.hpp /root/repo/src/pvfs/client.hpp \
  /root/repo/src/common/result.hpp /root/repo/src/pvfs/io_server.hpp \
- /root/repo/src/pvfs/messages.hpp /root/repo/src/common/interval_set.hpp \
- /root/repo/src/sim/channel.hpp /root/repo/src/pvfs/layout.hpp \
- /root/repo/src/common/units.hpp /root/repo/src/pvfs/manager.hpp \
- /root/repo/src/raid/csar_fs.hpp /root/repo/src/raid/scheme.hpp \
- /root/repo/src/raid/recovery.hpp /root/repo/tests/test_util.hpp
+ /root/repo/src/pvfs/messages.hpp /root/repo/src/sim/channel.hpp \
+ /root/repo/src/pvfs/layout.hpp /root/repo/src/common/units.hpp \
+ /root/repo/src/pvfs/manager.hpp /root/repo/src/raid/csar_fs.hpp \
+ /root/repo/src/raid/scheme.hpp /root/repo/src/raid/recovery.hpp \
+ /root/repo/tests/test_util.hpp

@@ -20,6 +20,12 @@ const char* errc_name(Errc e) {
       return "corrupted";
     case Errc::io_error:
       return "io_error";
+    case Errc::timeout:
+      return "timeout";
+    case Errc::media_error:
+      return "media_error";
+    case Errc::conn_dropped:
+      return "conn_dropped";
   }
   return "unknown";
 }

@@ -22,6 +22,9 @@ enum class Errc {
   unavailable,      ///< operation cannot proceed (e.g. manager down)
   corrupted,        ///< redundancy verification failed
   io_error,         ///< generic underlying storage failure
+  timeout,          ///< RPC deadline expired with no reply
+  media_error,      ///< latent sector error on the underlying disk
+  conn_dropped,     ///< connection reset / message dropped by the fabric
 };
 
 /// Human-readable name of an error code.
@@ -31,6 +34,9 @@ const char* errc_name(Errc e);
 struct Error {
   Errc code = Errc::io_error;
   std::string message;
+  /// Index of the I/O server implicated in the failure, or -1 when unknown.
+  /// Lets failover code route around the faulty server without re-probing.
+  int server = -1;
 
   std::string to_string() const {
     std::string s = errc_name(code);

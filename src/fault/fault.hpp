@@ -1,0 +1,144 @@
+// FaultInjector: seeded, deterministic execution of a declarative FaultPlan.
+//
+// Robustness experiments need faults that arrive on a schedule, not from
+// hand-written test choreography: a plan lists *what* goes wrong and *when*
+// (server crashes/restarts, lossy or slow links, latent sector errors,
+// fail-slow disks), and the injector executes it against a live deployment.
+// All randomness (per-message drop/reset draws) comes from one Rng seeded by
+// the plan, so the same plan + seed yields a bit-identical simulation — the
+// property the determinism tests pin down.
+//
+// The injector acts through three hooks in the stack:
+//   net::Fabric::set_fault_hook    per-message drop / reset / extra delay
+//   pvfs::IoServer::crash/restart  whole-server loss incl. volatile state
+//   hw::Disk::plant_media_error /  latent sector errors and fail-slow
+//          set_service_factor      media under real file extents
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hw/node.hpp"
+#include "net/fabric.hpp"
+#include "pvfs/io_server.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+
+namespace csar::fault {
+
+/// Hard-crash server `server` at time `at`; optionally bring it back.
+struct ServerCrash {
+  sim::Time at = 0;
+  std::uint32_t server = 0;
+  /// Absent: the server stays down for the rest of the run.
+  std::optional<sim::Time> restart_at;
+  /// Restart onto a blank replacement disk (run Recovery::rebuild_server
+  /// before trusting its contents) instead of the surviving on-disk state.
+  bool wipe = false;
+};
+
+/// Transient message faults on the (a, b) link during [start, end).
+struct LinkFault {
+  hw::NodeId a = 0;
+  hw::NodeId b = 0;
+  bool bidirectional = true;  ///< also match (b, a) traffic
+  sim::Time start = 0;
+  sim::Time end = 0;
+  double drop_p = 0.0;   ///< lost after the wire: sender learns nothing
+  double reset_p = 0.0;  ///< refused before the wire: sender sees a reset
+  sim::Duration extra_delay = 0;  ///< added wire latency while active
+};
+
+/// Plant a latent sector error under `len` bytes of a server-local file at
+/// time `at`. `file` is the server's local name (e.g.
+/// pvfs::IoServer::data_name(handle)); the byte range is translated to disk
+/// addresses through localfs::LocalFs::fid_of at injection time, so the
+/// fault lands under whatever extent the file actually occupies.
+struct MediaFault {
+  sim::Time at = 0;
+  std::uint32_t server = 0;
+  std::string file;
+  std::uint64_t off = 0;
+  std::uint64_t len = 0;
+};
+
+/// Fail-slow disk: media transfers on `server` take `factor`x as long
+/// during [start, end).
+struct SlowDisk {
+  sim::Time start = 0;
+  sim::Time end = 0;
+  std::uint32_t server = 0;
+  double factor = 4.0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;  ///< drives every probabilistic draw
+  std::vector<ServerCrash> crashes;
+  std::vector<LinkFault> links;
+  std::vector<MediaFault> media;
+  std::vector<SlowDisk> slow_disks;
+};
+
+struct FaultStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t msgs_dropped = 0;
+  std::uint64_t msgs_reset = 0;
+  std::uint64_t msgs_delayed = 0;
+  std::uint64_t media_planted = 0;
+  std::uint64_t slow_periods = 0;
+};
+
+class FaultInjector final : public net::FabricHook {
+ public:
+  FaultInjector(hw::Cluster& cluster, net::Fabric& fabric,
+                std::vector<pvfs::IoServer*> servers, FaultPlan plan)
+      : cluster_(&cluster),
+        fabric_(&fabric),
+        servers_(std::move(servers)),
+        plan_(std::move(plan)),
+        rng_(plan_.seed) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+  ~FaultInjector() override;
+
+  /// Install the fabric hook and spawn the timeline process. Call once,
+  /// before (or while) the simulation runs; the plan's absolute times are
+  /// honoured even if start() happens after time 0.
+  void start();
+
+  /// Per-message verdict for the fabric (drop / reset / extra delay),
+  /// drawn deterministically from the plan's seed.
+  Verdict on_transfer(hw::NodeId src, hw::NodeId dst,
+                      std::uint64_t payload_bytes) override;
+
+  const FaultStats& stats() const { return stats_; }
+
+  /// Human-readable record of every fault executed, in order — equal
+  /// traces across runs are the cheap determinism check.
+  const std::vector<std::string>& trace() const { return trace_; }
+
+  /// Time of the plan's earliest server crash (detection-latency / MTTR
+  /// baselines); nullopt when the plan crashes nothing.
+  std::optional<sim::Time> first_crash_time() const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  sim::Task<void> timeline();
+  void note(const char* what, std::uint32_t server, const char* extra = "");
+
+  hw::Cluster* cluster_;
+  net::Fabric* fabric_;
+  std::vector<pvfs::IoServer*> servers_;
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_{};
+  std::vector<std::string> trace_;
+  bool started_ = false;
+};
+
+}  // namespace csar::fault

@@ -1,0 +1,310 @@
+#include "fault/storm.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "raid/recovery.hpp"
+#include "raid/scrub.hpp"
+
+namespace csar::fault {
+
+namespace {
+
+/// Reference copy of the file, updated on every acknowledged write.
+///
+/// Bytes covered by a *failed* write are tainted — indeterminate until an
+/// acknowledged write covers them again. A torn write may have landed on
+/// some servers and not others, and under a parity scheme it can leave the
+/// whole group's parity unsynchronized (the RAID5 write hole), so the
+/// workload taints the full group span. Verification skips tainted bytes:
+/// the contract is about acknowledged data only.
+class Shadow {
+ public:
+  explicit Shadow(std::uint64_t size)
+      : bytes_(size, std::byte{0}), tainted_(size, false) {}
+
+  void write(std::uint64_t off, const Buffer& data) {
+    auto src = data.bytes();
+    std::copy(src.begin(), src.end(),
+              bytes_.begin() + static_cast<std::ptrdiff_t>(off));
+    std::fill(tainted_.begin() + static_cast<std::ptrdiff_t>(off),
+              tainted_.begin() + static_cast<std::ptrdiff_t>(off) +
+                  static_cast<std::ptrdiff_t>(data.size()),
+              false);
+  }
+
+  void taint(std::uint64_t off, std::uint64_t len) {
+    const std::uint64_t end = std::min<std::uint64_t>(off + len,
+                                                      tainted_.size());
+    for (std::uint64_t i = off; i < end; ++i) tainted_[i] = true;
+  }
+
+  std::uint64_t tainted_bytes() const {
+    std::uint64_t n = 0;
+    for (bool t : tainted_) n += t ? 1 : 0;
+    return n;
+  }
+
+  bool matches(std::uint64_t off, const Buffer& got) const {
+    auto b = got.bytes();
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (tainted_[off + i]) continue;
+      if (bytes_[off + i] != b[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::byte> bytes_;
+  std::vector<bool> tainted_;
+};
+
+/// State shared between the workload driver and the crash watcher. The
+/// simulation is cooperatively single-threaded, so plain flags suffice.
+struct Scoreboard {
+  std::optional<pvfs::OpenFile> file;
+  bool rebuilding = false;    ///< watcher holds the workload off
+  bool op_in_flight = false;  ///< driver is mid-operation
+  bool watch_done = false;
+  bool driver_done = false;
+  StormMetrics m;
+};
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t fingerprint(const StormMetrics& m) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& line : m.trace) {
+    for (char c : line) h = fnv1a(h, static_cast<unsigned char>(c));
+  }
+  for (std::uint64_t v :
+       {m.ops_attempted, m.ops_ok, m.ops_failed, m.reads, m.writes,
+        m.verify_mismatches, m.tainted_bytes, m.rpc_sent, m.rpc_retries,
+        m.rpc_timeouts,
+        m.rpc_resets, m.degraded_reads, m.degraded_writes,
+        m.reactive_failovers, m.scrub_media_errors, m.scrub_repaired,
+        static_cast<std::uint64_t>(m.detection_latency),
+        static_cast<std::uint64_t>(m.mttr), m.events_executed,
+        static_cast<std::uint64_t>(m.finished_at), m.faults.crashes,
+        m.faults.restarts, m.faults.msgs_dropped, m.faults.msgs_reset,
+        m.faults.msgs_delayed, m.faults.media_planted,
+        m.faults.slow_periods}) {
+    h = fnv1a(h, v);
+  }
+  return h;
+}
+
+/// Watch the plan's crashes: record detection latency for the first one,
+/// and when a crashed server rejoins, pause the monitor (so clients keep
+/// taking the safe degraded path), rebuild it, and resume probing. Every
+/// wait is bounded so a mis-sized plan degrades the metrics, not the run.
+sim::Task<void> watcher(const StormParams& p, raid::Rig& rig,
+                        raid::HealthMonitor& mon, Scoreboard& sb) {
+  auto& sim = rig.sim;
+  std::vector<ServerCrash> crashes = p.plan.crashes;
+  std::sort(crashes.begin(), crashes.end(),
+            [](const ServerCrash& a, const ServerCrash& b) {
+              return a.at < b.at;
+            });
+  bool first = true;
+  for (const auto& c : crashes) {
+    if (c.at > sim.now()) co_await sim.sleep_until(c.at);
+    sim::Time give_up = sim.now() + sim::sec(30);
+    while (mon.is_alive(c.server) && sim.now() < give_up) {
+      co_await sim.sleep(sim::ms(1));
+    }
+    if (first && !mon.is_alive(c.server)) {
+      sb.m.detection_latency = sim.now() - c.at;
+    }
+    if (!c.restart_at) {
+      first = false;
+      continue;
+    }
+    if (*c.restart_at > sim.now()) co_await sim.sleep_until(*c.restart_at);
+    if (p.rebuild_after && sb.file) {
+      // Quiesce: let the in-flight op drain, then keep the workload parked
+      // while the blank disk is refilled. The monitor stays stopped (still
+      // reporting the server down) so any straggler keeps using the
+      // degraded path instead of reading a half-rebuilt disk.
+      sb.rebuilding = true;
+      give_up = sim.now() + sim::sec(30);
+      while (sb.op_in_flight && sim.now() < give_up) {
+        co_await sim.sleep(sim::ms(1));
+      }
+      mon.stop();
+      raid::Recovery rec(rig.client(), p.rig.scheme);
+      auto rb = co_await rec.rebuild_server(*sb.file, c.server, p.file_size);
+      if (!rb.ok()) sb.m.rebuild_ok = false;
+      // Only now is the blank disk trustworthy: lift the rejoin fence so
+      // reads and probes are served again. A failed rebuild leaves the
+      // fence up — clients keep using the degraded path, which is correct.
+      if (rb.ok()) rig.server(c.server).admit();
+      mon.start();
+      give_up = sim.now() + sim::sec(30);
+      while (!mon.is_alive(c.server) && sim.now() < give_up) {
+        co_await sim.sleep(sim::ms(1));
+      }
+      sb.rebuilding = false;
+      if (first && mon.is_alive(c.server) && sb.m.rebuild_ok) {
+        sb.m.mttr = sim.now() - c.at;
+      }
+    }
+    first = false;
+  }
+  sb.watch_done = true;
+  // If the driver already wrapped up (mis-sized plan with a very late
+  // restart), make sure no poller outlives us — sim.run() must terminate.
+  if (sb.driver_done) mon.stop();
+}
+
+sim::Task<void> driver(const StormParams& p, raid::Rig& rig,
+                       raid::HealthMonitor& mon, FaultInjector& inj,
+                       Shadow& shadow, Scoreboard& sb) {
+  auto& sim = rig.sim;
+  auto& fs = rig.client_fs();
+  Rng wl(p.workload_seed);
+
+  // Preload: populate the whole file (and its redundancy) before the storm.
+  auto f = co_await fs.create("storm", rig.layout(p.stripe_unit));
+  if (!f.ok()) co_return;
+  sb.file = *f;
+  const std::uint64_t chunk = f->layout.stripe_width();
+  for (std::uint64_t off = 0; off < p.file_size; off += chunk) {
+    const std::uint64_t len = std::min<std::uint64_t>(chunk, p.file_size - off);
+    Buffer data = Buffer::pattern(len, wl.next());
+    auto wr = co_await fs.write(*f, off, data.slice(0, len));
+    if (wr.ok()) shadow.write(off, data);
+  }
+
+  // Unleash the storm.
+  mon.start();
+  inj.start();
+
+  const std::uint64_t span = p.file_size > p.io_size
+                                 ? p.file_size - p.io_size
+                                 : 0;
+  for (std::uint64_t op = 0; op < p.ops; ++op) {
+    // Park while a rebuild is refilling a blank disk (bounded wait).
+    const sim::Time give_up = sim.now() + sim::sec(60);
+    while (sb.rebuilding && sim.now() < give_up) {
+      co_await sim.sleep(sim::ms(1));
+    }
+    sb.op_in_flight = true;
+    const std::uint64_t off = span == 0 ? 0 : wl.below(span + 1);
+    const bool is_write = wl.below(2) == 0;
+    ++sb.m.ops_attempted;
+    if (is_write) {
+      ++sb.m.writes;
+      Buffer data = Buffer::pattern(p.io_size, wl.next());
+      auto wr = co_await fs.write(*f, off, data.slice(0, p.io_size));
+      if (wr.ok()) {
+        ++sb.m.ops_ok;
+        shadow.write(off, data);
+      } else {
+        ++sb.m.ops_failed;
+        // Torn write: parts may have landed, and under a parity scheme the
+        // groups it touched may be left with stale parity (write hole) —
+        // a later degraded read anywhere in those groups is suspect.
+        std::uint64_t lo = off;
+        std::uint64_t hi = off + p.io_size;
+        if (p.rig.scheme != raid::Scheme::raid0 &&
+            p.rig.scheme != raid::Scheme::raid1) {
+          const std::uint64_t w = f->layout.stripe_width();
+          lo = lo / w * w;
+          hi = std::min<std::uint64_t>(p.file_size, (hi + w - 1) / w * w);
+        }
+        shadow.taint(lo, hi - lo);
+      }
+    } else {
+      ++sb.m.reads;
+      auto rd = co_await fs.read(*f, off, p.io_size);
+      if (rd.ok()) {
+        ++sb.m.ops_ok;
+        if (!shadow.matches(off, *rd)) ++sb.m.verify_mismatches;
+      } else {
+        ++sb.m.ops_failed;
+      }
+    }
+    sb.op_in_flight = false;
+    co_await sim.sleep(p.op_gap);
+  }
+
+  // Let the watcher finish any pending restart + rebuild (bounded wait).
+  const sim::Time give_up = sim.now() + sim::sec(120);
+  while (!sb.watch_done && sim.now() < give_up) {
+    co_await sim.sleep(sim::ms(5));
+  }
+
+  // With every server healthy again, clear latent sector errors the plan
+  // planted; the scrubber rebuilds unreadable units from the redundancy.
+  if (p.scrub_after && !mon.first_failed()) {
+    raid::Scrubber scrub(rig.client(), p.rig.scheme);
+    auto rep = co_await scrub.repair(*f, p.file_size);
+    if (rep.ok()) {
+      sb.m.scrub_media_errors = rep->media_errors;
+      sb.m.scrub_repaired = rep->repaired;
+    }
+  }
+
+  // Full-file sweep: every byte must match the shadow. Reads go through
+  // the failover path, so a permanently-down server is not an excuse.
+  for (std::uint64_t off = 0; off < p.file_size; off += chunk) {
+    const std::uint64_t len = std::min<std::uint64_t>(chunk, p.file_size - off);
+    auto rd = co_await fs.read(*f, off, len);
+    if (!rd.ok() || !shadow.matches(off, *rd)) ++sb.m.verify_mismatches;
+  }
+
+  sb.driver_done = true;
+  mon.stop();
+  sb.m.tainted_bytes = shadow.tainted_bytes();
+  sb.m.finished_at = sim.now();
+}
+
+}  // namespace
+
+StormMetrics run_storm(const StormParams& params) {
+  raid::Rig rig(params.rig);
+  raid::HealthMonitor mon(rig.client(), params.health);
+  std::vector<pvfs::IoServer*> server_ptrs;
+  for (auto& s : rig.servers) server_ptrs.push_back(s.get());
+  FaultInjector inj(rig.cluster, rig.fabric, std::move(server_ptrs),
+                    params.plan);
+  rig.client_fs().enable_failover(&mon);
+
+  Shadow shadow(params.file_size);
+  Scoreboard sb;
+  rig.sim.spawn(driver(params, rig, mon, inj, shadow, sb));
+  rig.sim.spawn(watcher(params, rig, mon, sb));
+  rig.sim.run();
+
+  StormMetrics m = sb.m;
+  const auto& rpc = rig.client().rpc_stats();
+  m.rpc_sent = rpc.sent;
+  m.rpc_retries = rpc.retries;
+  m.rpc_timeouts = rpc.timeouts;
+  m.rpc_resets = rpc.resets;
+  const auto& fo = rig.client_fs().failover_stats();
+  m.degraded_reads = fo.degraded_reads;
+  m.degraded_writes = fo.degraded_writes;
+  m.reactive_failovers = fo.reactive;
+  m.availability = m.ops_attempted == 0
+                       ? 1.0
+                       : static_cast<double>(m.ops_ok) /
+                             static_cast<double>(m.ops_attempted);
+  m.faults = inj.stats();
+  m.trace = inj.trace();
+  m.events_executed = rig.sim.events_executed();
+  m.fingerprint = fingerprint(m);
+  return m;
+}
+
+}  // namespace csar::fault

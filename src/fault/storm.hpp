@@ -1,0 +1,91 @@
+// Fault-storm harness: a seeded client workload driven through a FaultPlan.
+//
+// This is the capstone scenario for the robustness work: a deployment runs a
+// deterministic read/write mix while the injector crashes servers, drops and
+// resets messages, plants latent sector errors and slows disks — and the
+// client stack (RPC deadlines + retry, HealthMonitor, CsarFs failover,
+// Recovery rebuild, Scrubber media repair) is expected to keep every
+// completed operation correct. A shadow copy of the file is maintained
+// alongside the workload; every successful read is verified against it, and
+// a full-file sweep at the end catches anything the sampled reads missed.
+//
+// Everything is derived from seeds (workload offsets, fault draws, retry
+// jitter), so one StormParams value denotes exactly one simulation: the
+// metrics, the fault trace and the event count are bit-stable across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "raid/health.hpp"
+#include "raid/rig.hpp"
+#include "sim/time.hpp"
+
+namespace csar::fault {
+
+struct StormParams {
+  raid::RigParams rig;        ///< deployment (set rig.rpc to real deadlines!)
+  raid::HealthParams health;  ///< failure-detection cadence
+  FaultPlan plan;             ///< what goes wrong, and when
+  std::uint64_t file_size = 8 * 1024 * 1024;
+  std::uint32_t stripe_unit = 64 * 1024;
+  std::uint64_t io_size = 64 * 1024;  ///< per-op transfer size
+  std::uint64_t ops = 200;            ///< read/write ops after the preload
+  sim::Duration op_gap = sim::ms(5);  ///< pause between ops
+  std::uint64_t workload_seed = 42;   ///< offsets, op mix, payload patterns
+  /// Run Recovery::rebuild_server when a wiped server rejoins (the monitor
+  /// is paused for the rebuild so clients keep using the degraded path
+  /// until the disk is trustworthy again).
+  bool rebuild_after = true;
+  /// Run a Scrubber::repair pass before the final sweep, clearing any
+  /// latent sector errors the plan planted.
+  bool scrub_after = true;
+};
+
+struct StormMetrics {
+  // Workload outcome.
+  std::uint64_t ops_attempted = 0;
+  std::uint64_t ops_ok = 0;
+  std::uint64_t ops_failed = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t verify_mismatches = 0;  ///< successful reads with wrong data
+  /// Bytes left indeterminate by failed (possibly torn) writes and never
+  /// re-acknowledged; they are excluded from verification.
+  std::uint64_t tainted_bytes = 0;
+
+  // Client robustness machinery.
+  std::uint64_t rpc_sent = 0;
+  std::uint64_t rpc_retries = 0;
+  std::uint64_t rpc_timeouts = 0;
+  std::uint64_t rpc_resets = 0;
+  std::uint64_t degraded_reads = 0;
+  std::uint64_t degraded_writes = 0;
+  std::uint64_t reactive_failovers = 0;
+
+  // Repair outcome.
+  std::uint64_t scrub_media_errors = 0;
+  std::uint64_t scrub_repaired = 0;
+  bool rebuild_ok = true;  ///< false when a scheduled rebuild failed
+
+  // Fault-tolerance figures of merit.
+  sim::Duration detection_latency = 0;  ///< first crash -> monitor notices
+  sim::Duration mttr = 0;  ///< first crash -> rebuilt & trusted again
+  double availability = 1.0;  ///< ops_ok / ops_attempted
+
+  // Determinism fingerprints.
+  std::uint64_t events_executed = 0;
+  sim::Time finished_at = 0;
+  std::uint64_t fingerprint = 0;  ///< FNV-1a over trace + all counters
+
+  FaultStats faults;
+  std::vector<std::string> trace;  ///< the injector's executed-fault log
+};
+
+/// Build a deployment, run the storm, return the metrics. Blocking (drives
+/// the simulation to completion).
+StormMetrics run_storm(const StormParams& params);
+
+}  // namespace csar::fault

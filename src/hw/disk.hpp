@@ -16,12 +16,17 @@
 
 #include <cstdint>
 
+#include "common/interval_set.hpp"
 #include "sim/simulation.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
 namespace csar::hw {
+
+/// Outcome of a single device I/O. A media_error read still pays full
+/// service time (the drive retries internally before giving up).
+enum class IoStatus { ok, media_error };
 
 struct DiskParams {
   double bytes_per_sec = 70e6;       ///< sustained media rate
@@ -36,17 +41,40 @@ class Disk {
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
 
-  sim::Task<void> read(std::uint64_t addr, std::uint64_t len) {
+  sim::Task<IoStatus> read(std::uint64_t addr, std::uint64_t len) {
     co_await io(addr, len);
     ++reads_;
     bytes_read_ += len;
+    if (len > 0 && bad_.intersects(addr, addr + len)) {
+      ++media_errors_;
+      co_return IoStatus::media_error;
+    }
+    co_return IoStatus::ok;
   }
 
-  sim::Task<void> write(std::uint64_t addr, std::uint64_t len) {
+  sim::Task<IoStatus> write(std::uint64_t addr, std::uint64_t len) {
     co_await io(addr, len);
     ++writes_;
     bytes_written_ += len;
+    // Writing remaps bad sectors: the latent error is gone afterwards.
+    if (len > 0) bad_.erase(addr, addr + len);
+    co_return IoStatus::ok;
   }
+
+  /// Plant a latent sector error over [addr, addr+len): subsequent reads
+  /// overlapping the range fail with media_error until the range is
+  /// overwritten.
+  void plant_media_error(std::uint64_t addr, std::uint64_t len) {
+    if (len > 0) bad_.insert(addr, addr + len);
+  }
+
+  /// Fail-slow knob: service times are multiplied by `f` (>= 1.0 slows the
+  /// device down; 1.0 restores nominal speed).
+  void set_service_factor(double f) { service_factor_ = f < 0.0 ? 0.0 : f; }
+  double service_factor() const { return service_factor_; }
+
+  /// Bytes currently covered by planted-but-unrepaired sector errors.
+  std::uint64_t bad_bytes() const { return bad_.total(); }
 
   struct Stats {
     std::uint64_t reads = 0;
@@ -55,9 +83,11 @@ class Disk {
     std::uint64_t bytes_written = 0;
     std::uint64_t seeks = 0;
     sim::Duration busy_time = 0;
+    std::uint64_t media_errors = 0;
   };
   Stats stats() const {
-    return {reads_, writes_, bytes_read_, bytes_written_, seeks_, busy_};
+    return {reads_,        writes_, bytes_read_, bytes_written_,
+            seeks_,        busy_,   media_errors_};
   }
 
   const DiskParams& params() const { return p_; }
@@ -69,6 +99,10 @@ class Disk {
     if (addr != head_) {
       dur += p_.seek;
       ++seeks_;
+    }
+    if (service_factor_ != 1.0) {
+      dur = static_cast<sim::Duration>(static_cast<double>(dur) *
+                                       service_factor_);
     }
     head_ = addr + len;
     busy_ += dur;
@@ -85,6 +119,9 @@ class Disk {
   std::uint64_t bytes_written_ = 0;
   std::uint64_t seeks_ = 0;
   sim::Duration busy_ = 0;
+  std::uint64_t media_errors_ = 0;
+  double service_factor_ = 1.0;
+  IntervalSet bad_;
 };
 
 }  // namespace csar::hw

@@ -70,18 +70,26 @@ sim::Task<void> PageCache::ensure_room() {
   }
 }
 
-sim::Task<void> PageCache::read(std::uint64_t fid, std::uint64_t off,
-                                std::uint64_t len,
-                                const ContentPred& has_content) {
-  if (len == 0) co_return;
+sim::Task<IoStatus> PageCache::read(std::uint64_t fid, std::uint64_t off,
+                                    std::uint64_t len,
+                                    const ContentPred& has_content) {
+  if (len == 0) co_return IoStatus::ok;
+  IoStatus status = IoStatus::ok;
   const std::uint64_t first = off / p_.page_size;
   const std::uint64_t last = (off + len - 1) / p_.page_size;
   std::uint64_t run_start = 0;  // first page of a pending miss run
   std::uint64_t run_len = 0;    // pages in the pending miss run
   auto flush_run = [&]() -> sim::Task<void> {
     if (run_len == 0) co_return;
-    co_await disk_->read(page_addr(fid, run_start, p_.page_size),
-                         run_len * p_.page_size);
+    if (co_await disk_->read(page_addr(fid, run_start, p_.page_size),
+                             run_len * p_.page_size) ==
+        IoStatus::media_error) {
+      // Failed runs are not cached: retries keep hitting the bad sectors
+      // until something rewrites them.
+      status = IoStatus::media_error;
+      run_len = 0;
+      co_return;
+    }
     for (std::uint64_t k = 0; k < run_len; ++k) {
       insert(fid, run_start + k, /*dirty=*/false);
     }
@@ -105,6 +113,7 @@ sim::Task<void> PageCache::read(std::uint64_t fid, std::uint64_t off,
   }
   co_await flush_run();
   co_await mem_->transfer(len);
+  co_return status;
 }
 
 sim::Task<void> PageCache::write(std::uint64_t fid, std::uint64_t off,
@@ -129,7 +138,10 @@ sim::Task<void> PageCache::write(std::uint64_t fid, std::uint64_t off,
       // §5.2: a sub-page write to uncached, preexisting content forces the
       // page to be read from disk before the write can be applied.
       ++stats_.prereads;
-      co_await disk_->read(page_addr(fid, pg, p_.page_size), p_.page_size);
+      // A media error on the pre-read is absorbed: the overwrite that
+      // follows remaps the bad sectors anyway.
+      (void)co_await disk_->read(page_addr(fid, pg, p_.page_size),
+                                 p_.page_size);
     } else {
       ++stats_.misses;
     }

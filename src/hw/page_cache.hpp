@@ -60,9 +60,10 @@ class PageCache {
   }
 
   /// Read `len` bytes at `off` of file `fid`. Pages that are holes under
-  /// `has_content` cost no disk I/O.
-  sim::Task<void> read(std::uint64_t fid, std::uint64_t off, std::uint64_t len,
-                       const ContentPred& has_content);
+  /// `has_content` cost no disk I/O. Returns media_error if any miss run hit
+  /// a latent sector error (cached pages never error).
+  sim::Task<IoStatus> read(std::uint64_t fid, std::uint64_t off,
+                           std::uint64_t len, const ContentPred& has_content);
 
   /// Write `len` bytes at `off`. A page only partially covered by the write,
   /// whose old content exists under `has_content` and is not cached, is

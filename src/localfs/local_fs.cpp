@@ -96,16 +96,27 @@ sim::Task<void> LocalFs::write_stream(const std::string& name,
 
 sim::Task<Buffer> LocalFs::read(const std::string& name, std::uint64_t off,
                                 std::uint64_t len, bool materialized_hint) {
+  auto out = co_await read_checked(name, off, len, materialized_hint);
+  co_return std::move(out.data);
+}
+
+sim::Task<LocalFs::ReadOutcome> LocalFs::read_checked(const std::string& name,
+                                                      std::uint64_t off,
+                                                      std::uint64_t len,
+                                                      bool materialized_hint) {
   auto it = files_.find(name);
   if (it == files_.end()) {
     // Absent file: reads see zeros and cost only the copy-out.
-    co_return materialized_hint ? Buffer::real(len) : Buffer::phantom(len);
+    co_return ReadOutcome{
+        materialized_hint ? Buffer::real(len) : Buffer::phantom(len), false};
   }
   File& f = it->second;
   auto has_content = [&content = f.content](std::uint64_t s, std::uint64_t e) {
     return content.intersects(s, e);
   };
-  co_await cache_->read(f.fid, off, len, has_content);
+  const bool media_error =
+      co_await cache_->read(f.fid, off, len, has_content) ==
+      hw::IoStatus::media_error;
 
   // Assemble content; if any stored chunk is phantom, the result is phantom.
   const auto chunks = f.content.query(off, off + len);
@@ -113,13 +124,13 @@ sim::Task<Buffer> LocalFs::read(const std::string& name, std::uint64_t off,
   for (const auto& c : chunks) {
     if (!c.value->materialized()) phantom = true;
   }
-  if (phantom) co_return Buffer::phantom(len);
+  if (phantom) co_return ReadOutcome{Buffer::phantom(len), media_error};
   Buffer out = Buffer::real(len);
   for (const auto& c : chunks) {
     out.write_at(c.start - off,
                  c.value->slice(c.start - c.entry_start, c.end - c.start));
   }
-  co_return out;
+  co_return ReadOutcome{std::move(out), media_error};
 }
 
 sim::Task<void> LocalFs::flush() { co_await cache_->flush_all(); }

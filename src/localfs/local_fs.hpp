@@ -75,6 +75,34 @@ class LocalFs {
   sim::Task<Buffer> read(const std::string& name, std::uint64_t off,
                          std::uint64_t len, bool materialized_hint = true);
 
+  /// Result of a checked read: the data plus whether the underlying disk
+  /// reported a latent sector error anywhere in the range.
+  struct ReadOutcome {
+    Buffer data;
+    bool media_error = false;
+  };
+
+  /// Like read(), but surfaces media errors instead of swallowing them.
+  /// The data buffer is still populated (the content layer is logical);
+  /// callers that care about fault semantics must honour the flag.
+  sim::Task<ReadOutcome> read_checked(const std::string& name,
+                                      std::uint64_t off, std::uint64_t len,
+                                      bool materialized_hint = true);
+
+  /// Simulate a server crash: all page-cache state (including dirty pages)
+  /// vanishes. Content is kept — the model treats applied writes as durable
+  /// and charges the timing cost of re-reading everything cold instead.
+  void crash() { cache_->drop_all(); }
+
+  /// Page-cache file id of `name`, or 0 if the file does not exist. The
+  /// disk address of byte `off` is then fid * 2^40 + off (see
+  /// PageCache::page_addr); fault injectors use this to plant latent
+  /// sector errors under real file extents.
+  std::uint64_t fid_of(const std::string& name) const {
+    auto it = files_.find(name);
+    return it == files_.end() ? 0 : it->second.fid;
+  }
+
   /// fsync every file: push all dirty pages to disk.
   sim::Task<void> flush();
 

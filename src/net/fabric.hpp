@@ -14,8 +14,34 @@
 
 #include "hw/node.hpp"
 #include "sim/task.hpp"
+#include "sim/time.hpp"
 
 namespace csar::net {
+
+/// How a transfer ended. Callers that ignore the value (fire-and-forget
+/// senders) behave exactly as before faults existed; fault-aware callers
+/// use it to decide whether the message actually arrived.
+enum class Delivery {
+  ok,       ///< last byte received
+  dropped,  ///< silently lost in flight (receiver sees nothing)
+  reset,    ///< connection refused/reset — sender notices immediately
+};
+
+/// Fault-injection hook consulted once per transfer. Implemented by
+/// fault::FaultInjector; the fabric itself stays policy-free.
+class FabricHook {
+ public:
+  virtual ~FabricHook() = default;
+
+  struct Verdict {
+    bool drop = false;             ///< lose the message after the wire
+    bool reset = false;            ///< refuse before the wire (sender sees it)
+    sim::Duration extra_delay = 0; ///< added wire latency
+  };
+
+  virtual Verdict on_transfer(hw::NodeId src, hw::NodeId dst,
+                              std::uint64_t payload_bytes) = 0;
+};
 
 class Fabric {
  public:
@@ -26,20 +52,32 @@ class Fabric {
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
-  /// Move `payload_bytes` (+ header) from `src` to `dst`; completes when the
-  /// last byte has been received.
-  sim::Task<void> transfer(hw::NodeId src, hw::NodeId dst,
-                           std::uint64_t payload_bytes) {
+  /// Move `payload_bytes` (+ header) from `src` to `dst`; resolves when the
+  /// last byte has been received (Delivery::ok), the message is lost
+  /// (dropped — full send cost paid, nothing received), or the connection
+  /// is reset (sender notices before occupying the wire).
+  sim::Task<Delivery> transfer(hw::NodeId src, hw::NodeId dst,
+                               std::uint64_t payload_bytes) {
+    FabricHook::Verdict v{};
+    if (hook_) v = hook_->on_transfer(src, dst, payload_bytes);
+    if (v.reset) co_return Delivery::reset;
     const std::uint64_t bytes = payload_bytes + kHeaderBytes;
     co_await cluster_->node(src).tx().transfer(bytes);
-    co_await cluster_->sim().sleep(cluster_->profile().wire_latency);
+    co_await cluster_->sim().sleep(cluster_->profile().wire_latency +
+                                   v.extra_delay);
+    if (v.drop) co_return Delivery::dropped;
     co_await cluster_->node(dst).rx().transfer(bytes);
+    co_return Delivery::ok;
   }
+
+  /// Install (or clear, with nullptr) the fault hook. Not owned.
+  void set_fault_hook(FabricHook* hook) { hook_ = hook; }
 
   hw::Cluster& cluster() { return *cluster_; }
 
  private:
   hw::Cluster* cluster_;
+  FabricHook* hook_ = nullptr;
 };
 
 }  // namespace csar::net

@@ -1,6 +1,8 @@
 #include "pvfs/client.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <memory>
 #include <utility>
 
 #include "sim/sync.hpp"
@@ -8,13 +10,49 @@
 namespace csar::pvfs {
 
 sim::Task<MetaResponse> Client::meta_rpc(MetaRequest r) {
-  sim::Channel<MetaResponse> ch(cluster_->sim());
+  auto& sim = cluster_->sim();
+  auto ch = std::make_shared<sim::Channel<MetaResponse>>(sim);
   r.from = node_;
-  r.reply = &ch;
-  co_await fabric_->transfer(node_, manager_->node_id(),
-                             r.name.size() + sizeof(MetaRequest));
-  manager_->inbox().send(std::move(r));
-  co_return co_await ch.recv();
+  r.reply = ch;
+  const std::uint32_t attempts = std::max<std::uint32_t>(1, policy_.max_attempts);
+  for (std::uint32_t attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      ++rpc_stats_.retries;
+      co_await sim.sleep(backoff_pause(policy_, attempt));
+    }
+    MetaRequest req = r;
+    ++rpc_stats_.sent;
+    const auto d = co_await fabric_->transfer(
+        node_, manager_->node_id(), req.name.size() + sizeof(MetaRequest));
+    if (d == net::Delivery::reset) {
+      ++rpc_stats_.resets;
+      if (attempt == attempts) break;
+      continue;
+    }
+    if (d == net::Delivery::ok) manager_->inbox().send(std::move(req));
+    if (policy_.timeout == 0) co_return co_await ch->recv();
+    auto got = co_await ch->recv_until(sim.now() + policy_.timeout);
+    if (got) co_return std::move(*got);
+    ++rpc_stats_.timeouts;
+  }
+  MetaResponse failed;
+  failed.ok = false;
+  failed.err = Errc::timeout;
+  co_return failed;
+}
+
+sim::Duration Client::backoff_pause(const RpcPolicy& policy,
+                                    std::uint32_t attempt) {
+  // Exponential backoff with deterministic jitter: attempt k (2-based here)
+  // waits backoff << (k-2), scaled by up to `jitter` extra drawn from the
+  // client's seeded stream.
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt - 2, 20);
+  sim::Duration pause = policy.backoff << shift;
+  if (policy.jitter > 0.0) {
+    pause += static_cast<sim::Duration>(static_cast<double>(pause) *
+                                        policy.jitter * rng_.uniform());
+  }
+  return pause;
 }
 
 sim::Task<Result<OpenFile>> Client::create(std::string name,
@@ -69,15 +107,55 @@ sim::Task<Result<void>> Client::remove(std::string name) {
 }
 
 sim::Task<Response> Client::rpc(std::uint32_t s, Request r) {
+  co_return co_await rpc(s, std::move(r), policy_);
+}
+
+sim::Task<Response> Client::rpc(std::uint32_t s, Request r, RpcPolicy policy) {
   assert(s < servers_.size());
-  sim::Channel<Response> ch(cluster_->sim());
+  auto& sim = cluster_->sim();
+  // The channel is shared with the server and kept alive across attempts:
+  // a late reply to a timed-out attempt lands here harmlessly, and because
+  // every I/O server op is idempotent it may even satisfy a later attempt.
+  auto ch = std::make_shared<sim::Channel<Response>>(sim);
   r.from = node_;
-  r.reply = &ch;
-  const std::uint64_t wire = r.wire_bytes();
+  r.reply = ch;
   IoServer* srv = servers_[s];
-  co_await fabric_->transfer(node_, srv->node_id(), wire);
-  srv->inbox().send(std::move(r));
-  co_return co_await ch.recv();
+  const std::uint32_t attempts = std::max<std::uint32_t>(1, policy.max_attempts);
+  Errc last_err = Errc::timeout;
+  for (std::uint32_t attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      ++rpc_stats_.retries;
+      co_await sim.sleep(backoff_pause(policy, attempt));
+    }
+    Request req = r;  // each attempt resends a fresh copy
+    ++rpc_stats_.sent;
+    const auto d =
+        co_await fabric_->transfer(node_, srv->node_id(), req.wire_bytes());
+    if (d == net::Delivery::reset) {
+      ++rpc_stats_.resets;
+      last_err = Errc::conn_dropped;
+      continue;
+    }
+    if (d == net::Delivery::ok) srv->inbox().send(std::move(req));
+    // Delivery::dropped: the request is gone; only the deadline saves us.
+    if (policy.timeout == 0) {
+      Response resp = co_await ch->recv();
+      resp.server = static_cast<int>(s);
+      co_return resp;
+    }
+    auto got = co_await ch->recv_until(sim.now() + policy.timeout);
+    if (got) {
+      got->server = static_cast<int>(s);
+      co_return std::move(*got);
+    }
+    ++rpc_stats_.timeouts;
+    last_err = Errc::timeout;
+  }
+  Response failed;
+  failed.ok = false;
+  failed.err = last_err;
+  failed.server = static_cast<int>(s);
+  co_return failed;
 }
 
 sim::Task<std::vector<Response>> Client::rpc_all(
@@ -132,7 +210,7 @@ sim::Task<Result<void>> Client::write_striped(const OpenFile& f,
   }
   auto resps = co_await rpc_all(std::move(reqs));
   for (const auto& resp : resps) {
-    if (!resp.ok) co_return Error{resp.err, "write_striped"};
+    if (!resp.ok) co_return Error{resp.err, "write_striped", resp.server};
   }
   co_return Result<void>::success();
 }
@@ -154,7 +232,7 @@ sim::Task<Result<Buffer>> Client::read(const OpenFile& f, std::uint64_t off,
   auto resps = co_await rpc_all(std::move(reqs));
   bool phantom = false;
   for (std::size_t i = 0; i < resps.size(); ++i) {
-    if (!resps[i].ok) co_return Error{resps[i].err, "read"};
+    if (!resps[i].ok) co_return Error{resps[i].err, "read", resps[i].server};
     if (!resps[i].data.materialized()) phantom = true;
   }
   if (phantom) co_return Buffer::phantom(len);
@@ -182,7 +260,7 @@ sim::Task<Result<void>> Client::flush(const OpenFile& f) {
   }
   auto resps = co_await rpc_all(std::move(reqs));
   for (const auto& resp : resps) {
-    if (!resp.ok) co_return Error{resp.err, "flush"};
+    if (!resp.ok) co_return Error{resp.err, "flush", resp.server};
   }
   co_return Result<void>::success();
 }

@@ -12,6 +12,7 @@
 
 #include "common/buffer.hpp"
 #include "common/result.hpp"
+#include "common/rng.hpp"
 #include "hw/node.hpp"
 #include "net/fabric.hpp"
 #include "pvfs/io_server.hpp"
@@ -20,6 +21,31 @@
 #include "sim/task.hpp"
 
 namespace csar::pvfs {
+
+/// Per-RPC robustness policy. The default (timeout 0, one attempt) is the
+/// legacy behaviour: wait forever, never retry — heavy-load experiments
+/// legitimately queue RPCs for many simulated seconds, so deadlines are
+/// strictly opt-in. Fault-aware setups (Rig rpc policy, HealthMonitor
+/// probes, the fault-storm harness) configure real deadlines.
+struct RpcPolicy {
+  /// Per-attempt deadline on the simulated clock; 0 = wait forever.
+  sim::Duration timeout = 0;
+  /// Total send attempts (1 = no retry).
+  std::uint32_t max_attempts = 1;
+  /// Backoff before retry k (1-based) is `backoff << (k-1)` plus jitter.
+  sim::Duration backoff = sim::ms(5);
+  /// Uniform jitter fraction of the backoff, drawn from the client's
+  /// deterministic Rng: pause += U[0, jitter) * pause.
+  double jitter = 0.5;
+};
+
+/// Counters for the client's RPC engine (retry/timeout observability).
+struct RpcStats {
+  std::uint64_t sent = 0;      ///< attempts that reached the fabric
+  std::uint64_t retries = 0;   ///< attempts after the first
+  std::uint64_t timeouts = 0;  ///< attempts that hit their deadline
+  std::uint64_t resets = 0;    ///< attempts refused by the fabric (reset)
+};
 
 class Client {
  public:
@@ -46,10 +72,28 @@ class Client {
   sim::Task<Result<OpenFile>> open(std::string name);
   sim::Task<Result<void>> remove(std::string name);
 
+  /// Default policy for every rpc()/meta_rpc() issued by this client.
+  void set_rpc_policy(const RpcPolicy& p) { policy_ = p; }
+  const RpcPolicy& rpc_policy() const { return policy_; }
+
+  /// Reseed the deterministic backoff-jitter stream (Rig seeds one stream
+  /// per client so concurrent retries stay decorrelated but reproducible).
+  void seed_retry_rng(std::uint64_t seed) { rng_.reseed(seed); }
+
+  const RpcStats& rpc_stats() const { return rpc_stats_; }
+
   // --- RPC building block ---
   /// Send `r` to server `s`, charging the network both ways; returns the
-  /// server's response.
+  /// server's response (under the client's default policy).
   sim::Task<Response> rpc(std::uint32_t s, Request r);
+
+  /// Like rpc() but with an explicit policy (health probes use short
+  /// deadlines regardless of the client-wide default). On timeout after the
+  /// last attempt the response is synthesized with Errc::timeout; a fabric
+  /// reset after the last attempt yields Errc::conn_dropped. Late replies
+  /// from earlier attempts of the same call are accepted (all I/O server
+  /// ops are idempotent).
+  sim::Task<Response> rpc(std::uint32_t s, Request r, RpcPolicy policy);
 
   /// Issue all requests concurrently; responses returned in request order.
   sim::Task<std::vector<Response>> rpc_all(
@@ -80,12 +124,17 @@ class Client {
 
  private:
   sim::Task<MetaResponse> meta_rpc(MetaRequest r);
+  /// Backoff before send attempt `attempt` (2-based), jittered from rng_.
+  sim::Duration backoff_pause(const RpcPolicy& policy, std::uint32_t attempt);
 
   hw::Cluster* cluster_;
   net::Fabric* fabric_;
   Manager* manager_;
   std::vector<IoServer*> servers_;
   hw::NodeId node_;
+  RpcPolicy policy_{};
+  RpcStats rpc_stats_{};
+  Rng rng_{0xC5A2F001ULL};  ///< backoff jitter; reseed via seed_retry_rng
 };
 
 }  // namespace csar::pvfs

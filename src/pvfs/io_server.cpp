@@ -76,6 +76,9 @@ sim::Task<void> IoServer::dispatcher() {
   for (;;) {
     Request r = co_await inbox_.recv();
     if (r.op == Op::shutdown) break;
+    // A crashed daemon consumes nothing: requests vanish without an answer
+    // and the sender's RPC deadline is the only way to notice.
+    if (crashed_) continue;
     cluster_->sim().spawn(handle(std::move(r)));
   }
 }
@@ -107,9 +110,12 @@ sim::Task<void> IoServer::pace(const Request& r, std::uint64_t bytes) {
   co_await stream_for(r.from, redundancy).transfer(bytes);
 }
 
-sim::Task<void> IoServer::reply(const Request& r, Response resp) {
-  co_await fabric_->transfer(node_, r.from, resp.wire_bytes());
-  r.reply->send(std::move(resp));
+sim::Task<void> IoServer::reply(const Request& r, Response resp,
+                                std::uint64_t epoch) {
+  if (epoch != epoch_) co_return;  // crashed since the request was accepted
+  const auto d = co_await fabric_->transfer(node_, r.from, resp.wire_bytes());
+  if (epoch != epoch_) co_return;  // crashed while the reply was in flight
+  if (d == net::Delivery::ok) r.reply->send(std::move(resp));
 }
 
 void IoServer::apply_invalidation(const Request& r) {
@@ -121,13 +127,82 @@ void IoServer::apply_invalidation(const Request& r) {
   }
 }
 
+void IoServer::pass_or_release(std::uint64_t key, ParityLock& lk) {
+  ++lk.gen;  // ownership changes either way; invalidates a pending watchdog
+  if (lk.waiting.empty()) {
+    lk.held = false;
+    return;
+  }
+  // Hand the lock to the first queued parity read.
+  auto [queued, enq_time] = std::move(lk.waiting.front());
+  lk.waiting.pop_front();
+  lock_stats_.wait_time += cluster_->sim().now() - enq_time;
+  ++lock_stats_.acquisitions;
+  lk.acquired_at = cluster_->sim().now();
+  if (!lk.waiting.empty()) arm_lease(key, lk);  // new holder, fresh lease
+  cluster_->sim().spawn(
+      [](IoServer* self, Request q) -> sim::Task<void> {
+        const std::uint64_t ep = self->epoch_;
+        Response qresp = co_await self->do_read_red(q);
+        co_await self->reply(q, std::move(qresp), ep);
+      }(this, std::move(queued)));
+}
+
+void IoServer::arm_lease(std::uint64_t key, ParityLock& lk) {
+  if (p_.parity_lock_lease == 0 || lk.armed_gen == lk.gen) return;
+  lk.armed_gen = lk.gen;
+  cluster_->sim().spawn(lease_reaper(key, lk.gen, epoch_,
+                                     lk.acquired_at + p_.parity_lock_lease));
+}
+
+sim::Task<void> IoServer::lease_reaper(std::uint64_t key, std::uint64_t gen,
+                                       std::uint64_t epoch,
+                                       sim::Time deadline) {
+  co_await cluster_->sim().sleep_until(deadline);
+  // A crash cleared the lock table (and a post-crash lock at the same key
+  // restarts its generations), so the epoch guards against misfiring on an
+  // unrelated successor lock.
+  if (epoch != epoch_) co_return;
+  auto it = locks_.find(key);
+  if (it == locks_.end() || !it->second.held || it->second.gen != gen) {
+    co_return;
+  }
+  ++lock_stats_.lease_expirations;
+  pass_or_release(key, it->second);
+}
+
 sim::Task<void> IoServer::handle(Request r) {
+  const std::uint64_t epoch = epoch_;
   if (failed_) {
     Response resp;
     resp.ok = false;
     resp.err = Errc::server_failed;
-    co_await reply(r, std::move(resp));
+    co_await reply(r, std::move(resp), epoch);
     co_return;
+  }
+  if (fenced_) {
+    // Rejoined on a blank replacement disk, not yet rebuilt: serving a read
+    // would return zeros as if they were data. Refuse everything that
+    // observes content (clients fail over to the redundancy) but admit
+    // writes, so the rebuild — and any concurrent client write, which is
+    // then simply newer than the rebuild copy — can land.
+    switch (r.op) {
+      case Op::read_data:
+      case Op::read_red:
+      case Op::read_data_raw:
+      case Op::read_mirror:
+      case Op::read_own_overflow:
+      case Op::storage_query:
+      case Op::ping: {
+        Response resp;
+        resp.ok = false;
+        resp.err = Errc::server_failed;
+        co_await reply(r, std::move(resp), epoch);
+        co_return;
+      }
+      default:
+        break;
+    }
   }
   // Every request passes through the single-process iod dispatch loop;
   // under bursts, small parity operations queue behind bulk data here.
@@ -135,28 +210,34 @@ sim::Task<void> IoServer::handle(Request r) {
   switch (r.op) {
     case Op::read_data: {
       Response resp = co_await do_read_data(r);
-      co_await reply(r, std::move(resp));
+      co_await reply(r, std::move(resp), epoch);
       break;
     }
     case Op::write_data: {
       Response resp = co_await do_write_data(r);
-      co_await reply(r, std::move(resp));
+      co_await reply(r, std::move(resp), epoch);
       break;
     }
     case Op::read_red: {
       if (p_.parity_locking && r.lock) {
-        auto& lk = locks_[lock_key(r.handle, r.off, r.su)];
+        const std::uint64_t key = lock_key(r.handle, r.off, r.su);
+        auto& lk = locks_[key];
         if (lk.held) {
-          // §5.1: queue behind the in-flight read-modify-write.
+          // §5.1: queue behind the in-flight read-modify-write. Arm the
+          // lease watchdog: if the holder abandoned its RMW (client death,
+          // RPC timeout), the queue would otherwise never drain.
           ++lock_stats_.waits;
           lk.waiting.emplace_back(std::move(r), cluster_->sim().now());
+          arm_lease(key, lk);
           co_return;
         }
         lk.held = true;
+        ++lk.gen;
+        lk.acquired_at = cluster_->sim().now();
         ++lock_stats_.acquisitions;
       }
       Response resp = co_await do_read_red(r);
-      co_await reply(r, std::move(resp));
+      co_await reply(r, std::move(resp), epoch);
       break;
     }
     case Op::write_red: {
@@ -167,55 +248,54 @@ sim::Task<void> IoServer::handle(Request r) {
       // writer is asynchronous and need not extend the critical section.
       if (release) {
         auto it = locks_.find(key);
-        assert(it != locks_.end() && it->second.held);
-        if (!it->second.waiting.empty()) {
-          // Hand the lock to the first queued parity read.
-          auto [queued, enq_time] = std::move(it->second.waiting.front());
-          it->second.waiting.pop_front();
-          lock_stats_.wait_time += cluster_->sim().now() - enq_time;
-          ++lock_stats_.acquisitions;
-          cluster_->sim().spawn(
-              [](IoServer* self, Request q) -> sim::Task<void> {
-                Response qresp = co_await self->do_read_red(q);
-                co_await self->reply(q, std::move(qresp));
-              }(this, std::move(queued)));
-        } else {
-          it->second.held = false;
+        // A crash wipes the lock table: a writer that acquired the lock
+        // before the crash legitimately unlocks a lock we no longer hold.
+        // Forgetting a lock is safe (the RMW it protected was fenced by the
+        // epoch check), so treat the orphan unlock as a no-op.
+        if (it == locks_.end() || !it->second.held) {
+          co_await reply(r, std::move(resp), epoch);
+          break;
         }
+        pass_or_release(key, it->second);
       }
-      co_await reply(r, std::move(resp));
+      co_await reply(r, std::move(resp), epoch);
       break;
     }
     case Op::write_overflow: {
       Response resp = co_await do_write_overflow(r);
-      co_await reply(r, std::move(resp));
+      co_await reply(r, std::move(resp), epoch);
       break;
     }
     case Op::read_data_raw: {
       Response resp;
-      resp.data = co_await fs_.read(data_name(r.handle), r.off, r.len);
+      auto out = co_await fs_.read_checked(data_name(r.handle), r.off, r.len);
+      resp.data = std::move(out.data);
+      if (out.media_error) {
+        resp.ok = false;
+        resp.err = Errc::media_error;
+      }
       co_await pace(r, r.len);
-      co_await reply(r, std::move(resp));
+      co_await reply(r, std::move(resp), epoch);
       break;
     }
     case Op::read_mirror: {
       Response resp = co_await do_read_mirror(r);
-      co_await reply(r, std::move(resp));
+      co_await reply(r, std::move(resp), epoch);
       break;
     }
     case Op::read_own_overflow: {
       Response resp = co_await do_read_own_overflow(r);
-      co_await reply(r, std::move(resp));
+      co_await reply(r, std::move(resp), epoch);
       break;
     }
     case Op::flush: {
       co_await fs_.flush();
-      co_await reply(r, Response{});
+      co_await reply(r, Response{}, epoch);
       break;
     }
     case Op::compact_overflow: {
       Response resp = co_await do_compact_overflow(r);
-      co_await reply(r, std::move(resp));
+      co_await reply(r, std::move(resp), epoch);
       break;
     }
     case Op::remove_file: {
@@ -233,7 +313,7 @@ sim::Task<void> IoServer::handle(Request r) {
             gone.err = Errc::not_found;
             cluster_->sim().spawn(
                 [](IoServer* self, Request q, Response g) -> sim::Task<void> {
-                  co_await self->reply(q, std::move(g));
+                  co_await self->reply(q, std::move(g), self->epoch_);
                 }(this, std::move(queued), std::move(gone)));
           }
           it = locks_.erase(it);
@@ -241,7 +321,7 @@ sim::Task<void> IoServer::handle(Request r) {
           ++it;
         }
       }
-      co_await reply(r, Response{});
+      co_await reply(r, Response{}, epoch);
       break;
     }
     case Op::storage_query: {
@@ -251,11 +331,11 @@ sim::Task<void> IoServer::handle(Request r) {
       auto it = handles_.find(r.handle);
       resp.storage.overflow_bytes =
           it == handles_.end() ? 0 : it->second.overflow_alloc;
-      co_await reply(r, std::move(resp));
+      co_await reply(r, std::move(resp), epoch);
       break;
     }
     case Op::ping: {
-      co_await reply(r, Response{});
+      co_await reply(r, Response{}, epoch);
       break;
     }
     case Op::shutdown:
@@ -265,7 +345,9 @@ sim::Task<void> IoServer::handle(Request r) {
 
 sim::Task<Response> IoServer::do_read_data(const Request& r) {
   Response resp;
-  Buffer base = co_await fs_.read(data_name(r.handle), r.off, r.len);
+  auto base_out = co_await fs_.read_checked(data_name(r.handle), r.off, r.len);
+  bool media_error = base_out.media_error;
+  Buffer base = std::move(base_out.data);
   // Overlay live overflow entries: the overflow region holds the newest copy
   // of partially-written stripes (§4, Hybrid reads). The plan is copied out
   // of the table *before* any await — a concurrent full-stripe write may
@@ -283,9 +365,11 @@ sim::Task<Response> IoServer::do_read_data(const Request& r) {
                       *chunk.value + (chunk.start - chunk.entry_start)});
     }
     for (const auto& mp : plan) {
-      Buffer piece = co_await fs_.read(ovfl_name(r.handle), mp.src,
-                                       mp.end - mp.start,
-                                       base.materialized());
+      auto piece_out =
+          co_await fs_.read_checked(ovfl_name(r.handle), mp.src,
+                                    mp.end - mp.start, base.materialized());
+      media_error = media_error || piece_out.media_error;
+      Buffer piece = std::move(piece_out.data);
       if (base.materialized() && piece.materialized()) {
         base.write_at(mp.start - r.off, piece);
       } else if (base.materialized()) {
@@ -295,6 +379,13 @@ sim::Task<Response> IoServer::do_read_data(const Request& r) {
   }
   co_await pace(r, r.len);
   resp.data = std::move(base);
+  if (media_error) {
+    // A latent sector error is a per-range failure, not a dead server: the
+    // client can reconstruct this range from redundancy and the scrubber
+    // can repair it in place.
+    resp.ok = false;
+    resp.err = Errc::media_error;
+  }
   co_return resp;
 }
 
@@ -312,7 +403,12 @@ sim::Task<Response> IoServer::do_write_data(const Request& r) {
 
 sim::Task<Response> IoServer::do_read_red(const Request& r) {
   Response resp;
-  resp.data = co_await fs_.read(red_name(r.handle), r.off, r.len);
+  auto out = co_await fs_.read_checked(red_name(r.handle), r.off, r.len);
+  resp.data = std::move(out.data);
+  if (out.media_error) {
+    resp.ok = false;
+    resp.err = Errc::media_error;
+  }
   co_await pace(r, r.len);
   co_return resp;
 }
@@ -362,8 +458,13 @@ sim::Task<Response> IoServer::do_read_mirror(const Request& r) {
     for (const auto& pp : plan) {
       OverflowPiece piece;
       piece.local_off = pp.start;
-      piece.data = co_await fs_.read(ovfl_name(r.handle), pp.src,
-                                     pp.end - pp.start);
+      auto out = co_await fs_.read_checked(ovfl_name(r.handle), pp.src,
+                                           pp.end - pp.start);
+      piece.data = std::move(out.data);
+      if (out.media_error) {
+        resp.ok = false;
+        resp.err = Errc::media_error;
+      }
       resp.pieces.push_back(std::move(piece));
     }
   }
@@ -388,8 +489,13 @@ sim::Task<Response> IoServer::do_read_own_overflow(const Request& r) {
     for (const auto& pp : plan) {
       OverflowPiece piece;
       piece.local_off = pp.start;
-      piece.data = co_await fs_.read(ovfl_name(r.handle), pp.src,
-                                     pp.end - pp.start);
+      auto out = co_await fs_.read_checked(ovfl_name(r.handle), pp.src,
+                                           pp.end - pp.start);
+      piece.data = std::move(out.data);
+      if (out.media_error) {
+        resp.ok = false;
+        resp.err = Errc::media_error;
+      }
       resp.pieces.push_back(std::move(piece));
     }
   }

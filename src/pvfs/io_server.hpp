@@ -35,6 +35,13 @@ struct IoServerParams {
   /// When false, read_red ignores `lock` and write_red ignores `unlock`:
   /// the paper's R5 NO LOCK ablation (Figure 3 / §6.5).
   bool parity_locking = true;
+  /// Lease on a held parity lock. A client that dies (or times out and
+  /// abandons its RMW) between read_red and write_red would otherwise wedge
+  /// the parity block forever — every later writer of the group queues
+  /// behind a lock whose owner will never release it. When the lease
+  /// expires the lock is handed to the first waiter (or dropped). Must be
+  /// much longer than any legitimate read-modify-write; 0 disables leases.
+  sim::Duration parity_lock_lease = sim::sec(1);
 };
 
 class IoServer {
@@ -60,6 +67,42 @@ class IoServer {
   void recover() { failed_ = false; }
   bool failed() const { return failed_; }
 
+  /// Hard crash: unlike fail(), nothing answers at all. In-flight requests
+  /// lose their replies (the epoch bump fences them), queued and future
+  /// requests are dropped silently, volatile state (parity locks, dirty
+  /// page-cache contents) is gone. Clients see only RPC timeouts.
+  void crash() {
+    failed_ = true;
+    crashed_ = true;
+    ++epoch_;
+    fs_.crash();
+    // Parity locks are in-memory daemon state; queued waiters vanish with
+    // them (their clients time out and fail over).
+    locks_.clear();
+  }
+
+  /// Bring a crashed server back. With `wipe_disk` the local disk comes back
+  /// blank (replacement drive) and the server rejoins *fenced*: reads,
+  /// probes and storage queries are refused (Errc::server_failed) until
+  /// admit() — otherwise a straggling client retry could read the blank
+  /// disk as real zeros. Writes are admitted so Recovery::rebuild_server
+  /// can refill it. Without `wipe_disk` the on-disk content survived the
+  /// crash and the server serves immediately.
+  void restart(bool wipe_disk) {
+    if (wipe_disk) {
+      wipe();
+      fenced_ = true;
+    }
+    crashed_ = false;
+    failed_ = false;
+  }
+
+  /// Lift the rejoin fence once the rebuild has made the disk trustworthy.
+  void admit() { fenced_ = false; }
+  bool fenced() const { return fenced_; }
+
+  bool crashed() const { return crashed_; }
+
   /// Simulate replacing the disk with a blank one: all local files, overflow
   /// tables and locks are lost. Call before raid::Recovery::rebuild_server.
   void wipe() {
@@ -74,6 +117,7 @@ class IoServer {
     std::uint64_t acquisitions = 0;
     std::uint64_t waits = 0;         ///< parity reads that had to queue
     sim::Duration wait_time = 0;     ///< total simulated queueing time
+    std::uint64_t lease_expirations = 0;  ///< abandoned locks reclaimed
   };
   const LockStats& lock_stats() const { return lock_stats_; }
 
@@ -94,6 +138,12 @@ class IoServer {
  private:
   struct ParityLock {
     bool held = false;
+    /// Bumped whenever ownership changes (acquire, handover, release) so a
+    /// pending lease watchdog can tell "still the same stuck holder" from
+    /// "lock has moved on since I was armed".
+    std::uint64_t gen = 0;
+    std::uint64_t armed_gen = 0;  ///< holder generation with a watchdog
+    sim::Time acquired_at = 0;
     std::deque<std::pair<Request, sim::Time>> waiting;  // + enqueue time
   };
 
@@ -114,7 +164,17 @@ class IoServer {
 
   sim::Task<void> dispatcher();
   sim::Task<void> handle(Request r);
-  sim::Task<void> reply(const Request& r, Response resp);
+  /// Hand a released (or expired) lock to the first queued parity read, or
+  /// mark it free when nobody is waiting.
+  void pass_or_release(std::uint64_t key, ParityLock& lk);
+  /// Spawn a lease watchdog for the current holder generation (idempotent
+  /// per generation; no-op when leases are disabled).
+  void arm_lease(std::uint64_t key, ParityLock& lk);
+  sim::Task<void> lease_reaper(std::uint64_t key, std::uint64_t gen,
+                               std::uint64_t epoch, sim::Time deadline);
+  /// Send `resp` back to the requester unless the server crashed since the
+  /// request was accepted (`epoch` mismatch) or the fabric lost the message.
+  sim::Task<void> reply(const Request& r, Response resp, std::uint64_t epoch);
 
   sim::Task<Response> do_read_data(const Request& r);
   sim::Task<Response> do_write_data(const Request& r);
@@ -157,6 +217,12 @@ class IoServer {
   std::unordered_map<std::uint64_t, ParityLock> locks_;
   LockStats lock_stats_;
   bool failed_ = false;
+  bool crashed_ = false;
+  /// Rejoined on a blank disk and not yet rebuilt: refuse reads/probes.
+  bool fenced_ = false;
+  /// Bumped on every crash; a reply is only sent if the server has not
+  /// crashed since the request began (fences stale in-flight handlers).
+  std::uint64_t epoch_ = 0;
   bool started_ = false;
 };
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "common/result.hpp"
@@ -31,7 +32,7 @@ struct MetaRequest {
   std::string name;
   StripeLayout layout;
   hw::NodeId from = 0;
-  sim::Channel<struct MetaResponse>* reply = nullptr;
+  std::shared_ptr<sim::Channel<struct MetaResponse>> reply;
 };
 
 struct MetaResponse {
@@ -70,8 +71,10 @@ class Manager {
       MetaRequest r = co_await inbox_.recv();
       if (r.op == MetaOp::shutdown) break;
       MetaResponse resp = serve(r);
-      co_await fabric_->transfer(node_, r.from, sizeof(MetaResponse));
-      r.reply->send(std::move(resp));
+      if (co_await fabric_->transfer(node_, r.from, sizeof(MetaResponse)) ==
+          net::Delivery::ok) {
+        r.reply->send(std::move(resp));
+      }
     }
   }
 

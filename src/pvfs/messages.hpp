@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/buffer.hpp"
@@ -58,6 +59,10 @@ struct Response {
   Buffer data;
   std::vector<OverflowPiece> pieces;
   StorageInfo storage;
+  /// Index of the server this response concerns; filled in client-side by
+  /// Client::rpc (including for synthesized timeout responses) so failover
+  /// logic knows which server misbehaved.
+  int server = -1;
 
   /// Approximate bytes this response occupies on the wire.
   std::uint64_t wire_bytes() const {
@@ -85,7 +90,10 @@ struct Request {
   Interval inval_mirror{0, 0};
 
   hw::NodeId from = 0;
-  sim::Channel<Response>* reply = nullptr;
+  /// Shared so a reply outliving a timed-out RPC attempt lands in a live
+  /// channel (the client keeps the channel alive across retries) instead of
+  /// writing through a dangling pointer.
+  std::shared_ptr<sim::Channel<Response>> reply;
 
   /// Approximate bytes this request occupies on the wire.
   std::uint64_t wire_bytes() const { return payload.size(); }

@@ -5,12 +5,20 @@
 #include <map>
 #include <utility>
 
+#include "raid/health.hpp"
 #include "raid/recovery.hpp"
 #include "sim/time.hpp"
 
 namespace csar::raid {
 
 namespace {
+
+/// Error codes a single failed/unreachable/bad-sector server produces — the
+/// ones degraded-mode rerouting can transparently absorb.
+bool failover_errc(Errc e) {
+  return e == Errc::server_failed || e == Errc::timeout ||
+         e == Errc::conn_dropped || e == Errc::media_error;
+}
 
 using pvfs::Op;
 using pvfs::Request;
@@ -130,6 +138,60 @@ void CsarFs::build_full_parity_writes(
 sim::Task<Result<void>> CsarFs::write(const pvfs::OpenFile& f,
                                       std::uint64_t off, Buffer data) {
   if (data.empty()) co_return Result<void>::success();
+  if (mon_ != nullptr) {
+    if (auto failed = mon_->first_failed()) {
+      ++failover_stats_.degraded_writes;
+      Recovery rec(*client_, p_.scheme);
+      co_return co_await rec.degraded_write(f, off, std::move(data), *failed);
+    }
+  }
+  auto wr = co_await dispatch_write(f, off, data);
+  if (wr.ok() || mon_ == nullptr || !failover_errc(wr.error().code)) {
+    co_return wr;
+  }
+  // The monitor had not caught up when we issued the write; resolve the
+  // culprit from the error (or by probing) and redo the whole write through
+  // the degraded path — server ops are idempotent, so the parts that did
+  // land are simply rewritten.
+  ++failover_stats_.reactive;
+  std::optional<std::uint32_t> failed;
+  if (wr.error().server >= 0) {
+    // The hint can name a server that is merely slow (one late or dropped
+    // message). A reconstruct-write against a *live* server would fork the
+    // file: the new bytes exist only in the parity, while the server keeps
+    // answering plain reads from its now-stale data file — and a later
+    // scrub would "repair" the parity from that stale data. Only a server
+    // that also fails a dedicated probe gets the degraded path; a transient
+    // fault is reported back to the caller, whose RPC retry budget is the
+    // knob for riding those out.
+    failed = static_cast<std::uint32_t>(wr.error().server);
+    if (!(co_await confirmed_down(f, *failed))) co_return wr;
+  } else {
+    failed = co_await find_failed_server(f);
+  }
+  if (!failed.has_value()) co_return wr;
+  ++failover_stats_.degraded_writes;
+  Recovery rec(*client_, p_.scheme);
+  co_return co_await rec.degraded_write(f, off, std::move(data), *failed);
+}
+
+sim::Task<Result<Buffer>> CsarFs::read(const pvfs::OpenFile& f,
+                                       std::uint64_t off, std::uint64_t len) {
+  if (mon_ == nullptr) co_return co_await client_->read(f, off, len);
+  if (auto failed = mon_->first_failed()) {
+    ++failover_stats_.degraded_reads;
+    Recovery rec(*client_, p_.scheme);
+    co_return co_await rec.degraded_read(f, off, len, *failed);
+  }
+  auto rd = co_await client_->read(f, off, len);
+  if (rd.ok() || !failover_errc(rd.error().code)) co_return rd;
+  ++failover_stats_.reactive;
+  co_return co_await reroute_read(f, off, len, rd.error());
+}
+
+sim::Task<Result<void>> CsarFs::dispatch_write(const pvfs::OpenFile& f,
+                                               std::uint64_t off,
+                                               const Buffer& data) {
   switch (p_.scheme) {
     case Scheme::raid0:
       co_return co_await client_->write_striped(f, off, data);
@@ -176,7 +238,7 @@ sim::Task<Result<void>> CsarFs::write_raid1(const pvfs::OpenFile& f,
   }
   auto resps = co_await client_->rpc_all(std::move(reqs));
   for (const auto& resp : resps) {
-    if (!resp.ok) co_return Error{resp.err, "raid1 write"};
+    if (!resp.ok) co_return Error{resp.err, "raid1 write", resp.server};
   }
   co_return Result<void>::success();
 }
@@ -233,6 +295,7 @@ sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
 
   bool parity_error = false;
   Errc parity_errc = Errc::ok;
+  int parity_err_server = -1;
   std::size_t locks_held = 0;  // ctx[0..locks_held) completed their reads
   for (std::size_t i = 0; i < ctx.size(); ++i) {
     const ColRange cr = ctx[i].cols;
@@ -248,6 +311,7 @@ sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
     if (!resp.ok) {
       parity_error = true;
       parity_errc = resp.err;
+      parity_err_server = resp.server;
       break;
     }
     ctx[i].parity = match_materialization(std::move(resp.data),
@@ -270,7 +334,7 @@ sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
       (void)co_await client_->rpc(layout.parity_server(ctx[i].seg.group),
                                   std::move(w));
     }
-    co_return Error{parity_errc, "raid5 parity read"};
+    co_return Error{parity_errc, "raid5 parity read", parity_err_server};
   }
 
   // 3. Delta-compute the new parity: new_p = old_p ^ old_d ^ new_d.
@@ -288,7 +352,7 @@ sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
         (void)co_await client_->rpc(layout.parity_server(ctx[i].seg.group),
                                     std::move(w));
       }
-      co_return Error{old_data[k].err, "raid5 old data"};
+      co_return Error{old_data[k].err, "raid5 old data", old_data[k].server};
     }
     const std::size_t i = read_meta[k].first;
     const auto& e = read_meta[k].second;
@@ -332,7 +396,7 @@ sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
   co_await charge_xor(xor_bytes);
   auto resps = co_await client_->rpc_all(std::move(writes));
   for (const auto& resp : resps) {
-    if (!resp.ok) co_return Error{resp.err, "raid5 write"};
+    if (!resp.ok) co_return Error{resp.err, "raid5 write", resp.server};
   }
   co_return Result<void>::success();
 }
@@ -422,7 +486,7 @@ sim::Task<Result<void>> CsarFs::write_hybrid(const pvfs::OpenFile& f,
   co_await charge_xor(xor_bytes);
   auto resps = co_await client_->rpc_all(std::move(writes));
   for (const auto& resp : resps) {
-    if (!resp.ok) co_return Error{resp.err, "hybrid write"};
+    if (!resp.ok) co_return Error{resp.err, "hybrid write", resp.server};
   }
   co_return Result<void>::success();
 }
@@ -454,7 +518,7 @@ sim::Task<Result<void>> CsarFs::compact(const pvfs::OpenFile& f,
   }
   auto resps = co_await client_->rpc_all(std::move(reqs));
   for (const auto& resp : resps) {
-    if (!resp.ok) co_return Error{resp.err, "compact"};
+    if (!resp.ok) co_return Error{resp.err, "compact", resp.server};
   }
   co_return Result<void>::success();
 }
@@ -491,7 +555,7 @@ sim::Task<Result<Buffer>> CsarFs::read_balanced(const pvfs::OpenFile& f,
   auto resps = co_await client_->rpc_all(std::move(reads));
   bool phantom = false;
   for (const auto& resp : resps) {
-    if (!resp.ok) co_return Error{resp.err, "balanced read"};
+    if (!resp.ok) co_return Error{resp.err, "balanced read", resp.server};
     if (!resp.data.materialized()) phantom = true;
   }
   if (phantom) co_return Buffer::phantom(len);
@@ -505,26 +569,48 @@ sim::Task<Result<Buffer>> CsarFs::read_balanced(const pvfs::OpenFile& f,
 sim::Task<std::optional<std::uint32_t>> CsarFs::find_failed_server(
     const pvfs::OpenFile& f) {
   for (std::uint32_t s = 0; s < f.layout.n(); ++s) {
-    Request r;
-    r.op = Op::storage_query;
-    r.handle = f.handle;
-    auto resp = co_await client_->rpc(s, std::move(r));
-    if (!resp.ok && resp.err == Errc::server_failed) {
-      co_return s;
-    }
+    if (co_await confirmed_down(f, s)) co_return s;
   }
   co_return std::nullopt;
+}
+
+sim::Task<bool> CsarFs::confirmed_down(const pvfs::OpenFile& f,
+                                       std::uint32_t s) {
+  // Probes must not inherit an infinite client policy: a crashed server
+  // answers nothing, and the whole point here is to notice that quickly.
+  pvfs::RpcPolicy probe = client_->rpc_policy();
+  if (probe.timeout == 0) probe.timeout = sim::ms(250);
+  probe.max_attempts = std::max<std::uint32_t>(probe.max_attempts, 2);
+  Request r;
+  r.op = Op::storage_query;
+  r.handle = f.handle;
+  auto resp = co_await client_->rpc(s, std::move(r), probe);
+  co_return !resp.ok && (resp.err == Errc::server_failed ||
+                         resp.err == Errc::timeout ||
+                         resp.err == Errc::conn_dropped);
+}
+
+sim::Task<Result<Buffer>> CsarFs::reroute_read(const pvfs::OpenFile& f,
+                                               std::uint64_t off,
+                                               std::uint64_t len, Error err) {
+  std::optional<std::uint32_t> failed;
+  if (err.server >= 0) {
+    failed = static_cast<std::uint32_t>(err.server);
+  } else {
+    failed = co_await find_failed_server(f);
+  }
+  if (!failed.has_value()) co_return err;  // transient: report the error
+  ++failover_stats_.degraded_reads;
+  Recovery rec(*client_, p_.scheme);
+  co_return co_await rec.degraded_read(f, off, len, *failed);
 }
 
 sim::Task<Result<Buffer>> CsarFs::read_resilient(const pvfs::OpenFile& f,
                                                  std::uint64_t off,
                                                  std::uint64_t len) {
   auto rd = co_await client_->read(f, off, len);
-  if (rd.ok() || rd.error().code != Errc::server_failed) co_return rd;
-  auto failed = co_await find_failed_server(f);
-  if (!failed.has_value()) co_return rd;  // transient: report the error
-  Recovery rec(*client_, p_.scheme);
-  co_return co_await rec.degraded_read(f, off, len, *failed);
+  if (rd.ok() || !failover_errc(rd.error().code)) co_return rd;
+  co_return co_await reroute_read(f, off, len, rd.error());
 }
 
 }  // namespace csar::raid

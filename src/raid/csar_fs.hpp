@@ -31,6 +31,8 @@
 
 namespace csar::raid {
 
+class HealthMonitor;
+
 struct CsarParams {
   Scheme scheme = Scheme::hybrid;
 };
@@ -54,13 +56,28 @@ class CsarFs {
     return client_->open(std::move(name));
   }
 
+  /// Attach a HealthMonitor and turn on automatic failover: read()/write()
+  /// consult the monitor before issuing I/O and reroute around a down
+  /// server through raid::Recovery's degraded paths; errors that slip
+  /// through (the monitor has not noticed yet) trigger reactive failover
+  /// using the Error's server hint. Pass nullptr to return to the plain
+  /// fail-loudly behaviour. The monitor is not owned.
+  void enable_failover(HealthMonitor* mon) { mon_ = mon; }
+  HealthMonitor* health_monitor() const { return mon_; }
+
+  struct FailoverStats {
+    std::uint64_t degraded_reads = 0;   ///< reads served via reconstruction
+    std::uint64_t degraded_writes = 0;  ///< writes routed degraded
+    std::uint64_t reactive = 0;  ///< failovers triggered by an error, not
+                                 ///< by the monitor's advance knowledge
+  };
+  const FailoverStats& failover_stats() const { return failover_stats_; }
+
   // --- data path ---
   sim::Task<Result<void>> write(const pvfs::OpenFile& f, std::uint64_t off,
                                 Buffer data);
   sim::Task<Result<Buffer>> read(const pvfs::OpenFile& f, std::uint64_t off,
-                                 std::uint64_t len) {
-    return client_->read(f, off, len);
-  }
+                                 std::uint64_t len);
 
   /// Failover read: like read(), but when an I/O server is down the client
   /// locates it and transparently reconstructs the lost pieces from the
@@ -73,6 +90,10 @@ class CsarFs {
   /// Probe every I/O server and report the index of the first failed one.
   sim::Task<std::optional<std::uint32_t>> find_failed_server(
       const pvfs::OpenFile& f);
+
+  /// Probe one suspect with a bounded policy; true only when the probe
+  /// itself fails the way a dead (or fenced) server fails.
+  sim::Task<bool> confirmed_down(const pvfs::OpenFile& f, std::uint32_t s);
 
   /// RAID1 mirror-balanced read: alternate stripe units between the primary
   /// copy and the mirror on the successor server, spreading read load over
@@ -101,6 +122,18 @@ class CsarFs {
                                   std::uint64_t file_size);
 
  private:
+  /// The per-scheme write dispatch (the pre-failover write() body).
+  sim::Task<Result<void>> dispatch_write(const pvfs::OpenFile& f,
+                                         std::uint64_t off,
+                                         const Buffer& data);
+
+  /// Resolve which server caused `err` (hint, else probe) and re-serve the
+  /// read through Recovery::degraded_read; returns `err` unchanged when no
+  /// failed server can be identified.
+  sim::Task<Result<Buffer>> reroute_read(const pvfs::OpenFile& f,
+                                         std::uint64_t off, std::uint64_t len,
+                                         Error err);
+
   sim::Task<Result<void>> write_raid1(const pvfs::OpenFile& f,
                                       std::uint64_t off, const Buffer& data);
   sim::Task<Result<void>> write_raid5(const pvfs::OpenFile& f,
@@ -125,6 +158,8 @@ class CsarFs {
 
   pvfs::Client* client_;
   CsarParams p_;
+  HealthMonitor* mon_ = nullptr;
+  FailoverStats failover_stats_{};
 };
 
 }  // namespace csar::raid

@@ -21,6 +21,14 @@ namespace csar::raid {
 
 struct HealthParams {
   sim::Duration interval = sim::ms(500);
+  /// Per-ping deadline. Without one, a crashed or partitioned (message-
+  /// dropping) server would stall the poller forever and the monitor would
+  /// never mark anything down. Generous relative to ping RTT so queueing
+  /// behind bulk traffic does not produce false positives.
+  sim::Duration probe_timeout = sim::ms(200);
+  /// Send attempts per probe; >1 rides out isolated message drops so one
+  /// lost ping does not flap the server to "down".
+  std::uint32_t probe_attempts = 2;
 };
 
 class HealthMonitor {
@@ -34,15 +42,22 @@ class HealthMonitor {
   HealthMonitor& operator=(const HealthMonitor&) = delete;
 
   /// Spawn the probing loop. It runs until stop() is called (the pending
-  /// probe round finishes first).
+  /// probe round finishes first). A stop()/start() pair always yields a
+  /// running poller: each start bumps a generation counter and spawns a
+  /// fresh loop; any older loop exits at its next check.
   void start() {
-    if (started_) return;
-    started_ = true;
-    stopped_ = false;
-    client_->cluster().sim().spawn(poller());
+    if (running_) return;
+    running_ = true;
+    ++gen_;
+    client_->cluster().sim().spawn(poller(gen_));
   }
 
-  void stop() { stopped_ = true; }
+  void stop() {
+    running_ = false;
+    ++gen_;  // invalidates the live poller even mid-round
+  }
+
+  bool running() const { return running_; }
 
   bool is_alive(std::uint32_t server) const { return status_[server]; }
 
@@ -64,24 +79,31 @@ class HealthMonitor {
   std::uint64_t transitions() const { return transitions_; }
 
  private:
-  sim::Task<void> poller() {
+  sim::Task<void> poller(std::uint64_t my_gen) {
     auto& sim = client_->cluster().sim();
-    while (!stopped_) {
-      for (std::uint32_t s = 0; s < client_->nservers() && !stopped_; ++s) {
+    // Probes carry their own bounded policy: pings must fail fast even when
+    // the client's default policy waits forever.
+    pvfs::RpcPolicy probe_policy;
+    probe_policy.timeout = p_.probe_timeout;
+    probe_policy.max_attempts = p_.probe_attempts;
+    while (gen_ == my_gen) {
+      for (std::uint32_t s = 0;
+           s < client_->nservers() && gen_ == my_gen; ++s) {
         pvfs::Request r;
         r.op = pvfs::Op::ping;
-        auto resp = co_await client_->rpc(s, std::move(r));
+        auto resp = co_await client_->rpc(s, std::move(r), probe_policy);
         ++probes_;
-        const bool alive = resp.ok;
-        if (alive != status_[s]) {
-          status_[s] = alive;
-          detected_at_[s] = sim.now();
-          ++transitions_;
+        if (gen_ == my_gen) {
+          const bool alive = resp.ok;
+          if (alive != status_[s]) {
+            status_[s] = alive;
+            detected_at_[s] = sim.now();
+            ++transitions_;
+          }
         }
       }
       co_await sim.sleep(p_.interval);
     }
-    started_ = false;
   }
 
   pvfs::Client* client_;
@@ -90,8 +112,8 @@ class HealthMonitor {
   std::vector<sim::Time> detected_at_;
   std::uint64_t probes_ = 0;
   std::uint64_t transitions_ = 0;
-  bool started_ = false;
-  bool stopped_ = true;
+  std::uint64_t gen_ = 0;
+  bool running_ = false;
 };
 
 }  // namespace csar::raid

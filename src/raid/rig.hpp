@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "hw/node.hpp"
 #include "localfs/local_fs.hpp"
 #include "net/fabric.hpp"
@@ -29,6 +30,16 @@ struct RigParams {
   /// Server-side lock protocol switch (R5 NO LOCK also works client-side by
   /// not requesting locks; this hard-disables the server machinery).
   bool parity_locking = true;
+  /// Parity-lock lease (see IoServerParams); 0 disables lease watchdogs.
+  sim::Duration parity_lock_lease = sim::sec(1);
+  /// Default RPC policy installed on every client. The default is the
+  /// legacy behaviour (wait forever, no retries); fault experiments set
+  /// real deadlines + retry budgets here.
+  pvfs::RpcPolicy rpc;
+  /// Master seed for the clients' deterministic retry-jitter streams (each
+  /// client gets its own derived stream so concurrent backoffs decorrelate
+  /// but stay reproducible).
+  std::uint64_t seed = 0x5EEDC5A2ULL;
 };
 
 class Rig {
@@ -42,6 +53,7 @@ class Rig {
     pvfs::IoServerParams sp;
     sp.fs = params.fs;
     sp.parity_locking = params.parity_locking;
+    sp.parity_lock_lease = params.parity_lock_lease;
     for (std::uint32_t s = 0; s < params.nservers; ++s) {
       const hw::NodeId node = cluster.add_server();
       servers.push_back(
@@ -51,10 +63,13 @@ class Rig {
     std::vector<pvfs::IoServer*> server_ptrs;
     for (auto& s : servers) server_ptrs.push_back(s.get());
 
+    Rng seeder(params.seed);
     for (std::uint32_t c = 0; c < params.nclients; ++c) {
       const hw::NodeId node = cluster.add_client();
       clients.push_back(std::make_unique<pvfs::Client>(
           cluster, fabric, *manager, server_ptrs, node));
+      clients.back()->set_rpc_policy(params.rpc);
+      clients.back()->seed_retry_rng(seeder.next());
       fs.push_back(std::make_unique<CsarFs>(*clients.back(),
                                             CsarParams{params.scheme}));
     }

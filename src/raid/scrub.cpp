@@ -32,7 +32,7 @@ sim::Task<Result<Scrubber::Report>> Scrubber::run(const pvfs::OpenFile& f,
     case Scheme::raid1: {
       auto r = co_await scrub_mirrors(f, file_size, repair, report);
       if (!r.ok()) co_return r.error();
-      co_return report;
+      break;
     }
     case Scheme::raid4:
     case Scheme::raid5:
@@ -40,17 +40,26 @@ sim::Task<Result<Scrubber::Report>> Scrubber::run(const pvfs::OpenFile& f,
     case Scheme::raid5_npc: {
       auto r = co_await scrub_parity(f, file_size, repair, report);
       if (!r.ok()) co_return r.error();
-      co_return report;
+      break;
     }
     case Scheme::hybrid: {
       auto r = co_await scrub_parity(f, file_size, repair, report);
       if (!r.ok()) co_return r.error();
       auto o = co_await scrub_overflow(f, file_size, repair, report);
       if (!o.ok()) co_return o.error();
-      co_return report;
+      break;
     }
+    default:
+      co_return Error{Errc::invalid_argument, "unknown scheme"};
   }
-  co_return Error{Errc::invalid_argument, "unknown scheme"};
+  if (repair && report.repaired > 0) {
+    // Repairs only count once they are durable: a rewrite that rebuilds a
+    // latent-sector unit must reach the disk (that is what remaps the bad
+    // sectors), not sit dirty in a page cache that may be dropped.
+    auto fl = co_await client_->flush(f);
+    if (!fl.ok()) co_return Error{fl.error().code, "scrub flush"};
+  }
+  co_return report;
 }
 
 sim::Task<Result<void>> Scrubber::scrub_parity(const pvfs::OpenFile& f,
@@ -81,13 +90,64 @@ sim::Task<Result<void>> Scrubber::scrub_parity(const pvfs::OpenFile& f,
       reads.emplace_back(layout.parity_server(g), std::move(r));
     }
     auto resps = co_await client_->rpc_all(std::move(reads));
-    Buffer expect;
-    bool materialized = true;
+    const std::size_t parity_idx = resps.size() - 1;
+    std::vector<std::size_t> lost;  // responses lost to latent sector errors
     for (std::size_t i = 0; i < resps.size(); ++i) {
-      if (!resps[i].ok) co_return Error{resps[i].err, "scrub read"};
-      if (!resps[i].data.materialized()) materialized = false;
+      if (resps[i].ok) continue;
+      if (resps[i].err == Errc::media_error) {
+        // A latent sector error is a per-range finding, not a dead server.
+        ++report.media_errors;
+        lost.push_back(i);
+        continue;
+      }
+      co_return Error{resps[i].err, "scrub read", resps[i].server};
     }
     ++report.groups_checked;
+    bool materialized = true;
+    for (std::size_t i = 0; i < resps.size(); ++i) {
+      if (resps[i].ok && !resps[i].data.materialized()) materialized = false;
+    }
+    if (lost.size() > 1) {
+      // Single redundancy cannot rebuild two lost units of one group.
+      report.unrepairable += lost.size();
+      continue;
+    }
+    if (lost.size() == 1) {
+      if (!repair) continue;  // verify-only: the finding is recorded
+      // Rebuild the unreadable unit by XOR-ing the surviving n-1 units of
+      // the group; rewriting it clears the bad sectors underneath.
+      const std::size_t bad = lost.front();
+      Buffer rebuilt =
+          materialized ? Buffer::real(su) : Buffer::phantom(su);
+      if (materialized) {
+        for (std::size_t i = 0; i < resps.size(); ++i) {
+          if (i != bad) rebuilt.xor_with(resps[i].data);
+        }
+        auto& node = client_->cluster().node(client_->node_id());
+        co_await node.tx().occupy(sim::transfer_time(
+            su * layout.n(), node.params().xor_bytes_per_sec));
+      }
+      Request w;
+      w.handle = f.handle;
+      w.payload = std::move(rebuilt);
+      w.su = layout.stripe_unit;
+      std::uint32_t target;
+      if (bad == parity_idx) {
+        w.op = Op::write_red;
+        w.off = layout.parity_local_off(g);
+        target = layout.parity_server(g);
+      } else {
+        const std::uint64_t u = g * (layout.n() - 1) + bad;
+        w.op = Op::write_data;
+        w.off = layout.local_unit(u) * su;
+        target = layout.server_of_unit(u);
+      }
+      auto wr = co_await client_->rpc(target, std::move(w));
+      if (!wr.ok) co_return Error{wr.err, "scrub media rewrite", wr.server};
+      ++report.repaired;
+      continue;
+    }
+    Buffer expect;
     if (!materialized) continue;  // phantom content: nothing to compare
     expect = Buffer::real(su);
     for (std::size_t i = 0; i + 1 < resps.size(); ++i) {
@@ -138,10 +198,39 @@ sim::Task<Result<void>> Scrubber::scrub_mirrors(const pvfs::OpenFile& f,
     reads.emplace_back(s, std::move(rd));
     reads.emplace_back((s + 1) % layout.n(), std::move(rm));
     auto resps = co_await client_->rpc_all(std::move(reads));
-    for (const auto& resp : resps) {
-      if (!resp.ok) co_return Error{resp.err, "scrub mirror read"};
+    bool primary_lost = false;
+    bool mirror_lost = false;
+    for (std::size_t i = 0; i < resps.size(); ++i) {
+      if (resps[i].ok) continue;
+      if (resps[i].err == Errc::media_error) {
+        ++report.media_errors;
+        (i == 0 ? primary_lost : mirror_lost) = true;
+        continue;
+      }
+      co_return Error{resps[i].err, "scrub mirror read", resps[i].server};
     }
     ++report.mirror_units_checked;
+    if (primary_lost && mirror_lost) {
+      report.unrepairable += 2;  // both copies of the unit are unreadable
+      continue;
+    }
+    if (primary_lost || mirror_lost) {
+      if (!repair) continue;
+      // Restore the unreadable copy from its healthy twin.
+      Request w;
+      w.handle = f.handle;
+      w.off = local;
+      w.su = layout.stripe_unit;
+      w.op = primary_lost ? Op::write_data : Op::write_red;
+      w.payload = std::move(resps[primary_lost ? 1 : 0].data);
+      auto wr = co_await client_->rpc(
+          primary_lost ? s : (s + 1) % layout.n(), std::move(w));
+      if (!wr.ok) {
+        co_return Error{wr.err, "scrub mirror media rewrite", wr.server};
+      }
+      ++report.repaired;
+      continue;
+    }
     if (!resps[0].data.materialized() || !resps[1].data.materialized()) {
       continue;
     }
@@ -175,7 +264,39 @@ sim::Task<Result<void>> Scrubber::scrub_overflow(const pvfs::OpenFile& f,
     ro.off = 0;
     ro.len = file_size;
     auto own = co_await client_->rpc(s, std::move(ro));
-    if (!own.ok) co_return Error{own.err, "scrub overflow read"};
+    if (!own.ok && own.err == Errc::media_error) {
+      // The owner's overflow region has latent sector errors: restore its
+      // entries from the successor's mirror copies.
+      ++report.media_errors;
+      if (!repair) continue;
+      Request rr;
+      rr.op = Op::read_mirror;
+      rr.handle = f.handle;
+      rr.off = 0;
+      rr.len = file_size;
+      rr.owner = s;
+      auto surv = co_await client_->rpc((s + 1) % layout.n(), std::move(rr));
+      if (!surv.ok) {
+        ++report.unrepairable;  // mirror unreadable too
+        continue;
+      }
+      for (auto& piece : surv.pieces) {
+        Request w;
+        w.op = Op::write_overflow;
+        w.handle = f.handle;
+        w.off = piece.local_off;
+        w.payload = std::move(piece.data);
+        w.owner = s;
+        w.su = layout.stripe_unit;
+        auto wr = co_await client_->rpc(s, std::move(w));
+        if (!wr.ok) {
+          co_return Error{wr.err, "scrub overflow media rewrite", wr.server};
+        }
+        ++report.repaired;
+      }
+      continue;
+    }
+    if (!own.ok) co_return Error{own.err, "scrub overflow read", own.server};
     if (own.pieces.empty()) continue;
 
     Request rm;
@@ -185,7 +306,34 @@ sim::Task<Result<void>> Scrubber::scrub_overflow(const pvfs::OpenFile& f,
     rm.len = file_size;
     rm.owner = s;
     auto mirror = co_await client_->rpc((s + 1) % layout.n(), std::move(rm));
-    if (!mirror.ok) co_return Error{mirror.err, "scrub mirror-table read"};
+    if (!mirror.ok && mirror.err == Errc::media_error) {
+      // Mirror side unreadable: rewrite every primary entry's mirror copy.
+      ++report.media_errors;
+      if (repair) {
+        for (const auto& piece : own.pieces) {
+          ++report.overflow_pairs_checked;
+          Request w;
+          w.op = Op::write_overflow;
+          w.handle = f.handle;
+          w.off = piece.local_off;
+          w.payload = piece.data.slice(0, piece.data.size());
+          w.owner = s;
+          w.mirror = true;
+          w.su = layout.stripe_unit;
+          auto wr =
+              co_await client_->rpc((s + 1) % layout.n(), std::move(w));
+          if (!wr.ok) {
+            co_return Error{wr.err, "scrub mirror-table media rewrite",
+                            wr.server};
+          }
+          ++report.repaired;
+        }
+      }
+      continue;
+    }
+    if (!mirror.ok) {
+      co_return Error{mirror.err, "scrub mirror-table read", mirror.server};
+    }
 
     IntervalMap<Buffer, BufferSlicer> mirror_map;
     bool mirror_materialized = true;

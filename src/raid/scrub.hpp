@@ -34,10 +34,19 @@ class Scrubber {
     std::uint64_t mirror_mismatches = 0;
     std::uint64_t overflow_pairs_checked = 0;  ///< Hybrid primary/mirror
     std::uint64_t overflow_mismatches = 0;
+    /// Reads lost to latent sector errors (Errc::media_error). These are
+    /// per-range findings, not dead servers: the scrubber reconstructs the
+    /// unreadable unit from the surviving units of its group / its mirror
+    /// twin and rewrites it in place (rewriting remaps the bad sectors).
+    std::uint64_t media_errors = 0;
+    /// Findings with no surviving copy to rebuild from (e.g. two latent
+    /// errors in one single-parity group).
+    std::uint64_t unrepairable = 0;
     std::uint64_t repaired = 0;
 
     bool clean() const {
-      return parity_mismatches + mirror_mismatches + overflow_mismatches ==
+      return parity_mismatches + mirror_mismatches + overflow_mismatches +
+                 media_errors + unrepairable ==
              0;
     }
   };

@@ -28,6 +28,7 @@ class Channel {
     if (!waiters_.empty()) {
       Waiter w = waiters_.front();
       waiters_.pop_front();
+      if (w.timer_cancel) *w.timer_cancel = true;
       w.slot->emplace(std::move(value));
       sim_->schedule_now(w.h);
       return;
@@ -59,6 +60,48 @@ class Channel {
     return Awaiter{this, std::nullopt};
   }
 
+  /// Awaitable receive with a deadline (absolute simulated time). Resolves
+  /// to the message, or std::nullopt once `deadline` passes with nothing
+  /// delivered. Exactly one of the two wake-ups fires: delivery cancels the
+  /// pending timer, and an expiring timer removes this receiver from the
+  /// wait queue before returning.
+  auto recv_until(Time deadline) {
+    struct Awaiter {
+      Channel* ch;
+      Time deadline;
+      std::optional<T> slot;
+      std::shared_ptr<bool> timer_cancel;
+      bool await_ready() noexcept {
+        if (!ch->items_.empty()) {
+          slot.emplace(std::move(ch->items_.front()));
+          ch->items_.pop_front();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        timer_cancel = ch->sim_->schedule_cancellable_at(deadline, h);
+        ch->waiters_.push_back(Waiter{h, &slot, timer_cancel});
+      }
+      std::optional<T> await_resume() {
+        if (slot.has_value()) return std::move(slot);
+        if (timer_cancel) {
+          // Timer fired: unregister so a late send() doesn't write through
+          // a dangling slot pointer.
+          for (auto it = ch->waiters_.begin(); it != ch->waiters_.end();
+               ++it) {
+            if (it->slot == &slot) {
+              ch->waiters_.erase(it);
+              break;
+            }
+          }
+        }
+        return std::nullopt;
+      }
+    };
+    return Awaiter{this, deadline, std::nullopt, nullptr};
+  }
+
   /// Non-blocking receive.
   std::optional<T> try_recv() {
     if (items_.empty()) return std::nullopt;
@@ -75,6 +118,7 @@ class Channel {
   struct Waiter {
     std::coroutine_handle<> h;
     std::optional<T>* slot;
+    std::shared_ptr<bool> timer_cancel;  // set for recv_until waiters
   };
 
   Simulation* sim_;

@@ -23,18 +23,31 @@ ProcessHandle Simulation::spawn(Task<void> t) {
 
 void Simulation::schedule_at(Time t, std::coroutine_handle<> h) {
   assert(t >= now_ && "cannot schedule in the past");
-  queue_.push(Event{t, next_seq_++, h});
+  queue_.push(Event{t, next_seq_++, h, nullptr});
+}
+
+std::shared_ptr<bool> Simulation::schedule_cancellable_at(
+    Time t, std::coroutine_handle<> h) {
+  assert(t >= now_ && "cannot schedule in the past");
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{t, next_seq_++, h, flag});
+  return flag;
 }
 
 bool Simulation::step() {
-  if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
-  assert(ev.t >= now_);
-  now_ = ev.t;
-  ++events_executed_;
-  ev.h.resume();
-  return true;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    // A cancelled timer's handle may already be dead (resumed elsewhere);
+    // discard the event without touching it.
+    if (ev.cancelled && *ev.cancelled) continue;
+    assert(ev.t >= now_);
+    now_ = ev.t;
+    ++events_executed_;
+    ev.h.resume();
+    return true;
+  }
+  return false;
 }
 
 Time Simulation::run() {

@@ -86,6 +86,13 @@ class Simulation {
   /// queued same-time events.
   void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
 
+  /// Enqueue a cancellable resume at time `t`. Setting the returned flag to
+  /// true before the event fires discards it without touching the handle —
+  /// the building block for timeouts, where the same coroutine may instead
+  /// be resumed by the operation completing.
+  std::shared_ptr<bool> schedule_cancellable_at(Time t,
+                                                std::coroutine_handle<> h);
+
   /// Run until the event queue is empty. Returns the final time.
   Time run();
 
@@ -118,6 +125,7 @@ class Simulation {
     Time t;
     std::uint64_t seq;
     std::coroutine_handle<> h;
+    std::shared_ptr<bool> cancelled;  // null for ordinary events
     bool operator>(const Event& o) const {
       return t != o.t ? t > o.t : seq > o.seq;
     }

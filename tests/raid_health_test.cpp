@@ -76,6 +76,51 @@ TEST(HealthMonitor, DetectsRecovery) {
   }(rig, &mon));
 }
 
+TEST(HealthMonitor, StopStartRestartsPolling) {
+  Rig rig(rig_params());
+  HealthParams hp;
+  hp.interval = sim::ms(100);
+  HealthMonitor mon(rig.client(), hp);
+  // A stop(); start(); pair — even back-to-back, before the poller has run
+  // once — must leave a live poller behind (this used to leave the monitor
+  // permanently dead: the old poller saw the stop flag and exited, and the
+  // restart never spawned a new one).
+  mon.start();
+  mon.stop();
+  mon.start();
+  run_sim_void(rig, [](Rig& r, HealthMonitor* m) -> sim::Task<void> {
+    EXPECT_TRUE(m->running());
+    co_await r.sim.sleep(sim::sec(1));
+    EXPECT_GT(m->probes_sent(), 4u);
+    r.server(0).fail();
+    co_await r.sim.sleep(sim::ms(300));
+    EXPECT_FALSE(m->is_alive(0));  // the restarted poller is really polling
+    m->stop();
+    EXPECT_FALSE(m->running());
+  }(rig, &mon));
+}
+
+TEST(HealthMonitor, DetectsSilentCrashViaProbeDeadline) {
+  Rig rig(rig_params());
+  HealthParams hp;
+  hp.interval = sim::ms(100);
+  HealthMonitor mon(rig.client(), hp);
+  mon.start();
+  run_sim_void(rig, [](Rig& r, HealthMonitor* m) -> sim::Task<void> {
+    co_await r.sim.sleep(sim::ms(500));
+    // crash() never answers (unlike fail(), which replies server_failed).
+    // Without the probe deadline the poller would hang on this ping
+    // forever and the monitor would never mark anything down.
+    r.server(2).crash();
+    co_await r.sim.sleep(sim::sec(2));
+    EXPECT_FALSE(m->is_alive(2));
+    r.server(2).restart(/*wipe_disk=*/false);
+    co_await r.sim.sleep(sim::sec(1));
+    EXPECT_TRUE(m->is_alive(2));
+    m->stop();
+  }(rig, &mon));
+}
+
 TEST(FailoverRead, TransparentlyReconstructs) {
   for (Scheme scheme : {Scheme::raid1, Scheme::raid5, Scheme::hybrid}) {
     Rig rig(rig_params(scheme));

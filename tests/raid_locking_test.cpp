@@ -134,6 +134,10 @@ TEST(ParityLock, TwoPartialStripesAcquireInGroupOrder) {
   p.scheme = Scheme::raid5;
   p.nservers = 4;
   p.nclients = 8;
+  // This test pins the exact live-process count below; lease watchdogs are
+  // transient extra processes, so switch them off (they have their own
+  // coverage in the fault tests).
+  p.parity_lock_lease = 0;
   Rig rig(p);
   run_sim_void(rig, [](Rig& r) -> sim::Task<void> {
     auto f = co_await r.client_fs(0).create("f", r.layout(kSu));
@@ -156,6 +160,43 @@ TEST(ParityLock, TwoPartialStripesAcquireInGroupOrder) {
     co_await wg.wait();  // completing at all proves deadlock freedom
     // Only daemon dispatchers (servers + manager) and this checker remain.
     EXPECT_EQ(r.sim.live_processes(), r.p.nservers + 2u);
+  }(rig));
+}
+
+TEST(ParityLock, LeaseReclaimsAbandonedLock) {
+  // An RMW client that dies (or times out) between read_red and write_red
+  // leaves the parity lock held with no owner. Without leases every later
+  // writer of the group queues forever; with leases the lock is handed to
+  // the first waiter once the lease runs out.
+  RigParams p;
+  p.scheme = Scheme::raid5;
+  p.nservers = 4;
+  p.parity_lock_lease = sim::ms(400);
+  Rig rig(p);
+  run_sim_void(rig, [](Rig& r) -> sim::Task<void> {
+    auto f = co_await r.client_fs().create("f", r.layout(kSu));
+    CO_ASSERT_TRUE(f.ok());
+    const std::uint64_t w = f->layout.stripe_width();
+    auto wr = co_await r.client_fs().write(*f, 0, Buffer::pattern(2 * w, 7));
+    CO_ASSERT_TRUE(wr.ok());
+    // Take group 0's parity lock by hand and abandon it.
+    const std::uint32_t ps = f->layout.parity_server(0);
+    pvfs::Request lr;
+    lr.op = pvfs::Op::read_red;
+    lr.handle = f->handle;
+    lr.off = f->layout.parity_local_off(0);
+    lr.len = kSu;
+    lr.su = f->layout.stripe_unit;
+    lr.lock = true;
+    auto resp = co_await r.client().rpc(ps, std::move(lr));
+    CO_ASSERT_TRUE(resp.ok);
+    const sim::Time stuck_at = r.sim.now();
+    // A partial write into group 0 needs the same parity lock; it queues
+    // behind the orphan and completes only after the lease expires.
+    auto wr2 = co_await r.client_fs().write(*f, 100, Buffer::pattern(500, 9));
+    CO_ASSERT_TRUE(wr2.ok());
+    EXPECT_GE(r.sim.now(), stuck_at + sim::ms(400));
+    EXPECT_EQ(r.server(ps).lock_stats().lease_expirations, 1u);
   }(rig));
 }
 
