@@ -31,6 +31,7 @@ add_executable(bench_ablate_parity_kernel ${CMAKE_SOURCE_DIR}/bench/bench_ablate
 set_target_properties(bench_ablate_parity_kernel PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 target_link_libraries(bench_ablate_parity_kernel PRIVATE csar_common benchmark::benchmark)
 target_include_directories(bench_ablate_parity_kernel PRIVATE ${CMAKE_SOURCE_DIR}/src)
+csar_add_bench(bench_ablate_rpc_batching)
 csar_add_bench(bench_ablate_raid4)
 csar_add_bench(bench_ablate_collective)
 csar_add_bench(bench_ablate_rebuild)

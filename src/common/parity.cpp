@@ -11,11 +11,43 @@ void xor_bytes(std::span<std::byte> dst, std::span<const std::byte> src) {
   for (std::size_t i = 0; i < src.size(); ++i) dst[i] ^= src[i];
 }
 
-void xor_words(std::span<std::byte> dst, std::span<const std::byte> src) {
+void xor_words_single(std::span<std::byte> dst,
+                      std::span<const std::byte> src) {
   assert(src.size() <= dst.size());
   std::size_t n = src.size();
   std::size_t i = 0;
   constexpr std::size_t W = sizeof(std::uint64_t);
+  for (; i + W <= n; i += W) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, dst.data() + i, W);
+    std::memcpy(&b, src.data() + i, W);
+    a ^= b;
+    std::memcpy(dst.data() + i, &a, W);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void xor_words(std::span<std::byte> dst, std::span<const std::byte> src) {
+  assert(src.size() <= dst.size());
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  constexpr std::size_t W = sizeof(std::uint64_t);
+  // 32-byte blocks (4 independent words per iteration) measure fastest
+  // here: wide enough to keep multiple XORs in flight, narrow enough that
+  // GCC still vectorizes the block instead of spilling the local arrays.
+  constexpr std::size_t B = 4 * W;
+  for (; i + B <= n; i += B) {
+    std::uint64_t a[4];
+    std::uint64_t b[4];
+    std::memcpy(a, dst.data() + i, B);
+    std::memcpy(b, src.data() + i, B);
+    a[0] ^= b[0];
+    a[1] ^= b[1];
+    a[2] ^= b[2];
+    a[3] ^= b[3];
+    std::memcpy(dst.data() + i, a, B);
+  }
   for (; i + W <= n; i += W) {
     std::uint64_t a;
     std::uint64_t b;

@@ -16,8 +16,14 @@ namespace csar {
 /// dst[i] ^= src[i], one byte at a time (deliberately naive baseline).
 void xor_bytes(std::span<std::byte> dst, std::span<const std::byte> src);
 
-/// dst[i] ^= src[i], word-at-a-time with a byte tail. Handles unaligned
-/// buffers via memcpy word loads, which GCC lowers to plain loads on x86.
+/// dst[i] ^= src[i], one 64-bit word at a time with a byte tail (the
+/// pre-blocking kernel, kept for the ablation benchmark).
+void xor_words_single(std::span<std::byte> dst, std::span<const std::byte> src);
+
+/// dst[i] ^= src[i], 32-byte blocks of four independent 64-bit words per
+/// iteration (autovectorizer-friendly at the default -O2), then a word tail
+/// and a byte tail. Handles unaligned buffers via memcpy word loads, which
+/// GCC lowers to plain loads on x86.
 void xor_words(std::span<std::byte> dst, std::span<const std::byte> src);
 
 /// Parity of `sources` accumulated into `dst` (dst must be zero-filled or

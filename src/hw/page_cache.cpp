@@ -81,6 +81,7 @@ sim::Task<IoStatus> PageCache::read(std::uint64_t fid, std::uint64_t off,
   std::uint64_t run_len = 0;    // pages in the pending miss run
   auto flush_run = [&]() -> sim::Task<void> {
     if (run_len == 0) co_return;
+    ++stats_.miss_runs;
     if (co_await disk_->read(page_addr(fid, run_start, p_.page_size),
                              run_len * p_.page_size) ==
         IoStatus::media_error) {

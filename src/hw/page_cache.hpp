@@ -85,6 +85,9 @@ class PageCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t miss_runs = 0;         ///< contiguous disk reads issued for
+                                         ///< misses (batched adjacent server
+                                         ///< reads show up as fewer runs)
     std::uint64_t prereads = 0;          ///< partial-write pre-reads (§5.2)
     std::uint64_t dirty_evictions = 0;
     std::uint64_t clean_evictions = 0;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "sim/sync.hpp"
 
@@ -158,10 +160,95 @@ sim::Task<Response> Client::rpc(std::uint32_t s, Request r, RpcPolicy policy) {
   co_return failed;
 }
 
+sim::Task<std::vector<Response>> Client::rpc_batch(std::uint32_t s,
+                                                   std::vector<Request> subs) {
+  co_return co_await rpc_batch(s, std::move(subs), policy_);
+}
+
+sim::Task<std::vector<Response>> Client::rpc_batch(std::uint32_t s,
+                                                   std::vector<Request> subs,
+                                                   RpcPolicy policy) {
+  const std::size_t n = subs.size();
+  if (n == 0) co_return std::vector<Response>{};
+  if (n == 1 || !batching_) {
+    // Nothing to amortize (or the ablation baseline): one RPC per request,
+    // in order — exactly the legacy wire traffic.
+    std::vector<Response> out;
+    out.reserve(n);
+    for (auto& sub : subs) {
+      out.push_back(co_await rpc(s, std::move(sub), policy));
+    }
+    co_return out;
+  }
+  Request env;
+  env.op = Op::batch;
+  env.subs = std::move(subs);
+  Response resp = co_await rpc(s, std::move(env), policy);
+  if (resp.ok && resp.subs.size() == n) {
+    for (auto& sub : resp.subs) sub.server = static_cast<int>(s);
+    co_return std::move(resp.subs);
+  }
+  // The envelope itself failed (deadline, reset, refused server): every sub
+  // shares that fate.
+  std::vector<Response> failed(n);
+  for (auto& f : failed) {
+    f.ok = false;
+    f.err = resp.ok ? Errc::invalid_argument : resp.err;
+    f.server = static_cast<int>(s);
+  }
+  co_return failed;
+}
+
 sim::Task<std::vector<Response>> Client::rpc_all(
     std::vector<std::pair<std::uint32_t, Request>> requests) {
   std::vector<Response> out(requests.size());
   std::vector<sim::Task<void>> tasks;
+  if (batching_ && requests.size() > 1) {
+    // Coalesce same-destination *redundancy-class* requests into one
+    // envelope per server: parity/mirror ops are small and per-message
+    // header dominated, so sharing one transfer is pure win. Bulk payload
+    // requests (data reads/writes, overflow) are payload-dominated and
+    // pipeline better as independent messages — inside one envelope the
+    // server would execute them strictly in order and the combined response
+    // could not start streaming until the last sub finished. The class
+    // split also mirrors the server's per-connection streams: a parity
+    // release must never queue behind bulk data inside one message, which
+    // would stretch the lock critical section.
+    struct Group {
+      std::uint32_t server;
+      std::vector<Request> subs;
+      std::vector<std::size_t> slots;
+    };
+    std::map<std::uint32_t, std::size_t> index;
+    std::vector<Group> groups;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      std::size_t gi;
+      if (redundancy_op(requests[i].second.op)) {
+        auto [it, fresh] = index.try_emplace(requests[i].first, groups.size());
+        if (fresh) groups.push_back({requests[i].first, {}, {}});
+        gi = it->second;
+      } else {
+        gi = groups.size();  // bulk: always its own message
+        groups.push_back({requests[i].first, {}, {}});
+      }
+      groups[gi].subs.push_back(std::move(requests[i].second));
+      groups[gi].slots.push_back(i);
+    }
+    tasks.reserve(groups.size());
+    for (auto& g : groups) {
+      tasks.push_back(
+          [](Client* self, Group grp, std::vector<Response>* all)
+              -> sim::Task<void> {
+            auto resps =
+                co_await self->rpc_batch(grp.server, std::move(grp.subs));
+            for (std::size_t k = 0; k < grp.slots.size(); ++k) {
+              (*all)[grp.slots[k]] = std::move(resps[k]);
+            }
+          }(this, std::move(g), &out));
+    }
+    co_await sim::when_all(cluster_->sim(), std::move(tasks));
+    co_return out;
+  }
   tasks.reserve(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
     tasks.push_back(

@@ -95,7 +95,30 @@ class Client {
   /// ops are idempotent).
   sim::Task<Response> rpc(std::uint32_t s, Request r, RpcPolicy policy);
 
+  /// Wire-level batching switch (RigParams::rpc_batching). When on,
+  /// rpc_batch() really coalesces and rpc_all() auto-batches same-server
+  /// same-connection requests; when off both degrade to one RPC per request
+  /// (the ablation baseline — identical wire traffic to the legacy path).
+  void set_rpc_batching(bool on) { batching_ = on; }
+  bool rpc_batching() const { return batching_; }
+
+  /// Send `subs` to server `s` as one Op::batch envelope (a single fabric
+  /// transfer each way); the server executes them in order over one channel.
+  /// Returns one response per sub, in order, each with `server` filled. A
+  /// failure of the envelope itself (timeout, reset, refused server) is
+  /// replicated onto every sub-response. With batching disabled — or a
+  /// single sub — this degrades to plain rpc() per request, sequentially.
+  sim::Task<std::vector<Response>> rpc_batch(std::uint32_t s,
+                                             std::vector<Request> subs);
+  sim::Task<std::vector<Response>> rpc_batch(std::uint32_t s,
+                                             std::vector<Request> subs,
+                                             RpcPolicy policy);
+
   /// Issue all requests concurrently; responses returned in request order.
+  /// With batching enabled, redundancy-class requests (parity/mirror ops —
+  /// small, header-dominated) to the same server are coalesced into one
+  /// Op::batch envelope; bulk payload requests always travel as their own
+  /// message so their responses pipeline.
   sim::Task<std::vector<Response>> rpc_all(
       std::vector<std::pair<std::uint32_t, Request>> requests);
 
@@ -134,6 +157,7 @@ class Client {
   hw::NodeId node_;
   RpcPolicy policy_{};
   RpcStats rpc_stats_{};
+  bool batching_ = true;
   Rng rng_{0xC5A2F001ULL};  ///< backoff jitter; reseed via seed_retry_rng
 };
 

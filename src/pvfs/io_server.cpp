@@ -1,9 +1,11 @@
 #include "pvfs/io_server.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
+#include <vector>
 
 #include "common/log.hpp"
 #include "common/units.hpp"
@@ -37,6 +39,10 @@ const char* op_name(Op op) {
       return "compact_overflow";
     case Op::remove_file:
       return "remove_file";
+    case Op::unlock_red:
+      return "unlock_red";
+    case Op::batch:
+      return "batch";
     case Op::ping:
       return "ping";
     case Op::shutdown:
@@ -104,10 +110,7 @@ sim::Task<void> IoServer::pace(const Request& r, std::uint64_t bytes) {
   // Redundancy-*block* operations take CSAR's fast path (cache-resident
   // parity/mirror blocks, outside the iod streaming loop). Bulk payloads —
   // data files and overflow regions — go through the per-connection stream.
-  const bool redundancy =
-      r.op == Op::read_red || r.op == Op::write_red ||
-      r.op == Op::read_mirror || r.op == Op::read_own_overflow;
-  co_await stream_for(r.from, redundancy).transfer(bytes);
+  co_await stream_for(r.from, redundancy_op(r.op)).transfer(bytes);
 }
 
 sim::Task<void> IoServer::reply(const Request& r, Response resp,
@@ -127,25 +130,64 @@ void IoServer::apply_invalidation(const Request& r) {
   }
 }
 
+sim::Task<bool> IoServer::lock_parity(std::uint64_t key, hw::NodeId from) {
+  auto& lk = locks_[key];
+  if (!lk.held) {
+    lk.held = true;
+    lk.owner = from;
+    ++lk.gen;
+    lk.acquired_at = cluster_->sim().now();
+    ++lock_stats_.acquisitions;
+    co_return true;
+  }
+  // §5.1: queue behind the in-flight read-modify-write. Arm the lease
+  // watchdog: if the holder abandoned its RMW (client death, RPC timeout),
+  // the queue would otherwise never drain.
+  ++lock_stats_.waits;
+  LockWaiter w;
+  w.from = from;
+  w.enq = cluster_->sim().now();
+  lk.waiting.push_back(&w);
+  arm_lease(key, lk);
+  struct Park {
+    LockWaiter* w;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const noexcept { w->h = h; }
+    bool await_resume() const noexcept { return w->granted; }
+  };
+  co_return co_await Park{&w};
+}
+
 void IoServer::pass_or_release(std::uint64_t key, ParityLock& lk) {
   ++lk.gen;  // ownership changes either way; invalidates a pending watchdog
   if (lk.waiting.empty()) {
     lk.held = false;
+    lk.owner = 0;
     return;
   }
-  // Hand the lock to the first queued parity read.
-  auto [queued, enq_time] = std::move(lk.waiting.front());
+  // Hand the lock to the first queued waiter and resume its acquirer.
+  LockWaiter* w = lk.waiting.front();
   lk.waiting.pop_front();
-  lock_stats_.wait_time += cluster_->sim().now() - enq_time;
+  lock_stats_.wait_time += cluster_->sim().now() - w->enq;
   ++lock_stats_.acquisitions;
+  lk.owner = w->from;
   lk.acquired_at = cluster_->sim().now();
   if (!lk.waiting.empty()) arm_lease(key, lk);  // new holder, fresh lease
-  cluster_->sim().spawn(
-      [](IoServer* self, Request q) -> sim::Task<void> {
-        const std::uint64_t ep = self->epoch_;
-        Response qresp = co_await self->do_read_red(q);
-        co_await self->reply(q, std::move(qresp), ep);
-      }(this, std::move(queued)));
+  w->granted = true;
+  cluster_->sim().schedule_now(w->h);
+}
+
+void IoServer::fail_waiters(ParityLock& lk) {
+  for (LockWaiter* w : lk.waiting) {
+    w->granted = false;
+    cluster_->sim().schedule_now(w->h);
+  }
+  lk.waiting.clear();
+}
+
+void IoServer::drop_all_locks() {
+  for (auto& [key, lk] : locks_) fail_waiters(lk);
+  locks_.clear();
 }
 
 void IoServer::arm_lease(std::uint64_t key, ParityLock& lk) {
@@ -171,6 +213,35 @@ sim::Task<void> IoServer::lease_reaper(std::uint64_t key, std::uint64_t gen,
   pass_or_release(key, it->second);
 }
 
+namespace {
+
+/// Ops a fenced (blank-disk, not yet rebuilt) server must refuse: anything
+/// that observes content or answers probes.
+bool fence_refused(Op op) {
+  switch (op) {
+    case Op::read_data:
+    case Op::read_red:
+    case Op::read_data_raw:
+    case Op::read_mirror:
+    case Op::read_own_overflow:
+    case Op::storage_query:
+    case Op::ping:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// iod dispatch-loop cost of one request (bytes moved through the daemon).
+std::uint64_t iod_cost(const Request& r) {
+  if (r.op != Op::batch) return std::max(r.wire_bytes(), r.len);
+  std::uint64_t total = 0;
+  for (const auto& s : r.subs) total += std::max(s.wire_bytes(), s.len);
+  return total;
+}
+
+}  // namespace
+
 sim::Task<void> IoServer::handle(Request r) {
   const std::uint64_t epoch = epoch_;
   if (failed_) {
@@ -185,144 +256,121 @@ sim::Task<void> IoServer::handle(Request r) {
     // would return zeros as if they were data. Refuse everything that
     // observes content (clients fail over to the redundancy) but admit
     // writes, so the rebuild — and any concurrent client write, which is
-    // then simply newer than the rebuild copy — can land.
-    switch (r.op) {
-      case Op::read_data:
-      case Op::read_red:
-      case Op::read_data_raw:
-      case Op::read_mirror:
-      case Op::read_own_overflow:
-      case Op::storage_query:
-      case Op::ping: {
-        Response resp;
-        resp.ok = false;
-        resp.err = Errc::server_failed;
-        co_await reply(r, std::move(resp), epoch);
-        co_return;
-      }
-      default:
-        break;
+    // then simply newer than the rebuild copy — can land. A batch is
+    // refused whole if any of its subs observes content: a partial batch
+    // would complicate the client's retry story for no benefit.
+    bool refuse = fence_refused(r.op);
+    if (r.op == Op::batch) {
+      for (const auto& s : r.subs) refuse = refuse || fence_refused(s.op);
+    }
+    if (refuse) {
+      Response resp;
+      resp.ok = false;
+      resp.err = Errc::server_failed;
+      co_await reply(r, std::move(resp), epoch);
+      co_return;
     }
   }
   // Every request passes through the single-process iod dispatch loop;
-  // under bursts, small parity operations queue behind bulk data here.
-  co_await iod_.transfer(std::max(r.wire_bytes(), r.len));
+  // under bursts, small parity operations queue behind bulk data here. A
+  // batch is charged the sum of its subs' bytes but only one dispatch pass —
+  // the per-message overhead batching exists to amortize.
+  co_await iod_.transfer(iod_cost(r));
+  if (r.op == Op::shutdown) co_return;  // handled by the dispatcher
+  Response resp;
+  if (r.op == Op::batch) {
+    resp = co_await exec_batch(r);
+  } else {
+    resp = co_await exec_one(r, /*prelocked=*/false);
+  }
+  co_await reply(r, std::move(resp), epoch);
+}
+
+sim::Task<Response> IoServer::exec_one(const Request& r, bool prelocked) {
   switch (r.op) {
-    case Op::read_data: {
-      Response resp = co_await do_read_data(r);
-      co_await reply(r, std::move(resp), epoch);
-      break;
-    }
-    case Op::write_data: {
-      Response resp = co_await do_write_data(r);
-      co_await reply(r, std::move(resp), epoch);
-      break;
-    }
+    case Op::read_data:
+      co_return co_await do_read_data(r);
+    case Op::write_data:
+      co_return co_await do_write_data(r);
     case Op::read_red: {
-      if (p_.parity_locking && r.lock) {
+      if (p_.parity_locking && r.lock && !prelocked) {
         const std::uint64_t key = lock_key(r.handle, r.off, r.su);
-        auto& lk = locks_[key];
-        if (lk.held) {
-          // §5.1: queue behind the in-flight read-modify-write. Arm the
-          // lease watchdog: if the holder abandoned its RMW (client death,
-          // RPC timeout), the queue would otherwise never drain.
-          ++lock_stats_.waits;
-          lk.waiting.emplace_back(std::move(r), cluster_->sim().now());
-          arm_lease(key, lk);
-          co_return;
+        const bool got = co_await lock_parity(key, r.from);
+        if (!got) {
+          // The lock vanished while we were queued (file removed, crash):
+          // answer not_found so the client does not hang.
+          Response resp;
+          resp.ok = false;
+          resp.err = Errc::not_found;
+          co_return resp;
         }
-        lk.held = true;
-        ++lk.gen;
-        lk.acquired_at = cluster_->sim().now();
-        ++lock_stats_.acquisitions;
       }
-      Response resp = co_await do_read_red(r);
-      co_await reply(r, std::move(resp), epoch);
-      break;
+      co_return co_await do_read_red(r);
     }
     case Op::write_red: {
       Response resp = co_await do_write_red(r);
-      const std::uint64_t key = lock_key(r.handle, r.off, r.su);
-      const bool release = p_.parity_locking && r.unlock;
       // Release as soon as the parity write is applied; the ack to the
       // writer is asynchronous and need not extend the critical section.
-      if (release) {
+      if (p_.parity_locking && r.unlock) {
+        const std::uint64_t key = lock_key(r.handle, r.off, r.su);
         auto it = locks_.find(key);
         // A crash wipes the lock table: a writer that acquired the lock
         // before the crash legitimately unlocks a lock we no longer hold.
         // Forgetting a lock is safe (the RMW it protected was fenced by the
         // epoch check), so treat the orphan unlock as a no-op.
-        if (it == locks_.end() || !it->second.held) {
-          co_await reply(r, std::move(resp), epoch);
-          break;
+        if (it != locks_.end() && it->second.held) {
+          pass_or_release(key, it->second);
         }
-        pass_or_release(key, it->second);
       }
-      co_await reply(r, std::move(resp), epoch);
-      break;
+      co_return resp;
     }
-    case Op::write_overflow: {
-      Response resp = co_await do_write_overflow(r);
-      co_await reply(r, std::move(resp), epoch);
-      break;
-    }
-    case Op::read_data_raw: {
-      Response resp;
-      auto out = co_await fs_.read_checked(data_name(r.handle), r.off, r.len);
-      resp.data = std::move(out.data);
-      if (out.media_error) {
-        resp.ok = false;
-        resp.err = Errc::media_error;
+    case Op::unlock_red: {
+      // Explicit release without a parity write: sent by a client abandoning
+      // its RMW (its locked read_red timed out). The client cannot know
+      // whether that read ever granted the lock, so the release is only
+      // honoured when this client is the recorded owner — releasing some
+      // other writer's lock would break the critical section.
+      if (p_.parity_locking) {
+        const std::uint64_t key = lock_key(r.handle, r.off, r.su);
+        auto it = locks_.find(key);
+        if (it != locks_.end() && it->second.held &&
+            it->second.owner == r.from) {
+          ++lock_stats_.explicit_releases;
+          pass_or_release(key, it->second);
+        }
       }
-      co_await pace(r, r.len);
-      co_await reply(r, std::move(resp), epoch);
-      break;
+      co_return Response{};
     }
-    case Op::read_mirror: {
-      Response resp = co_await do_read_mirror(r);
-      co_await reply(r, std::move(resp), epoch);
-      break;
-    }
-    case Op::read_own_overflow: {
-      Response resp = co_await do_read_own_overflow(r);
-      co_await reply(r, std::move(resp), epoch);
-      break;
-    }
+    case Op::write_overflow:
+      co_return co_await do_write_overflow(r);
+    case Op::read_data_raw:
+      co_return co_await do_read_data_raw(r);
+    case Op::read_mirror:
+      co_return co_await do_read_mirror(r);
+    case Op::read_own_overflow:
+      co_return co_await do_read_own_overflow(r);
     case Op::flush: {
       co_await fs_.flush();
-      co_await reply(r, Response{}, epoch);
-      break;
+      co_return Response{};
     }
-    case Op::compact_overflow: {
-      Response resp = co_await do_compact_overflow(r);
-      co_await reply(r, std::move(resp), epoch);
-      break;
-    }
+    case Op::compact_overflow:
+      co_return co_await do_compact_overflow(r);
     case Op::remove_file: {
       fs_.remove(data_name(r.handle));
       fs_.remove(red_name(r.handle));
       fs_.remove(ovfl_name(r.handle));
       handles_.erase(r.handle);
-      // Drop any parity locks of the dead handle; queued readers are
-      // answered with not_found so their clients do not hang.
+      // Drop any parity locks of the dead handle; parked acquirers are
+      // woken un-granted and answer not_found so their clients do not hang.
       for (auto it = locks_.begin(); it != locks_.end();) {
         if (it->first / 0x40000000ULL == r.handle) {
-          for (auto& [queued, enq] : it->second.waiting) {
-            Response gone;
-            gone.ok = false;
-            gone.err = Errc::not_found;
-            cluster_->sim().spawn(
-                [](IoServer* self, Request q, Response g) -> sim::Task<void> {
-                  co_await self->reply(q, std::move(g), self->epoch_);
-                }(this, std::move(queued), std::move(gone)));
-          }
+          fail_waiters(it->second);
           it = locks_.erase(it);
         } else {
           ++it;
         }
       }
-      co_await reply(r, Response{}, epoch);
-      break;
+      co_return Response{};
     }
     case Op::storage_query: {
       Response resp;
@@ -331,16 +379,101 @@ sim::Task<void> IoServer::handle(Request r) {
       auto it = handles_.find(r.handle);
       resp.storage.overflow_bytes =
           it == handles_.end() ? 0 : it->second.overflow_alloc;
-      co_await reply(r, std::move(resp), epoch);
-      break;
+      co_return resp;
     }
-    case Op::ping: {
-      co_await reply(r, Response{}, epoch);
-      break;
-    }
+    case Op::ping:
+      co_return Response{};
+    case Op::batch:
     case Op::shutdown:
-      break;  // handled by the dispatcher
+      break;  // batches never nest; shutdown is the dispatcher's
   }
+  Response bad;
+  bad.ok = false;
+  bad.err = Errc::invalid_argument;
+  co_return bad;
+}
+
+sim::Task<Response> IoServer::exec_batch(const Request& r) {
+  ++batch_stats_.batches;
+  batch_stats_.subs += r.subs.size();
+  // Sub-requests inherit the envelope's sender: owner tagging, stream
+  // pacing and lock bookkeeping all go by `from`.
+  std::vector<Request> subs = r.subs;
+  for (auto& s : subs) s.from = r.from;
+
+  // Acquire every parity lock the batch needs up front, in ascending key
+  // (== ascending group) order — not lazily in execution order. Two batches
+  // contending on this server therefore cannot interleave their
+  // acquisitions out of order, and since clients visit parity servers in
+  // ascending min-group order, the global acquisition order stays
+  // consistent with §5.1's deadlock-avoidance rule.
+  std::vector<std::pair<std::uint64_t, std::size_t>> lock_plan;
+  if (p_.parity_locking) {
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      if (subs[i].op == Op::read_red && subs[i].lock) {
+        lock_plan.emplace_back(
+            lock_key(subs[i].handle, subs[i].off, subs[i].su), i);
+      }
+    }
+    std::sort(lock_plan.begin(), lock_plan.end());
+  }
+  std::vector<char> prelocked(subs.size(), 0);
+  std::vector<char> lock_dead(subs.size(), 0);
+  for (const auto& [key, i] : lock_plan) {
+    const bool got = co_await lock_parity(key, subs[i].from);
+    if (got) {
+      prelocked[i] = 1;
+    } else {
+      lock_dead[i] = 1;
+    }
+  }
+
+  Response env;
+  env.subs.resize(subs.size());
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    if (lock_dead[i]) {
+      env.subs[i].ok = false;
+      env.subs[i].err = Errc::not_found;
+      continue;
+    }
+    // Merge a run of adjacent same-op reads of one file into a single
+    // page-cache access: one covering read (one miss run on the disk for
+    // cold pages) sliced back into per-sub responses.
+    if (subs[i].op == Op::read_red || subs[i].op == Op::read_data_raw) {
+      std::size_t j = i + 1;
+      std::uint64_t end = subs[i].off + subs[i].len;
+      while (j < subs.size() && subs[j].op == subs[i].op &&
+             subs[j].handle == subs[i].handle && subs[j].off == end &&
+             !lock_dead[j]) {
+        end += subs[j].len;
+        ++j;
+      }
+      if (j > i + 1) {
+        Request merged = subs[i];
+        merged.len = end - merged.off;
+        Response big;
+        if (merged.op == Op::read_red) {
+          big = co_await do_read_red(merged);
+        } else {
+          big = co_await do_read_data_raw(merged);
+        }
+        batch_stats_.merged_reads += (j - i) - 1;
+        std::uint64_t pos = 0;
+        for (std::size_t k = i; k < j; ++k) {
+          env.subs[k].ok = big.ok;
+          env.subs[k].err = big.err;
+          if (big.ok || big.data.size() == merged.len) {
+            env.subs[k].data = big.data.slice(pos, subs[k].len);
+          }
+          pos += subs[k].len;
+        }
+        i = j - 1;
+        continue;
+      }
+    }
+    env.subs[i] = co_await exec_one(subs[i], prelocked[i] != 0);
+  }
+  co_return env;
 }
 
 sim::Task<Response> IoServer::do_read_data(const Request& r) {
@@ -399,6 +532,18 @@ sim::Task<Response> IoServer::do_write_data(const Request& r) {
                             cluster_->profile().net_recv_chunk);
   apply_invalidation(r);
   co_return Response{};
+}
+
+sim::Task<Response> IoServer::do_read_data_raw(const Request& r) {
+  Response resp;
+  auto out = co_await fs_.read_checked(data_name(r.handle), r.off, r.len);
+  resp.data = std::move(out.data);
+  if (out.media_error) {
+    resp.ok = false;
+    resp.err = Errc::media_error;
+  }
+  co_await pace(r, r.len);
+  co_return resp;
 }
 
 sim::Task<Response> IoServer::do_read_red(const Request& r) {

@@ -12,6 +12,7 @@
 // releases the lock (or hands it to the first queued reader).
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -77,8 +78,10 @@ class IoServer {
     ++epoch_;
     fs_.crash();
     // Parity locks are in-memory daemon state; queued waiters vanish with
-    // them (their clients time out and fail over).
-    locks_.clear();
+    // them (their clients time out and fail over). Parked acquirer
+    // coroutines are woken un-granted so their frames unwind — the epoch
+    // bump fences any reply they would try to send.
+    drop_all_locks();
   }
 
   /// Bring a crashed server back. With `wipe_disk` the local disk comes back
@@ -108,7 +111,7 @@ class IoServer {
   void wipe() {
     fs_.wipe();
     handles_.clear();
-    locks_.clear();
+    drop_all_locks();
   }
 
   localfs::LocalFs& fs() { return fs_; }
@@ -118,8 +121,17 @@ class IoServer {
     std::uint64_t waits = 0;         ///< parity reads that had to queue
     sim::Duration wait_time = 0;     ///< total simulated queueing time
     std::uint64_t lease_expirations = 0;  ///< abandoned locks reclaimed
+    std::uint64_t explicit_releases = 0;  ///< owner-verified unlock_red ops
   };
   const LockStats& lock_stats() const { return lock_stats_; }
+
+  struct BatchStats {
+    std::uint64_t batches = 0;       ///< Op::batch envelopes executed
+    std::uint64_t subs = 0;          ///< sub-requests those envelopes carried
+    std::uint64_t merged_reads = 0;  ///< adjacent sub-reads coalesced into
+                                     ///< one disk/page-cache access
+  };
+  const BatchStats& batch_stats() const { return batch_stats_; }
 
   /// Aggregate storage across all handles on this server.
   StorageInfo total_storage() const;
@@ -136,15 +148,31 @@ class IoServer {
   }
 
  private:
+  /// A coroutine parked in lock_parity() waiting for the lock. Lives on the
+  /// acquirer's frame; the queue stores pointers, FIFO.
+  struct LockWaiter {
+    std::coroutine_handle<> h;
+    hw::NodeId from = 0;
+    sim::Time enq = 0;
+    /// Set by the waker: true = lock handed over, false = lock vanished
+    /// (file removed / crash) and the acquirer must not proceed.
+    bool granted = false;
+  };
+
   struct ParityLock {
     bool held = false;
+    /// Client node that holds the lock — lets an explicit unlock_red verify
+    /// the release comes from the holder (a client whose read_red timed out
+    /// cannot know whether its lock was ever granted; the owner check makes
+    /// its abandon-release safe to send unconditionally).
+    hw::NodeId owner = 0;
     /// Bumped whenever ownership changes (acquire, handover, release) so a
     /// pending lease watchdog can tell "still the same stuck holder" from
     /// "lock has moved on since I was armed".
     std::uint64_t gen = 0;
     std::uint64_t armed_gen = 0;  ///< holder generation with a watchdog
     sim::Time acquired_at = 0;
-    std::deque<std::pair<Request, sim::Time>> waiting;  // + enqueue time
+    std::deque<LockWaiter*> waiting;
   };
 
   struct OffsetSlicer {
@@ -164,9 +192,23 @@ class IoServer {
 
   sim::Task<void> dispatcher();
   sim::Task<void> handle(Request r);
-  /// Hand a released (or expired) lock to the first queued parity read, or
-  /// mark it free when nobody is waiting.
+  /// Execute one (non-batch) request and produce its response. `prelocked`
+  /// means an enclosing batch already acquired this read_red's parity lock.
+  sim::Task<Response> exec_one(const Request& r, bool prelocked);
+  /// Execute an Op::batch envelope: acquire every sub-lock in ascending
+  /// key order, then run the subs in order, merging adjacent reads.
+  sim::Task<Response> exec_batch(const Request& r);
+  /// Acquire the parity lock at `key` for client `from`, queueing FIFO
+  /// behind the holder. False when the lock vanished while queued (file
+  /// removed, crash) — the caller must not proceed.
+  sim::Task<bool> lock_parity(std::uint64_t key, hw::NodeId from);
+  /// Hand a released (or expired) lock to the first queued waiter, or mark
+  /// it free when nobody is waiting.
   void pass_or_release(std::uint64_t key, ParityLock& lk);
+  /// Wake every parked acquirer of `lk` un-granted (lock is going away).
+  void fail_waiters(ParityLock& lk);
+  /// Clear the whole lock table, waking all parked acquirers un-granted.
+  void drop_all_locks();
   /// Spawn a lease watchdog for the current holder generation (idempotent
   /// per generation; no-op when leases are disabled).
   void arm_lease(std::uint64_t key, ParityLock& lk);
@@ -177,6 +219,7 @@ class IoServer {
   sim::Task<void> reply(const Request& r, Response resp, std::uint64_t epoch);
 
   sim::Task<Response> do_read_data(const Request& r);
+  sim::Task<Response> do_read_data_raw(const Request& r);
   sim::Task<Response> do_write_data(const Request& r);
   sim::Task<Response> do_read_red(const Request& r);
   sim::Task<Response> do_write_red(const Request& r);
@@ -216,6 +259,7 @@ class IoServer {
   std::unordered_map<std::uint64_t, HandleState> handles_;
   std::unordered_map<std::uint64_t, ParityLock> locks_;
   LockStats lock_stats_;
+  BatchStats batch_stats_;
   bool failed_ = false;
   bool crashed_ = false;
   /// Rejoined on a blank disk and not yet rebuilt: refuse reads/probes.

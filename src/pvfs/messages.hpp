@@ -33,9 +33,19 @@ enum class Op : std::uint8_t {
   compact_overflow,  ///< §6.7 cleaner: rewrite the overflow file densely,
                      ///< reclaiming space dead entries still occupy
   remove_file,    ///< delete every local file of a handle (unlink)
+  unlock_red,     ///< explicit parity-lock release (owner-checked, no write)
+  batch,          ///< ordered vector of sub-requests in one fabric transfer
   ping,           ///< liveness probe (health monitoring); replies ok
   shutdown,       ///< stop the server dispatcher (teardown only)
 };
+
+/// Ops that ride the redundancy connection (CSAR keeps parity/mirror traffic
+/// off the bulk-data stream); batches never mix the two classes, so a parity
+/// release is never stuck behind bulk payload in the same message.
+inline bool redundancy_op(Op op) {
+  return op == Op::read_red || op == Op::write_red || op == Op::unlock_red ||
+         op == Op::read_mirror || op == Op::read_own_overflow;
+}
 
 const char* op_name(Op op);
 
@@ -59,6 +69,10 @@ struct Response {
   Buffer data;
   std::vector<OverflowPiece> pieces;
   StorageInfo storage;
+  /// Op::batch: one response per sub-request, in request order. The
+  /// envelope's `ok` reflects whether the batch itself was admitted; each
+  /// sub-response carries its own per-op outcome.
+  std::vector<Response> subs;
   /// Index of the server this response concerns; filled in client-side by
   /// Client::rpc (including for synthesized timeout responses) so failover
   /// logic knows which server misbehaved.
@@ -68,6 +82,7 @@ struct Response {
   std::uint64_t wire_bytes() const {
     std::uint64_t b = data.size();
     for (const auto& p : pieces) b += p.data.size() + 16;
+    for (const auto& s : subs) b += s.wire_bytes() + 16;
     return b;
   }
 };
@@ -89,6 +104,11 @@ struct Request {
   Interval inval_own{0, 0};
   Interval inval_mirror{0, 0};
 
+  /// Op::batch: the sub-requests, executed by the server in this order over
+  /// one channel. Sub-requests carry no `from`/`reply` of their own (the
+  /// envelope's are used) and must not nest further batches.
+  std::vector<Request> subs;
+
   hw::NodeId from = 0;
   /// Shared so a reply outliving a timed-out RPC attempt lands in a live
   /// channel (the client keeps the channel alive across retries) instead of
@@ -96,7 +116,11 @@ struct Request {
   std::shared_ptr<sim::Channel<Response>> reply;
 
   /// Approximate bytes this request occupies on the wire.
-  std::uint64_t wire_bytes() const { return payload.size(); }
+  std::uint64_t wire_bytes() const {
+    std::uint64_t b = payload.size();
+    for (const auto& s : subs) b += s.wire_bytes() + 16;
+    return b;
+  }
 };
 
 }  // namespace csar::pvfs

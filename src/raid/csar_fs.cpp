@@ -286,81 +286,157 @@ sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
       read_meta.emplace_back(i, e);
     }
   }
-  std::vector<pvfs::Response> old_data;
-  auto old_data_reader = client_->cluster().sim().spawn(
-      [](pvfs::Client* cl, std::vector<std::pair<std::uint32_t, Request>> rq,
-         std::vector<pvfs::Response>* out) -> sim::Task<void> {
-        *out = co_await cl->rpc_all(std::move(rq));
-      }(client_, std::move(reads), &old_data));
+
+  // Shared state between this frame and the old-data reader tasks. The
+  // readers stream the delta half of the parity update: each computes
+  // old ^ new per response *as it arrives* (overlapping the XOR with the
+  // parity-lock phase below) instead of after a global join.
+  struct OldReadShared {
+    CsarFs* self;
+    const std::vector<std::pair<std::size_t, StripeLayout::Extent>>* meta;
+    const Buffer* data;
+    std::uint64_t off;
+    bool materialized;
+    std::vector<Buffer> deltas;  // indexed like read_meta
+    bool failed = false;
+    Errc errc = Errc::ok;
+    int err_server = -1;
+  };
+  OldReadShared shared{this,          &read_meta, &data, off,
+                       data.materialized(), {},    false, Errc::ok,
+                       -1};
+  shared.deltas.resize(read_meta.size());
+
+  // One reader per extent: bulk old-data responses pipeline best as
+  // independent messages (the server overlaps their disk reads, and each
+  // response streams back as soon as it is done). Each reader folds its
+  // extent into a delta the moment the response lands.
+  auto read_one = [](OldReadShared* sh, std::uint32_t srv, Request req,
+                     std::size_t k) -> sim::Task<void> {
+    auto resp = co_await sh->self->client_->rpc(srv, std::move(req));
+    if (!resp.ok) {
+      if (!sh->failed) {
+        sh->failed = true;
+        sh->errc = resp.err;
+        sh->err_server = resp.server;
+      }
+      co_return;
+    }
+    const auto& e = (*sh->meta)[k].second;
+    Buffer delta =
+        match_materialization(std::move(resp.data), sh->materialized);
+    delta.xor_with(sh->data->slice(e.global_off - sh->off, e.len));
+    sh->deltas[k] = std::move(delta);
+    co_await sh->self->charge_xor(e.len);
+  };
+  std::vector<sim::ProcessHandle> readers;
+  readers.reserve(reads.size());
+  for (std::size_t k = 0; k < reads.size(); ++k) {
+    readers.push_back(client_->cluster().sim().spawn(
+        read_one(&shared, reads[k].first, std::move(reads[k].second), k)));
+  }
+
+  // 2. Parity-lock phase: one batched lock+read RPC per parity server. The
+  //    server acquires every lock of the batch atomically (ascending key
+  //    order) before answering; servers are visited sequentially in
+  //    ascending min-group order, which preserves the paper's ordered-
+  //    acquisition deadlock-avoidance rule across writers (§5.1). ctx is
+  //    ascending by group, so first-seen bucket order is exactly that.
+  struct LockBucket {
+    std::uint32_t server;
+    std::vector<std::size_t> cs;  // ctx indexes, ascending group order
+  };
+  std::vector<LockBucket> lbuckets;
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    const std::uint32_t srv = layout.parity_server(ctx[i].seg.group);
+    LockBucket* b = nullptr;
+    for (auto& cand : lbuckets) {
+      if (cand.server == srv) {
+        b = &cand;
+        break;
+      }
+    }
+    if (b == nullptr) {
+      lbuckets.push_back({srv, {}});
+      b = &lbuckets.back();
+    }
+    b->cs.push_back(i);
+  }
 
   bool parity_error = false;
   Errc parity_errc = Errc::ok;
   int parity_err_server = -1;
-  std::size_t locks_held = 0;  // ctx[0..locks_held) completed their reads
-  for (std::size_t i = 0; i < ctx.size(); ++i) {
-    const ColRange cr = ctx[i].cols;
-    Request r;
-    r.op = Op::read_red;
-    r.handle = f.handle;
-    r.off = layout.parity_local_off(ctx[i].seg.group) + cr.lo;
-    r.len = cr.hi - cr.lo;
-    r.lock = locking;
-    r.su = layout.stripe_unit;
-    auto resp = co_await client_->rpc(
-        layout.parity_server(ctx[i].seg.group), std::move(r));
-    if (!resp.ok) {
-      parity_error = true;
-      parity_errc = resp.err;
-      parity_err_server = resp.server;
-      break;
+  // Locks whose acquisition request went out; on abort each gets an
+  // explicit owner-checked release (safe even when the grant is unknown —
+  // a timed-out envelope may or may not have taken them server-side).
+  std::vector<char> lock_sent(ctx.size(), 0);
+  for (auto& b : lbuckets) {
+    std::vector<Request> subs;
+    subs.reserve(b.cs.size());
+    for (const std::size_t i : b.cs) {
+      const ColRange cr = ctx[i].cols;
+      Request r;
+      r.op = Op::read_red;
+      r.handle = f.handle;
+      r.off = layout.parity_local_off(ctx[i].seg.group) + cr.lo;
+      r.len = cr.hi - cr.lo;
+      r.lock = locking;
+      r.su = layout.stripe_unit;
+      subs.push_back(std::move(r));
+      if (locking) lock_sent[i] = 1;
     }
-    ctx[i].parity = match_materialization(std::move(resp.data),
-                                          data.materialized());
-    locks_held = i + 1;
+    auto resps = co_await client_->rpc_batch(b.server, std::move(subs));
+    for (std::size_t k = 0; k < resps.size(); ++k) {
+      if (!resps[k].ok) {
+        if (!parity_error) {
+          parity_error = true;
+          parity_errc = resps[k].err;
+          parity_err_server = resps[k].server;
+        }
+        continue;
+      }
+      ctx[b.cs[k]].parity = match_materialization(std::move(resps[k].data),
+                                                  data.materialized());
+    }
+    if (parity_error) break;
   }
-  co_await old_data_reader.join();
-  if (parity_error) {
-    // A later parity read failed after earlier ones already took their
-    // locks: release them by rewriting the unchanged old parity with the
-    // unlock flag, so the stripe is not wedged for future writers.
-    for (std::size_t i = 0; locking && i < locks_held; ++i) {
-      Request w;
-      w.op = Op::write_red;
-      w.handle = f.handle;
-      w.off = layout.parity_local_off(ctx[i].seg.group) + ctx[i].cols.lo;
-      w.payload = std::move(ctx[i].parity);
-      w.unlock = true;
-      w.su = layout.stripe_unit;
-      (void)co_await client_->rpc(layout.parity_server(ctx[i].seg.group),
-                                  std::move(w));
+  for (auto& h : readers) co_await h.join();
+
+  if (parity_error || shared.failed) {
+    // Abandoning the RMW with lock requests in flight: explicitly release
+    // every lock we may hold so the stripe is not wedged until the lease
+    // reaper fires. unlock_red is owner-checked and writes nothing, so it
+    // is safe to send for locks that failed their read (media error — the
+    // lock was still taken) and for grants lost to a timeout alike.
+    if (locking) {
+      std::vector<std::pair<std::uint32_t, Request>> rel;
+      for (std::size_t i = 0; i < ctx.size(); ++i) {
+        if (lock_sent[i] == 0) continue;
+        Request u;
+        u.op = Op::unlock_red;
+        u.handle = f.handle;
+        u.off = layout.parity_local_off(ctx[i].seg.group) + ctx[i].cols.lo;
+        u.su = layout.stripe_unit;
+        rel.emplace_back(layout.parity_server(ctx[i].seg.group),
+                         std::move(u));
+      }
+      (void)co_await client_->rpc_all(std::move(rel));
     }
-    co_return Error{parity_errc, "raid5 parity read", parity_err_server};
+    if (parity_error) {
+      co_return Error{parity_errc, "raid5 parity read", parity_err_server};
+    }
+    co_return Error{shared.errc, "raid5 old data", shared.err_server};
   }
 
-  // 3. Delta-compute the new parity: new_p = old_p ^ old_d ^ new_d.
-  for (std::size_t k = 0; k < old_data.size(); ++k) {
-    if (!old_data[k].ok) {
-      // Same lock-release duty as above: all parity locks are held here.
-      for (std::size_t i = 0; locking && i < locks_held; ++i) {
-        Request w;
-        w.op = Op::write_red;
-        w.handle = f.handle;
-        w.off = layout.parity_local_off(ctx[i].seg.group) + ctx[i].cols.lo;
-        w.payload = std::move(ctx[i].parity);
-        w.unlock = true;
-        w.su = layout.stripe_unit;
-        (void)co_await client_->rpc(layout.parity_server(ctx[i].seg.group),
-                                    std::move(w));
-      }
-      co_return Error{old_data[k].err, "raid5 old data", old_data[k].server};
-    }
+  // 3. Fold the streamed deltas into the old parity: new_p = old_p ^ delta.
+  //    The old ^ new half was computed (and its XOR charged) per response
+  //    as it arrived.
+  for (std::size_t k = 0; k < read_meta.size(); ++k) {
     const std::size_t i = read_meta[k].first;
     const auto& e = read_meta[k].second;
-    Buffer delta = match_materialization(std::move(old_data[k].data),
-                                         data.materialized());
-    delta.xor_with(data.slice(e.global_off - off, e.len));
-    ctx[i].parity.xor_at(e.global_off % su - ctx[i].cols.lo, delta);
-    xor_bytes += 2 * e.len;
+    ctx[i].parity.xor_at(e.global_off % su - ctx[i].cols.lo,
+                         shared.deltas[k]);
+    xor_bytes += e.len;
   }
 
   // 4. Issue every write in parallel: the updated parity for partial groups

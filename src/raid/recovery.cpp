@@ -417,7 +417,20 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
       }
       auto old = co_await client_->rpc_all(std::move(reads));
       for (const auto& resp : old) {
-        if (!resp.ok) co_return Error{resp.err, "degraded old-data read"};
+        if (!resp.ok) {
+          // Abandoning the RMW with the parity lock held: release it
+          // explicitly (owner-checked, writes nothing) so the group is not
+          // wedged until the lease reaper fires.
+          if (locking) {
+            Request ur;
+            ur.op = Op::unlock_red;
+            ur.handle = f.handle;
+            ur.off = layout.parity_local_off(g) + c0;
+            ur.su = layout.stripe_unit;
+            (void)co_await client_->rpc(ps, std::move(ur));
+          }
+          co_return Error{resp.err, "degraded old-data read"};
+        }
       }
 
       Buffer parity;
@@ -671,6 +684,11 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
     rm.owner = failed;
     auto mirrors = co_await client_->rpc(successor, std::move(rm));
     if (!mirrors.ok) co_return Error{mirrors.err, "rebuild overflow read"};
+    // One batched envelope restores every overflow piece in order (the
+    // rebuilt table's allocation order must match piece order; in-order
+    // batch execution guarantees it in one round trip).
+    std::vector<Request> restores;
+    restores.reserve(mirrors.pieces.size());
     for (auto& piece : mirrors.pieces) {
       Request w;
       w.op = Op::write_overflow;
@@ -679,7 +697,10 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
       w.payload = std::move(piece.data);
       w.owner = failed;
       w.su = layout.stripe_unit;
-      auto wr = co_await client_->rpc(failed, std::move(w));
+      restores.push_back(std::move(w));
+    }
+    auto wrs = co_await client_->rpc_batch(failed, std::move(restores));
+    for (const auto& wr : wrs) {
       if (!wr.ok) co_return Error{wr.err, "rebuild overflow write"};
     }
 
@@ -690,6 +711,8 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
     ro.len = file_size;
     auto own = co_await client_->rpc(predecessor, std::move(ro));
     if (!own.ok) co_return Error{own.err, "rebuild mirror-table read"};
+    std::vector<Request> mirror_restores;
+    mirror_restores.reserve(own.pieces.size());
     for (auto& piece : own.pieces) {
       Request w;
       w.op = Op::write_overflow;
@@ -699,7 +722,10 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
       w.owner = predecessor;
       w.mirror = true;
       w.su = layout.stripe_unit;
-      auto wr = co_await client_->rpc(failed, std::move(w));
+      mirror_restores.push_back(std::move(w));
+    }
+    auto mwrs = co_await client_->rpc_batch(failed, std::move(mirror_restores));
+    for (const auto& wr : mwrs) {
       if (!wr.ok) co_return Error{wr.err, "rebuild mirror-table write"};
     }
   }

@@ -32,6 +32,10 @@ struct RigParams {
   bool parity_locking = true;
   /// Parity-lock lease (see IoServerParams); 0 disables lease watchdogs.
   sim::Duration parity_lock_lease = sim::sec(1);
+  /// Wire-level RPC batching (Op::batch coalescing of same-server requests
+  /// and the per-parity-server batched lock+read phase). On by default;
+  /// figure benches flip it off for the ablation baseline.
+  bool rpc_batching = true;
   /// Default RPC policy installed on every client. The default is the
   /// legacy behaviour (wait forever, no retries); fault experiments set
   /// real deadlines + retry budgets here.
@@ -69,6 +73,7 @@ class Rig {
       clients.push_back(std::make_unique<pvfs::Client>(
           cluster, fabric, *manager, server_ptrs, node));
       clients.back()->set_rpc_policy(params.rpc);
+      clients.back()->set_rpc_batching(params.rpc_batching);
       clients.back()->seed_retry_rng(seeder.next());
       fs.push_back(std::make_unique<CsarFs>(*clients.back(),
                                             CsarParams{params.scheme}));

@@ -1,0 +1,130 @@
+// Batched wire protocol under faults: a dropped Op::batch envelope retries
+// as one idempotent unit, and a batched locked parity read that partially
+// fails releases every lock it acquired instead of wedging the stripe.
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+#include "raid/rig.hpp"
+#include "test_util.hpp"
+
+namespace csar::pvfs {
+namespace {
+
+using csar::test::run_sim_void;
+using fault::FaultInjector;
+using fault::FaultPlan;
+using fault::LinkFault;
+using fault::MediaFault;
+
+constexpr std::uint32_t kSu = 4096;
+
+std::vector<IoServer*> server_ptrs(raid::Rig& rig) {
+  std::vector<IoServer*> out;
+  for (auto& s : rig.servers) out.push_back(s.get());
+  return out;
+}
+
+TEST(FaultBatch, DroppedEnvelopeRetriesAsOneIdempotentUnit) {
+  raid::RigParams p;
+  p.nservers = 3;
+  p.rpc.timeout = sim::ms(25);
+  p.rpc.max_attempts = 4;
+  p.rpc.backoff = sim::ms(5);
+  p.rpc.jitter = 0.0;
+  raid::Rig rig(p);
+  // Every message between the client and server 1 is lost for the first
+  // 40 ms — the envelope (or its combined response) vanishes mid-transfer,
+  // then the link heals and a retry of the whole batch must succeed.
+  FaultPlan plan;
+  LinkFault lf;
+  lf.a = rig.client().node_id();
+  lf.b = rig.server(1).node_id();
+  lf.start = 0;
+  lf.end = sim::ms(40);
+  lf.drop_p = 1.0;
+  plan.links.push_back(lf);
+  FaultInjector inj(rig.cluster, rig.fabric, server_ptrs(rig), plan);
+  inj.start();
+  run_sim_void(rig, [](raid::Rig& r) -> sim::Task<void> {
+    std::vector<Request> subs;
+    Request w;
+    w.op = Op::write_data;
+    w.handle = 7;
+    w.off = 0;
+    w.su = kSu;
+    w.payload = Buffer::pattern(kSu, 3);
+    subs.push_back(std::move(w));
+    Request rd;
+    rd.op = Op::read_data;
+    rd.handle = 7;
+    rd.off = 0;
+    rd.len = kSu;
+    rd.su = kSu;
+    subs.push_back(std::move(rd));
+    auto rs = co_await r.client().rpc_batch(1, std::move(subs));
+    CO_ASSERT_EQ(rs.size(), 2u);
+    EXPECT_TRUE(rs[0].ok);
+    EXPECT_TRUE(rs[1].ok);
+    // Whether the drop ate the request or the response, re-executing the
+    // batch is safe (write_data is idempotent) and the read sees the write.
+    EXPECT_EQ(rs[1].data, Buffer::pattern(kSu, 3));
+    EXPECT_GE(r.client().rpc_stats().retries, 1u);
+    EXPECT_GE(r.client().rpc_stats().timeouts, 1u);
+    EXPECT_GE(r.server(1).batch_stats().batches, 1u);
+  }(rig));
+}
+
+TEST(FaultBatch, PartialParityBatchFailureReleasesEveryLock) {
+  raid::RigParams p;
+  p.scheme = raid::Scheme::raid4;
+  p.nservers = 3;
+  raid::Rig rig(p);
+  // Latent sector error under group 1's parity unit on the (fixed) parity
+  // server: a straddling RMW's batched locked read of groups 0+1 will have
+  // its group-0 half succeed and its group-1 half fail.
+  FaultPlan plan;
+  MediaFault mf;
+  mf.at = sim::ms(500);
+  mf.server = 2;
+  mf.file = IoServer::red_name(1);
+  mf.off = kSu;
+  mf.len = kSu;
+  plan.media.push_back(mf);
+  FaultInjector inj(rig.cluster, rig.fabric, server_ptrs(rig), plan);
+  inj.start();
+  run_sim_void(rig, [](raid::Rig& r, FaultInjector* in) -> sim::Task<void> {
+    auto& fs = r.client_fs();
+    auto f = co_await fs.create("f", r.layout(kSu));
+    CO_ASSERT_TRUE(f.ok());
+    const std::uint64_t width = f->layout.stripe_width();
+    auto wr = co_await fs.write(*f, 0, Buffer::pattern(2 * width, 1));
+    CO_ASSERT_TRUE(wr.ok());
+    auto fl = co_await fs.flush(*f);
+    CO_ASSERT_TRUE(fl.ok());
+    co_await r.sim.sleep(sim::ms(600));  // past the plant time
+    EXPECT_EQ(in->stats().media_planted, 1u);
+    r.drop_all_caches();  // parity reads must actually touch the bad sectors
+
+    // Head partial in group 0, tail partial in group 1: one batch acquires
+    // both parity locks, then the (merged) read hits the latent error.
+    const sim::Time t0 = r.sim.now();
+    auto bad =
+        co_await fs.write(*f, width - 2 * 1024, Buffer::pattern(4 * 1024, 2));
+    EXPECT_FALSE(bad.ok());
+    // The abandoning client must release BOTH locks it was granted — the
+    // healthy group's as well as the failed one's.
+    EXPECT_EQ(r.server(2).lock_stats().explicit_releases, 2u);
+
+    // A write over the healthy group proceeds immediately instead of
+    // queueing behind an orphaned lock until the lease reaper fires.
+    auto good =
+        co_await fs.write(*f, width - 2 * 1024, Buffer::pattern(1024, 3));
+    CO_ASSERT_TRUE(good.ok());
+    EXPECT_EQ(r.server(2).lock_stats().waits, 0u);
+    EXPECT_EQ(r.server(2).lock_stats().lease_expirations, 0u);
+    EXPECT_LT(r.sim.now() - t0, sim::ms(900));  // well under the 1 s lease
+  }(rig, &inj));
+}
+
+}  // namespace
+}  // namespace csar::pvfs
