@@ -7,7 +7,12 @@
 // rebuild reads one. That amplification is what steals foreground
 // bandwidth during a real rebuild (the trade the paper's §3 survey — Petal,
 // Tertiary Disk, RAID-x — wrestles with).
+#include <algorithm>
+#include <cstring>
+
 #include "bench_common.hpp"
+#include "raid/health.hpp"
+#include "raid/rebuild.hpp"
 #include "raid/recovery.hpp"
 
 using namespace csar;
@@ -60,6 +65,109 @@ RebuildOutcome rebuild_run(raid::Scheme scheme, std::uint32_t nservers,
                     static_cast<double>(file_bytes)};
 }
 
+// --- A7b: rebuild throttling vs foreground latency ------------------------
+
+struct CapOutcome {
+  double rebuild_s = 0;       // rejoin -> admit
+  double p50_ms = 0;          // foreground write latency percentiles
+  double p99_ms = 0;
+  std::uint64_t bytes = 0;    // reconstruction traffic charged
+  std::uint64_t fp = 14695981039346656037ULL;  // FNV-1a, determinism check
+};
+
+void fold(CapOutcome& o, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    o.fp ^= (v >> (8 * i)) & 0xff;
+    o.fp *= 1099511628211ULL;
+  }
+}
+
+/// Crash server 1 under a RebuildCoordinator with the given rate cap and
+/// restart it blank while a foreground writer keeps issuing 64 KiB writes;
+/// report the rejoin->admit time and the foreground latency percentiles.
+CapOutcome cap_run(double rate_cap) {
+  raid::RigParams rp = bench::make_rig(raid::Scheme::hybrid, 6, 1,
+                                       hw::profile_experimental2003());
+  rp.rpc.timeout = sim::ms(150);
+  rp.rpc.max_attempts = 4;
+  rp.rpc.backoff = sim::ms(5);
+  raid::Rig rig(rp);
+  raid::HealthParams hp;
+  hp.interval = sim::ms(50);
+  raid::HealthMonitor mon(rig.client(), hp);
+  rig.client_fs().enable_failover(&mon);
+  raid::RebuildParams rbp;
+  rbp.rate_cap = rate_cap;
+  raid::RebuildCoordinator coord(rig, mon, rbp);
+
+  std::vector<double> lat;
+  sim::Time restart_at = 0;
+  wl::run_on(
+      rig,
+      [](raid::Rig& r, raid::HealthMonitor& m, raid::RebuildCoordinator& co,
+         std::vector<double>& lat, sim::Time& restart_at) -> sim::Task<int> {
+        const std::uint64_t total = 128 * MiB;
+        auto f = co_await r.client_fs().create("a7b", r.layout(64 * KiB));
+        assert(f.ok());
+        co.track(*f, total);
+        auto wr = co_await r.client_fs().write(*f, 0, Buffer::phantom(total));
+        assert(wr.ok());
+        (void)wr;
+        auto fl = co_await r.client_fs().flush(*f);
+        assert(fl.ok());
+        (void)fl;
+        m.start();
+        co.start();
+        r.server(1).crash();
+        co_await r.sim.sleep(sim::ms(200));
+        restart_at = r.sim.now();
+        r.server(1).restart(/*wipe_disk=*/true);
+        // Foreground writer racing the rebuild: fixed op count so every
+        // cap setting measures the same work.
+        const std::uint64_t slots = total / (64 * KiB);
+        for (std::uint32_t i = 0; i < 400; ++i) {
+          const std::uint64_t off = ((i * 7ULL) % slots) * (64 * KiB);
+          const sim::Time t0 = r.sim.now();
+          auto w =
+              co_await r.client_fs().write(*f, off, Buffer::phantom(64 * KiB));
+          assert(w.ok());
+          (void)w;
+          lat.push_back(sim::to_seconds(r.sim.now() - t0) * 1e3);
+          co_await r.sim.sleep(sim::ms(2));
+        }
+        const sim::Time bound = r.sim.now() + sim::sec(300);
+        while (!co.idle() && r.sim.now() < bound) {
+          co_await r.sim.sleep(sim::ms(5));
+        }
+        m.stop();
+        co.stop();
+        co_return 0;
+      }(rig, mon, coord, lat, restart_at));
+
+  // A later probe flap can trigger an extra live delta-resync on top of the
+  // wipe rebuild, so completions may exceed one; the wipe rebuild is the
+  // first admit.
+  const auto& st = coord.stats();
+  assert(st.rebuilds_completed >= 1 && !rig.server(1).fenced());
+  CapOutcome o;
+  o.rebuild_s = sim::to_seconds(st.first_admit_at - restart_at);
+  o.bytes = st.bytes_rebuilt;
+  std::vector<double> sorted = lat;
+  std::sort(sorted.begin(), sorted.end());
+  o.p50_ms = sorted[sorted.size() / 2];
+  o.p99_ms = sorted[sorted.size() * 99 / 100];
+  for (double v : lat) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    fold(o, bits);
+  }
+  fold(o, st.bytes_rebuilt);
+  fold(o, st.passes);
+  fold(o, st.recopy_passes);
+  fold(o, static_cast<std::uint64_t>(st.last_rebuild_time));
+  return o;
+}
+
 }  // namespace
 
 int main() {
@@ -109,5 +217,44 @@ int main() {
   report::check("rebuild speed scales with servers (smaller lost share)",
                 out[{raid::Scheme::raid5, 8}].mbps >
                     out[{raid::Scheme::raid5, 4}].mbps);
+
+  // A7b: the RebuildCoordinator's rate cap trades rebuild time for
+  // foreground latency. An uncapped run sets the reference rate; capping
+  // the copier at 50% / 25% of it must stretch the rebuild monotonically
+  // while the foreground writer's tail latency relaxes.
+  report::banner("A7b", "Online rebuild throttling: rebuild time vs "
+                        "foreground write latency",
+                 bench::setup_line(6, 1, "experimental-2003", 64 * KiB) +
+                     ", 128 MiB file, server 1 crashes and restarts blank");
+  report::expectations({
+      "tighter rate caps stretch the rebuild (monotone duration)",
+      "and relax the foreground writer's tail latency (monotone p99)",
+      "the uncapped run is bit-deterministic across repeats",
+  });
+  const CapOutcome uncapped = cap_run(0.0);
+  const CapOutcome uncapped2 = cap_run(0.0);
+  const double rate = static_cast<double>(uncapped.bytes) /
+                      (uncapped.rebuild_s > 0 ? uncapped.rebuild_s : 1.0);
+  const CapOutcome half = cap_run(0.5 * rate);
+  const CapOutcome quarter = cap_run(0.25 * rate);
+
+  TextTable tb({"rate cap", "rebuild s", "fg p50 ms", "fg p99 ms"});
+  const auto row = [&tb](const char* name, const CapOutcome& o) {
+    tb.add_row({name, TextTable::num(o.rebuild_s, 2),
+                TextTable::num(o.p50_ms, 2), TextTable::num(o.p99_ms, 2)});
+  };
+  row("uncapped", uncapped);
+  row("50%", half);
+  row("25%", quarter);
+  report::table("throttled online rebuild (hybrid, 6 servers)", tb);
+
+  report::check("rebuild time grows monotonically as the cap tightens",
+                uncapped.rebuild_s < half.rebuild_s &&
+                    half.rebuild_s < quarter.rebuild_s);
+  report::check("foreground p99 relaxes monotonically as the cap tightens",
+                uncapped.p99_ms >= half.p99_ms * 0.999 &&
+                    half.p99_ms >= quarter.p99_ms * 0.999);
+  report::check("uncapped rebuild run is bit-deterministic",
+                uncapped.fp == uncapped2.fp);
   return 0;
 }

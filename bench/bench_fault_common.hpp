@@ -1,0 +1,98 @@
+// Fault-plan harness for the figure benches: run a workload generator under
+// an injected FaultPlan with the full robustness stack attached — RPC
+// deadlines + retry, HealthMonitor detection, CsarFs failover and an online
+// RebuildCoordinator (no quiescing: detection, degraded IO, rebuild and
+// admit all overlap the workload). Benches that include this must link
+// csar_fault.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fault/fault.hpp"
+#include "raid/health.hpp"
+#include "raid/rebuild.hpp"
+
+namespace csar::bench {
+
+struct FaultedOutcome {
+  wl::WorkloadResult result;
+  raid::RebuildStats rebuild;
+  sim::Duration detection = 0;  ///< first crash -> monitor transition
+  bool all_admitted = true;     ///< no restarted server left fenced
+};
+
+/// The perf benches run with wait-forever RPCs; a faulted run needs
+/// deadlines and retries or the first crash would hang a client forever.
+inline void arm_fault_tolerance(raid::RigParams& rp) {
+  rp.rpc.timeout = sim::ms(150);
+  rp.rpc.max_attempts = 4;
+  rp.rpc.backoff = sim::ms(5);
+}
+
+/// Build the rig, attach injector + monitor + coordinator, run the workload
+/// `make(rig, coord)` produces (it must set tolerate_faults and route
+/// on_create into coord.track), then wait for every scheduled restart to be
+/// rebuilt and admitted. Blocking, like wl::run_on.
+inline FaultedOutcome run_faulted(
+    const raid::RigParams& rp, const fault::FaultPlan& plan,
+    const raid::RebuildParams& rbp,
+    const std::function<sim::Task<wl::WorkloadResult>(
+        raid::Rig&, raid::RebuildCoordinator&)>& make) {
+  raid::Rig rig(rp);
+  raid::HealthParams hp;
+  hp.interval = sim::ms(100);
+  raid::HealthMonitor mon(rig.client(), hp);
+  std::vector<pvfs::IoServer*> server_ptrs;
+  for (auto& s : rig.servers) server_ptrs.push_back(s.get());
+  fault::FaultInjector inj(rig.cluster, rig.fabric, std::move(server_ptrs),
+                           plan);
+  for (auto& fs : rig.fs) fs->enable_failover(&mon);
+  raid::RebuildCoordinator coord(rig, mon, rbp);
+
+  FaultedOutcome out;
+  rig.sim.spawn([](raid::Rig& r, raid::HealthMonitor& m,
+                   fault::FaultInjector& in, raid::RebuildCoordinator& co,
+                   const fault::FaultPlan& pl,
+                   const std::function<sim::Task<wl::WorkloadResult>(
+                       raid::Rig&, raid::RebuildCoordinator&)>& mk,
+                   FaultedOutcome* o) -> sim::Task<void> {
+    m.start();
+    co.start();
+    in.start();
+    o->result = co_await mk(r, co);
+    sim::Time last_restart = 0;
+    for (const auto& c : pl.crashes) {
+      if (c.restart_at && *c.restart_at > last_restart) {
+        last_restart = *c.restart_at;
+      }
+    }
+    if (last_restart > r.sim.now()) co_await r.sim.sleep_until(last_restart);
+    // Outwait one full rebuild budget plus a retry: benches size give_up to
+    // their dataset, so the harness bound must scale with it.
+    const sim::Time give_up =
+        r.sim.now() + 2 * co.params().give_up + sim::sec(30);
+    while (!co.idle() && r.sim.now() < give_up) {
+      co_await r.sim.sleep(sim::ms(5));
+    }
+    // Stop both pollers from inside the sim or sim.run() never drains.
+    m.stop();
+    co.stop();
+  }(rig, mon, inj, coord, plan, make, &out));
+  rig.sim.run();
+
+  out.rebuild = coord.stats();
+  for (const auto& c : plan.crashes) {
+    if (c.restart_at && rig.server(c.server).fenced()) {
+      out.all_admitted = false;
+    }
+  }
+  if (auto t0 = inj.first_crash_time(); t0 && out.rebuild.first_down_at > *t0) {
+    out.detection = out.rebuild.first_down_at - *t0;
+  }
+  return out;
+}
+
+}  // namespace csar::bench

@@ -3,6 +3,7 @@
 // server page caches and collapsing to disk rate; the Hybrid scheme's
 // overwrite bandwidth ends up ~230% of both RAID1 and RAID5.
 #include "bench_common.hpp"
+#include "bench_fault_common.hpp"
 #include "raid/diagnostics.hpp"
 
 using namespace csar;
@@ -62,5 +63,48 @@ int main() {
               vs_r1 * 100.0, vs_r5 * 100.0);
   report::check("(b) Hybrid >= 150% of RAID1 and RAID5 on overwrite",
                 vs_r1 > 1.5 && vs_r5 > 1.5);
+
+  // Faulted scenario: the 16-proc Class C write rides out a crash + blank
+  // restart; the coordinator rebuilds the replacement disk online while the
+  // collective writes continue (dirtied regions are re-copied, then the
+  // server is admitted).
+  report::banner("F7c", "BTIO-C through a crash + online wipe rebuild",
+                 bench::setup_line(kServers, kProcs, "OSC-2003", kSu) +
+                     ", server 3 crashes at 3 s, restarts blank at 8 s");
+  raid::RigParams frp = bench::make_rig(raid::Scheme::hybrid, kServers,
+                                        kProcs, profile);
+  bench::arm_fault_tolerance(frp);
+  fault::FaultPlan plan;
+  plan.seed = 13;
+  plan.crashes.push_back({sim::sec(3), 3, sim::sec(8), /*wipe=*/true});
+  raid::RebuildParams rbp;
+  // A blank Class C disk takes ~8.5 GB of reconstruction while 16 procs
+  // keep the disks busy; the default 120 s budget is sized for the smaller
+  // storm/test datasets.
+  rbp.give_up = sim::sec(600);
+  const auto out = bench::run_faulted(
+      frp, plan, rbp,
+      [&](raid::Rig& rg, raid::RebuildCoordinator& co)
+          -> sim::Task<wl::WorkloadResult> {
+        wl::BtioParams p;
+        p.cls = wl::BtioClass::C;
+        p.nprocs = kProcs;
+        p.stripe_unit = kSu;
+        p.tolerate_faults = true;
+        p.on_create = [&co](const pvfs::OpenFile& f, std::uint64_t sz) {
+          co.track(f, sz);
+        };
+        return wl::btio(rg, p);
+      });
+  std::printf("faulted: write %s, rebuild passes %llu (%llu re-copy), "
+              "%llu bytes of reconstruction traffic\n",
+              report::mbps(out.result.write_bw()).c_str(),
+              static_cast<unsigned long long>(out.rebuild.passes),
+              static_cast<unsigned long long>(out.rebuild.recopy_passes),
+              static_cast<unsigned long long>(out.rebuild.bytes_rebuilt));
+  report::check("faulted: zero failed ops through crash + rebuild",
+                out.result.ops_failed == 0);
+  report::check("faulted: full rebuild completed and server admitted",
+                out.rebuild.full_rebuilds >= 1 && out.all_admitted);
   return 0;
 }

@@ -15,8 +15,11 @@ csar_add_bench(bench_fig3_locking)
 csar_add_bench(bench_fig4_fullstripe)
 csar_add_bench(bench_fig4_smallwrite)
 csar_add_bench(bench_fig5_romio)
+target_link_libraries(bench_fig5_romio PRIVATE csar_fault)
 csar_add_bench(bench_fig6_btio_classb)
+target_link_libraries(bench_fig6_btio_classb PRIVATE csar_fault)
 csar_add_bench(bench_fig7_btio_classc)
+target_link_libraries(bench_fig7_btio_classc PRIVATE csar_fault)
 csar_add_bench(bench_fig8_apps)
 csar_add_bench(bench_table2_storage)
 csar_add_bench(bench_sec52_write_buffering)

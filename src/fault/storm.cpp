@@ -3,17 +3,18 @@
 #include <algorithm>
 #include <cstddef>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "common/rng.hpp"
-#include "raid/recovery.hpp"
+#include "raid/rebuild.hpp"
 #include "raid/scrub.hpp"
 
 namespace csar::fault {
 
 namespace {
 
-/// Reference copy of the file, updated on every acknowledged write.
+/// Reference copy of a file, updated on every acknowledged write.
 ///
 /// Bytes covered by a *failed* write are tainted — indeterminate until an
 /// acknowledged write covers them again. A torn write may have landed on
@@ -62,17 +63,6 @@ class Shadow {
   std::vector<bool> tainted_;
 };
 
-/// State shared between the workload driver and the crash watcher. The
-/// simulation is cooperatively single-threaded, so plain flags suffice.
-struct Scoreboard {
-  std::optional<pvfs::OpenFile> file;
-  bool rebuilding = false;    ///< watcher holds the workload off
-  bool op_in_flight = false;  ///< driver is mid-operation
-  bool watch_done = false;
-  bool driver_done = false;
-  StormMetrics m;
-};
-
 std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
     h ^= (v >> (i * 8)) & 0xFF;
@@ -92,6 +82,8 @@ std::uint64_t fingerprint(const StormMetrics& m) {
         m.rpc_timeouts,
         m.rpc_resets, m.degraded_reads, m.degraded_writes,
         m.reactive_failovers, m.scrub_media_errors, m.scrub_repaired,
+        m.rebuilds_completed, m.delta_rebuilds, m.rebuild_passes,
+        m.recopy_passes, m.rebuild_bytes, m.dirty_bytes_tracked,
         static_cast<std::uint64_t>(m.detection_latency),
         static_cast<std::uint64_t>(m.mttr), m.events_executed,
         static_cast<std::uint64_t>(m.finished_at), m.faults.crashes,
@@ -103,114 +95,62 @@ std::uint64_t fingerprint(const StormMetrics& m) {
   return h;
 }
 
-/// Watch the plan's crashes: record detection latency for the first one,
-/// and when a crashed server rejoins, pause the monitor (so clients keep
-/// taking the safe degraded path), rebuild it, and resume probing. Every
-/// wait is bounded so a mis-sized plan degrades the metrics, not the run.
-sim::Task<void> watcher(const StormParams& p, raid::Rig& rig,
-                        raid::HealthMonitor& mon, Scoreboard& sb) {
-  auto& sim = rig.sim;
-  std::vector<ServerCrash> crashes = p.plan.crashes;
-  std::sort(crashes.begin(), crashes.end(),
-            [](const ServerCrash& a, const ServerCrash& b) {
-              return a.at < b.at;
-            });
-  bool first = true;
-  for (const auto& c : crashes) {
-    if (c.at > sim.now()) co_await sim.sleep_until(c.at);
-    sim::Time give_up = sim.now() + sim::sec(30);
-    while (mon.is_alive(c.server) && sim.now() < give_up) {
-      co_await sim.sleep(sim::ms(1));
-    }
-    if (first && !mon.is_alive(c.server)) {
-      sb.m.detection_latency = sim.now() - c.at;
-    }
-    if (!c.restart_at) {
-      first = false;
-      continue;
-    }
-    if (*c.restart_at > sim.now()) co_await sim.sleep_until(*c.restart_at);
-    if (p.rebuild_after && sb.file) {
-      // Quiesce: let the in-flight op drain, then keep the workload parked
-      // while the blank disk is refilled. The monitor stays stopped (still
-      // reporting the server down) so any straggler keeps using the
-      // degraded path instead of reading a half-rebuilt disk.
-      sb.rebuilding = true;
-      give_up = sim.now() + sim::sec(30);
-      while (sb.op_in_flight && sim.now() < give_up) {
-        co_await sim.sleep(sim::ms(1));
-      }
-      mon.stop();
-      raid::Recovery rec(rig.client(), p.rig.scheme);
-      auto rb = co_await rec.rebuild_server(*sb.file, c.server, p.file_size);
-      if (!rb.ok()) sb.m.rebuild_ok = false;
-      // Only now is the blank disk trustworthy: lift the rejoin fence so
-      // reads and probes are served again. A failed rebuild leaves the
-      // fence up — clients keep using the degraded path, which is correct.
-      if (rb.ok()) rig.server(c.server).admit();
-      mon.start();
-      give_up = sim.now() + sim::sec(30);
-      while (!mon.is_alive(c.server) && sim.now() < give_up) {
-        co_await sim.sleep(sim::ms(1));
-      }
-      sb.rebuilding = false;
-      if (first && mon.is_alive(c.server) && sb.m.rebuild_ok) {
-        sb.m.mttr = sim.now() - c.at;
-      }
-    }
-    first = false;
-  }
-  sb.watch_done = true;
-  // If the driver already wrapped up (mis-sized plan with a very late
-  // restart), make sure no poller outlives us — sim.run() must terminate.
-  if (sb.driver_done) mon.stop();
-}
-
+/// The workload: preload every file, run the op mix *straight through* any
+/// crash, detection, rebuild or admit (no quiescing — write-safety is the
+/// RebuildCoordinator's job now), then wait for the coordinator to settle,
+/// scrub, and sweep-verify every byte against the shadows.
 sim::Task<void> driver(const StormParams& p, raid::Rig& rig,
                        raid::HealthMonitor& mon, FaultInjector& inj,
-                       Shadow& shadow, Scoreboard& sb) {
+                       raid::RebuildCoordinator* coord,
+                       std::vector<Shadow>& shadows, StormMetrics& m) {
   auto& sim = rig.sim;
   auto& fs = rig.client_fs();
   Rng wl(p.workload_seed);
+  const std::uint32_t nfiles =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(shadows.size()));
 
-  // Preload: populate the whole file (and its redundancy) before the storm.
-  auto f = co_await fs.create("storm", rig.layout(p.stripe_unit));
-  if (!f.ok()) co_return;
-  sb.file = *f;
-  const std::uint64_t chunk = f->layout.stripe_width();
-  for (std::uint64_t off = 0; off < p.file_size; off += chunk) {
-    const std::uint64_t len = std::min<std::uint64_t>(chunk, p.file_size - off);
-    Buffer data = Buffer::pattern(len, wl.next());
-    auto wr = co_await fs.write(*f, off, data.slice(0, len));
-    if (wr.ok()) shadow.write(off, data);
+  // Preload: populate every file (and its redundancy) before the storm.
+  std::vector<pvfs::OpenFile> files;
+  for (std::uint32_t i = 0; i < nfiles; ++i) {
+    auto f = co_await fs.create("storm" + std::to_string(i),
+                                rig.layout(p.stripe_unit));
+    if (!f.ok()) co_return;
+    files.push_back(*f);
+    if (coord) coord->track(*f, p.file_size);
+  }
+  const std::uint64_t chunk = files[0].layout.stripe_width();
+  for (std::uint32_t i = 0; i < nfiles; ++i) {
+    for (std::uint64_t off = 0; off < p.file_size; off += chunk) {
+      const std::uint64_t len =
+          std::min<std::uint64_t>(chunk, p.file_size - off);
+      Buffer data = Buffer::pattern(len, wl.next());
+      auto wr = co_await fs.write(files[i], off, data.slice(0, len));
+      if (wr.ok()) shadows[i].write(off, data);
+    }
   }
 
   // Unleash the storm.
   mon.start();
+  if (coord) coord->start();
   inj.start();
 
   const std::uint64_t span = p.file_size > p.io_size
                                  ? p.file_size - p.io_size
                                  : 0;
   for (std::uint64_t op = 0; op < p.ops; ++op) {
-    // Park while a rebuild is refilling a blank disk (bounded wait).
-    const sim::Time give_up = sim.now() + sim::sec(60);
-    while (sb.rebuilding && sim.now() < give_up) {
-      co_await sim.sleep(sim::ms(1));
-    }
-    sb.op_in_flight = true;
+    const std::uint32_t fi = nfiles == 1 ? 0 : wl.below(nfiles);
     const std::uint64_t off = span == 0 ? 0 : wl.below(span + 1);
     const bool is_write = wl.below(2) == 0;
-    ++sb.m.ops_attempted;
+    ++m.ops_attempted;
     if (is_write) {
-      ++sb.m.writes;
+      ++m.writes;
       Buffer data = Buffer::pattern(p.io_size, wl.next());
-      auto wr = co_await fs.write(*f, off, data.slice(0, p.io_size));
+      auto wr = co_await fs.write(files[fi], off, data.slice(0, p.io_size));
       if (wr.ok()) {
-        ++sb.m.ops_ok;
-        shadow.write(off, data);
+        ++m.ops_ok;
+        shadows[fi].write(off, data);
       } else {
-        ++sb.m.ops_failed;
+        ++m.ops_failed;
         // Torn write: parts may have landed, and under a parity scheme the
         // groups it touched may be left with stale parity (write hole) —
         // a later degraded read anywhere in those groups is suspect.
@@ -218,55 +158,71 @@ sim::Task<void> driver(const StormParams& p, raid::Rig& rig,
         std::uint64_t hi = off + p.io_size;
         if (p.rig.scheme != raid::Scheme::raid0 &&
             p.rig.scheme != raid::Scheme::raid1) {
-          const std::uint64_t w = f->layout.stripe_width();
+          const std::uint64_t w = files[fi].layout.stripe_width();
           lo = lo / w * w;
           hi = std::min<std::uint64_t>(p.file_size, (hi + w - 1) / w * w);
         }
-        shadow.taint(lo, hi - lo);
+        shadows[fi].taint(lo, hi - lo);
       }
     } else {
-      ++sb.m.reads;
-      auto rd = co_await fs.read(*f, off, p.io_size);
+      ++m.reads;
+      auto rd = co_await fs.read(files[fi], off, p.io_size);
       if (rd.ok()) {
-        ++sb.m.ops_ok;
-        if (!shadow.matches(off, *rd)) ++sb.m.verify_mismatches;
+        ++m.ops_ok;
+        if (!shadows[fi].matches(off, *rd)) ++m.verify_mismatches;
       } else {
-        ++sb.m.ops_failed;
+        ++m.ops_failed;
       }
     }
-    sb.op_in_flight = false;
     co_await sim.sleep(p.op_gap);
   }
 
-  // Let the watcher finish any pending restart + rebuild (bounded wait).
-  const sim::Time give_up = sim.now() + sim::sec(120);
-  while (!sb.watch_done && sim.now() < give_up) {
-    co_await sim.sleep(sim::ms(5));
+  // Let every scheduled restart happen, then wait (bounded) for the
+  // coordinator to converge and admit whoever it can. A mis-sized plan
+  // degrades the metrics, not the run.
+  sim::Time last_restart = 0;
+  for (const auto& c : p.plan.crashes) {
+    if (c.restart_at && *c.restart_at > last_restart) {
+      last_restart = *c.restart_at;
+    }
+  }
+  if (last_restart > sim.now()) co_await sim.sleep_until(last_restart);
+  if (coord) {
+    const sim::Time give_up = sim.now() + sim::sec(120);
+    while (!coord->idle() && sim.now() < give_up) {
+      co_await sim.sleep(sim::ms(5));
+    }
   }
 
   // With every server healthy again, clear latent sector errors the plan
   // planted; the scrubber rebuilds unreadable units from the redundancy.
   if (p.scrub_after && !mon.first_failed()) {
     raid::Scrubber scrub(rig.client(), p.rig.scheme);
-    auto rep = co_await scrub.repair(*f, p.file_size);
-    if (rep.ok()) {
-      sb.m.scrub_media_errors = rep->media_errors;
-      sb.m.scrub_repaired = rep->repaired;
+    for (const auto& f : files) {
+      auto rep = co_await scrub.repair(f, p.file_size);
+      if (rep.ok()) {
+        m.scrub_media_errors += rep->media_errors;
+        m.scrub_repaired += rep->repaired;
+      }
     }
   }
 
-  // Full-file sweep: every byte must match the shadow. Reads go through
+  // Full-file sweep: every byte must match its shadow. Reads go through
   // the failover path, so a permanently-down server is not an excuse.
-  for (std::uint64_t off = 0; off < p.file_size; off += chunk) {
-    const std::uint64_t len = std::min<std::uint64_t>(chunk, p.file_size - off);
-    auto rd = co_await fs.read(*f, off, len);
-    if (!rd.ok() || !shadow.matches(off, *rd)) ++sb.m.verify_mismatches;
+  for (std::uint32_t i = 0; i < nfiles; ++i) {
+    for (std::uint64_t off = 0; off < p.file_size; off += chunk) {
+      const std::uint64_t len =
+          std::min<std::uint64_t>(chunk, p.file_size - off);
+      auto rd = co_await fs.read(files[i], off, len);
+      if (!rd.ok() || !shadows[i].matches(off, *rd)) ++m.verify_mismatches;
+    }
   }
 
-  sb.driver_done = true;
+  // Stop both pollers from inside the simulation or sim.run() never drains.
   mon.stop();
-  sb.m.tainted_bytes = shadow.tainted_bytes();
-  sb.m.finished_at = sim.now();
+  if (coord) coord->stop();
+  for (const auto& s : shadows) m.tainted_bytes += s.tainted_bytes();
+  m.finished_at = sim.now();
 }
 
 }  // namespace
@@ -278,15 +234,21 @@ StormMetrics run_storm(const StormParams& params) {
   for (auto& s : rig.servers) server_ptrs.push_back(s.get());
   FaultInjector inj(rig.cluster, rig.fabric, std::move(server_ptrs),
                     params.plan);
-  rig.client_fs().enable_failover(&mon);
+  for (auto& fs : rig.fs) fs->enable_failover(&mon);
+  std::optional<raid::RebuildCoordinator> coord;
+  if (params.rebuild_after) coord.emplace(rig, mon, params.rebuild);
 
-  Shadow shadow(params.file_size);
-  Scoreboard sb;
-  rig.sim.spawn(driver(params, rig, mon, inj, shadow, sb));
-  rig.sim.spawn(watcher(params, rig, mon, sb));
+  std::vector<Shadow> shadows;
+  const std::uint32_t nfiles = std::max<std::uint32_t>(1, params.nfiles);
+  shadows.reserve(nfiles);
+  for (std::uint32_t i = 0; i < nfiles; ++i) {
+    shadows.emplace_back(params.file_size);
+  }
+  StormMetrics m;
+  rig.sim.spawn(driver(params, rig, mon, inj, coord ? &*coord : nullptr,
+                       shadows, m));
   rig.sim.run();
 
-  StormMetrics m = sb.m;
   const auto& rpc = rig.client().rpc_stats();
   m.rpc_sent = rpc.sent;
   m.rpc_retries = rpc.retries;
@@ -300,6 +262,43 @@ StormMetrics run_storm(const StormParams& params) {
                        ? 1.0
                        : static_cast<double>(m.ops_ok) /
                              static_cast<double>(m.ops_attempted);
+
+  std::optional<sim::Time> first_crash;
+  for (const auto& c : params.plan.crashes) {
+    if (!first_crash || c.at < *first_crash) first_crash = c.at;
+  }
+  if (coord) {
+    const auto& rs = coord->stats();
+    m.rebuilds_completed = rs.rebuilds_completed;
+    m.delta_rebuilds = rs.delta_rebuilds;
+    m.rebuild_passes = rs.passes;
+    m.recopy_passes = rs.recopy_passes;
+    m.rebuild_bytes = rs.bytes_rebuilt;
+    m.dirty_bytes_tracked = rs.dirty_bytes;
+    m.rebuild_ok = rs.rebuilds_failed == 0;
+    // A restarted server still behind the fence means its rebuild never
+    // completed — whatever the per-attempt counters say.
+    for (const auto& c : params.plan.crashes) {
+      if (c.restart_at && rig.server(c.server).fenced()) m.rebuild_ok = false;
+    }
+    if (first_crash && rs.first_down_at > *first_crash) {
+      m.detection_latency = rs.first_down_at - *first_crash;
+    }
+    if (first_crash && rs.first_admit_at > *first_crash) {
+      m.mttr = rs.first_admit_at - *first_crash;
+    }
+  } else if (first_crash) {
+    // No coordinator: the monitor's transition record still dates the
+    // detection, as long as the victim stayed down.
+    for (const auto& c : params.plan.crashes) {
+      if (c.at != *first_crash) continue;
+      if (!mon.is_alive(c.server) && mon.status_since(c.server) > c.at) {
+        m.detection_latency = mon.status_since(c.server) - c.at;
+      }
+      break;
+    }
+  }
+
   m.faults = inj.stats();
   m.trace = inj.trace();
   m.events_executed = rig.sim.events_executed();

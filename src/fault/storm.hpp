@@ -20,6 +20,7 @@
 
 #include "fault/fault.hpp"
 #include "raid/health.hpp"
+#include "raid/rebuild.hpp"
 #include "raid/rig.hpp"
 #include "sim/time.hpp"
 
@@ -29,15 +30,21 @@ struct StormParams {
   raid::RigParams rig;        ///< deployment (set rig.rpc to real deadlines!)
   raid::HealthParams health;  ///< failure-detection cadence
   FaultPlan plan;             ///< what goes wrong, and when
-  std::uint64_t file_size = 8 * 1024 * 1024;
+  /// Rebuild-coordinator knobs (rate cap, convergence budgets). The storm
+  /// maps its lifecycle onto the coordinator: detection, delta/full rebuild
+  /// and admit all happen there while the workload keeps running.
+  raid::RebuildParams rebuild;
+  std::uint64_t file_size = 8 * 1024 * 1024;  ///< per file
   std::uint32_t stripe_unit = 64 * 1024;
+  std::uint32_t nfiles = 1;           ///< files driven concurrently
   std::uint64_t io_size = 64 * 1024;  ///< per-op transfer size
   std::uint64_t ops = 200;            ///< read/write ops after the preload
   sim::Duration op_gap = sim::ms(5);  ///< pause between ops
   std::uint64_t workload_seed = 42;   ///< offsets, op mix, payload patterns
-  /// Run Recovery::rebuild_server when a wiped server rejoins (the monitor
-  /// is paused for the rebuild so clients keep using the degraded path
-  /// until the disk is trustworthy again).
+  /// Run a RebuildCoordinator: crashed-then-restarted servers are rebuilt
+  /// online (clients keep reading and writing through the rebuild; dirtied
+  /// regions are re-copied) and admitted once trustworthy. When false,
+  /// wiped rejoiners stay fenced and clients stay degraded.
   bool rebuild_after = true;
   /// Run a Scrubber::repair pass before the final sweep, clearing any
   /// latent sector errors the plan planted.
@@ -69,6 +76,14 @@ struct StormMetrics {
   std::uint64_t scrub_media_errors = 0;
   std::uint64_t scrub_repaired = 0;
   bool rebuild_ok = true;  ///< false when a scheduled rebuild failed
+
+  // Rebuild-coordinator outcome (all zero when rebuild_after is false).
+  std::uint64_t rebuilds_completed = 0;
+  std::uint64_t delta_rebuilds = 0;   ///< non-wipe rejoins / live resyncs
+  std::uint64_t rebuild_passes = 0;   ///< copier passes run
+  std::uint64_t recopy_passes = 0;    ///< passes re-copying dirtied regions
+  std::uint64_t rebuild_bytes = 0;    ///< reconstruction traffic
+  std::uint64_t dirty_bytes_tracked = 0;  ///< degraded-write bytes observed
 
   // Fault-tolerance figures of merit.
   sim::Duration detection_latency = 0;  ///< first crash -> monitor notices

@@ -16,10 +16,13 @@
 //    cache" between the initial-write and overwrite phases.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "hw/disk.hpp"
 #include "sim/resource.hpp"
@@ -99,6 +102,30 @@ class PageCache {
   }
   std::uint64_t dirty_pages() const { return dirty_count_; }
   const CacheParams& params() const { return p_; }
+
+  /// Coalesced byte ranges of file `fid` currently covered only by dirty
+  /// (never written back) pages — the data a crash destroys when the host
+  /// models volatile page caches. Sorted by offset, deterministic.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> dirty_ranges(
+      std::uint64_t fid) const {
+    std::vector<std::uint64_t> idx;
+    for (const auto& [key, page] : pages_) {
+      (void)key;
+      if (page.fid == fid && page.dirty) idx.push_back(page.idx);
+    }
+    std::sort(idx.begin(), idx.end());
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    for (std::uint64_t i : idx) {
+      const std::uint64_t lo = i * p_.page_size;
+      const std::uint64_t hi = lo + p_.page_size;
+      if (!out.empty() && out.back().second == lo) {
+        out.back().second = hi;
+      } else {
+        out.emplace_back(lo, hi);
+      }
+    }
+    return out;
+  }
 
   /// Disk address of a page: files are spaced 1 TiB apart in the linear
   /// address space, so within-file sequential access is sequential on disk

@@ -19,11 +19,14 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "common/buffer.hpp"
 #include "common/interval_map.hpp"
+#include "common/interval_set.hpp"
 #include "hw/page_cache.hpp"
 #include "sim/simulation.hpp"
 #include "sim/task.hpp"
@@ -38,6 +41,12 @@ struct LocalFsParams {
   /// §6.5 padding experiment: pad partial block writes to full blocks,
   /// suppressing pre-reads at the cost of writing garbage padding.
   bool pad_partial_blocks = false;
+  /// Model dirty-page volatility: on crash(), content covered only by dirty
+  /// (never written back) pages is destroyed with the cache — the ranges
+  /// read as holes afterwards and are recorded for delta-rebuild (see
+  /// take_crash_losses). Off by default: the legacy model treats every
+  /// applied write as durable.
+  bool volatile_dirty_pages = false;
 };
 
 class LocalFs {
@@ -90,9 +99,32 @@ class LocalFs {
                                       bool materialized_hint = true);
 
   /// Simulate a server crash: all page-cache state (including dirty pages)
-  /// vanishes. Content is kept — the model treats applied writes as durable
-  /// and charges the timing cost of re-reading everything cold instead.
-  void crash() { cache_->drop_all(); }
+  /// vanishes. By default content is kept — the model treats applied writes
+  /// as durable and charges the timing cost of re-reading everything cold.
+  /// With volatile_dirty_pages, byte ranges whose only copy was a dirty page
+  /// are erased from content and recorded as crash losses.
+  void crash() {
+    if (p_.volatile_dirty_pages) {
+      for (auto& [name, f] : files_) {
+        for (auto [lo, hi] : cache_->dirty_ranges(f.fid)) {
+          const std::uint64_t end =
+              hi < f.content.upper_bound() ? hi : f.content.upper_bound();
+          if (lo >= end) continue;
+          f.content.erase(lo, end);
+          crash_losses_[name].insert(lo, end);
+        }
+      }
+    }
+    cache_->drop_all();
+  }
+
+  /// Local byte ranges destroyed by crashes since the last call (per file
+  /// name, ordered). A rebuild coordinator folds these into its delta set:
+  /// the lost bytes must be re-reconstructed from redundancy even though the
+  /// restart kept the disk.
+  std::map<std::string, IntervalSet> take_crash_losses() {
+    return std::exchange(crash_losses_, {});
+  }
 
   /// Page-cache file id of `name`, or 0 if the file does not exist. The
   /// disk address of byte `off` is then fid * 2^40 + off (see
@@ -144,6 +176,7 @@ class LocalFs {
   hw::PageCache* cache_;
   LocalFsParams p_;
   std::unordered_map<std::string, File> files_;
+  std::map<std::string, IntervalSet> crash_losses_;
   std::uint64_t next_fid_ = 1;
 };
 

@@ -95,10 +95,23 @@ class IoServer {
     if (wipe_disk) {
       wipe();
       fenced_ = true;
+    } else if (fence_restarts_) {
+      fenced_ = true;
     }
+    last_restart_wiped_ = wipe_disk;
     crashed_ = false;
     failed_ = false;
   }
+
+  /// Armed by a RebuildCoordinator: even a non-wipe restart rejoins fenced.
+  /// Degraded writes during the outage updated redundancy but not this
+  /// server's files, and dirty pages died with the crash — the coordinator
+  /// delta-rebuilds the stale regions before admit() lifts the fence.
+  void fence_restarts(bool on) { fence_restarts_ = on; }
+
+  /// Whether the most recent restart() wiped the disk (full rebuild needed)
+  /// or kept it (delta rebuild of stale regions suffices).
+  bool last_restart_wiped() const { return last_restart_wiped_; }
 
   /// Lift the rejoin fence once the rebuild has made the disk trustworthy.
   void admit() { fenced_ = false; }
@@ -264,6 +277,9 @@ class IoServer {
   bool crashed_ = false;
   /// Rejoined on a blank disk and not yet rebuilt: refuse reads/probes.
   bool fenced_ = false;
+  /// When set (by a RebuildCoordinator), non-wipe restarts also fence.
+  bool fence_restarts_ = false;
+  bool last_restart_wiped_ = false;
   /// Bumped on every crash; a reply is only sent if the server has not
   /// crashed since the request began (fences stale in-flight handlers).
   std::uint64_t epoch_ = 0;

@@ -73,6 +73,15 @@ struct StripeLayout {
     return local_unit(unit_of(off)) * stripe_unit + off % stripe_unit;
   }
 
+  /// Inverse of local_off for a fixed server: the global file offset of
+  /// byte `local` within `server`'s data file.
+  std::uint64_t global_off(std::uint32_t server, std::uint64_t local) const {
+    const std::uint64_t dn = data_servers();
+    const std::uint64_t k = local / stripe_unit;
+    const std::uint64_t r = (server + dn - base % dn) % dn;
+    return (k * dn + r) * stripe_unit + local % stripe_unit;
+  }
+
   // --- parity group math ---
   std::uint64_t group_of_unit(std::uint64_t u) const {
     return u / (nservers - 1);

@@ -141,8 +141,8 @@ sim::Task<Result<void>> CsarFs::write(const pvfs::OpenFile& f,
   if (mon_ != nullptr) {
     if (auto failed = mon_->first_failed()) {
       ++failover_stats_.degraded_writes;
-      Recovery rec(*client_, p_.scheme);
-      co_return co_await rec.degraded_write(f, off, std::move(data), *failed);
+      co_return co_await degraded_write_observed(f, off, std::move(data),
+                                                 *failed);
     }
   }
   auto wr = co_await dispatch_write(f, off, data);
@@ -171,8 +171,21 @@ sim::Task<Result<void>> CsarFs::write(const pvfs::OpenFile& f,
   }
   if (!failed.has_value()) co_return wr;
   ++failover_stats_.degraded_writes;
+  co_return co_await degraded_write_observed(f, off, std::move(data), *failed);
+}
+
+sim::Task<Result<void>> CsarFs::degraded_write_observed(const pvfs::OpenFile& f,
+                                                        std::uint64_t off,
+                                                        Buffer data,
+                                                        std::uint32_t failed) {
+  const std::uint64_t len = data.size();
+  if (observer_ != nullptr) observer_->on_degraded_write_begin(failed);
   Recovery rec(*client_, p_.scheme);
-  co_return co_await rec.degraded_write(f, off, std::move(data), *failed);
+  auto wr = co_await rec.degraded_write(f, off, std::move(data), failed);
+  // The end hook fires on failure too: a torn degraded write may still have
+  // updated some redundancy, so the region must count as dirtied.
+  if (observer_ != nullptr) observer_->on_degraded_write_end(f, off, len, failed);
+  co_return wr;
 }
 
 sim::Task<Result<Buffer>> CsarFs::read(const pvfs::OpenFile& f,

@@ -73,6 +73,22 @@ class CsarFs {
   };
   const FailoverStats& failover_stats() const { return failover_stats_; }
 
+  /// Observer for degraded-path writes — the RebuildCoordinator's dirty-
+  /// interval feed. `begin` fires before the degraded write issues any IO
+  /// and `end` after it completes (success or failure: even a torn degraded
+  /// write may have updated redundancy, so the region counts as dirtied).
+  /// Callbacks run synchronously inside the writing coroutine and must not
+  /// block. Not owned; pass nullptr to detach.
+  class WriteObserver {
+   public:
+    virtual ~WriteObserver() = default;
+    virtual void on_degraded_write_begin(std::uint32_t failed) = 0;
+    virtual void on_degraded_write_end(const pvfs::OpenFile& f,
+                                       std::uint64_t off, std::uint64_t len,
+                                       std::uint32_t failed) = 0;
+  };
+  void set_write_observer(WriteObserver* o) { observer_ = o; }
+
   // --- data path ---
   sim::Task<Result<void>> write(const pvfs::OpenFile& f, std::uint64_t off,
                                 Buffer data);
@@ -127,6 +143,12 @@ class CsarFs {
                                          std::uint64_t off,
                                          const Buffer& data);
 
+  /// Recovery::degraded_write bracketed by the WriteObserver hooks.
+  sim::Task<Result<void>> degraded_write_observed(const pvfs::OpenFile& f,
+                                                  std::uint64_t off,
+                                                  Buffer data,
+                                                  std::uint32_t failed);
+
   /// Resolve which server caused `err` (hint, else probe) and re-serve the
   /// read through Recovery::degraded_read; returns `err` unchanged when no
   /// failed server can be identified.
@@ -159,6 +181,7 @@ class CsarFs {
   pvfs::Client* client_;
   CsarParams p_;
   HealthMonitor* mon_ = nullptr;
+  WriteObserver* observer_ = nullptr;
   FailoverStats failover_stats_{};
 };
 

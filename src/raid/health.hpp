@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "pvfs/client.hpp"
@@ -78,6 +80,25 @@ class HealthMonitor {
   std::uint64_t probes_sent() const { return probes_; }
   std::uint64_t transitions() const { return transitions_; }
 
+  /// Called on every status transition (after the tables update), from the
+  /// poller coroutine. The listener must not block; it may spawn tasks.
+  using TransitionListener =
+      std::function<void(std::uint32_t server, bool alive, sim::Time at)>;
+  void set_listener(TransitionListener fn) { listener_ = std::move(fn); }
+
+  /// Force-mark a server alive immediately. A RebuildCoordinator calls this
+  /// the instant it admits a rebuilt server: waiting for the next probe
+  /// round would leave a window where clients keep degrading writes around
+  /// an already-trustworthy server, re-staling exactly what was rebuilt.
+  /// In-flight probe results older than this flip are discarded.
+  void mark_alive(std::uint32_t server) {
+    if (status_[server]) return;
+    status_[server] = true;
+    detected_at_[server] = client_->cluster().sim().now();
+    ++transitions_;
+    if (listener_) listener_(server, true, detected_at_[server]);
+  }
+
  private:
   sim::Task<void> poller(std::uint64_t my_gen) {
     auto& sim = client_->cluster().sim();
@@ -91,14 +112,18 @@ class HealthMonitor {
            s < client_->nservers() && gen_ == my_gen; ++s) {
         pvfs::Request r;
         r.op = pvfs::Op::ping;
+        const sim::Time sent = sim.now();
         auto resp = co_await client_->rpc(s, std::move(r), probe_policy);
         ++probes_;
-        if (gen_ == my_gen) {
+        // A probe launched before a forced transition (mark_alive) reports
+        // state older than the flip — discard it.
+        if (gen_ == my_gen && sent >= detected_at_[s]) {
           const bool alive = resp.ok;
           if (alive != status_[s]) {
             status_[s] = alive;
             detected_at_[s] = sim.now();
             ++transitions_;
+            if (listener_) listener_(s, alive, sim.now());
           }
         }
       }
@@ -114,6 +139,7 @@ class HealthMonitor {
   std::uint64_t transitions_ = 0;
   std::uint64_t gen_ = 0;
   bool running_ = false;
+  TransitionListener listener_;
 };
 
 }  // namespace csar::raid

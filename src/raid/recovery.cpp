@@ -496,7 +496,8 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
 
 sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
                                                  std::uint32_t failed,
-                                                 std::uint64_t file_size) {
+                                                 std::uint64_t file_size,
+                                                 RebuildOptions opt) {
   const StripeLayout& layout = f.layout;
   const std::uint32_t n = layout.n();
   const std::uint64_t su = layout.su();
@@ -519,6 +520,14 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
     Error first_error;
     for (std::uint64_t u = failed; failed < dn && u * su < file_size;
          u += dn) {
+      const std::uint64_t len = std::min<std::uint64_t>(su, file_size - u * su);
+      if (opt.delta && !opt.delta->intersects(u * su, u * su + len)) continue;
+      if (opt.throttle) {
+        // raid1: one mirror read + one replacement write. Parity: N-1
+        // survivor reads + one replacement write, all unit-sized.
+        co_await opt.throttle->take(
+            scheme_ == Scheme::raid1 ? 2 * len : std::uint64_t{n} * len);
+      }
       co_await window.acquire();
       wg.add();
       client_->cluster().sim().spawn(
@@ -555,9 +564,7 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
             }
             sem->release();
             done->done();
-          }(this, f, failed, u,
-            std::min<std::uint64_t>(su, file_size - u * su), &window, &wg,
-            &error, &first_error));
+          }(this, f, failed, u, len, &window, &wg, &error, &first_error));
     }
     co_await wg.wait();
     if (error) co_return first_error;
@@ -573,6 +580,12 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
     if (scheme_ == Scheme::raid1) {
       // Mirror blocks of the predecessor's data, at its local offsets.
       for (std::uint64_t u = predecessor; u * su < file_size; u += dn) {
+        const std::uint64_t len =
+            std::min<std::uint64_t>(su, file_size - u * su);
+        if (opt.delta && !opt.delta->intersects(u * su, u * su + len)) {
+          continue;
+        }
+        if (opt.throttle) co_await opt.throttle->take(2 * len);
         co_await window.acquire();
         wg.add();
         client_->cluster().sim().spawn(
@@ -605,9 +618,8 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
               }
               sem->release();
               done->done();
-            }(this, f, failed, predecessor, u,
-              std::min<std::uint64_t>(su, file_size - u * su), &window, &wg,
-              &error, &first_error));
+            }(this, f, failed, predecessor, u, len, &window, &wg, &error,
+              &first_error));
       }
     } else if (uses_parity(scheme_)) {
       // Recompute the parity units this server held: groups whose parity
@@ -616,6 +628,15 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
           div_ceil(file_size, layout.stripe_width());
       for (std::uint64_t g = 0; g < ngroups; ++g) {
         if (layout.parity_server(g) != failed) continue;
+        if (opt.delta &&
+            !opt.delta->intersects(
+                layout.group_start(g),
+                std::min(layout.group_end(g), file_size))) {
+          continue;
+        }
+        if (opt.throttle) {
+          co_await opt.throttle->take(std::uint64_t{n} * su);
+        }
         co_await window.acquire();
         wg.add();
         client_->cluster().sim().spawn(
@@ -676,57 +697,140 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
   //    on its successor, and the mirror entries it held for its predecessor
   //    from that server's own table.
   if (scheme_ == Scheme::hybrid) {
-    Request rm;
-    rm.op = Op::read_mirror;
-    rm.handle = f.handle;
-    rm.off = 0;
-    rm.len = file_size;  // local offsets are bounded by the file size
-    rm.owner = failed;
-    auto mirrors = co_await client_->rpc(successor, std::move(rm));
-    if (!mirrors.ok) co_return Error{mirrors.err, "rebuild overflow read"};
-    // One batched envelope restores every overflow piece in order (the
-    // rebuilt table's allocation order must match piece order; in-order
-    // batch execution guarantees it in one round trip).
-    std::vector<Request> restores;
-    restores.reserve(mirrors.pieces.size());
-    for (auto& piece : mirrors.pieces) {
-      Request w;
-      w.op = Op::write_overflow;
-      w.handle = f.handle;
-      w.off = piece.local_off;
-      w.payload = std::move(piece.data);
-      w.owner = failed;
-      w.su = layout.stripe_unit;
-      restores.push_back(std::move(w));
+    const bool filter = opt.delta != nullptr && !opt.restore_all_overflow;
+    if (opt.delta != nullptr && opt.restore_all_overflow) {
+      // The rejoiner's overflow content is wholesale suspect (e.g. dirty
+      // pages under the overflow file died with the crash): drop both table
+      // sides entirely, then re-mirror everything from the survivors below.
+      std::vector<Request> invals;
+      for (int side = 0; side < 2; ++side) {
+        Request r;
+        r.op = Op::write_data;
+        r.handle = f.handle;
+        r.su = layout.stripe_unit;
+        if (side == 0) {
+          r.inval_own = {0, file_size};
+        } else {
+          r.inval_mirror = {0, file_size};
+        }
+        invals.push_back(std::move(r));
+      }
+      auto ivr = co_await client_->rpc_batch(failed, std::move(invals));
+      for (const auto& r : ivr) {
+        if (!r.ok) co_return Error{r.err, "rebuild overflow reset"};
+      }
     }
-    auto wrs = co_await client_->rpc_batch(failed, std::move(restores));
-    for (const auto& wr : wrs) {
-      if (!wr.ok) co_return Error{wr.err, "rebuild overflow write"};
+    if (filter) {
+      // A non-wipe rejoiner kept its overflow tables, but over the delta
+      // they are stale: survivors superseded or invalidated those entries
+      // while this server was gone. Clear both table sides across the delta
+      // first (zero-payload write_data requests carry pure invalidation
+      // ranges), then re-mirror the authoritative survivor copies below.
+      std::vector<Request> invals;
+      for (const auto& iv : opt.delta->to_vector()) {
+        for (const auto& ext : layout.decompose(iv.start, iv.length())) {
+          Request r;
+          r.op = Op::write_data;
+          r.handle = f.handle;
+          r.su = layout.stripe_unit;
+          if (ext.server == failed) {
+            r.inval_own = {ext.local_off, ext.local_off + ext.len};
+          } else if (ext.server == predecessor) {
+            r.inval_mirror = {ext.local_off, ext.local_off + ext.len};
+          } else {
+            continue;
+          }
+          invals.push_back(std::move(r));
+        }
+      }
+      if (!invals.empty()) {
+        auto ivr = co_await client_->rpc_batch(failed, std::move(invals));
+        for (const auto& r : ivr) {
+          if (!r.ok) co_return Error{r.err, "rebuild overflow invalidate"};
+        }
+      }
+    }
+    // The survivor-side tables can be huge (unaligned collective writes
+    // overflow nearly every request), so both whole-table reads are
+    // windowed: each read_mirror / read_own_overflow RPC covers a bounded
+    // local-offset range and its pieces are restored before the next
+    // window is fetched. Restores still arrive in ascending local-offset
+    // order across windows (the rebuilt table's allocation order must
+    // match piece order; in-order batch execution guarantees it per
+    // window, ascending windows guarantee it across them).
+    constexpr std::uint64_t kOverflowWindow = 64ull << 20;
+    for (std::uint64_t w0 = 0; w0 < file_size; w0 += kOverflowWindow) {
+      Request rm;
+      rm.op = Op::read_mirror;
+      rm.handle = f.handle;
+      rm.off = w0;  // local offsets are bounded by the file size
+      rm.len = file_size - w0 < kOverflowWindow ? file_size - w0
+                                                : kOverflowWindow;
+      rm.owner = failed;
+      auto mirrors = co_await client_->rpc(successor, std::move(rm));
+      if (!mirrors.ok) co_return Error{mirrors.err, "rebuild overflow read"};
+      std::vector<Request> restores;
+      restores.reserve(mirrors.pieces.size());
+      std::uint64_t restore_bytes = 0;
+      for (auto& piece : mirrors.pieces) {
+        if (filter) {
+          const std::uint64_t g0 = layout.global_off(failed, piece.local_off);
+          if (!opt.delta->intersects(g0, g0 + piece.data.size())) continue;
+        }
+        restore_bytes += piece.data.size();
+        Request w;
+        w.op = Op::write_overflow;
+        w.handle = f.handle;
+        w.off = piece.local_off;
+        w.payload = std::move(piece.data);
+        w.owner = failed;
+        w.su = layout.stripe_unit;
+        restores.push_back(std::move(w));
+      }
+      if (restores.empty()) continue;
+      if (opt.throttle) co_await opt.throttle->take(2 * restore_bytes);
+      auto wrs = co_await client_->rpc_batch(failed, std::move(restores));
+      for (const auto& wr : wrs) {
+        if (!wr.ok) co_return Error{wr.err, "rebuild overflow write"};
+      }
     }
 
-    Request ro;
-    ro.op = Op::read_own_overflow;
-    ro.handle = f.handle;
-    ro.off = 0;
-    ro.len = file_size;
-    auto own = co_await client_->rpc(predecessor, std::move(ro));
-    if (!own.ok) co_return Error{own.err, "rebuild mirror-table read"};
-    std::vector<Request> mirror_restores;
-    mirror_restores.reserve(own.pieces.size());
-    for (auto& piece : own.pieces) {
-      Request w;
-      w.op = Op::write_overflow;
-      w.handle = f.handle;
-      w.off = piece.local_off;
-      w.payload = std::move(piece.data);
-      w.owner = predecessor;
-      w.mirror = true;
-      w.su = layout.stripe_unit;
-      mirror_restores.push_back(std::move(w));
-    }
-    auto mwrs = co_await client_->rpc_batch(failed, std::move(mirror_restores));
-    for (const auto& wr : mwrs) {
-      if (!wr.ok) co_return Error{wr.err, "rebuild mirror-table write"};
+    for (std::uint64_t w0 = 0; w0 < file_size; w0 += kOverflowWindow) {
+      Request ro;
+      ro.op = Op::read_own_overflow;
+      ro.handle = f.handle;
+      ro.off = w0;
+      ro.len = file_size - w0 < kOverflowWindow ? file_size - w0
+                                                : kOverflowWindow;
+      auto own = co_await client_->rpc(predecessor, std::move(ro));
+      if (!own.ok) co_return Error{own.err, "rebuild mirror-table read"};
+      std::vector<Request> mirror_restores;
+      mirror_restores.reserve(own.pieces.size());
+      std::uint64_t mirror_bytes = 0;
+      for (auto& piece : own.pieces) {
+        if (filter) {
+          const std::uint64_t g0 =
+              layout.global_off(predecessor, piece.local_off);
+          if (!opt.delta->intersects(g0, g0 + piece.data.size())) continue;
+        }
+        mirror_bytes += piece.data.size();
+        Request w;
+        w.op = Op::write_overflow;
+        w.handle = f.handle;
+        w.off = piece.local_off;
+        w.payload = std::move(piece.data);
+        w.owner = predecessor;
+        w.mirror = true;
+        w.su = layout.stripe_unit;
+        mirror_restores.push_back(std::move(w));
+      }
+      if (mirror_restores.empty()) continue;
+      if (opt.throttle) co_await opt.throttle->take(2 * mirror_bytes);
+      auto mwrs =
+          co_await client_->rpc_batch(failed, std::move(mirror_restores));
+      for (const auto& wr : mwrs) {
+        if (!wr.ok) co_return Error{wr.err, "rebuild mirror-table write"};
+      }
     }
   }
   co_return Result<void>::success();

@@ -17,12 +17,33 @@
 #include <cstdint>
 
 #include "common/buffer.hpp"
+#include "common/interval_set.hpp"
 #include "common/result.hpp"
 #include "pvfs/client.hpp"
 #include "raid/scheme.hpp"
+#include "sim/sync.hpp"
 #include "sim/task.hpp"
 
 namespace csar::raid {
+
+/// Knobs for rebuild_server. The defaults reproduce the legacy behaviour:
+/// full-file reconstruction at full pipeline speed.
+struct RebuildOptions {
+  /// Restrict reconstruction to the stripe units / parity groups / overflow
+  /// entries whose *global* byte ranges intersect this set (nullptr =
+  /// rebuild everything). The RebuildCoordinator passes the stale regions of
+  /// a non-wipe rejoiner, or the regions dirtied by concurrent writes on a
+  /// re-copy pass.
+  const IntervalSet* delta = nullptr;
+  /// Pace reconstruction traffic through this bucket (nullptr = full
+  /// pipeline speed). Charged with an estimate of the bytes each unit moves
+  /// (survivor reads + replacement write), before the unit is issued.
+  sim::TokenBucket* throttle = nullptr;
+  /// Hybrid: restore every overflow entry even when `delta` filters the
+  /// data/parity scan (set when the overflow content itself is suspect,
+  /// e.g. lost dirty pages under the overflow file).
+  bool restore_all_overflow = false;
+};
 
 class Recovery {
  public:
@@ -51,10 +72,12 @@ class Recovery {
   /// its redundancy file (mirror blocks or parity units), its own overflow
   /// entries (from the mirrors on its successor) and the mirror entries it
   /// held for its predecessor. The server must already be back online
-  /// (recover()ed onto a blank disk); `file_size` bounds the scan.
+  /// (recover()ed onto a blank disk); `file_size` bounds the scan. `opt`
+  /// restricts the scan to a delta and/or paces it (see RebuildOptions).
   sim::Task<Result<void>> rebuild_server(const pvfs::OpenFile& f,
                                          std::uint32_t failed,
-                                         std::uint64_t file_size);
+                                         std::uint64_t file_size,
+                                         RebuildOptions opt = {});
 
  private:
   /// Reconstruct the bytes of one lost piece (within a single stripe unit

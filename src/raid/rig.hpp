@@ -100,6 +100,24 @@ class Rig {
 
   Recovery recovery() { return Recovery(*clients[0], p.scheme); }
 
+  /// A dedicated repair client on its own node, created on first use.
+  /// Rebuild/scrub traffic issued through it gets its own NIC and RPC
+  /// policy instead of competing for client 0's deadlines mid-workload.
+  pvfs::Client& repair_client() {
+    if (!repair_client_) {
+      std::vector<pvfs::IoServer*> server_ptrs;
+      for (auto& s : servers) server_ptrs.push_back(s.get());
+      const hw::NodeId node = cluster.add_client();
+      repair_client_ = std::make_unique<pvfs::Client>(
+          cluster, fabric, *manager, server_ptrs, node);
+      repair_client_->set_rpc_batching(p.rpc_batching);
+      repair_client_->seed_retry_rng(Rng(p.seed).next() ^ 0x9E8A17ULL);
+    }
+    return *repair_client_;
+  }
+
+  Recovery repair_recovery() { return Recovery(repair_client(), p.scheme); }
+
   /// Drop every server's page cache (the paper's "contents removed from the
   /// cache" overwrite setup). Flush first for a realistic state.
   void drop_all_caches() {
@@ -123,6 +141,7 @@ class Rig {
   std::vector<std::unique_ptr<CsarFs>> fs;
 
  private:
+  std::unique_ptr<pvfs::Client> repair_client_;
   bool stopped_ = false;
 };
 

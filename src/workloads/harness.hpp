@@ -30,6 +30,9 @@ struct WorkloadResult {
   std::uint64_t bytes_read = 0;
   sim::Duration write_time = 0;
   sim::Duration read_time = 0;
+  /// Ops that failed despite retry/failover; only populated by workloads
+  /// run with tolerate_faults (they assert otherwise).
+  std::uint64_t ops_failed = 0;
 
   double write_bw() const {
     return write_time == 0

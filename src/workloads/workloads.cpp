@@ -110,6 +110,9 @@ sim::Task<WorkloadResult> romio_perf(raid::Rig& rig, RomioParams p) {
                                             rig.layout(p.stripe_unit));
   assert(f.ok());
   const pvfs::OpenFile file = *f;
+  const std::uint64_t extent = static_cast<std::uint64_t>(p.nclients) *
+                               p.rounds * p.buffer_bytes;
+  if (p.on_create) p.on_create(file, extent);
   WorkloadResult res;
 
   // Write phase: each client writes its buffer at rank*size (per round);
@@ -118,23 +121,26 @@ sim::Task<WorkloadResult> romio_perf(raid::Rig& rig, RomioParams p) {
   co_await run_clients(
       rig, p.nclients, [&](std::uint32_t c) -> sim::Task<void> {
         return [](raid::Rig& r, pvfs::OpenFile fl, std::uint32_t client,
-                  RomioParams prm) -> sim::Task<void> {
+                  RomioParams prm, std::uint64_t* failed) -> sim::Task<void> {
           for (std::uint32_t round = 0; round < prm.rounds; ++round) {
             const std::uint64_t off =
                 (static_cast<std::uint64_t>(round) * prm.nclients + client) *
                 prm.buffer_bytes;
             auto wr = co_await r.client_fs(client).write(
                 fl, off, Buffer::phantom(prm.buffer_bytes));
-            assert(wr.ok());
-            (void)wr;
+            if (!wr.ok()) {
+              assert(prm.tolerate_faults);
+              ++*failed;
+            }
           }
-        }(rig, file, c, p);
+        }(rig, file, c, p, &res.ops_failed);
       });
   auto fl = co_await rig.client_fs(0).flush(file);
-  assert(fl.ok());
-  (void)fl;
-  res.bytes_written = static_cast<std::uint64_t>(p.nclients) * p.rounds *
-                      p.buffer_bytes;
+  if (!fl.ok()) {
+    assert(p.tolerate_faults);
+    ++res.ops_failed;
+  }
+  res.bytes_written = extent;
   res.write_time = rig.sim.now() - w0;
 
   // Read phase.
@@ -142,17 +148,19 @@ sim::Task<WorkloadResult> romio_perf(raid::Rig& rig, RomioParams p) {
   co_await run_clients(
       rig, p.nclients, [&](std::uint32_t c) -> sim::Task<void> {
         return [](raid::Rig& r, pvfs::OpenFile fl2, std::uint32_t client,
-                  RomioParams prm) -> sim::Task<void> {
+                  RomioParams prm, std::uint64_t* failed) -> sim::Task<void> {
           for (std::uint32_t round = 0; round < prm.rounds; ++round) {
             const std::uint64_t off =
                 (static_cast<std::uint64_t>(round) * prm.nclients + client) *
                 prm.buffer_bytes;
             auto rd = co_await r.client_fs(client).read(fl2, off,
                                                         prm.buffer_bytes);
-            assert(rd.ok());
-            (void)rd;
+            if (!rd.ok()) {
+              assert(prm.tolerate_faults);
+              ++*failed;
+            }
           }
-        }(rig, file, c, p);
+        }(rig, file, c, p, &res.ops_failed);
       });
   res.bytes_read = res.bytes_written;
   res.read_time = rig.sim.now() - r0;
@@ -191,25 +199,29 @@ namespace {
 /// produces the paper's one-or-two partial stripes per request.
 sim::Task<void> btio_pass(raid::Rig& rig, const pvfs::OpenFile& file,
                           const BtioParams& p, std::uint64_t chunk,
-                          std::uint32_t steps, std::uint64_t skew) {
+                          std::uint32_t steps, std::uint64_t skew,
+                          std::uint64_t* failed) {
   sim::Barrier barrier(rig.sim, p.nprocs);
   co_await run_clients(
       rig, p.nprocs, [&](std::uint32_t c) -> sim::Task<void> {
         return [](raid::Rig& r, pvfs::OpenFile fl, std::uint32_t proc,
                   BtioParams prm, std::uint64_t ch, std::uint32_t st,
-                  std::uint64_t sk, sim::Barrier* bar) -> sim::Task<void> {
+                  std::uint64_t sk, sim::Barrier* bar,
+                  std::uint64_t* fail) -> sim::Task<void> {
           for (std::uint32_t step = 0; step < st; ++step) {
             const std::uint64_t off =
                 (static_cast<std::uint64_t>(step) * prm.nprocs + proc) * ch +
                 sk;
             auto wr = co_await r.client_fs(proc).write(fl, off,
                                                        Buffer::phantom(ch));
-            assert(wr.ok());
-            (void)wr;
+            if (!wr.ok()) {
+              assert(prm.tolerate_faults);
+              ++*fail;
+            }
             // Solution checkpointing is collective: synchronize per step.
             co_await bar->arrive_and_wait();
           }
-        }(rig, file, c, p, chunk, steps, skew, &barrier);
+        }(rig, file, c, p, chunk, steps, skew, &barrier, failed);
       });
 }
 
@@ -229,19 +241,25 @@ sim::Task<WorkloadResult> btio(raid::Rig& rig, BtioParams p) {
   const std::uint64_t chunk = total / (static_cast<std::uint64_t>(p.nprocs) *
                                        steps);
   const std::uint64_t skew = 1711;  // deliberate stripe misalignment
+  if (p.on_create) {
+    p.on_create(file,
+                static_cast<std::uint64_t>(chunk) * p.nprocs * steps + skew);
+  }
 
   WorkloadResult res;
   if (p.overwrite) {
     // Case 2 (§6.5): the file exists and its contents have been removed
     // from the server caches.
-    co_await btio_pass(rig, file, p, chunk, steps, skew);
+    co_await btio_pass(rig, file, p, chunk, steps, skew, &res.ops_failed);
     auto fl = co_await rig.client_fs(0).flush(file);
-    assert(fl.ok());
-    (void)fl;
+    if (!fl.ok()) {
+      assert(p.tolerate_faults);
+      ++res.ops_failed;
+    }
     rig.drop_all_caches();
   }
   const sim::Time t0 = rig.sim.now();
-  co_await btio_pass(rig, file, p, chunk, steps, skew);
+  co_await btio_pass(rig, file, p, chunk, steps, skew, &res.ops_failed);
   res.bytes_written =
       static_cast<std::uint64_t>(chunk) * p.nprocs * steps;
   res.write_time = rig.sim.now() - t0;

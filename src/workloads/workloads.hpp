@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "raid/rig.hpp"
@@ -59,6 +60,13 @@ struct RomioParams {
   std::uint32_t nclients = 4;
   std::uint64_t buffer_bytes = 4ull << 20;  ///< perf default: 4 MB
   std::uint32_t rounds = 8;
+  /// Called with the created file and the workload's logical extent before
+  /// any IO — lets fault harnesses register the file with a
+  /// RebuildCoordinator (and injectors) while the workload owns creation.
+  std::function<void(const pvfs::OpenFile&, std::uint64_t)> on_create;
+  /// Keep going when an op fails (fault-injection runs): failures are
+  /// counted in WorkloadResult::ops_failed instead of asserting.
+  bool tolerate_faults = false;
 };
 
 /// ROMIO `perf`: every client writes `buffer_bytes` at offset
@@ -81,6 +89,10 @@ struct BtioParams {
   /// Overwrite mode: the file already exists and the server caches are cold
   /// (the paper's case 2).
   bool overwrite = false;
+  /// See RomioParams::on_create.
+  std::function<void(const pvfs::OpenFile&, std::uint64_t)> on_create;
+  /// See RomioParams::tolerate_faults.
+  bool tolerate_faults = false;
 };
 
 /// NAS BTIO (full MPI-IO): the procs collectively append ~4 MB requests
