@@ -30,6 +30,9 @@ csar_add_bench(bench_ablate_compaction)
 csar_add_bench(bench_ablate_fault_storm)
 target_link_libraries(bench_ablate_fault_storm PRIVATE csar_fault)
 
+csar_add_bench(bench_ablate_adaptive)
+target_link_libraries(bench_ablate_adaptive PRIVATE csar_fault)
+
 add_executable(bench_ablate_parity_kernel ${CMAKE_SOURCE_DIR}/bench/bench_ablate_parity_kernel.cpp)
 set_target_properties(bench_ablate_parity_kernel PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 target_link_libraries(bench_ablate_parity_kernel PRIVATE csar_common benchmark::benchmark)

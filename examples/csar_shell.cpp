@@ -58,14 +58,6 @@ struct ShellFile {
   }
 };
 
-raid::Scheme parse_scheme(const std::string& s) {
-  if (s == "raid0") return raid::Scheme::raid0;
-  if (s == "raid1") return raid::Scheme::raid1;
-  if (s == "raid4") return raid::Scheme::raid4;
-  if (s == "raid5") return raid::Scheme::raid5;
-  return raid::Scheme::hybrid;
-}
-
 void help() {
   std::puts(
       "commands:\n"
@@ -90,7 +82,8 @@ int main(int argc, char** argv) {
       argc > 1 ? static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10))
                : 5;
   const raid::Scheme scheme =
-      argc > 2 ? parse_scheme(argv[2]) : raid::Scheme::hybrid;
+      argc > 2 ? raid::parse_scheme(argv[2]).value_or(raid::Scheme::hybrid)
+               : raid::Scheme::hybrid;
 
   raid::RigParams params;
   params.nservers = nservers;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/rng.hpp"
+#include "raid/migrate.hpp"
 #include "raid/rebuild.hpp"
 #include "raid/scrub.hpp"
 
@@ -84,6 +85,8 @@ std::uint64_t fingerprint(const StormMetrics& m) {
         m.reactive_failovers, m.scrub_media_errors, m.scrub_repaired,
         m.rebuilds_completed, m.delta_rebuilds, m.rebuild_passes,
         m.recopy_passes, m.rebuild_bytes, m.dirty_bytes_tracked,
+        m.migrations_started, m.migrations_completed, m.migrations_failed,
+        m.migrate_recopy_passes, m.migrate_dirty_bytes,
         static_cast<std::uint64_t>(m.detection_latency),
         static_cast<std::uint64_t>(m.mttr), m.events_executed,
         static_cast<std::uint64_t>(m.finished_at), m.faults.crashes,
@@ -95,13 +98,24 @@ std::uint64_t fingerprint(const StormMetrics& m) {
   return h;
 }
 
+/// Fire a scheduled manual migration once `at` arrives.
+sim::Task<void> trigger_migration(sim::Simulation& sim,
+                                  raid::SchemeMigrator& mig,
+                                  std::uint64_t handle, raid::Scheme to,
+                                  sim::Time at) {
+  if (at > sim.now()) co_await sim.sleep_until(at);
+  mig.request(handle, to);
+}
+
 /// The workload: preload every file, run the op mix *straight through* any
-/// crash, detection, rebuild or admit (no quiescing — write-safety is the
-/// RebuildCoordinator's job now), then wait for the coordinator to settle,
-/// scrub, and sweep-verify every byte against the shadows.
+/// crash, detection, rebuild, migration or admit (no quiescing — write-
+/// safety is the RebuildCoordinator's / SchemeMigrator's job), then wait
+/// for both to settle, scrub, and sweep-verify every byte against the
+/// shadows.
 sim::Task<void> driver(const StormParams& p, raid::Rig& rig,
                        raid::HealthMonitor& mon, FaultInjector& inj,
                        raid::RebuildCoordinator* coord,
+                       raid::SchemeMigrator* mig,
                        std::vector<Shadow>& shadows, StormMetrics& m) {
   auto& sim = rig.sim;
   auto& fs = rig.client_fs();
@@ -112,11 +126,12 @@ sim::Task<void> driver(const StormParams& p, raid::Rig& rig,
   // Preload: populate every file (and its redundancy) before the storm.
   std::vector<pvfs::OpenFile> files;
   for (std::uint32_t i = 0; i < nfiles; ++i) {
-    auto f = co_await fs.create("storm" + std::to_string(i),
-                                rig.layout(p.stripe_unit));
+    const std::string name = "storm" + std::to_string(i);
+    auto f = co_await fs.create(name, rig.layout(p.stripe_unit));
     if (!f.ok()) co_return;
     files.push_back(*f);
     if (coord) coord->track(*f, p.file_size);
+    if (mig) mig->track(name, *f, p.file_size);
   }
   const std::uint64_t chunk = files[0].layout.stripe_width();
   for (std::uint32_t i = 0; i < nfiles; ++i) {
@@ -132,6 +147,16 @@ sim::Task<void> driver(const StormParams& p, raid::Rig& rig,
   // Unleash the storm.
   mon.start();
   if (coord) coord->start();
+  if (mig) {
+    if (p.adaptive) mig->enable_adaptive();
+    mig->start();
+    if (p.migrate_file >= 0 &&
+        static_cast<std::uint32_t>(p.migrate_file) < nfiles) {
+      sim.spawn(trigger_migration(
+          sim, *mig, files[static_cast<std::uint32_t>(p.migrate_file)].handle,
+          p.migrate_to, p.migrate_at));
+    }
+  }
   inj.start();
 
   const std::uint64_t span = p.file_size > p.io_size
@@ -156,8 +181,11 @@ sim::Task<void> driver(const StormParams& p, raid::Rig& rig,
         // a later degraded read anywhere in those groups is suspect.
         std::uint64_t lo = off;
         std::uint64_t hi = off + p.io_size;
-        if (p.rig.scheme != raid::Scheme::raid0 &&
-            p.rig.scheme != raid::Scheme::raid1) {
+        // The write-hole span depends on the file's *current* scheme (a
+        // migration may have landed mid-storm); mirror/striped-only writes
+        // tear at most their own range.
+        const raid::Scheme sch = rig.policy().scheme_of(files[fi]);
+        if (sch != raid::Scheme::raid0 && sch != raid::Scheme::raid1) {
           const std::uint64_t w = files[fi].layout.stripe_width();
           lo = lo / w * w;
           hi = std::min<std::uint64_t>(p.file_size, (hi + w - 1) / w * w);
@@ -193,11 +221,18 @@ sim::Task<void> driver(const StormParams& p, raid::Rig& rig,
       co_await sim.sleep(sim::ms(5));
     }
   }
+  if (mig) {
+    const sim::Time give_up = sim.now() + sim::sec(120);
+    while (!mig->idle() && sim.now() < give_up) {
+      co_await sim.sleep(sim::ms(5));
+    }
+  }
 
   // With every server healthy again, clear latent sector errors the plan
-  // planted; the scrubber rebuilds unreadable units from the redundancy.
+  // planted; the scrubber rebuilds unreadable units from the redundancy
+  // (routing each file through its own — possibly migrated — scheme).
   if (p.scrub_after && !mon.first_failed()) {
-    raid::Scrubber scrub(rig.client(), p.rig.scheme);
+    raid::Scrubber scrub(rig.client(), &rig.policy());
     for (const auto& f : files) {
       auto rep = co_await scrub.repair(f, p.file_size);
       if (rep.ok()) {
@@ -218,9 +253,10 @@ sim::Task<void> driver(const StormParams& p, raid::Rig& rig,
     }
   }
 
-  // Stop both pollers from inside the simulation or sim.run() never drains.
+  // Stop every poller from inside the simulation or sim.run() never drains.
   mon.stop();
   if (coord) coord->stop();
+  if (mig) mig->stop();
   for (const auto& s : shadows) m.tainted_bytes += s.tainted_bytes();
   m.finished_at = sim.now();
 }
@@ -228,8 +264,25 @@ sim::Task<void> driver(const StormParams& p, raid::Rig& rig,
 }  // namespace
 
 StormMetrics run_storm(const StormParams& params) {
-  raid::Rig rig(params.rig);
+  raid::RigParams rp = params.rig;
+  // Per-file scheme mix rides the policy's path rules: file i is named
+  // "storm<i>", so a rule per index pins its scheme. Rules are installed in
+  // descending index order because matching is first-prefix-wins and
+  // "storm1" is a prefix of "storm10".
+  if (!params.file_schemes.empty()) {
+    const std::uint32_t nfiles = std::max<std::uint32_t>(1, params.nfiles);
+    for (std::uint32_t i = nfiles; i-- > 0;) {
+      rp.policy.rules.push_back(
+          {"storm" + std::to_string(i),
+           params.file_schemes[i % params.file_schemes.size()]});
+    }
+  }
+  raid::Rig rig(rp);
   raid::HealthMonitor mon(rig.client(), params.health);
+  // Down transitions are one of the adaptive engine's fault-pressure feeds.
+  mon.add_listener([&rig](std::uint32_t s, bool alive, sim::Time at) {
+    rig.policy().note_health_transition(s, alive, at);
+  });
   std::vector<pvfs::IoServer*> server_ptrs;
   for (auto& s : rig.servers) server_ptrs.push_back(s.get());
   FaultInjector inj(rig.cluster, rig.fabric, std::move(server_ptrs),
@@ -237,6 +290,10 @@ StormMetrics run_storm(const StormParams& params) {
   for (auto& fs : rig.fs) fs->enable_failover(&mon);
   std::optional<raid::RebuildCoordinator> coord;
   if (params.rebuild_after) coord.emplace(rig, mon, params.rebuild);
+  std::optional<raid::SchemeMigrator> mig;
+  if (params.adaptive || params.migrate_file >= 0) {
+    mig.emplace(rig, params.migrate);
+  }
 
   std::vector<Shadow> shadows;
   const std::uint32_t nfiles = std::max<std::uint32_t>(1, params.nfiles);
@@ -246,7 +303,7 @@ StormMetrics run_storm(const StormParams& params) {
   }
   StormMetrics m;
   rig.sim.spawn(driver(params, rig, mon, inj, coord ? &*coord : nullptr,
-                       shadows, m));
+                       mig ? &*mig : nullptr, shadows, m));
   rig.sim.run();
 
   const auto& rpc = rig.client().rpc_stats();
@@ -297,6 +354,15 @@ StormMetrics run_storm(const StormParams& params) {
       }
       break;
     }
+  }
+
+  if (mig) {
+    const auto& ms = mig->stats();
+    m.migrations_started = ms.migrations_started;
+    m.migrations_completed = ms.migrations_completed;
+    m.migrations_failed = ms.migrations_failed;
+    m.migrate_recopy_passes = ms.recopy_passes;
+    m.migrate_dirty_bytes = ms.dirty_bytes;
   }
 
   m.faults = inj.stats();

@@ -20,6 +20,7 @@
 
 #include "fault/fault.hpp"
 #include "raid/health.hpp"
+#include "raid/migrate.hpp"
 #include "raid/rebuild.hpp"
 #include "raid/rig.hpp"
 #include "sim/time.hpp"
@@ -34,6 +35,21 @@ struct StormParams {
   /// maps its lifecycle onto the coordinator: detection, delta/full rebuild
   /// and admit all happen there while the workload keeps running.
   raid::RebuildParams rebuild;
+  /// Per-file scheme mix: file i is created under file_schemes[i % size()]
+  /// (installed as policy path rules before the rig is built). Empty → every
+  /// file uses rig.scheme, reproducing the single-scheme storm exactly.
+  std::vector<raid::Scheme> file_schemes;
+  /// Scheme-migrator knobs; a migrator runs whenever `adaptive` is set or a
+  /// manual migration is scheduled below.
+  raid::MigrateParams migrate;
+  /// Let the adaptive engine (policy recommend()) trigger migrations
+  /// mid-storm from the telemetry the storm itself produces.
+  bool adaptive = false;
+  /// Manual migration: at `migrate_at`, move file index `migrate_file` to
+  /// `migrate_to` (migrate_file < 0 disables).
+  std::int32_t migrate_file = -1;
+  raid::Scheme migrate_to = raid::Scheme::raid1;
+  sim::Time migrate_at = 0;
   std::uint64_t file_size = 8 * 1024 * 1024;  ///< per file
   std::uint32_t stripe_unit = 64 * 1024;
   std::uint32_t nfiles = 1;           ///< files driven concurrently
@@ -76,6 +92,13 @@ struct StormMetrics {
   std::uint64_t scrub_media_errors = 0;
   std::uint64_t scrub_repaired = 0;
   bool rebuild_ok = true;  ///< false when a scheduled rebuild failed
+
+  // Scheme-migration outcome (all zero without a migrator).
+  std::uint64_t migrations_started = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t migrations_failed = 0;
+  std::uint64_t migrate_recopy_passes = 0;  ///< convergence re-copy passes
+  std::uint64_t migrate_dirty_bytes = 0;    ///< concurrent-write bytes seen
 
   // Rebuild-coordinator outcome (all zero when rebuild_after is false).
   std::uint64_t rebuilds_completed = 0;

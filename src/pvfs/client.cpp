@@ -58,15 +58,30 @@ sim::Duration Client::backoff_pause(const RpcPolicy& policy,
 }
 
 sim::Task<Result<OpenFile>> Client::create(std::string name,
-                                           StripeLayout layout) {
+                                           StripeLayout layout,
+                                           std::uint8_t scheme) {
   assert(layout.nservers == nservers() &&
          "layout server count must match the cluster");
   MetaRequest r;
   r.op = MetaOp::create;
   r.name = std::move(name);
   r.layout = layout;
+  r.scheme = scheme;
   MetaResponse resp = co_await meta_rpc(std::move(r));
   if (!resp.ok) co_return Error{resp.err, "create"};
+  co_return resp.file;
+}
+
+sim::Task<Result<OpenFile>> Client::set_scheme(std::string name,
+                                               std::uint8_t scheme,
+                                               std::uint32_t red_gen) {
+  MetaRequest r;
+  r.op = MetaOp::set_scheme;
+  r.name = std::move(name);
+  r.scheme = scheme;
+  r.red_gen = red_gen;
+  MetaResponse resp = co_await meta_rpc(std::move(r));
+  if (!resp.ok) co_return Error{resp.err, "set_scheme"};
   co_return resp.file;
 }
 
@@ -206,14 +221,18 @@ sim::Task<std::vector<Response>> Client::rpc_all(
   if (batching_ && requests.size() > 1) {
     // Coalesce same-destination *redundancy-class* requests into one
     // envelope per server: parity/mirror ops are small and per-message
-    // header dominated, so sharing one transfer is pure win. Bulk payload
-    // requests (data reads/writes, overflow) are payload-dominated and
-    // pipeline better as independent messages — inside one envelope the
-    // server would execute them strictly in order and the combined response
-    // could not start streaming until the last sub finished. The class
-    // split also mirrors the server's per-connection streams: a parity
-    // release must never queue behind bulk data inside one message, which
-    // would stretch the lock critical section.
+    // header dominated, so sharing one transfer is pure win. The class is
+    // decided per request (redundancy_request), not per op: a Hybrid
+    // partial write's mirror overflow copy targets the neighbour server's
+    // redundancy role, so it shares that server's parity envelope instead
+    // of taking a separate bulk transfer. Bulk payload requests (data
+    // reads/writes, primary overflow) are payload-dominated and pipeline
+    // better as independent messages — inside one envelope the server would
+    // execute them strictly in order and the combined response could not
+    // start streaming until the last sub finished. Request order within an
+    // envelope is preserved, and write_hybrid appends its parity writes
+    // before its overflow copies, so a lock-releasing parity write is never
+    // queued behind mirror payload in the same message.
     struct Group {
       std::uint32_t server;
       std::vector<Request> subs;
@@ -223,7 +242,7 @@ sim::Task<std::vector<Response>> Client::rpc_all(
     std::vector<Group> groups;
     for (std::size_t i = 0; i < requests.size(); ++i) {
       std::size_t gi;
-      if (redundancy_op(requests[i].second.op)) {
+      if (redundancy_request(requests[i].second)) {
         auto [it, fresh] = index.try_emplace(requests[i].first, groups.size());
         if (fresh) groups.push_back({requests[i].first, {}, {}});
         gi = it->second;

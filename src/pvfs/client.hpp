@@ -68,9 +68,17 @@ class Client {
   IoServer& server(std::uint32_t s) { return *servers_[s]; }
 
   // --- metadata ---
-  sim::Task<Result<OpenFile>> create(std::string name, StripeLayout layout);
+  /// `scheme` is an opaque per-file tag the manager stores alongside the
+  /// layout (raid::RedundancyPolicy assigns it at create; kSchemeUnset =
+  /// the file inherits the deployment default).
+  sim::Task<Result<OpenFile>> create(std::string name, StripeLayout layout,
+                                     std::uint8_t scheme = kSchemeUnset);
   sim::Task<Result<OpenFile>> open(std::string name);
   sim::Task<Result<void>> remove(std::string name);
+  /// Record a scheme transition (and its redundancy generation) at the
+  /// manager, so later opens see the migrated file's metadata.
+  sim::Task<Result<OpenFile>> set_scheme(std::string name, std::uint8_t scheme,
+                                         std::uint32_t red_gen);
 
   /// Default policy for every rpc()/meta_rpc() issued by this client.
   void set_rpc_policy(const RpcPolicy& p) { policy_ = p; }

@@ -45,6 +45,8 @@ const char* op_name(Op op) {
       return "batch";
     case Op::ping:
       return "ping";
+    case Op::drop_red:
+      return "drop_red";
     case Op::shutdown:
       return "shutdown";
   }
@@ -357,8 +359,14 @@ sim::Task<Response> IoServer::exec_one(const Request& r, bool prelocked) {
       co_return co_await do_compact_overflow(r);
     case Op::remove_file: {
       fs_.remove(data_name(r.handle));
-      fs_.remove(red_name(r.handle));
       fs_.remove(ovfl_name(r.handle));
+      if (auto it = handles_.find(r.handle); it != handles_.end()) {
+        for (std::uint32_t g = 0; g <= it->second.max_red_gen; ++g) {
+          fs_.remove(red_name(r.handle, g));
+        }
+      } else {
+        fs_.remove(red_name(r.handle));
+      }
       handles_.erase(r.handle);
       // Drop any parity locks of the dead handle; parked acquirers are
       // woken un-granted and answer not_found so their clients do not hang.
@@ -375,14 +383,24 @@ sim::Task<Response> IoServer::exec_one(const Request& r, bool prelocked) {
     case Op::storage_query: {
       Response resp;
       resp.storage.data_bytes = fs_.size(data_name(r.handle));
-      resp.storage.red_bytes = fs_.size(red_name(r.handle));
       auto it = handles_.find(r.handle);
+      const std::uint32_t max_gen =
+          it == handles_.end() ? 0 : it->second.max_red_gen;
+      for (std::uint32_t g = 0; g <= max_gen; ++g) {
+        resp.storage.red_bytes += fs_.size(red_name(r.handle, g));
+      }
       resp.storage.overflow_bytes =
           it == handles_.end() ? 0 : it->second.overflow_alloc;
       co_return resp;
     }
     case Op::ping:
       co_return Response{};
+    case Op::drop_red: {
+      // Migration GC: the old generation's redundancy is garbage once the
+      // file's scheme flipped; dropping it is idempotent.
+      fs_.remove(red_name(r.handle, r.red_gen));
+      co_return Response{};
+    }
     case Op::batch:
     case Op::shutdown:
       break;  // batches never nest; shutdown is the dispatcher's
@@ -444,7 +462,7 @@ sim::Task<Response> IoServer::exec_batch(const Request& r) {
       std::uint64_t end = subs[i].off + subs[i].len;
       while (j < subs.size() && subs[j].op == subs[i].op &&
              subs[j].handle == subs[i].handle && subs[j].off == end &&
-             !lock_dead[j]) {
+             subs[j].red_gen == subs[i].red_gen && !lock_dead[j]) {
         end += subs[j].len;
         ++j;
       }
@@ -548,7 +566,8 @@ sim::Task<Response> IoServer::do_read_data_raw(const Request& r) {
 
 sim::Task<Response> IoServer::do_read_red(const Request& r) {
   Response resp;
-  auto out = co_await fs_.read_checked(red_name(r.handle), r.off, r.len);
+  auto out =
+      co_await fs_.read_checked(red_name(r.handle, r.red_gen), r.off, r.len);
   resp.data = std::move(out.data);
   if (out.media_error) {
     resp.ok = false;
@@ -559,10 +578,12 @@ sim::Task<Response> IoServer::do_read_red(const Request& r) {
 }
 
 sim::Task<Response> IoServer::do_write_red(const Request& r) {
-  handles_.try_emplace(r.handle);
+  auto& hs = handles_[r.handle];
+  hs.max_red_gen = std::max(hs.max_red_gen, r.red_gen);
   co_await pace(r, r.payload.size());
   Buffer payload = r.payload.slice(0, r.payload.size());
-  co_await fs_.write_stream(red_name(r.handle), r.off, std::move(payload),
+  co_await fs_.write_stream(red_name(r.handle, r.red_gen), r.off,
+                            std::move(payload),
                             cluster_->profile().net_recv_chunk);
   apply_invalidation(r);
   co_return Response{};
@@ -699,7 +720,9 @@ StorageInfo IoServer::total_storage() const {
   StorageInfo total;
   for (const auto& [h, hs] : handles_) {
     total.data_bytes += fs_.size(data_name(h));
-    total.red_bytes += fs_.size(red_name(h));
+    for (std::uint32_t g = 0; g <= hs.max_red_gen; ++g) {
+      total.red_bytes += fs_.size(red_name(h, g));
+    }
     total.overflow_bytes += hs.overflow_alloc;
   }
   return total;

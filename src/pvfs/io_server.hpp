@@ -156,6 +156,13 @@ class IoServer {
   static std::string red_name(std::uint64_t h) {
     return "h" + std::to_string(h) + ".red";
   }
+  /// Generation-qualified redundancy file. Generation 0 keeps the legacy
+  /// name; a scheme migration writes the target scheme's redundancy into
+  /// generation N+1 and drops the old generation after the flip.
+  static std::string red_name(std::uint64_t h, std::uint32_t gen) {
+    if (gen == 0) return red_name(h);
+    return "h" + std::to_string(h) + ".red.g" + std::to_string(gen);
+  }
   static std::string ovfl_name(std::uint64_t h) {
     return "h" + std::to_string(h) + ".ovfl";
   }
@@ -201,6 +208,9 @@ class IoServer {
     OverflowTable own;     ///< primary overflow entries (this server's data)
     OverflowTable mirror;  ///< mirror entries held for the previous server
     std::uint64_t overflow_alloc = 0;  ///< allocation cursor (fragmented)
+    /// Highest redundancy generation ever written for this handle, so
+    /// remove_file and storage accounting can cover every generation.
+    std::uint32_t max_red_gen = 0;
   };
 
   sim::Task<void> dispatcher();

@@ -20,17 +20,29 @@
 
 namespace csar::pvfs {
 
+/// Sentinel scheme tag: the file carries no per-file scheme and inherits the
+/// deployment default (files created through the raw pvfs::Client path).
+inline constexpr std::uint8_t kSchemeUnset = 0xFF;
+
 struct OpenFile {
   std::uint64_t handle = 0;
   StripeLayout layout;
+  /// Redundancy scheme tag (raid::Scheme value; the manager stores it as an
+  /// opaque byte — pvfs knows nothing about RAID). kSchemeUnset = inherit.
+  std::uint8_t scheme = kSchemeUnset;
+  /// Current redundancy-file generation (bumped by scheme migrations).
+  std::uint32_t red_gen = 0;
 };
 
-enum class MetaOp : std::uint8_t { create, open, remove, shutdown };
+enum class MetaOp : std::uint8_t { create, open, remove, set_scheme,
+                                   shutdown };
 
 struct MetaRequest {
   MetaOp op{};
   std::string name;
   StripeLayout layout;
+  std::uint8_t scheme = kSchemeUnset;  ///< create / set_scheme
+  std::uint32_t red_gen = 0;           ///< set_scheme
   hw::NodeId from = 0;
   std::shared_ptr<sim::Channel<struct MetaResponse>> reply;
 };
@@ -87,7 +99,7 @@ class Manager {
           resp.err = Errc::already_exists;
           break;
         }
-        OpenFile f{next_handle_++, r.layout};
+        OpenFile f{next_handle_++, r.layout, r.scheme, 0};
         files_.emplace(r.name, f);
         resp.file = f;
         break;
@@ -107,6 +119,18 @@ class Manager {
           resp.ok = false;
           resp.err = Errc::not_found;
         }
+        break;
+      }
+      case MetaOp::set_scheme: {
+        auto it = files_.find(r.name);
+        if (it == files_.end()) {
+          resp.ok = false;
+          resp.err = Errc::not_found;
+          break;
+        }
+        it->second.scheme = r.scheme;
+        it->second.red_gen = r.red_gen;
+        resp.file = it->second;
         break;
       }
       case MetaOp::shutdown:

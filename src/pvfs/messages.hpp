@@ -36,15 +36,19 @@ enum class Op : std::uint8_t {
   unlock_red,     ///< explicit parity-lock release (owner-checked, no write)
   batch,          ///< ordered vector of sub-requests in one fabric transfer
   ping,           ///< liveness probe (health monitoring); replies ok
+  drop_red,       ///< delete one redundancy generation (migration GC)
   shutdown,       ///< stop the server dispatcher (teardown only)
 };
 
 /// Ops that ride the redundancy connection (CSAR keeps parity/mirror traffic
-/// off the bulk-data stream); batches never mix the two classes, so a parity
-/// release is never stuck behind bulk payload in the same message.
+/// off the bulk-data stream). Requests sharing a batch envelope are grouped
+/// by request class (see redundancy_request below); within an envelope the
+/// server preserves request order, so a parity release is never stuck behind
+/// bulk payload queued ahead of it in the same message.
 inline bool redundancy_op(Op op) {
   return op == Op::read_red || op == Op::write_red || op == Op::unlock_red ||
-         op == Op::read_mirror || op == Op::read_own_overflow;
+         op == Op::read_mirror || op == Op::read_own_overflow ||
+         op == Op::drop_red;
 }
 
 const char* op_name(Op op);
@@ -98,6 +102,11 @@ struct Request {
   bool unlock = false;    ///< write_red: release the parity-block lock
   bool mirror = false;    ///< write_overflow: store as mirror copy
   std::uint32_t owner = 0;  ///< overflow ops: owning server index
+  /// read_red / write_red / drop_red: redundancy-file generation. A scheme
+  /// migration builds the target scheme's redundancy into a fresh
+  /// generation so mirror rows and parity rows never share a key space;
+  /// generation 0 is the legacy `h<handle>.red` name.
+  std::uint32_t red_gen = 0;
   /// write_data / write_red: full-stripe invalidation of own overflow
   /// entries (this server's local data range) and of mirror entries held
   /// for the preceding server (that server's local data range).
@@ -122,5 +131,14 @@ struct Request {
     return b;
   }
 };
+
+/// Request-level batch class: everything redundancy_op says, plus mirror
+/// overflow copies. The mirror copy of a Hybrid partial write targets the
+/// neighbour server's *redundancy* role, so it may share that server's
+/// parity batch envelope instead of always taking a separate bulk transfer
+/// (the primary overflow copy stays on the bulk stream — payload-dominated).
+inline bool redundancy_request(const Request& r) {
+  return redundancy_op(r.op) || (r.op == Op::write_overflow && r.mirror);
+}
 
 }  // namespace csar::pvfs

@@ -74,8 +74,18 @@ Buffer match_materialization(Buffer b, bool materialized) {
 
 }  // namespace
 
-sim::Task<void> CsarFs::charge_xor(std::uint64_t bytes) {
-  if (p_.scheme == Scheme::raid5_npc || bytes == 0) co_return;
+sim::Task<Result<pvfs::OpenFile>> CsarFs::create(std::string name,
+                                                 pvfs::StripeLayout layout) {
+  const Scheme s = p_.policy->assign(name);
+  layout.placement = placement_for(s);
+  auto f = co_await client_->create(std::move(name), layout,
+                                    static_cast<std::uint8_t>(s));
+  if (f.ok()) p_.policy->note_created(*f, s);
+  co_return f;
+}
+
+sim::Task<void> CsarFs::charge_xor(Scheme sch, std::uint64_t bytes) {
+  if (sch == Scheme::raid5_npc || bytes == 0) co_return;
   auto& node = client_->cluster().node(client_->node_id());
   const double rate = node.params().xor_bytes_per_sec;
   // Parity computation happens on the client's single-threaded send path —
@@ -101,6 +111,7 @@ Buffer CsarFs::full_group_parity(const StripeLayout& layout, std::uint64_t g,
 void CsarFs::build_full_parity_writes(
     const pvfs::OpenFile& f, std::uint64_t off, const Buffer& data,
     std::uint64_t g0, std::uint64_t g1, bool /*hybrid_invalidate*/,
+    std::uint32_t red_gen,
     std::vector<std::pair<std::uint32_t, pvfs::Request>>& reqs,
     std::uint64_t& xor_bytes) {
   const StripeLayout& layout = f.layout;
@@ -131,6 +142,7 @@ void CsarFs::build_full_parity_writes(
     r.off = layout.parity_local_off(groups.front());
     r.payload = std::move(payload);
     r.su = layout.stripe_unit;
+    r.red_gen = red_gen;
     reqs.emplace_back(server, std::move(r));
   }
 }
@@ -138,6 +150,26 @@ void CsarFs::build_full_parity_writes(
 sim::Task<Result<void>> CsarFs::write(const pvfs::OpenFile& f,
                                       std::uint64_t off, Buffer data) {
   if (data.empty()) co_return Result<void>::success();
+  {
+    // Telemetry for the adaptive engine: the full/partial-stripe byte split
+    // the layout computes anyway, attributed to the file's current scheme.
+    const auto ws = f.layout.split_write(off, data.size());
+    const std::uint64_t full = ws.full_end - ws.full_start;
+    p_.policy->note_write(f, p_.policy->scheme_of(f), full,
+                          data.size() - full);
+  }
+  if (listener_ == nullptr) co_return co_await write_guarded(f, off, std::move(data));
+  const std::uint64_t len = data.size();
+  listener_->on_write_begin(f);
+  auto wr = co_await write_guarded(f, off, std::move(data));
+  // Fires on failure too: a torn write may have landed partially, so the
+  // migrator must treat the region as dirty.
+  listener_->on_write_end(f, off, len, wr.ok());
+  co_return wr;
+}
+
+sim::Task<Result<void>> CsarFs::write_guarded(const pvfs::OpenFile& f,
+                                              std::uint64_t off, Buffer data) {
   if (mon_ != nullptr) {
     if (auto failed = mon_->first_failed()) {
       ++failover_stats_.degraded_writes;
@@ -180,7 +212,7 @@ sim::Task<Result<void>> CsarFs::degraded_write_observed(const pvfs::OpenFile& f,
                                                         std::uint32_t failed) {
   const std::uint64_t len = data.size();
   if (observer_ != nullptr) observer_->on_degraded_write_begin(failed);
-  Recovery rec(*client_, p_.scheme);
+  Recovery rec(*client_, p_.policy);
   auto wr = co_await rec.degraded_write(f, off, std::move(data), failed);
   // The end hook fires on failure too: a torn degraded write may still have
   // updated some redundancy, so the region must count as dirtied.
@@ -193,7 +225,7 @@ sim::Task<Result<Buffer>> CsarFs::read(const pvfs::OpenFile& f,
   if (mon_ == nullptr) co_return co_await client_->read(f, off, len);
   if (auto failed = mon_->first_failed()) {
     ++failover_stats_.degraded_reads;
-    Recovery rec(*client_, p_.scheme);
+    Recovery rec(*client_, p_.policy);
     co_return co_await rec.degraded_read(f, off, len, *failed);
   }
   auto rd = co_await client_->read(f, off, len);
@@ -205,7 +237,11 @@ sim::Task<Result<Buffer>> CsarFs::read(const pvfs::OpenFile& f,
 sim::Task<Result<void>> CsarFs::dispatch_write(const pvfs::OpenFile& f,
                                                std::uint64_t off,
                                                const Buffer& data) {
-  switch (p_.scheme) {
+  // Resolve the file's scheme once, here: a migration flip lands between
+  // whole writes (the flip requires zero writes in flight), so a single
+  // resolution per dispatch can never straddle two schemes.
+  const Scheme sch = p_.policy->scheme_of(f);
+  switch (sch) {
     case Scheme::raid0:
       co_return co_await client_->write_striped(f, off, data);
     case Scheme::raid1:
@@ -214,7 +250,7 @@ sim::Task<Result<void>> CsarFs::dispatch_write(const pvfs::OpenFile& f,
     case Scheme::raid5:
     case Scheme::raid5_nolock:
     case Scheme::raid5_npc:
-      co_return co_await write_raid5(f, off, data);
+      co_return co_await write_raid5(f, off, data, sch);
     case Scheme::hybrid:
       co_return co_await write_hybrid(f, off, data);
   }
@@ -229,16 +265,23 @@ sim::Task<Result<void>> CsarFs::write_raid1(const pvfs::OpenFile& f,
   // redundancy file, so a single failed server can be served by its
   // successor. The client pushes 2x the bytes through its own link.
   const StripeLayout& layout = f.layout;
+  const std::uint32_t gen = p_.policy->red_gen_of(f);
   std::vector<std::pair<std::uint32_t, Request>> reqs;
   for (const auto& e : layout.decompose_merged(off, data.size())) {
     Buffer payload = pvfs::Client::gather_for_server(layout, off, data,
                                                      e.server);
+    // The overflow invalidations cost nothing on the wire and are no-ops
+    // for files that never had overflow entries; for an ex-Hybrid file they
+    // keep the (still live) overflow overlay from shadowing these in-place
+    // bytes. The mirror write already goes to the successor — exactly where
+    // the mirror overflow entries live — so no extra message is needed.
     Request w;
     w.op = Op::write_data;
     w.handle = f.handle;
     w.off = e.local_off;
     w.payload = payload.slice(0, payload.size());
     w.su = layout.stripe_unit;
+    w.inval_own = Interval{e.local_off, e.local_off + e.len};
     reqs.emplace_back(e.server, std::move(w));
 
     Request m;
@@ -247,6 +290,8 @@ sim::Task<Result<void>> CsarFs::write_raid1(const pvfs::OpenFile& f,
     m.off = e.local_off;
     m.payload = std::move(payload);
     m.su = layout.stripe_unit;
+    m.red_gen = gen;
+    m.inval_mirror = Interval{e.local_off, e.local_off + e.len};
     reqs.emplace_back((e.server + 1) % layout.n(), std::move(m));
   }
   auto resps = co_await client_->rpc_all(std::move(reqs));
@@ -258,13 +303,14 @@ sim::Task<Result<void>> CsarFs::write_raid1(const pvfs::OpenFile& f,
 
 sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
                                             std::uint64_t off,
-                                            const Buffer& data) {
+                                            const Buffer& data, Scheme sch) {
   const StripeLayout& layout = f.layout;
   const std::uint64_t su = layout.su();
   const std::uint64_t len = data.size();
   const auto ws = layout.split_write(off, len);
   const auto segs = partial_segments(layout, ws);
-  const bool locking = p_.scheme != Scheme::raid5_nolock;
+  const bool locking = sch != Scheme::raid5_nolock;
+  const std::uint32_t gen = p_.policy->red_gen_of(f);
   std::uint64_t xor_bytes = 0;
 
   // 1. For each partially-written group the client needs the old parity
@@ -310,13 +356,14 @@ sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
     const Buffer* data;
     std::uint64_t off;
     bool materialized;
+    Scheme sch;
     std::vector<Buffer> deltas;  // indexed like read_meta
     bool failed = false;
     Errc errc = Errc::ok;
     int err_server = -1;
   };
   OldReadShared shared{this,          &read_meta, &data, off,
-                       data.materialized(), {},    false, Errc::ok,
+                       data.materialized(), sch,   {},    false, Errc::ok,
                        -1};
   shared.deltas.resize(read_meta.size());
 
@@ -340,7 +387,7 @@ sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
         match_materialization(std::move(resp.data), sh->materialized);
     delta.xor_with(sh->data->slice(e.global_off - sh->off, e.len));
     sh->deltas[k] = std::move(delta);
-    co_await sh->self->charge_xor(e.len);
+    co_await sh->self->charge_xor(sh->sch, e.len);
   };
   std::vector<sim::ProcessHandle> readers;
   readers.reserve(reads.size());
@@ -395,6 +442,7 @@ sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
       r.len = cr.hi - cr.lo;
       r.lock = locking;
       r.su = layout.stripe_unit;
+      r.red_gen = gen;
       subs.push_back(std::move(r));
       if (locking) lock_sent[i] = 1;
     }
@@ -430,6 +478,7 @@ sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
         u.handle = f.handle;
         u.off = layout.parity_local_off(ctx[i].seg.group) + ctx[i].cols.lo;
         u.su = layout.stripe_unit;
+        u.red_gen = gen;
         rel.emplace_back(layout.parity_server(ctx[i].seg.group),
                          std::move(u));
       }
@@ -466,8 +515,10 @@ sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
     w.payload = std::move(c.parity);
     w.unlock = locking;
     w.su = layout.stripe_unit;
+    w.red_gen = gen;
     writes.emplace_back(layout.parity_server(c.seg.group), std::move(w));
   }
+  const bool inval = p_.policy->overflow_possible(f);
   for (const auto& e : layout.decompose_merged(off, len)) {
     Request w;
     w.op = Op::write_data;
@@ -475,14 +526,33 @@ sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
     w.off = e.local_off;
     w.payload = pvfs::Client::gather_for_server(layout, off, data, e.server);
     w.su = layout.stripe_unit;
+    if (inval) {
+      // An ex-Hybrid file migrated to RAID5 keeps its overflow overlay
+      // live; in-place writes must kill overlapping entries or reads would
+      // keep returning the superseded overflow bytes. The owner entry dies
+      // on the data write itself; the mirror entry lives on the successor,
+      // which gets a zero-payload invalidation-only write below. Files that
+      // were never Hybrid skip all of this and keep their exact pre-policy
+      // message traffic.
+      w.inval_own = Interval{e.local_off, e.local_off + e.len};
+      Request inv;
+      inv.op = Op::write_data;
+      inv.handle = f.handle;
+      inv.off = e.local_off;
+      inv.su = layout.stripe_unit;
+      inv.inval_mirror = Interval{e.local_off, e.local_off + e.len};
+      writes.emplace_back((e.server + 1) % layout.n(), std::move(inv));
+    }
     writes.emplace_back(e.server, std::move(w));
   }
   if (ws.full_end > ws.full_start) {
     build_full_parity_writes(f, off, data, ws.full_start / layout.stripe_width(),
                              ws.full_end / layout.stripe_width(),
-                             /*hybrid_invalidate=*/false, writes, xor_bytes);
+                             /*hybrid_invalidate=*/false, gen, writes,
+                             xor_bytes);
   }
-  co_await charge_xor(xor_bytes);
+  if (!ctx.empty()) p_.policy->note_rmw(sch, ctx.size());
+  co_await charge_xor(sch, xor_bytes);
   auto resps = co_await client_->rpc_all(std::move(writes));
   for (const auto& resp : resps) {
     if (!resp.ok) co_return Error{resp.err, "raid5 write", resp.server};
@@ -498,6 +568,7 @@ sim::Task<Result<void>> CsarFs::write_hybrid(const pvfs::OpenFile& f,
   const std::uint64_t len = data.size();
   const auto ws = layout.split_write(off, len);
   const auto segs = partial_segments(layout, ws);
+  const std::uint32_t gen = p_.policy->red_gen_of(f);
   std::uint64_t xor_bytes = 0;
 
   std::vector<std::pair<std::uint32_t, Request>> writes;
@@ -532,7 +603,8 @@ sim::Task<Result<void>> CsarFs::write_hybrid(const pvfs::OpenFile& f,
     build_full_parity_writes(f, off, data,
                              ws.full_start / layout.stripe_width(),
                              ws.full_end / layout.stripe_width(),
-                             /*hybrid_invalidate=*/true, writes, xor_bytes);
+                             /*hybrid_invalidate=*/true, gen, writes,
+                             xor_bytes);
     // A server that holds no data unit in the span (possible when the span
     // is shorter than N groups) still receives its parity write; attach the
     // invalidations there so its stale mirror entries die too.
@@ -548,9 +620,11 @@ sim::Task<Result<void>> CsarFs::write_hybrid(const pvfs::OpenFile& f,
   // Partial-stripe segments: the updated blocks are written twice into
   // overflow regions (owner + successor), never touching the data file, so
   // the group's stale parity still reconstructs the *old* stripe (§4).
+  std::uint64_t overflow_bytes = 0;
   for (const auto& seg : segs) {
     for (const auto& e : layout.decompose(seg.start, seg.end - seg.start)) {
       Buffer piece = data.slice(e.global_off - off, e.len);
+      overflow_bytes += 2 * e.len;  // both copies
       Request primary;
       primary.op = Op::write_overflow;
       primary.handle = f.handle;
@@ -572,7 +646,10 @@ sim::Task<Result<void>> CsarFs::write_hybrid(const pvfs::OpenFile& f,
     }
   }
 
-  co_await charge_xor(xor_bytes);
+  if (overflow_bytes > 0) {
+    p_.policy->note_overflow_bytes(Scheme::hybrid, overflow_bytes);
+  }
+  co_await charge_xor(Scheme::hybrid, xor_bytes);
   auto resps = co_await client_->rpc_all(std::move(writes));
   for (const auto& resp : resps) {
     if (!resp.ok) co_return Error{resp.err, "hybrid write", resp.server};
@@ -615,11 +692,19 @@ sim::Task<Result<void>> CsarFs::compact(const pvfs::OpenFile& f,
 sim::Task<Result<Buffer>> CsarFs::read_balanced(const pvfs::OpenFile& f,
                                                 std::uint64_t off,
                                                 std::uint64_t len) {
-  if (p_.scheme != Scheme::raid1) {
+  if (p_.policy->scheme_of(f) != Scheme::raid1) {
     co_return co_await client_->read(f, off, len);
+  }
+  if (p_.policy->overflow_possible(f)) {
+    // An ex-Hybrid file's mirror (new red generation) covers the raw data
+    // files; the overflow overlay holds the newest partial-write bytes and
+    // only the plain read path applies it. Balanced reads would need the
+    // overlay logic duplicated per unit — not worth it for this corner.
+    co_return co_await read(f, off, len);
   }
   if (len == 0) co_return Buffer::real(0);
   const StripeLayout& layout = f.layout;
+  const std::uint32_t gen = p_.policy->red_gen_of(f);
   // Per-unit pieces, alternating primary/mirror by global unit index.
   const auto pieces = layout.decompose(off, len);
   std::vector<std::pair<std::uint32_t, Request>> reads;
@@ -638,6 +723,7 @@ sim::Task<Result<Buffer>> CsarFs::read_balanced(const pvfs::OpenFile& f,
       // The mirror lives at the same local offset in the successor's
       // redundancy file.
       r.op = Op::read_red;
+      r.red_gen = gen;
       reads.emplace_back((e.server + 1) % layout.n(), std::move(r));
     }
   }
@@ -690,7 +776,7 @@ sim::Task<Result<Buffer>> CsarFs::reroute_read(const pvfs::OpenFile& f,
   }
   if (!failed.has_value()) co_return err;  // transient: report the error
   ++failover_stats_.degraded_reads;
-  Recovery rec(*client_, p_.scheme);
+  Recovery rec(*client_, p_.policy);
   co_return co_await rec.degraded_read(f, off, len, *failed);
 }
 

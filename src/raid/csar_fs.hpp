@@ -20,12 +20,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/buffer.hpp"
 #include "common/result.hpp"
 #include "pvfs/client.hpp"
+#include "raid/policy.hpp"
 #include "raid/scheme.hpp"
 #include "sim/task.hpp"
 
@@ -34,24 +36,39 @@ namespace csar::raid {
 class HealthMonitor;
 
 struct CsarParams {
+  /// Default scheme: what untagged files inherit and what create() assigns
+  /// when no policy rule matches. On the I/O path every routing decision
+  /// resolves through the policy's per-file lookup, never this field.
   Scheme scheme = Scheme::hybrid;
+  /// Shared per-deployment policy (the Rig owns one and hands it to every
+  /// CsarFs). nullptr → this CsarFs owns a private policy whose default is
+  /// `scheme` (standalone/test construction).
+  RedundancyPolicy* policy = nullptr;
 };
 
 class CsarFs {
  public:
   CsarFs(pvfs::Client& client, CsarParams params)
-      : client_(&client), p_(params) {}
+      : client_(&client), p_(params) {
+    if (p_.policy == nullptr) {
+      owned_policy_ =
+          std::make_unique<RedundancyPolicy>(PolicyParams{p_.scheme, {}, {}});
+      p_.policy = owned_policy_.get();
+    }
+  }
   CsarFs(const CsarFs&) = delete;
   CsarFs& operator=(const CsarFs&) = delete;
 
-  Scheme scheme() const { return p_.scheme; }
   pvfs::Client& client() { return *client_; }
+  RedundancyPolicy& policy() { return *p_.policy; }
+  const RedundancyPolicy& policy() const { return *p_.policy; }
 
-  // --- metadata (pass-through to the PVFS manager) ---
+  // --- metadata ---
+  /// Create a file: the policy assigns its scheme (rules, then default),
+  /// the layout's parity placement is fixed to match (RAID4 = fixed parity
+  /// server), and the scheme tag is persisted at the manager.
   sim::Task<Result<pvfs::OpenFile>> create(std::string name,
-                                           pvfs::StripeLayout layout) {
-    return client_->create(std::move(name), layout);
-  }
+                                           pvfs::StripeLayout layout);
   sim::Task<Result<pvfs::OpenFile>> open(std::string name) {
     return client_->open(std::move(name));
   }
@@ -88,6 +105,20 @@ class CsarFs {
                                        std::uint32_t failed) = 0;
   };
   void set_write_observer(WriteObserver* o) { observer_ = o; }
+
+  /// Listener for *all* writes (healthy and degraded) — the SchemeMigrator's
+  /// dirty-interval feed during a live migration. `begin` fires before the
+  /// write resolves its scheme or issues any IO, `end` after it completes;
+  /// both run synchronously inside the writing coroutine and must not block.
+  /// Not owned; pass nullptr to detach.
+  class WriteListener {
+   public:
+    virtual ~WriteListener() = default;
+    virtual void on_write_begin(const pvfs::OpenFile& f) = 0;
+    virtual void on_write_end(const pvfs::OpenFile& f, std::uint64_t off,
+                              std::uint64_t len, bool ok) = 0;
+  };
+  void set_write_listener(WriteListener* l) { listener_ = l; }
 
   // --- data path ---
   sim::Task<Result<void>> write(const pvfs::OpenFile& f, std::uint64_t off,
@@ -138,7 +169,12 @@ class CsarFs {
                                   std::uint64_t file_size);
 
  private:
-  /// The per-scheme write dispatch (the pre-failover write() body).
+  /// write() minus the listener bracketing: failover handling + dispatch.
+  sim::Task<Result<void>> write_guarded(const pvfs::OpenFile& f,
+                                        std::uint64_t off, Buffer data);
+
+  /// The per-scheme write dispatch (the pre-failover write() body). The
+  /// scheme is the policy's resolution for `f`, done once at dispatch.
   sim::Task<Result<void>> dispatch_write(const pvfs::OpenFile& f,
                                          std::uint64_t off,
                                          const Buffer& data);
@@ -158,30 +194,37 @@ class CsarFs {
 
   sim::Task<Result<void>> write_raid1(const pvfs::OpenFile& f,
                                       std::uint64_t off, const Buffer& data);
+  /// `sch` distinguishes the RAID5 variants (locking, parity-cost charging)
+  /// and doubles as the in-place parity path for RAID4 and Hybrid full runs.
   sim::Task<Result<void>> write_raid5(const pvfs::OpenFile& f,
-                                      std::uint64_t off, const Buffer& data);
+                                      std::uint64_t off, const Buffer& data,
+                                      Scheme sch);
   sim::Task<Result<void>> write_hybrid(const pvfs::OpenFile& f,
                                        std::uint64_t off, const Buffer& data);
 
   /// Charge the client CPU for XOR-ing `bytes` (skipped for RAID5-npc).
-  sim::Task<void> charge_xor(std::uint64_t bytes);
+  sim::Task<void> charge_xor(Scheme sch, std::uint64_t bytes);
 
   /// Parity unit content for a group fully covered by this write.
   Buffer full_group_parity(const pvfs::StripeLayout& layout, std::uint64_t g,
                            std::uint64_t off, const Buffer& data) const;
 
   /// Append per-server merged parity writes for the fully covered groups
-  /// [g0, g1) to `reqs`. `inval` attaches Hybrid overflow invalidations.
+  /// [g0, g1) to `reqs`, targeting redundancy generation `red_gen`.
+  /// `hybrid_invalidate` attaches overflow invalidations.
   void build_full_parity_writes(
       const pvfs::OpenFile& f, std::uint64_t off, const Buffer& data,
       std::uint64_t g0, std::uint64_t g1, bool hybrid_invalidate,
+      std::uint32_t red_gen,
       std::vector<std::pair<std::uint32_t, pvfs::Request>>& reqs,
       std::uint64_t& xor_bytes);
 
   pvfs::Client* client_;
   CsarParams p_;
+  std::unique_ptr<RedundancyPolicy> owned_policy_;
   HealthMonitor* mon_ = nullptr;
   WriteObserver* observer_ = nullptr;
+  WriteListener* listener_ = nullptr;
   FailoverStats failover_stats_{};
 };
 

@@ -38,11 +38,37 @@ inline TextTable rig_stats_table(Rig& rig) {
   return t;
 }
 
-/// Print the table when the CSAR_DIAG environment variable is set.
+/// One row per scheme the policy layer routed traffic to: write activity,
+/// read-modify-write groups, overflow bytes.
+inline TextTable policy_stats_table(const RedundancyPolicy& policy) {
+  TextTable t({"scheme", "writes", "bytes", "rmw groups", "ovfl bytes"});
+  for (const auto& [s, c] : policy.per_scheme()) {
+    t.add_row({scheme_name(s), TextTable::num(c.writes),
+               format_bytes(c.bytes), TextTable::num(c.rmw_groups),
+               format_bytes(c.overflow_bytes)});
+  }
+  return t;
+}
+
+/// Print the tables when the CSAR_DIAG environment variable is set.
 inline void maybe_print_diagnostics(Rig& rig, const char* label) {
   if (std::getenv("CSAR_DIAG") == nullptr) return;
   std::printf("\n-- diagnostics: %s --\n", label);
   rig_stats_table(rig).print();
+  if (!rig.policy().per_scheme().empty()) {
+    std::printf("\n-- policy: %s --\n", label);
+    policy_stats_table(rig.policy()).print();
+    const auto& ps = rig.policy().stats();
+    std::printf(
+        "pressure: media=%llu down=%llu rpc=%llu | migrations: "
+        "started=%llu completed=%llu failed=%llu\n",
+        static_cast<unsigned long long>(ps.media_errors),
+        static_cast<unsigned long long>(ps.down_transitions),
+        static_cast<unsigned long long>(ps.rpc_pressure),
+        static_cast<unsigned long long>(ps.migrations_started),
+        static_cast<unsigned long long>(ps.migrations_completed),
+        static_cast<unsigned long long>(ps.migrations_failed));
+  }
 }
 
 }  // namespace csar::raid

@@ -81,10 +81,21 @@ class HealthMonitor {
   std::uint64_t transitions() const { return transitions_; }
 
   /// Called on every status transition (after the tables update), from the
-  /// poller coroutine. The listener must not block; it may spawn tasks.
+  /// poller coroutine. Listeners must not block; they may spawn tasks.
+  /// Multiple consumers can subscribe (the RebuildCoordinator's rejoin
+  /// handler and the RedundancyPolicy's fault-pressure feed); each add
+  /// returns an id for removal. Removal leaves a tombstone so ids stay
+  /// stable.
   using TransitionListener =
       std::function<void(std::uint32_t server, bool alive, sim::Time at)>;
-  void set_listener(TransitionListener fn) { listener_ = std::move(fn); }
+  using ListenerId = std::size_t;
+  ListenerId add_listener(TransitionListener fn) {
+    listeners_.push_back(std::move(fn));
+    return listeners_.size() - 1;
+  }
+  void remove_listener(ListenerId id) {
+    if (id < listeners_.size()) listeners_[id] = nullptr;
+  }
 
   /// Force-mark a server alive immediately. A RebuildCoordinator calls this
   /// the instant it admits a rebuilt server: waiting for the next probe
@@ -96,10 +107,16 @@ class HealthMonitor {
     status_[server] = true;
     detected_at_[server] = client_->cluster().sim().now();
     ++transitions_;
-    if (listener_) listener_(server, true, detected_at_[server]);
+    notify(server, true, detected_at_[server]);
   }
 
  private:
+  void notify(std::uint32_t server, bool alive, sim::Time at) {
+    for (auto& l : listeners_) {
+      if (l) l(server, alive, at);
+    }
+  }
+
   sim::Task<void> poller(std::uint64_t my_gen) {
     auto& sim = client_->cluster().sim();
     // Probes carry their own bounded policy: pings must fail fast even when
@@ -123,7 +140,7 @@ class HealthMonitor {
             status_[s] = alive;
             detected_at_[s] = sim.now();
             ++transitions_;
-            if (listener_) listener_(s, alive, sim.now());
+            notify(s, alive, sim.now());
           }
         }
       }
@@ -139,7 +156,7 @@ class HealthMonitor {
   std::uint64_t transitions_ = 0;
   std::uint64_t gen_ = 0;
   bool running_ = false;
-  TransitionListener listener_;
+  std::vector<TransitionListener> listeners_;
 };
 
 }  // namespace csar::raid

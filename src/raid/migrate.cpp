@@ -1,0 +1,215 @@
+#include "raid/migrate.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "raid/recovery.hpp"
+#include "sim/sync.hpp"
+
+namespace csar::raid {
+
+void SchemeMigrator::track(std::string name, const pvfs::OpenFile& f,
+                           std::uint64_t size) {
+  auto [it, fresh] = files_.try_emplace(f.handle);
+  Tracked& t = it->second;
+  if (fresh) {
+    t.name = std::move(name);
+    t.f = f;
+    t.size = size;
+  } else {
+    t.size = std::max(t.size, size);
+  }
+}
+
+void SchemeMigrator::start() {
+  if (running_) return;
+  running_ = true;
+  ++gen_;
+  if (!attached_) {
+    attached_ = true;
+    for (auto& fs : rig_->fs) fs->set_write_listener(this);
+  }
+  // Migration copies ride the rig's dedicated repair client; give it real
+  // deadlines (a coexisting RebuildCoordinator installs the same defaults).
+  rig_->repair_client().set_rpc_policy(p_.rpc);
+  sim().spawn(supervisor(gen_));
+}
+
+void SchemeMigrator::stop() {
+  running_ = false;
+  ++gen_;
+  if (attached_) {
+    attached_ = false;
+    for (auto& fs : rig_->fs) fs->set_write_listener(nullptr);
+  }
+}
+
+void SchemeMigrator::request(std::uint64_t handle, Scheme to) {
+  auto it = files_.find(handle);
+  if (it == files_.end() || it->second.migrating) return;
+  sim().spawn(migrate_task(handle, to));
+}
+
+void SchemeMigrator::on_write_begin(const pvfs::OpenFile& f) {
+  auto it = files_.find(f.handle);
+  if (it == files_.end()) return;
+  ++it->second.writes_in_flight;
+}
+
+void SchemeMigrator::on_write_end(const pvfs::OpenFile& f, std::uint64_t off,
+                                  std::uint64_t len, bool /*ok*/) {
+  auto it = files_.find(f.handle);
+  if (it == files_.end()) return;
+  Tracked& t = it->second;
+  if (t.writes_in_flight > 0) --t.writes_in_flight;
+  if (!t.migrating || len == 0) return;
+  // A failed write may still have landed on a subset of servers, so it
+  // dirties its range like a successful one.
+  t.dirty.insert(off, off + len);
+  stats_.dirty_bytes += len;
+  if (off + len > t.size) t.size = off + len;
+}
+
+sim::Task<void> SchemeMigrator::supervisor(std::uint64_t my_gen) {
+  while (gen_ == my_gen) {
+    // Feed the adaptive engine the clients' cumulative RPC pressure
+    // (timeouts + fabric resets), as a delta since the last sample.
+    std::uint64_t total = 0;
+    for (auto& c : rig_->clients) {
+      total += c->rpc_stats().timeouts + c->rpc_stats().resets;
+    }
+    if (total > rpc_pressure_seen_) {
+      rig_->policy().note_rpc_pressure(total - rpc_pressure_seen_);
+      rpc_pressure_seen_ = total;
+    }
+    if (adaptive_) {
+      if (auto rec = rig_->policy().recommend()) {
+        auto it = files_.find(rec->handle);
+        if (it == files_.end()) {
+          // Untracked handle: no manager path / size to act with, and
+          // recommend() would return it forever.
+          rig_->policy().dismiss(rec->handle);
+        } else if (!it->second.migrating) {
+          sim().spawn(migrate_task(rec->handle, rec->to));
+        }
+      }
+    }
+    co_await sim().sleep(p_.decision_interval);
+  }
+}
+
+sim::Task<void> SchemeMigrator::migrate_task(std::uint64_t handle, Scheme to) {
+  auto it = files_.find(handle);
+  if (it == files_.end() || it->second.migrating) co_return;
+  Tracked& t = it->second;
+  RedundancyPolicy& pol = rig_->policy();
+  const Scheme from = pol.scheme_of(t.f);
+  if (from == to) co_return;
+  t.migrating = true;
+  t.dirty.clear();
+  ++active_;
+  ++stats_.migrations_started;
+  pol.note_migration_started(handle);
+
+  const std::uint32_t old_gen = pol.red_gen_of(t.f);
+  const std::uint32_t new_gen = old_gen + 1;
+  const sim::Time t0 = sim().now();
+  pvfs::Client& repair = rig_->repair_client();
+
+  // Pass 0 is paced by the rate cap; dirty re-copy passes are bounded by
+  // the foreground write rate, so pacing them could only delay convergence.
+  sim::TokenBucket paced(sim(), p_.rate_cap, p_.burst);
+  Recovery rec = rig_->repair_recovery();
+
+  std::uint32_t passes = 0;
+  bool failed = false;
+  while (true) {
+    if (passes >= p_.max_passes || sim().now() - t0 > p_.give_up) {
+      failed = true;
+      break;
+    }
+    IntervalSet snap = std::move(t.dirty);
+    t.dirty.clear();
+    const bool initial = passes == 0;
+    if (!initial && snap.empty()) {
+      if (t.writes_in_flight == 0) {
+        // Converged. No await between this check and the flip: under the
+        // cooperative scheduler the pair is atomic, so no write can start
+        // under the old scheme and land after the flip.
+        pol.set_override(t.f, to, new_gen);
+        break;
+      }
+      co_await sim().sleep(p_.poll);
+      continue;
+    }
+    ++passes;
+    ++stats_.passes;
+    if (!initial) ++stats_.recopy_passes;
+    auto r = co_await rec.build_redundancy(t.f, to, new_gen, t.size,
+                                           initial ? nullptr : &snap,
+                                           initial ? &paced : nullptr);
+    if (!r.ok()) {
+      failed = true;
+      break;
+    }
+  }
+
+  if (failed) {
+    // The file never left its old scheme; generation N+1 is garbage.
+    // Best-effort cleanup, ignoring per-server errors (drop is idempotent
+    // and a dead server's copy died with its disk).
+    for (std::uint32_t s = 0; s < repair.nservers(); ++s) {
+      pvfs::Request r;
+      r.op = pvfs::Op::drop_red;
+      r.handle = handle;
+      r.red_gen = new_gen;
+      co_await repair.rpc(s, std::move(r), p_.rpc);
+    }
+    pol.note_migration_failed();
+    ++stats_.migrations_failed;
+    stats_.ok = false;
+    t.migrating = false;
+    --active_;
+    co_return;
+  }
+
+  // Persist the transition at the manager so later opens carry the new
+  // scheme tag and generation (the in-memory override already covers every
+  // OpenFile copy taken before or during the migration).
+  auto ns = co_await repair.set_scheme(t.name, static_cast<std::uint8_t>(to),
+                                       new_gen);
+  if (ns.ok()) {
+    t.f = *ns;
+  } else {
+    // The flip stands (generation N+1 is complete and live); only the
+    // durable tag is stale. Count the failure and keep the old generation
+    // so nothing is lost either way.
+    pol.note_migration_failed();
+    ++stats_.migrations_failed;
+    stats_.ok = false;
+    t.migrating = false;
+    --active_;
+    co_return;
+  }
+
+  // Old-generation GC after a grace period for straggler redundancy reads
+  // issued just before the flip. RAID0 sources have no redundancy to drop.
+  co_await sim().sleep(p_.drop_grace);
+  if (from != Scheme::raid0) {
+    for (std::uint32_t s = 0; s < repair.nservers(); ++s) {
+      pvfs::Request r;
+      r.op = pvfs::Op::drop_red;
+      r.handle = handle;
+      r.red_gen = old_gen;
+      co_await repair.rpc(s, std::move(r), p_.rpc);
+    }
+    ++stats_.old_gens_dropped;
+  }
+
+  pol.note_migration_completed();
+  ++stats_.migrations_completed;
+  t.migrating = false;
+  --active_;
+}
+
+}  // namespace csar::raid

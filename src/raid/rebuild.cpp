@@ -37,15 +37,16 @@ void RebuildCoordinator::start() {
     attached_ = true;
     for (auto& fs : rig_->fs) fs->set_write_observer(this);
     for (auto& srv : rig_->servers) srv->fence_restarts(true);
-    mon_->set_listener([this](std::uint32_t s, bool alive, sim::Time at) {
-      if (alive) return;
-      Outage& o = outages_[s];
-      if (o.phase == Phase::healthy) {
-        o.phase = Phase::degraded;
-        o.down_since = at;
-      }
-      if (stats_.first_down_at == 0) stats_.first_down_at = at;
-    });
+    listener_id_ =
+        mon_->add_listener([this](std::uint32_t s, bool alive, sim::Time at) {
+          if (alive) return;
+          Outage& o = outages_[s];
+          if (o.phase == Phase::healthy) {
+            o.phase = Phase::degraded;
+            o.down_since = at;
+          }
+          if (stats_.first_down_at == 0) stats_.first_down_at = at;
+        });
   }
   sim().spawn(supervisor(gen_));
 }
@@ -57,7 +58,7 @@ void RebuildCoordinator::stop() {
     attached_ = false;
     for (auto& fs : rig_->fs) fs->set_write_observer(nullptr);
     for (auto& srv : rig_->servers) srv->fence_restarts(false);
-    mon_->set_listener({});
+    mon_->remove_listener(listener_id_);
   }
 }
 
@@ -124,7 +125,17 @@ sim::Task<void> RebuildCoordinator::handle_rejoin(std::uint32_t s,
   Outage& o = outages_[s];
   auto& srv = rig_->server(s);
 
-  if (rig_->p.scheme == Scheme::raid0) {
+  // Schemes are per-file now: only when *no* tracked file carries any
+  // redundancy is there nothing to rebuild from. A mixed population takes
+  // the normal path; Recovery::rebuild_server no-ops on its RAID0 files.
+  bool any_redundancy = false;
+  for (const auto& t : files_) {
+    if (rig_->policy().scheme_of(t.f) != Scheme::raid0) {
+      any_redundancy = true;
+      break;
+    }
+  }
+  if (!any_redundancy && !files_.empty()) {
     // No redundancy exists to rebuild from; lift the fence as-is.
     if (srv.fenced()) srv.admit();
     o.stale.clear();
@@ -250,6 +261,8 @@ void RebuildCoordinator::merge_crash_losses(std::uint32_t s) {
   for (const auto& t : files_) {
     const pvfs::StripeLayout& lay = t.f.layout;
     const std::uint64_t su = lay.su();
+    const Scheme sch = rig_->policy().scheme_of(t.f);
+    const std::uint32_t gen = rig_->policy().red_gen_of(t.f);
 
     // Data file: each lost local row maps straight back to a global span.
     // (Under fixed parity placement the dedicated parity server holds no
@@ -271,12 +284,14 @@ void RebuildCoordinator::merge_crash_losses(std::uint32_t s) {
     }
 
     // Redundancy file: mirror rows map through the predecessor (RAID1);
-    // parity rows dirty their whole group (parity schemes).
-    if (auto it = losses.find(pvfs::IoServer::red_name(t.f.handle));
+    // parity rows dirty their whole group (parity schemes). Only the file's
+    // *current* generation matters — losses in a superseded generation are
+    // garbage awaiting drop_red, never read again.
+    if (auto it = losses.find(pvfs::IoServer::red_name(t.f.handle, gen));
         it != losses.end()) {
       for (const auto& iv : it->second.to_vector()) {
         stats_.lost_dirty_bytes += iv.length();
-        if (rig_->p.scheme == Scheme::raid1) {
+        if (sch == Scheme::raid1) {
           const std::uint32_t pred = (s + lay.n() - 1) % lay.n();
           for (std::uint64_t lo = iv.start; lo < iv.end;) {
             const std::uint64_t row_end =
@@ -285,7 +300,7 @@ void RebuildCoordinator::merge_crash_losses(std::uint32_t s) {
             o.stale[t.f.handle].insert(g0, g0 + (row_end - lo));
             lo = row_end;
           }
-        } else if (uses_parity(rig_->p.scheme)) {
+        } else if (uses_parity(sch)) {
           for (std::uint64_t k = iv.start / su; k * su < iv.end; ++k) {
             // Groups whose parity lands in local unit k of this server:
             // g == k under fixed placement, one of [k*n, (k+1)*n) rotating.

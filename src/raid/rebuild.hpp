@@ -175,6 +175,7 @@ class RebuildCoordinator final : public CsarFs::WriteObserver {
 
   Rig* rig_;
   HealthMonitor* mon_;
+  HealthMonitor::ListenerId listener_id_ = 0;
   RebuildParams p_;
   std::vector<Tracked> files_;
   std::vector<Outage> outages_;

@@ -38,6 +38,7 @@ sim::Task<Result<Buffer>> Recovery::reconstruct_base(const pvfs::OpenFile& f,
     r.len = len;
     r.lock = false;
     r.su = layout.stripe_unit;
+    r.red_gen = red_gen_of(f);
     reads.emplace_back(layout.parity_server(g), std::move(r));
   }
   for (std::uint64_t u = g * (layout.n() - 1); u < (g + 1) * (layout.n() - 1);
@@ -78,52 +79,52 @@ sim::Task<Result<Buffer>> Recovery::reconstruct_piece(const pvfs::OpenFile& f,
   const StripeLayout& layout = f.layout;
   const std::uint32_t successor = (failed + 1) % layout.n();
   const std::uint64_t local = layout.local_off(global_off);
-  switch (scheme_) {
-    case Scheme::raid0:
-      co_return Error{Errc::server_failed, "RAID0 cannot reconstruct"};
-    case Scheme::raid1: {
-      // The mirror of the failed server's blocks lives at the same local
-      // offsets in the successor's redundancy file.
-      Request r;
-      r.op = Op::read_red;
-      r.handle = f.handle;
-      r.off = local;
-      r.len = len;
-      r.su = layout.stripe_unit;
-      auto resp = co_await client_->rpc(successor, std::move(r));
-      if (!resp.ok) co_return Error{resp.err, "raid1 mirror read"};
-      co_return std::move(resp.data);
-    }
-    case Scheme::raid4:
-    case Scheme::raid5:
-    case Scheme::raid5_nolock:
-    case Scheme::raid5_npc:
-      co_return co_await reconstruct_base(f, failed, global_off, len);
-    case Scheme::hybrid: {
-      auto base = co_await reconstruct_base(f, failed, global_off, len);
-      if (!base.ok()) co_return base;
-      Buffer out = std::move(base.value());
-      // Overlay the newest partial-stripe data from the mirrored overflow
-      // copies on the successor.
-      Request r;
-      r.op = Op::read_mirror;
-      r.handle = f.handle;
-      r.off = local;
-      r.len = len;
-      r.owner = failed;
-      auto resp = co_await client_->rpc(successor, std::move(r));
-      if (!resp.ok) co_return Error{resp.err, "mirror overflow read"};
-      for (const auto& piece : resp.pieces) {
-        if (out.materialized() && piece.data.materialized()) {
-          out.write_at(piece.local_off - local, piece.data);
-        } else {
-          out = Buffer::phantom(len);
-        }
+  const Scheme sch = scheme_of(f);
+  if (sch == Scheme::raid0) {
+    co_return Error{Errc::server_failed, "RAID0 cannot reconstruct"};
+  }
+  Buffer out;
+  if (sch == Scheme::raid1) {
+    // The mirror of the failed server's blocks lives at the same local
+    // offsets in the successor's redundancy file.
+    Request r;
+    r.op = Op::read_red;
+    r.handle = f.handle;
+    r.off = local;
+    r.len = len;
+    r.su = layout.stripe_unit;
+    r.red_gen = red_gen_of(f);
+    auto resp = co_await client_->rpc(successor, std::move(r));
+    if (!resp.ok) co_return Error{resp.err, "raid1 mirror read"};
+    out = std::move(resp.data);
+  } else {
+    auto base = co_await reconstruct_base(f, failed, global_off, len);
+    if (!base.ok()) co_return base;
+    out = std::move(base.value());
+  }
+  // Overlay the newest partial-stripe data from the mirrored overflow
+  // copies on the successor. This applies beyond Scheme::hybrid: a file
+  // migrated away from Hybrid keeps its overflow overlay live (the new
+  // base redundancy covers the raw data files only), so its reconstruction
+  // needs the same overlay. Never-Hybrid files skip the extra read.
+  if (overlay_overflow(f)) {
+    Request r;
+    r.op = Op::read_mirror;
+    r.handle = f.handle;
+    r.off = local;
+    r.len = len;
+    r.owner = failed;
+    auto resp = co_await client_->rpc(successor, std::move(r));
+    if (!resp.ok) co_return Error{resp.err, "mirror overflow read"};
+    for (const auto& piece : resp.pieces) {
+      if (out.materialized() && piece.data.materialized()) {
+        out.write_at(piece.local_off - local, piece.data);
+      } else {
+        out = Buffer::phantom(len);
       }
-      co_return out;
     }
   }
-  co_return Error{Errc::invalid_argument, "unknown scheme"};
+  co_return out;
 }
 
 sim::Task<Result<Buffer>> Recovery::degraded_read(const pvfs::OpenFile& f,
@@ -207,8 +208,10 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
   const std::uint64_t su = layout.su();
   const std::uint64_t len = data.size();
   if (len == 0) co_return Result<void>::success();
+  const Scheme sch = scheme_of(f);
+  const std::uint32_t gen = red_gen_of(f);
 
-  if (scheme_ == Scheme::raid0) {
+  if (sch == Scheme::raid0) {
     for (const auto& e : layout.decompose(off, len)) {
       if (e.server == failed) {
         co_return Error{Errc::server_failed, "RAID0 degraded write"};
@@ -217,9 +220,11 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
     co_return co_await client_->write_striped(f, off, data);
   }
 
-  if (scheme_ == Scheme::raid1) {
+  if (sch == Scheme::raid1) {
     // Update whichever of the two copies is alive; the rebuild restores the
-    // other from it.
+    // other from it. The overflow invalidations are free no-ops for pure
+    // RAID1 files and keep an ex-Hybrid file's overlay from shadowing these
+    // in-place bytes.
     std::vector<std::pair<std::uint32_t, Request>> reqs;
     for (const auto& e : layout.decompose_merged(off, len)) {
       Buffer payload =
@@ -231,6 +236,7 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
         w.off = e.local_off;
         w.payload = payload.slice(0, payload.size());
         w.su = layout.stripe_unit;
+        w.inval_own = Interval{e.local_off, e.local_off + e.len};
         reqs.emplace_back(e.server, std::move(w));
       }
       const std::uint32_t mirror = (e.server + 1) % n;
@@ -241,6 +247,8 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
         m.off = e.local_off;
         m.payload = std::move(payload);
         m.su = layout.stripe_unit;
+        m.red_gen = gen;
+        m.inval_mirror = Interval{e.local_off, e.local_off + e.len};
         reqs.emplace_back(mirror, std::move(m));
       }
     }
@@ -252,9 +260,12 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
   }
 
   // Parity schemes (RAID5 variants and the Hybrid full-stripe path share
-  // the same degraded logic; Hybrid's partial path differs below).
+  // the same degraded logic; Hybrid's partial path differs below). `inval`
+  // extends the overflow invalidations Hybrid needs to ex-Hybrid files
+  // migrated onto an in-place parity scheme; never-Hybrid files skip them.
   const auto ws = layout.split_write(off, len);
-  const bool hybrid = scheme_ == Scheme::hybrid;
+  const bool hybrid = sch == Scheme::hybrid;
+  const bool inval = overlay_overflow(f);
   std::vector<std::pair<std::uint32_t, Request>> writes;
 
   // --- full groups: compute fresh parity; the failed data unit's content
@@ -277,7 +288,8 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
         w.off = layout.parity_local_off(g);
         w.payload = std::move(parity);
         w.su = layout.stripe_unit;
-        if (hybrid) {
+        w.red_gen = gen;
+        if (inval) {
           // The parity server holds no data unit of g, but it may hold
           // mirror overflow entries for its predecessor's unit (crucially,
           // when the predecessor is the *failed* server whose new content
@@ -302,7 +314,7 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
         w.off = layout.local_unit(u) * su;
         w.payload = data.slice(u * su - off, su);
         w.su = layout.stripe_unit;
-        if (hybrid) {
+        if (inval) {
           w.inval_own = {w.off, w.off + su};
           // Mirror entries this server holds for its (possibly failed)
           // predecessor within the same group.
@@ -359,7 +371,7 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
     // parity (locked) plus every surviving unit's columns, rebuild the lost
     // unit's old content, overlay the new data, and recompute the parity
     // outright.
-    const bool locking = scheme_ != Scheme::raid5_nolock;
+    const bool locking = sch != Scheme::raid5_nolock;
     for (const auto& seg : segs) {
       const std::uint64_t g = layout.group_of_off(seg.start);
       const std::uint32_t ps = layout.parity_server(g);
@@ -387,6 +399,19 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
           w.off = e.local_off;
           w.payload = data.slice(e.global_off - off, e.len);
           w.su = layout.stripe_unit;
+          if (inval) {
+            w.inval_own = Interval{e.local_off, e.local_off + e.len};
+            const std::uint32_t ms = (e.server + 1) % n;
+            if (ms != failed) {
+              Request iv;
+              iv.op = Op::write_data;
+              iv.handle = f.handle;
+              iv.off = e.local_off;
+              iv.su = layout.stripe_unit;
+              iv.inval_mirror = Interval{e.local_off, e.local_off + e.len};
+              writes.emplace_back(ms, std::move(iv));
+            }
+          }
           writes.emplace_back(e.server, std::move(w));
         }
         continue;
@@ -400,6 +425,7 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
       pr.len = c1 - c0;
       pr.lock = locking;
       pr.su = layout.stripe_unit;
+      pr.red_gen = gen;
       auto presp = co_await client_->rpc(ps, std::move(pr));
       if (!presp.ok) co_return Error{presp.err, "degraded parity read"};
 
@@ -427,6 +453,7 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
             ur.handle = f.handle;
             ur.off = layout.parity_local_off(g) + c0;
             ur.su = layout.stripe_unit;
+            ur.red_gen = gen;
             (void)co_await client_->rpc(ps, std::move(ur));
           }
           co_return Error{resp.err, "degraded old-data read"};
@@ -472,6 +499,7 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
       pw.payload = std::move(parity);
       pw.unlock = locking;
       pw.su = layout.stripe_unit;
+      pw.red_gen = gen;
       writes.emplace_back(ps, std::move(pw));
 
       for (const auto& e : layout.decompose(seg.start, seg.end - seg.start)) {
@@ -482,6 +510,19 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
         w.off = e.local_off;
         w.payload = data.slice(e.global_off - off, e.len);
         w.su = layout.stripe_unit;
+        if (inval) {
+          w.inval_own = Interval{e.local_off, e.local_off + e.len};
+          const std::uint32_t ms = (e.server + 1) % n;
+          if (ms != failed) {
+            Request iv;
+            iv.op = Op::write_data;
+            iv.handle = f.handle;
+            iv.off = e.local_off;
+            iv.su = layout.stripe_unit;
+            iv.inval_mirror = Interval{e.local_off, e.local_off + e.len};
+            writes.emplace_back(ms, std::move(iv));
+          }
+        }
         writes.emplace_back(e.server, std::move(w));
       }
     }
@@ -504,6 +545,14 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
   const std::uint32_t successor = (failed + 1) % n;
   const std::uint32_t predecessor = (failed + n - 1) % n;
   if (file_size == 0) co_return Result<void>::success();
+  const Scheme sch = scheme_of(f);
+  if (sch == Scheme::raid0) {
+    // Nothing rebuildable: RAID0 stores no redundancy, so a replaced
+    // server's units are simply gone. The coordinator admits such servers
+    // without a pass; a direct call is a no-op rather than an error so a
+    // mixed-scheme pass over many files can treat every file uniformly.
+    co_return Result<void>::success();
+  }
 
   // 1. Data file: reconstruct every unit the failed server held. For parity
   //    schemes this restores the *base* content (data file only), keeping
@@ -526,7 +575,7 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
         // raid1: one mirror read + one replacement write. Parity: N-1
         // survivor reads + one replacement write, all unit-sized.
         co_await opt.throttle->take(
-            scheme_ == Scheme::raid1 ? 2 * len : std::uint64_t{n} * len);
+            sch == Scheme::raid1 ? 2 * len : std::uint64_t{n} * len);
       }
       co_await window.acquire();
       wg.add();
@@ -538,10 +587,26 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
             // NOTE: deliberately not a ?: expression — GCC 12 miscompiles
             // co_await inside conditional expressions (double-destruction
             // of the materialized result).
+            // Both branches restore the *base* content (no overflow
+            // overlay — step 3 restores the overlay's tables separately):
+            // RAID1's mirror tracks the data file byte-for-byte, parity
+            // schemes XOR the raw survivors.
             Result<Buffer> piece = Buffer{};
-            if (self->scheme_ == Scheme::raid1) {
-              piece = co_await self->reconstruct_piece(file, fsrv,
-                                                       unit * lay.su(), len);
+            if (self->scheme_of(file) == Scheme::raid1) {
+              Request r;
+              r.op = Op::read_red;
+              r.handle = file.handle;
+              r.off = lay.local_unit(unit) * lay.su();
+              r.len = len;
+              r.su = file.layout.stripe_unit;
+              r.red_gen = self->red_gen_of(file);
+              auto resp = co_await self->client_->rpc(
+                  (fsrv + 1) % lay.n(), std::move(r));
+              if (resp.ok) {
+                piece = std::move(resp.data);
+              } else {
+                piece = Error{resp.err, "raid1 mirror read"};
+              }
             } else {
               piece = co_await self->reconstruct_base(file, fsrv,
                                                       unit * lay.su(), len);
@@ -577,7 +642,7 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
     sim::WaitGroup wg(client_->cluster().sim());
     bool error = false;
     Error first_error;
-    if (scheme_ == Scheme::raid1) {
+    if (sch == Scheme::raid1) {
       // Mirror blocks of the predecessor's data, at its local offsets.
       for (std::uint64_t u = predecessor; u * su < file_size; u += dn) {
         const std::uint64_t len =
@@ -610,6 +675,7 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
                 w.off = lay.local_unit(unit) * lay.su();
                 w.payload = std::move(resp.data);
                 w.su = lay.stripe_unit;
+                w.red_gen = self->red_gen_of(file);
                 auto wr = co_await self->client_->rpc(fsrv, std::move(w));
                 if (!wr.ok) {
                   if (!*err) *ferr = Error{wr.err, "rebuild mirror write"};
@@ -621,7 +687,7 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
             }(this, f, failed, predecessor, u, len, &window, &wg, &error,
               &first_error));
       }
-    } else if (uses_parity(scheme_)) {
+    } else if (uses_parity(sch)) {
       // Recompute the parity units this server held: groups whose parity
       // placement lands here.
       const std::uint64_t ngroups =
@@ -678,6 +744,7 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
                 w.off = lay.parity_local_off(group);
                 w.payload = std::move(parity);
                 w.su = lay.stripe_unit;
+                w.red_gen = self->red_gen_of(file);
                 auto wr = co_await self->client_->rpc(fsrv, std::move(w));
                 if (!wr.ok) {
                   if (!*err) *ferr = Error{wr.err, "rebuild parity write"};
@@ -693,10 +760,11 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
     if (error) co_return first_error;
   }
 
-  // 3. Hybrid overflow: restore this server's own entries from the mirrors
+  // 3. Overflow overlay: restore this server's own entries from the mirrors
   //    on its successor, and the mirror entries it held for its predecessor
-  //    from that server's own table.
-  if (scheme_ == Scheme::hybrid) {
+  //    from that server's own table. Runs for Hybrid files and for files
+  //    migrated away from Hybrid (their overlay is still live).
+  if (overlay_overflow(f)) {
     const bool filter = opt.delta != nullptr && !opt.restore_all_overflow;
     if (opt.delta != nullptr && opt.restore_all_overflow) {
       // The rejoiner's overflow content is wholesale suspect (e.g. dirty
@@ -833,6 +901,143 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
       }
     }
   }
+  co_return Result<void>::success();
+}
+
+sim::Task<Result<void>> Recovery::build_redundancy(const pvfs::OpenFile& f,
+                                                   Scheme to,
+                                                   std::uint32_t red_gen,
+                                                   std::uint64_t file_size,
+                                                   const IntervalSet* delta,
+                                                   sim::TokenBucket* throttle) {
+  const StripeLayout& layout = f.layout;
+  const std::uint32_t n = layout.n();
+  const std::uint64_t su = layout.su();
+  if (file_size == 0) co_return Result<void>::success();
+  if (to == Scheme::raid0 || to == Scheme::raid4) {
+    // RAID0 has no redundancy to build; RAID4's fixed parity placement does
+    // not transpose onto a file laid out with rotating placement.
+    co_return Error{Errc::invalid_argument, "unsupported migration target"};
+  }
+
+  constexpr std::uint32_t kWindow = 16;
+  sim::Semaphore window(client_->cluster().sim(), kWindow);
+  sim::WaitGroup wg(client_->cluster().sim());
+  bool error = false;
+  Error first_error;
+
+  if (to == Scheme::raid1) {
+    // One mirror unit per data unit of *every* server: raw read from the
+    // owner, write into the successor's generation-`red_gen` file at the
+    // owner's local offset.
+    for (std::uint64_t u = 0; u * su < file_size; ++u) {
+      const std::uint64_t len = std::min<std::uint64_t>(su, file_size - u * su);
+      if (delta && !delta->intersects(u * su, u * su + len)) continue;
+      if (throttle) co_await throttle->take(2 * len);
+      co_await window.acquire();
+      wg.add();
+      client_->cluster().sim().spawn(
+          [](Recovery* self, pvfs::OpenFile file, std::uint64_t unit,
+             std::uint64_t len, std::uint32_t gen, sim::Semaphore* sem,
+             sim::WaitGroup* done, bool* err, Error* ferr) -> sim::Task<void> {
+            const StripeLayout& lay = file.layout;
+            const std::uint32_t owner = lay.server_of_unit(unit);
+            Request r;
+            r.op = Op::read_data_raw;
+            r.handle = file.handle;
+            r.off = lay.local_unit(unit) * lay.su();
+            r.len = len;
+            auto resp = co_await self->client_->rpc(owner, std::move(r));
+            if (!resp.ok) {
+              if (!*err) *ferr = Error{resp.err, "migrate mirror read"};
+              *err = true;
+            } else {
+              Request w;
+              w.op = Op::write_red;
+              w.handle = file.handle;
+              w.off = lay.local_unit(unit) * lay.su();
+              w.payload = std::move(resp.data);
+              w.su = lay.stripe_unit;
+              w.red_gen = gen;
+              auto wr = co_await self->client_->rpc((owner + 1) % lay.n(),
+                                                    std::move(w));
+              if (!wr.ok) {
+                if (!*err) *ferr = Error{wr.err, "migrate mirror write"};
+                *err = true;
+              }
+            }
+            sem->release();
+            done->done();
+          }(this, f, u, len, red_gen, &window, &wg, &error, &first_error));
+    }
+  } else {
+    // Parity target (RAID5 variants / Hybrid): fresh parity per group from
+    // the raw data units — partial-write overflow deliberately excluded, so
+    // the new parity is consistent with the data files just like Hybrid's.
+    const std::uint64_t ngroups = div_ceil(file_size, layout.stripe_width());
+    for (std::uint64_t g = 0; g < ngroups; ++g) {
+      if (delta && !delta->intersects(layout.group_start(g),
+                                      std::min(layout.group_end(g),
+                                               file_size))) {
+        continue;
+      }
+      if (throttle) co_await throttle->take(std::uint64_t{n} * su);
+      co_await window.acquire();
+      wg.add();
+      client_->cluster().sim().spawn(
+          [](Recovery* self, pvfs::OpenFile file, std::uint64_t group,
+             std::uint32_t gen, sim::Semaphore* sem, sim::WaitGroup* done,
+             bool* err, Error* ferr) -> sim::Task<void> {
+            const StripeLayout& lay = file.layout;
+            const std::uint64_t unit_sz = lay.su();
+            std::vector<std::pair<std::uint32_t, Request>> reads;
+            for (std::uint64_t u = group * (lay.n() - 1);
+                 u < (group + 1) * (lay.n() - 1); ++u) {
+              Request r;
+              r.op = Op::read_data_raw;
+              r.handle = file.handle;
+              r.off = lay.local_unit(u) * unit_sz;
+              r.len = unit_sz;
+              reads.emplace_back(lay.server_of_unit(u), std::move(r));
+            }
+            auto resps = co_await self->client_->rpc_all(std::move(reads));
+            Buffer parity = Buffer::real(unit_sz);
+            bool bad = false;
+            for (auto& resp : resps) {
+              if (!resp.ok) {
+                if (!*err) *ferr = Error{resp.err, "migrate parity read"};
+                *err = true;
+                bad = true;
+                break;
+              }
+              if (parity.materialized() && resp.data.materialized()) {
+                parity.xor_with(resp.data);
+              } else {
+                parity = Buffer::phantom(unit_sz);
+              }
+            }
+            if (!bad) {
+              Request w;
+              w.op = Op::write_red;
+              w.handle = file.handle;
+              w.off = lay.parity_local_off(group);
+              w.payload = std::move(parity);
+              w.su = lay.stripe_unit;
+              w.red_gen = gen;
+              auto wr = co_await self->client_->rpc(lay.parity_server(group),
+                                                    std::move(w));
+              if (!wr.ok) {
+                if (!*err) *ferr = Error{wr.err, "migrate parity write"};
+                *err = true;
+              }
+            }
+            sem->release();
+            done->done();
+          }(this, f, g, red_gen, &window, &wg, &error, &first_error));
+    }
+  }
+  co_await wg.wait();
+  if (error) co_return first_error;
   co_return Result<void>::success();
 }
 

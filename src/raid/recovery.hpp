@@ -20,6 +20,7 @@
 #include "common/interval_set.hpp"
 #include "common/result.hpp"
 #include "pvfs/client.hpp"
+#include "raid/policy.hpp"
 #include "raid/scheme.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -47,8 +48,16 @@ struct RebuildOptions {
 
 class Recovery {
  public:
+  /// Fixed-scheme recovery: every file is treated as `scheme` (the classic
+  /// single-scheme deployments and most tests).
   Recovery(pvfs::Client& client, Scheme scheme)
-      : client_(&client), scheme_(scheme) {}
+      : client_(&client), fixed_(scheme) {}
+
+  /// Policy-routed recovery: each file's scheme, redundancy generation and
+  /// overflow-overlay status resolve through the per-file policy. The
+  /// policy is not owned and must outlive this object.
+  Recovery(pvfs::Client& client, const RedundancyPolicy* policy)
+      : client_(&client), policy_(policy) {}
 
   /// Read [off, off+len) of `f` while server `failed` is down; data on
   /// surviving servers is read normally, lost pieces are reconstructed.
@@ -79,7 +88,35 @@ class Recovery {
                                          std::uint64_t file_size,
                                          RebuildOptions opt = {});
 
+  /// Build scheme `to`'s base redundancy for `f` at generation `red_gen`,
+  /// reading only the raw data files (never the old redundancy, never the
+  /// overflow overlay — both stay authoritative until the migrator flips
+  /// the file). `delta` restricts the pass to the given global byte ranges
+  /// (re-copy passes over regions dirtied by concurrent writes) and
+  /// `throttle` paces the copy traffic. No locks are taken: until the flip
+  /// only the migrator writes generation `red_gen`, and data reads are raw.
+  /// Only RAID1 and the parity-rotating schemes are buildable targets.
+  sim::Task<Result<void>> build_redundancy(const pvfs::OpenFile& f, Scheme to,
+                                           std::uint32_t red_gen,
+                                           std::uint64_t file_size,
+                                           const IntervalSet* delta = nullptr,
+                                           sim::TokenBucket* throttle =
+                                               nullptr);
+
  private:
+  Scheme scheme_of(const pvfs::OpenFile& f) const {
+    return policy_ != nullptr ? policy_->scheme_of(f) : fixed_;
+  }
+  std::uint32_t red_gen_of(const pvfs::OpenFile& f) const {
+    return policy_ != nullptr ? policy_->red_gen_of(f) : f.red_gen;
+  }
+  /// Whether reads/writes of `f` must honour a (possibly live) overflow
+  /// overlay — Hybrid files and files migrated away from Hybrid.
+  bool overlay_overflow(const pvfs::OpenFile& f) const {
+    return policy_ != nullptr ? policy_->overflow_possible(f)
+                              : fixed_ == Scheme::hybrid;
+  }
+
   /// Reconstruct the bytes of one lost piece (within a single stripe unit
   /// of the failed server), including the Hybrid overflow overlay.
   sim::Task<Result<Buffer>> reconstruct_piece(const pvfs::OpenFile& f,
@@ -95,7 +132,8 @@ class Recovery {
                                              std::uint64_t len);
 
   pvfs::Client* client_;
-  Scheme scheme_;
+  const RedundancyPolicy* policy_ = nullptr;
+  Scheme fixed_ = Scheme::hybrid;  ///< used only when policy_ is null
 };
 
 }  // namespace csar::raid

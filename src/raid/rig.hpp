@@ -15,6 +15,7 @@
 #include "pvfs/io_server.hpp"
 #include "pvfs/manager.hpp"
 #include "raid/csar_fs.hpp"
+#include "raid/policy.hpp"
 #include "raid/recovery.hpp"
 #include "raid/scheme.hpp"
 #include "sim/simulation.hpp"
@@ -44,12 +45,20 @@ struct RigParams {
   /// client gets its own derived stream so concurrent backoffs decorrelate
   /// but stay reproducible).
   std::uint64_t seed = 0x5EEDC5A2ULL;
+  /// Per-file redundancy policy for the deployment: static path-prefix
+  /// rules and the adaptive engine's knobs. The policy's default scheme is
+  /// always overwritten with `scheme` above, so single-scheme setups keep
+  /// configuring just that one field.
+  PolicyParams policy;
 };
 
 class Rig {
  public:
   explicit Rig(const RigParams& params)
       : p(params), cluster(sim, params.profile), fabric(cluster) {
+    PolicyParams pol = params.policy;
+    pol.default_scheme = params.scheme;
+    policy_ = std::make_unique<RedundancyPolicy>(std::move(pol));
     const hw::NodeId manager_node = cluster.add_client();
     manager = std::make_unique<pvfs::Manager>(cluster, fabric, manager_node);
     manager->start();
@@ -75,8 +84,8 @@ class Rig {
       clients.back()->set_rpc_policy(params.rpc);
       clients.back()->set_rpc_batching(params.rpc_batching);
       clients.back()->seed_retry_rng(seeder.next());
-      fs.push_back(std::make_unique<CsarFs>(*clients.back(),
-                                            CsarParams{params.scheme}));
+      fs.push_back(std::make_unique<CsarFs>(
+          *clients.back(), CsarParams{params.scheme, policy_.get()}));
     }
   }
 
@@ -98,7 +107,12 @@ class Rig {
   pvfs::Client& client(std::uint32_t c = 0) { return *clients[c]; }
   pvfs::IoServer& server(std::uint32_t s) { return *servers[s]; }
 
-  Recovery recovery() { return Recovery(*clients[0], p.scheme); }
+  /// The deployment-wide per-file policy every CsarFs, Recovery and
+  /// coordinator built from this rig routes through.
+  RedundancyPolicy& policy() { return *policy_; }
+  const RedundancyPolicy& policy() const { return *policy_; }
+
+  Recovery recovery() { return Recovery(*clients[0], policy_.get()); }
 
   /// A dedicated repair client on its own node, created on first use.
   /// Rebuild/scrub traffic issued through it gets its own NIC and RPC
@@ -116,7 +130,9 @@ class Rig {
     return *repair_client_;
   }
 
-  Recovery repair_recovery() { return Recovery(repair_client(), p.scheme); }
+  Recovery repair_recovery() {
+    return Recovery(repair_client(), policy_.get());
+  }
 
   /// Drop every server's page cache (the paper's "contents removed from the
   /// cache" overwrite setup). Flush first for a realistic state.
@@ -141,6 +157,7 @@ class Rig {
   std::vector<std::unique_ptr<CsarFs>> fs;
 
  private:
+  std::unique_ptr<RedundancyPolicy> policy_;
   std::unique_ptr<pvfs::Client> repair_client_;
   bool stopped_ = false;
 };

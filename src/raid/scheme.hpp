@@ -3,6 +3,10 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
 
 #include "pvfs/layout.hpp"
 
@@ -20,6 +24,11 @@ enum class Scheme : std::uint8_t {
                  ///< partial stripes (the paper's contribution)
 };
 
+// The switches below are exhaustive: every enumerator returns, and
+// -Werror=switch flags any future Scheme addition at compile time. The
+// std::abort() after each switch is unreachable (an out-of-range cast is the
+// only way there) — there is deliberately no "?" fallback that could mask a
+// bogus value in printed output.
 inline const char* scheme_name(Scheme s) {
   switch (s) {
     case Scheme::raid0:
@@ -37,21 +46,59 @@ inline const char* scheme_name(Scheme s) {
     case Scheme::hybrid:
       return "Hybrid";
   }
-  return "?";
+  std::abort();
 }
 
 /// True for the schemes that store block parity (RAID4, all RAID5 variants
 /// and the Hybrid full-stripe path).
 inline bool uses_parity(Scheme s) {
-  return s == Scheme::raid4 || s == Scheme::raid5 ||
-         s == Scheme::raid5_nolock || s == Scheme::raid5_npc ||
-         s == Scheme::hybrid;
+  switch (s) {
+    case Scheme::raid0:
+    case Scheme::raid1:
+      return false;
+    case Scheme::raid4:
+    case Scheme::raid5:
+    case Scheme::raid5_nolock:
+    case Scheme::raid5_npc:
+    case Scheme::hybrid:
+      return true;
+  }
+  std::abort();
 }
 
 /// The parity placement a scheme's files should be created with.
 inline pvfs::ParityPlacement placement_for(Scheme s) {
-  return s == Scheme::raid4 ? pvfs::ParityPlacement::fixed
-                            : pvfs::ParityPlacement::rotating;
+  switch (s) {
+    case Scheme::raid4:
+      return pvfs::ParityPlacement::fixed;
+    case Scheme::raid0:
+    case Scheme::raid1:
+    case Scheme::raid5:
+    case Scheme::raid5_nolock:
+    case Scheme::raid5_npc:
+    case Scheme::hybrid:
+      return pvfs::ParityPlacement::rotating;
+  }
+  std::abort();
+}
+
+/// Inverse of scheme_name for CLI flags and scripts: accepts the display
+/// names case-insensitively plus the lowercase identifiers used in code
+/// ("raid5_nolock", "raid5_npc"). nullopt for anything unrecognized.
+inline std::optional<Scheme> parse_scheme(std::string_view text) {
+  std::string t;
+  t.reserve(text.size());
+  for (char c : text) {
+    t.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+  }
+  if (t == "raid0") return Scheme::raid0;
+  if (t == "raid1") return Scheme::raid1;
+  if (t == "raid4") return Scheme::raid4;
+  if (t == "raid5") return Scheme::raid5;
+  if (t == "raid5_nolock" || t == "r5-nolock") return Scheme::raid5_nolock;
+  if (t == "raid5_npc" || t == "raid5-npc") return Scheme::raid5_npc;
+  if (t == "hybrid") return Scheme::hybrid;
+  return std::nullopt;
 }
 
 }  // namespace csar::raid

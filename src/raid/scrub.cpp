@@ -26,7 +26,8 @@ sim::Task<Result<Scrubber::Report>> Scrubber::run(const pvfs::OpenFile& f,
                                                   bool repair) {
   Report report;
   if (file_size == 0) co_return report;
-  switch (scheme_) {
+  const Scheme sch = scheme_of(f);
+  switch (sch) {
     case Scheme::raid0:
       co_return report;  // nothing to audit
     case Scheme::raid1: {
@@ -45,12 +46,24 @@ sim::Task<Result<Scrubber::Report>> Scrubber::run(const pvfs::OpenFile& f,
     case Scheme::hybrid: {
       auto r = co_await scrub_parity(f, file_size, repair, report);
       if (!r.ok()) co_return r.error();
-      auto o = co_await scrub_overflow(f, file_size, repair, report);
-      if (!o.ok()) co_return o.error();
       break;
     }
     default:
       co_return Error{Errc::invalid_argument, "unknown scheme"};
+  }
+  // Overflow entries outlive a migration away from Hybrid (the overlay stays
+  // authoritative over the new base redundancy), so the pairwise overflow
+  // audit runs for every file that may still carry entries — not just files
+  // whose current base scheme is Hybrid.
+  if (sch != Scheme::raid0 && overlay_overflow(f)) {
+    auto o = co_await scrub_overflow(f, file_size, repair, report);
+    if (!o.ok()) co_return o.error();
+  }
+  // Latent-sector findings are exactly the early-warning signal the adaptive
+  // engine watches: feed them back so sustained media pressure can tip a
+  // scheme recommendation before a whole server dies.
+  if (policy_ != nullptr && report.media_errors > 0) {
+    policy_->note_media_errors(report.media_errors);
   }
   if (repair && report.repaired > 0) {
     // Repairs only count once they are durable: a rewrite that rebuilds a
@@ -67,6 +80,7 @@ sim::Task<Result<void>> Scrubber::scrub_parity(const pvfs::OpenFile& f,
                                                bool repair, Report& report) {
   const StripeLayout& layout = f.layout;
   const std::uint64_t su = layout.su();
+  const std::uint32_t gen = red_gen_of(f);
   const std::uint64_t ngroups = div_ceil(file_size, layout.stripe_width());
   for (std::uint64_t g = 0; g < ngroups; ++g) {
     // Gather the group's data units and its stored parity.
@@ -87,6 +101,7 @@ sim::Task<Result<void>> Scrubber::scrub_parity(const pvfs::OpenFile& f,
       r.off = layout.parity_local_off(g);
       r.len = su;
       r.su = layout.stripe_unit;
+      r.red_gen = gen;
       reads.emplace_back(layout.parity_server(g), std::move(r));
     }
     auto resps = co_await client_->rpc_all(std::move(reads));
@@ -135,6 +150,7 @@ sim::Task<Result<void>> Scrubber::scrub_parity(const pvfs::OpenFile& f,
       if (bad == parity_idx) {
         w.op = Op::write_red;
         w.off = layout.parity_local_off(g);
+        w.red_gen = gen;
         target = layout.parity_server(g);
       } else {
         const std::uint64_t u = g * (layout.n() - 1) + bad;
@@ -166,6 +182,7 @@ sim::Task<Result<void>> Scrubber::scrub_parity(const pvfs::OpenFile& f,
       w.off = layout.parity_local_off(g);
       w.payload = std::move(expect);
       w.su = layout.stripe_unit;
+      w.red_gen = gen;
       auto wr = co_await client_->rpc(layout.parity_server(g), std::move(w));
       if (!wr.ok) co_return Error{wr.err, "scrub parity rewrite"};
       ++report.repaired;
@@ -179,6 +196,7 @@ sim::Task<Result<void>> Scrubber::scrub_mirrors(const pvfs::OpenFile& f,
                                                 bool repair, Report& report) {
   const StripeLayout& layout = f.layout;
   const std::uint64_t su = layout.su();
+  const std::uint32_t gen = red_gen_of(f);
   for (std::uint64_t u = 0; u * su < file_size; ++u) {
     const std::uint32_t s = layout.server_of_unit(u);
     const std::uint64_t local = layout.local_unit(u) * su;
@@ -194,6 +212,7 @@ sim::Task<Result<void>> Scrubber::scrub_mirrors(const pvfs::OpenFile& f,
     rm.off = local;
     rm.len = len;
     rm.su = layout.stripe_unit;
+    rm.red_gen = gen;
     std::vector<std::pair<std::uint32_t, Request>> reads;
     reads.emplace_back(s, std::move(rd));
     reads.emplace_back((s + 1) % layout.n(), std::move(rm));
@@ -222,6 +241,7 @@ sim::Task<Result<void>> Scrubber::scrub_mirrors(const pvfs::OpenFile& f,
       w.off = local;
       w.su = layout.stripe_unit;
       w.op = primary_lost ? Op::write_data : Op::write_red;
+      if (!primary_lost) w.red_gen = gen;
       w.payload = std::move(resps[primary_lost ? 1 : 0].data);
       auto wr = co_await client_->rpc(
           primary_lost ? s : (s + 1) % layout.n(), std::move(w));
@@ -243,6 +263,7 @@ sim::Task<Result<void>> Scrubber::scrub_mirrors(const pvfs::OpenFile& f,
       w.off = local;
       w.payload = std::move(resps[0].data);
       w.su = layout.stripe_unit;
+      w.red_gen = gen;
       auto wr = co_await client_->rpc((s + 1) % layout.n(), std::move(w));
       if (!wr.ok) co_return Error{wr.err, "scrub mirror rewrite"};
       ++report.repaired;

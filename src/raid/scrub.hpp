@@ -17,6 +17,7 @@
 
 #include "common/result.hpp"
 #include "pvfs/client.hpp"
+#include "raid/policy.hpp"
 #include "raid/scheme.hpp"
 #include "sim/task.hpp"
 
@@ -24,8 +25,15 @@ namespace csar::raid {
 
 class Scrubber {
  public:
+  /// Fixed-scheme scrubbing: every file is audited as `scheme`.
   Scrubber(pvfs::Client& client, Scheme scheme)
-      : client_(&client), scheme_(scheme) {}
+      : client_(&client), fixed_(scheme) {}
+
+  /// Policy-routed scrubbing: each file is audited under its own scheme and
+  /// redundancy generation, and media-error findings feed the policy's
+  /// fault-pressure counters. The policy is not owned.
+  Scrubber(pvfs::Client& client, RedundancyPolicy* policy)
+      : client_(&client), policy_(policy) {}
 
   struct Report {
     std::uint64_t groups_checked = 0;    ///< parity groups (RAID5/Hybrid)
@@ -78,8 +86,22 @@ class Scrubber {
                                          std::uint64_t file_size, bool repair,
                                          Report& report);
 
+  Scheme scheme_of(const pvfs::OpenFile& f) const {
+    return policy_ != nullptr ? policy_->scheme_of(f) : fixed_;
+  }
+  std::uint32_t red_gen_of(const pvfs::OpenFile& f) const {
+    return policy_ != nullptr ? policy_->red_gen_of(f) : f.red_gen;
+  }
+  /// Whether the file may carry live overflow entries (Hybrid now, or a
+  /// migrated ex-Hybrid file whose overlay is still authoritative).
+  bool overlay_overflow(const pvfs::OpenFile& f) const {
+    return policy_ != nullptr ? policy_->overflow_possible(f)
+                              : fixed_ == Scheme::hybrid;
+  }
+
   pvfs::Client* client_;
-  Scheme scheme_;
+  RedundancyPolicy* policy_ = nullptr;
+  Scheme fixed_ = Scheme::hybrid;
 };
 
 }  // namespace csar::raid
