@@ -152,5 +152,5 @@ int main() {
   check("adaptive storm is bit-deterministic (fingerprints match)",
         adap.fingerprint == adap2.fingerprint &&
             adap.finished_at == adap2.finished_at);
-  return ok ? 0 : 1;
+  return report::exit_code();
 }

@@ -23,7 +23,7 @@ struct Outcome {
 };
 
 Outcome run(raid::Scheme scheme, bool collective) {
-  raid::Rig rig(bench::make_rig(scheme, 6, kProcs,
+  bench::Rig rig(bench::make_rig(scheme, 6, kProcs,
                                 hw::profile_experimental2003()));
   const double mbps = wl::run_on(rig, [](raid::Rig& r,
                                          bool coll) -> sim::Task<double> {
@@ -109,5 +109,5 @@ int main() {
     }
   }
   report::table("interleaved-record write bandwidth", t);
-  return 0;
+  return report::exit_code();
 }

@@ -20,7 +20,7 @@ int main() {
       "the cleaner consumes bounded time (one sequential read+write pass)",
   });
 
-  raid::Rig rig(bench::make_rig(raid::Scheme::hybrid, 6, 4, profile));
+  bench::Rig rig(bench::make_rig(raid::Scheme::hybrid, 6, 4, profile));
   wl::FlashParams p;
   p.nprocs = 4;
   p.stripe_unit = kSu;
@@ -80,5 +80,5 @@ int main() {
                 after.data_bytes + after.red_bytes + after.overflow_bytes <
                     before.data_bytes + before.red_bytes +
                         before.overflow_bytes);
-  return 0;
+  return report::exit_code();
 }

@@ -99,5 +99,5 @@ int main() {
   report::check("retry budget improves mean availability",
                 avail[1] >= avail[0]);
   report::check("zero verify mismatches in every configuration", integrity);
-  return integrity ? 0 : 1;
+  return report::exit_code();
 }

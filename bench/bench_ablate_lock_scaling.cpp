@@ -25,7 +25,7 @@ int main() {
     std::uint64_t waits = 0;
     double avg_wait_ms = 0;
     for (raid::Scheme s : {raid::Scheme::raid5, raid::Scheme::raid5_nolock}) {
-      raid::Rig rig(bench::make_rig(s, kServers, clients, profile));
+      bench::Rig rig(bench::make_rig(s, kServers, clients, profile));
       wl::ContentionParams p;
       p.stripe_unit = kSu;
       p.nclients = std::min(clients, kServers - 1);
@@ -60,5 +60,5 @@ int main() {
   std::printf("NO-LOCK advantage: %.2fx at 1 client, %.2fx at 16 clients\n",
               gap1, gap16);
   report::check("locking gap widens with contention", gap16 > gap1 * 1.3);
-  return 0;
+  return report::exit_code();
 }

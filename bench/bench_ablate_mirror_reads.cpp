@@ -15,7 +15,7 @@ struct Outcome {
 };
 
 Outcome run(std::uint32_t nservers) {
-  raid::Rig rig(bench::make_rig(raid::Scheme::raid1, nservers, 1,
+  bench::Rig rig(bench::make_rig(raid::Scheme::raid1, nservers, 1,
                                 hw::profile_experimental2003()));
   return wl::run_on(rig, [](raid::Rig& r) -> sim::Task<Outcome> {
     auto f = co_await r.client_fs().create("f", r.layout(64 * KiB));
@@ -70,5 +70,5 @@ int main() {
                 out[4].balanced_mbps > 1.2 * out[4].plain_mbps);
   report::check("plain read bandwidth unchanged by the feature's existence",
                 out[4].plain_mbps > 0);
-  return 0;
+  return report::exit_code();
 }

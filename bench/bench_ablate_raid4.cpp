@@ -24,7 +24,7 @@ int main() {
   TextTable big({"scheme", "full-stripe MB/s"});
   std::map<raid::Scheme, double> full_bw;
   for (raid::Scheme s : {raid::Scheme::raid4, raid::Scheme::raid5}) {
-    raid::Rig rig(bench::make_rig(s, kServers, 1, profile));
+    bench::Rig rig(bench::make_rig(s, kServers, 1, profile));
     wl::MicroParams p;
     p.stripe_unit = kSu;
     p.total_bytes = 64 * MiB;
@@ -40,7 +40,7 @@ int main() {
     std::vector<std::string> row = {TextTable::num(std::uint64_t{clients})};
     std::uint64_t waits = 0;
     for (raid::Scheme s : {raid::Scheme::raid4, raid::Scheme::raid5}) {
-      raid::Rig rig(bench::make_rig(s, kServers, clients, profile));
+      bench::Rig rig(bench::make_rig(s, kServers, clients, profile));
       const double mbps = wl::run_on(
           rig,
           [](raid::Rig& r, std::uint32_t nclients) -> sim::Task<double> {
@@ -101,5 +101,5 @@ int main() {
   std::printf("scaling 2->16 clients: RAID4 %.2fx, RAID5 %.2fx\n", r4_scale,
               r5_scale);
   report::check("RAID5 scales better with writers", r5_scale > r4_scale);
-  return 0;
+  return report::exit_code();
 }

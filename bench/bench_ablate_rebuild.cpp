@@ -26,7 +26,7 @@ struct RebuildOutcome {
 
 RebuildOutcome rebuild_run(raid::Scheme scheme, std::uint32_t nservers,
                            std::uint64_t file_bytes) {
-  raid::Rig rig(bench::make_rig(scheme, nservers, 1,
+  bench::Rig rig(bench::make_rig(scheme, nservers, 1,
                                 hw::profile_experimental2003()));
   const double mbps = wl::run_on(rig, [](raid::Rig& r,
                             std::uint64_t total) -> sim::Task<double> {
@@ -91,7 +91,7 @@ CapOutcome cap_run(double rate_cap) {
   rp.rpc.timeout = sim::ms(150);
   rp.rpc.max_attempts = 4;
   rp.rpc.backoff = sim::ms(5);
-  raid::Rig rig(rp);
+  bench::Rig rig(rp);
   raid::HealthParams hp;
   hp.interval = sim::ms(50);
   raid::HealthMonitor mon(rig.client(), hp);
@@ -256,5 +256,5 @@ int main() {
                     half.p99_ms >= quarter.p99_ms * 0.999);
   report::check("uncapped rebuild run is bit-deterministic",
                 uncapped.fp == uncapped2.fp);
-  return 0;
+  return report::exit_code();
 }

@@ -55,7 +55,7 @@ Outcome straddle_run(raid::Scheme scheme, bool small, bool batching,
   auto params = bench::make_rig(scheme, kServers, 1,
                                 hw::profile_experimental2003());
   params.rpc_batching = batching;
-  raid::Rig rig(params);
+  bench::Rig rig(params);
   Outcome o;
   o.bw = wl::run_on(
       rig, [](raid::Rig& r, bool tiny,
@@ -93,7 +93,7 @@ Outcome smallwrite_run(bool batching) {
   auto params = bench::make_rig(raid::Scheme::raid5, kServers, 1,
                                 hw::profile_experimental2003());
   params.rpc_batching = batching;
-  raid::Rig rig(params);
+  bench::Rig rig(params);
   wl::MicroParams p;
   p.stripe_unit = kSu;
   p.total_bytes = 16 * MiB;
@@ -109,7 +109,7 @@ Outcome contention_run(bool batching) {
   auto params = bench::make_rig(raid::Scheme::raid5, kServers, 5,
                                 hw::profile_experimental2003());
   params.rpc_batching = batching;
-  raid::Rig rig(params);
+  bench::Rig rig(params);
   wl::ContentionParams p;
   p.stripe_unit = kSu;
   p.nclients = 5;
@@ -200,5 +200,5 @@ int main() {
   const Outcome again = straddle_run(raid::Scheme::raid4, true, true, 64);
   report::check("batched run is bit-deterministic",
                 again.end == points[0].on.end && again.bw == points[0].on.bw);
-  return 0;
+  return report::exit_code();
 }

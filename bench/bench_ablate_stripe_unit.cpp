@@ -24,7 +24,7 @@ int main() {
   double ratio_large = 0;
   for (std::uint32_t su :
        {4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB}) {
-    raid::Rig rig(
+    bench::Rig rig(
         bench::make_rig(raid::Scheme::hybrid, 6, 4, profile));
     wl::FlashParams p;
     p.nprocs = 4;
@@ -61,5 +61,5 @@ int main() {
                 ratio_small < 2.0);
   report::check("256K stripe unit costlier than RAID1's 2.0x",
                 ratio_large > 2.0);
-  return 0;
+  return report::exit_code();
 }

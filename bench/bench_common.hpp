@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,57 @@
 #include "workloads/workloads.hpp"
 
 namespace csar::bench {
+
+/// A raid::Rig with environment-driven observability: set
+/// CSAR_TRACE=<file.json> and/or CSAR_METRICS=<file.csv|file.json> to record
+/// any bench run without touching its code. The obs wiring lives here once —
+/// every bench binary (the perf figures and the faulted harness in
+/// bench_fault_common.hpp) builds this instead of a bare raid::Rig. With
+/// neither variable set, nothing is attached: no task observer, no tracer,
+/// so event counts, fingerprints and bench numbers are exactly the bare
+/// rig's.
+class Rig : public raid::Rig {
+ public:
+  explicit Rig(const raid::RigParams& rp) : raid::Rig(rp) {
+    if (!obs::kEnabled) return;
+    const char* tf = std::getenv("CSAR_TRACE");
+    const char* mf = std::getenv("CSAR_METRICS");
+    if (tf == nullptr && mf == nullptr) return;
+    if (tf != nullptr) {
+      tracer_ = std::make_unique<obs::Tracer>();
+      trace_path_ = tf;
+    }
+    if (mf != nullptr) {
+      metrics_ = std::make_unique<obs::Registry>();
+      metrics_path_ = mf;
+    }
+    set_obs(tracer_.get(), metrics_.get());
+  }
+
+  ~Rig() {
+    if (!tracer_ && !metrics_) return;
+    // Drain while the tracer is still alive (our members die before the
+    // base), dump, then detach so the base destructor's own drain cannot
+    // call into freed observers.
+    stop_all();
+    sim.run();
+    if (metrics_) {
+      export_metrics(*metrics_);
+      const bool json =
+          metrics_path_.size() > 5 &&
+          metrics_path_.compare(metrics_path_.size() - 5, 5, ".json") == 0;
+      metrics_->write_file(metrics_path_, json);
+    }
+    if (tracer_) tracer_->write_file(trace_path_);
+    set_obs(nullptr, nullptr);
+  }
+
+ private:
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::Registry> metrics_;
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 /// The scheme lineup most figures compare.
 inline const std::vector<raid::Scheme>& main_schemes() {

@@ -41,7 +41,7 @@ inline FaultedOutcome run_faulted(
     const raid::RebuildParams& rbp,
     const std::function<sim::Task<wl::WorkloadResult>(
         raid::Rig&, raid::RebuildCoordinator&)>& make) {
-  raid::Rig rig(rp);
+  bench::Rig rig(rp);
   raid::HealthParams hp;
   hp.interval = sim::ms(100);
   raid::HealthMonitor mon(rig.client(), hp);

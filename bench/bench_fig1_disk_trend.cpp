@@ -44,5 +44,5 @@ int main() {
   std::printf("fill-time growth 1985->2000: %.1fx\n", growth);
   report::check("fill time grows ~10x over 15 years (8x..16x)",
                 growth > 8.0 && growth < 16.0);
-  return 0;
+  return report::exit_code();
 }

@@ -23,7 +23,7 @@ int main() {
   TextTable t({"scheme", "MB/s", "lock waits", "avg wait (ms)"});
   std::map<raid::Scheme, double> bw;
   for (std::size_t i = 0; i < schemes.size(); ++i) {
-    raid::Rig rig(bench::make_rig(schemes[i], kServers, 5, profile));
+    bench::Rig rig(bench::make_rig(schemes[i], kServers, 5, profile));
     wl::ContentionParams p;
     p.stripe_unit = kSu;
     p.nclients = 5;
@@ -56,5 +56,5 @@ int main() {
                 lock_cost > 0.10 && lock_cost < 0.60);
   report::check("RAID0 fastest",
                 bw[raid::Scheme::raid0] > bw[raid::Scheme::raid5_nolock]);
-  return 0;
+  return report::exit_code();
 }

@@ -32,7 +32,7 @@ int main() {
         row.push_back("-");
         continue;
       }
-      raid::Rig rig(bench::make_rig(s, n, 1, profile));
+      bench::Rig rig(bench::make_rig(s, n, 1, profile));
       wl::MicroParams p;
       p.stripe_unit = kSu;
       p.total_bytes = 128 * MiB;
@@ -61,5 +61,5 @@ int main() {
                 npc_gain > 0.02 && npc_gain < 0.15);
   std::printf("parity compute overhead at 7 servers: %.1f%%\n",
               npc_gain * 100.0);
-  return 0;
+  return report::exit_code();
 }

@@ -25,7 +25,7 @@ int main() {
   for (std::uint32_t n = 2; n <= 7; ++n) {
     std::vector<std::string> row = {TextTable::num(std::uint64_t{n})};
     for (raid::Scheme s : schemes) {
-      raid::Rig rig(bench::make_rig(s, n, 1, profile));
+      bench::Rig rig(bench::make_rig(s, n, 1, profile));
       wl::MicroParams p;
       p.stripe_unit = kSu;
       p.total_bytes = 16 * MiB;
@@ -52,5 +52,5 @@ int main() {
   report::check("Hybrid == RAID1 at every server count (±10%)",
                 hybrid_eq_raid1);
   report::check("RAID5 below RAID1 for N >= 3", raid5_below);
-  return 0;
+  return report::exit_code();
 }

@@ -28,7 +28,7 @@ int main() {
     std::vector<std::string> row_r = {TextTable::num(std::uint64_t{c})};
     std::vector<std::string> row_w = {TextTable::num(std::uint64_t{c})};
     for (raid::Scheme s : bench::main_schemes()) {
-      raid::Rig rig(bench::make_rig(s, kServers, c, profile));
+      bench::Rig rig(bench::make_rig(s, kServers, c, profile));
       wl::RomioParams p;
       p.stripe_unit = kSu;
       p.nclients = c;
@@ -100,5 +100,5 @@ int main() {
                 out.result.ops_failed == 0);
   report::check("faulted: crashed server rebuilt and admitted online",
                 out.rebuild.rebuilds_completed >= 1 && out.all_admitted);
-  return 0;
+  return report::exit_code();
 }

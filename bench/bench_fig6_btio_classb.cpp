@@ -34,7 +34,7 @@ int main() {
     std::vector<std::string> row_b = {TextTable::num(std::uint64_t{np})};
     for (raid::Scheme s : schemes) {
       for (bool overwrite : {false, true}) {
-        raid::Rig rig(bench::make_rig(s, kServers, np, profile));
+        bench::Rig rig(bench::make_rig(s, kServers, np, profile));
         wl::BtioParams p;
         p.cls = wl::BtioClass::B;
         p.nprocs = np;
@@ -119,5 +119,5 @@ int main() {
   report::check("faulted: rejoin used the delta path (no full rebuild)",
                 out.rebuild.delta_rebuilds >= 1 &&
                     out.rebuild.full_rebuilds == 0 && out.all_admitted);
-  return 0;
+  return report::exit_code();
 }

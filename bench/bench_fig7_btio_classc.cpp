@@ -33,7 +33,7 @@ int main() {
   for (bool overwrite : {false, true}) {
     std::vector<std::string> row = {overwrite ? "overwrite" : "write"};
     for (raid::Scheme s : schemes) {
-      raid::Rig rig(bench::make_rig(s, kServers, kProcs, profile));
+      bench::Rig rig(bench::make_rig(s, kServers, kProcs, profile));
       wl::BtioParams p;
       p.cls = wl::BtioClass::C;
       p.nprocs = kProcs;
@@ -106,5 +106,5 @@ int main() {
                 out.result.ops_failed == 0);
   report::check("faulted: full rebuild completed and server admitted",
                 out.rebuild.full_rebuilds >= 1 && out.all_admitted);
-  return 0;
+  return report::exit_code();
 }

@@ -61,7 +61,7 @@ int main() {
   for (const auto& app : apps) {
     std::map<raid::Scheme, double> secs;
     for (raid::Scheme s : bench::main_schemes()) {
-      raid::Rig rig(bench::make_rig(s, kServers, app.nclients, profile));
+      bench::Rig rig(bench::make_rig(s, kServers, app.nclients, profile));
       secs[s] = sim::to_seconds(app.fn(rig).write_time);
     }
     std::vector<std::string> row = {app.name};
@@ -92,5 +92,5 @@ int main() {
                 norm[{"HartreeFock", raid::Scheme::raid5}],
                 norm[{"HartreeFock", raid::Scheme::hybrid}]});
   report::check("Hartree-Fock spread across schemes < 0.35", hf_spread < 0.35);
-  return 0;
+  return report::exit_code();
 }

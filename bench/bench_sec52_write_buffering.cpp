@@ -15,7 +15,7 @@ double run_case(bool preexisting, bool buffering, bool padding) {
       bench::make_rig(raid::Scheme::raid0, 4, 1, profile);
   rp.fs.write_buffering = buffering;
   rp.fs.pad_partial_blocks = padding;
-  raid::Rig rig(rp);
+  bench::Rig rig(rp);
   return wl::run_on(
       rig,
       [](raid::Rig& r, bool pre) -> sim::Task<double> {
@@ -78,5 +78,5 @@ int main() {
   report::check("buffering recovers >90% of new-file bandwidth",
                 pre_buf > 0.9 * fresh_buf);
   report::check("padding recovers the loss too", pre_pad > 0.9 * fresh_nobuf);
-  return 0;
+  return report::exit_code();
 }

@@ -82,7 +82,7 @@ int main() {
   for (const auto& row : rows) {
     std::vector<std::string> cells = {row.name};
     for (raid::Scheme s : bench::main_schemes()) {
-      raid::Rig rig(bench::make_rig(s, kServers, row.nclients, profile));
+      bench::Rig rig(bench::make_rig(s, kServers, row.nclients, profile));
       (void)wl::run_on(rig, row.fn(rig));
       const auto info = total_storage(rig);
       const std::uint64_t total =
@@ -124,5 +124,5 @@ int main() {
       "Hybrid 16K stripe unit far cheaper than 64K (4p)",
       totals["FLASH (4p,16K su)"][raid::Scheme::hybrid] <
           0.8 * totals["FLASH (4p,64K su)"][raid::Scheme::hybrid]);
-  return 0;
+  return report::exit_code();
 }

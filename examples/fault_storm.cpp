@@ -11,11 +11,16 @@
 // the unreadable sectors from redundancy. Every acknowledged read is
 // verified against a shadow copy; the run is bit-deterministic, so the
 // numbers below are stable across machines and runs.
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "fault/storm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pvfs/io_server.hpp"
 #include "raid/rig.hpp"
 #include "report/report.hpp"
@@ -69,9 +74,60 @@ void add_lossy_link(fault::StormParams& p) {
   p.plan.links.push_back(lf);
 }
 
+/// One more hybrid storm with the observability layer attached: every RPC,
+/// fabric transfer, server stage, lock wait and disk access lands as a span;
+/// faults and rebuild phases as instants. Sim-time only, so the dump is
+/// byte-identical across reruns.
+void traced_run(const std::string& trace_path,
+                const std::string& metrics_path) {
+  obs::Tracer tracer;
+  obs::Registry metrics;
+  fault::StormParams p = storm_params(raid::Scheme::hybrid);
+  add_lossy_link(p);
+  p.tracer = trace_path.empty() ? nullptr : &tracer;
+  p.metrics = metrics_path.empty() ? nullptr : &metrics;
+  p.sample_window = sim::ms(50);
+  fault::StormMetrics m = fault::run_storm(p);
+  if (!trace_path.empty()) {
+    report::check("trace written (open in Perfetto / chrome://tracing)",
+                  tracer.write_file(trace_path));
+    std::printf("  %s: %zu spans, %zu instants, finished at t=%.0fms\n",
+                trace_path.c_str(), tracer.span_count(),
+                tracer.instant_count(), sim::to_seconds(m.finished_at) * 1e3);
+  }
+  if (!metrics_path.empty()) {
+    const bool json =
+        metrics_path.size() > 5 &&
+        metrics_path.compare(metrics_path.size() - 5, 5, ".json") == 0;
+    report::check("metrics written", metrics.write_file(metrics_path, json));
+    std::printf("  %s (+%zu utilization sample rows)\n", metrics_path.c_str(),
+                static_cast<std::size_t>(
+                    m.samples_csv.empty()
+                        ? 0
+                        : std::count(m.samples_csv.begin(),
+                                     m.samples_csv.end(), '\n') -
+                              1));
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics_path = argv[i] + 10;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace=out.json] [--metrics=out.csv]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
   report::banner("fault-storm", "Deterministic fault storm, survived end to end",
                  "4 I/O servers, 1 client, 150 ms RPC deadline x4 attempts, "
                  "100 ms health probes");
@@ -135,5 +191,13 @@ int main() {
   report::table("same storm, three seeds", sweep);
   report::check("all seeds: online rebuild completed, zero mismatches",
                 sweep_ok);
-  return (mismatches == 0 && all_ok && sweep_ok) ? 0 : 1;
+
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    std::printf("\n");
+    report::banner("storm-trace", "Same hybrid storm, observability attached",
+                   "spans: rpc/net/server/lock/disk; instants: faults, "
+                   "rebuild phases");
+    traced_run(trace_path, metrics_path);
+  }
+  return report::exit_code();
 }

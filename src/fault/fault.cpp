@@ -29,7 +29,7 @@ void FaultInjector::start() {
   assert(!started_ && "start() is one-shot");
   started_ = true;
   fabric_->set_fault_hook(this);
-  cluster_->sim().spawn(timeline());
+  cluster_->sim().spawn(timeline(), "fault_timeline");
 }
 
 std::optional<sim::Time> FaultInjector::first_crash_time() const {
@@ -47,6 +47,11 @@ void FaultInjector::note(const char* what, std::uint32_t server,
                 sim::to_seconds(cluster_->sim().now()) * 1e3, what, server,
                 extra);
   trace_.emplace_back(buf);
+  // `what` is a string literal at every call site, so the tracer may keep
+  // the pointer.
+  if (obs::kEnabled && tracer_ != nullptr) {
+    tracer_->instant(what, "fault", "\"server\":" + std::to_string(server));
+  }
 }
 
 net::FabricHook::Verdict FaultInjector::on_transfer(

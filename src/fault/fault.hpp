@@ -23,6 +23,7 @@
 #include "common/rng.hpp"
 #include "hw/node.hpp"
 #include "net/fabric.hpp"
+#include "obs/trace.hpp"
 #include "pvfs/io_server.hpp"
 #include "sim/simulation.hpp"
 #include "sim/task.hpp"
@@ -127,6 +128,10 @@ class FaultInjector final : public net::FabricHook {
 
   const FaultPlan& plan() const { return plan_; }
 
+  /// Attach (or clear) a tracer: every executed fault step also lands as an
+  /// instant event on the sim timeline. Not owned.
+  void set_tracer(obs::Tracer* t) { tracer_ = t; }
+
  private:
   sim::Task<void> timeline();
   void note(const char* what, std::uint32_t server, const char* extra = "");
@@ -138,6 +143,7 @@ class FaultInjector final : public net::FabricHook {
   Rng rng_;
   FaultStats stats_{};
   std::vector<std::string> trace_;
+  obs::Tracer* tracer_ = nullptr;
   bool started_ = false;
 };
 

@@ -115,7 +115,7 @@ sim::Task<void> trigger_migration(sim::Simulation& sim,
 sim::Task<void> driver(const StormParams& p, raid::Rig& rig,
                        raid::HealthMonitor& mon, FaultInjector& inj,
                        raid::RebuildCoordinator* coord,
-                       raid::SchemeMigrator* mig,
+                       raid::SchemeMigrator* mig, obs::Sampler* sampler,
                        std::vector<Shadow>& shadows, StormMetrics& m) {
   auto& sim = rig.sim;
   auto& fs = rig.client_fs();
@@ -257,6 +257,7 @@ sim::Task<void> driver(const StormParams& p, raid::Rig& rig,
   mon.stop();
   if (coord) coord->stop();
   if (mig) mig->stop();
+  if (sampler) sampler->stop();
   for (const auto& s : shadows) m.tainted_bytes += s.tainted_bytes();
   m.finished_at = sim.now();
 }
@@ -278,6 +279,7 @@ StormMetrics run_storm(const StormParams& params) {
     }
   }
   raid::Rig rig(rp);
+  rig.set_obs(params.tracer, params.metrics);
   raid::HealthMonitor mon(rig.client(), params.health);
   // Down transitions are one of the adaptive engine's fault-pressure feeds.
   mon.add_listener([&rig](std::uint32_t s, bool alive, sim::Time at) {
@@ -287,6 +289,7 @@ StormMetrics run_storm(const StormParams& params) {
   for (auto& s : rig.servers) server_ptrs.push_back(s.get());
   FaultInjector inj(rig.cluster, rig.fabric, std::move(server_ptrs),
                     params.plan);
+  inj.set_tracer(rig.tracer());
   for (auto& fs : rig.fs) fs->enable_failover(&mon);
   std::optional<raid::RebuildCoordinator> coord;
   if (params.rebuild_after) coord.emplace(rig, mon, params.rebuild);
@@ -301,10 +304,55 @@ StormMetrics run_storm(const StormParams& params) {
   for (std::uint32_t i = 0; i < nfiles; ++i) {
     shadows.emplace_back(params.file_size);
   }
+  // Optional windowed utilization sampler. Busy-time probes report the
+  // fraction of each window the resource spent transferring, as a delta of
+  // its cumulative busy_time (captured mutable in the closure).
+  std::optional<obs::Sampler> sampler;
+  if (params.sample_window > 0) {
+    sampler.emplace(rig.sim, params.sample_window);
+    const double win_s = sim::to_seconds(params.sample_window);
+    for (std::uint32_t s = 0;
+         s < static_cast<std::uint32_t>(rig.servers.size()); ++s) {
+      pvfs::IoServer& srv = *rig.servers[s];
+      sampler->probe("iod" + std::to_string(s) + "_util",
+                     [&srv, win_s, prev = sim::Duration{0}]() mutable {
+                       const sim::Duration busy = srv.iod().busy_time();
+                       const double u = sim::to_seconds(busy - prev) / win_s;
+                       prev = busy;
+                       return u;
+                     });
+      hw::Node& n = rig.cluster.node(srv.node_id());
+      if (n.disk() != nullptr) {
+        hw::Disk& d = *n.disk();
+        sampler->probe("disk" + std::to_string(s) + "_util",
+                       [&d, win_s, prev = sim::Duration{0}]() mutable {
+                         const sim::Duration busy = d.stats().busy_time;
+                         const double u =
+                             sim::to_seconds(busy - prev) / win_s;
+                         prev = busy;
+                         return u;
+                       });
+      }
+    }
+    hw::Node& c0 = rig.cluster.node(rig.client().node_id());
+    sampler->probe("client0_tx_util",
+                   [&c0, win_s, prev = sim::Duration{0}]() mutable {
+                     const sim::Duration busy = c0.tx().busy_time();
+                     const double u = sim::to_seconds(busy - prev) / win_s;
+                     prev = busy;
+                     return u;
+                   });
+    sampler->start();
+  }
+
   StormMetrics m;
   rig.sim.spawn(driver(params, rig, mon, inj, coord ? &*coord : nullptr,
-                       mig ? &*mig : nullptr, shadows, m));
+                       mig ? &*mig : nullptr,
+                       sampler ? &*sampler : nullptr, shadows, m),
+                "storm_driver");
   rig.sim.run();
+  if (sampler) m.samples_csv = sampler->to_csv();
+  if (params.metrics != nullptr) rig.export_metrics(*params.metrics);
 
   const auto& rpc = rig.client().rpc_stats();
   m.rpc_sent = rpc.sent;

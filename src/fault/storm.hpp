@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "raid/health.hpp"
 #include "raid/migrate.hpp"
 #include "raid/rebuild.hpp"
@@ -65,6 +67,17 @@ struct StormParams {
   /// Run a Scrubber::repair pass before the final sweep, clearing any
   /// latent sector errors the plan planted.
   bool scrub_after = true;
+  /// Observability (both optional, not owned). A tracer records the full
+  /// request path as spans plus fault/rebuild/migration instants; a registry
+  /// collects counters/histograms. Attaching either adds ZERO simulation
+  /// events, so events_executed and the fingerprint are unchanged.
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* metrics = nullptr;
+  /// When nonzero, poll utilization probes (iod/disk/NIC busy fractions)
+  /// every `sample_window` of sim time into StormMetrics::samples_csv. The
+  /// sampler is itself a sim process, so it DOES shift events_executed —
+  /// leave at 0 for fingerprint comparisons.
+  sim::Duration sample_window = 0;
 };
 
 struct StormMetrics {
@@ -120,6 +133,8 @@ struct StormMetrics {
 
   FaultStats faults;
   std::vector<std::string> trace;  ///< the injector's executed-fault log
+  /// Utilization samples (CSV) when StormParams::sample_window was set.
+  std::string samples_csv;
 };
 
 /// Build a deployment, run the storm, return the metrics. Blocking (drives

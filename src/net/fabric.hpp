@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "hw/node.hpp"
+#include "obs/trace.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -57,10 +58,19 @@ class Fabric {
   /// (dropped — full send cost paid, nothing received), or the connection
   /// is reset (sender notices before occupying the wire).
   sim::Task<Delivery> transfer(hw::NodeId src, hw::NodeId dst,
-                               std::uint64_t payload_bytes) {
+                               std::uint64_t payload_bytes,
+                               obs::SpanId parent = 0) {
     FabricHook::Verdict v{};
     if (hook_) v = hook_->on_transfer(src, dst, payload_bytes);
     if (v.reset) co_return Delivery::reset;
+    obs::Span span;
+    if (obs::kEnabled && tracer_ != nullptr) {
+      span = tracer_->task_span(tracer_->node_pid(src), "net", "xfer", "net",
+                                parent,
+                                "\"dst\":" + std::to_string(dst) +
+                                    ",\"bytes\":" +
+                                    std::to_string(payload_bytes));
+    }
     const std::uint64_t bytes = payload_bytes + kHeaderBytes;
     co_await cluster_->node(src).tx().transfer(bytes);
     co_await cluster_->sim().sleep(cluster_->profile().wire_latency +
@@ -73,11 +83,15 @@ class Fabric {
   /// Install (or clear, with nullptr) the fault hook. Not owned.
   void set_fault_hook(FabricHook* hook) { hook_ = hook; }
 
+  /// Attach (or clear) the span tracer. Not owned.
+  void set_tracer(obs::Tracer* t) { tracer_ = t; }
+
   hw::Cluster& cluster() { return *cluster_; }
 
  private:
   hw::Cluster* cluster_;
   FabricHook* hook_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace csar::net

@@ -1,0 +1,171 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace csar::obs {
+
+std::vector<std::uint64_t> Histogram::latency_bounds() {
+  std::vector<std::uint64_t> b;
+  for (std::uint64_t decade = 1000; decade <= 100000000000ULL; decade *= 10) {
+    b.push_back(decade);      // 1 us, 10 us, ... (ns)
+    b.push_back(2 * decade);  // 2 us, 20 us, ...
+    b.push_back(5 * decade);  // 5 us, 50 us, ...
+  }
+  return b;
+}
+
+std::vector<std::uint64_t> Histogram::size_bounds() {
+  std::vector<std::uint64_t> b;
+  for (std::uint64_t v = 1; v <= (1ULL << 16); v <<= 1) b.push_back(v);
+  return b;
+}
+
+Registry::Entry& Registry::find_or_add(const std::string& name, Kind kind,
+                                       std::vector<std::uint64_t> bounds) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    Entry& e = entries_[it->second];
+    assert(e.kind == kind && "metric name reused with a different kind");
+    return e;
+  }
+  index_[name] = entries_.size();
+  Entry e;
+  e.name = name;
+  e.kind = kind;
+  switch (kind) {
+    case Kind::counter:
+      e.c = std::make_unique<Counter>();
+      break;
+    case Kind::gauge:
+      e.g = std::make_unique<Gauge>();
+      break;
+    case Kind::histogram:
+      if (bounds.empty()) bounds = Histogram::latency_bounds();
+      e.h = std::make_unique<Histogram>(std::move(bounds));
+      break;
+  }
+  entries_.push_back(std::move(e));
+  return entries_.back();
+}
+
+Counter& Registry::counter(const std::string& name) {
+  return *find_or_add(name, Kind::counter).c;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return *find_or_add(name, Kind::gauge).g;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<std::uint64_t> bounds) {
+  return *find_or_add(name, Kind::histogram, std::move(bounds)).h;
+}
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::to_csv() const {
+  std::string out = "name,kind,count,sum,min,max,p50,p95,p99\n";
+  for (const Entry& e : entries_) {
+    out += e.name;
+    switch (e.kind) {
+      case Kind::counter:
+        out += ",counter,1," + std::to_string(e.c->value()) + ",,,,,\n";
+        break;
+      case Kind::gauge:
+        out += ",gauge,1," + fmt_double(e.g->value()) + ",,,,,\n";
+        break;
+      case Kind::histogram:
+        out += ",histogram," + std::to_string(e.h->count()) + ',' +
+               std::to_string(e.h->sum()) + ',' +
+               std::to_string(e.h->min()) + ',' +
+               std::to_string(e.h->max()) + ',' +
+               std::to_string(e.h->percentile(0.50)) + ',' +
+               std::to_string(e.h->percentile(0.95)) + ',' +
+               std::to_string(e.h->percentile(0.99)) + '\n';
+        break;
+    }
+  }
+  return out;
+}
+
+std::string Registry::to_json() const {
+  std::string out = "{\"metrics\":[\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (i) out += ",\n";
+    out += "{\"name\":\"" + e.name + "\",";
+    switch (e.kind) {
+      case Kind::counter:
+        out += "\"kind\":\"counter\",\"value\":" +
+               std::to_string(e.c->value()) + '}';
+        break;
+      case Kind::gauge:
+        out += "\"kind\":\"gauge\",\"value\":" + fmt_double(e.g->value()) +
+               '}';
+        break;
+      case Kind::histogram:
+        out += "\"kind\":\"histogram\",\"count\":" +
+               std::to_string(e.h->count()) +
+               ",\"sum\":" + std::to_string(e.h->sum()) +
+               ",\"min\":" + std::to_string(e.h->min()) +
+               ",\"max\":" + std::to_string(e.h->max()) +
+               ",\"p50\":" + std::to_string(e.h->percentile(0.50)) +
+               ",\"p95\":" + std::to_string(e.h->percentile(0.95)) +
+               ",\"p99\":" + std::to_string(e.h->percentile(0.99)) + '}';
+        break;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Registry::write_file(const std::string& path, bool json) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string s = json ? to_json() : to_csv();
+  const bool ok = std::fwrite(s.data(), 1, s.size(), f) == s.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void Sampler::start() {
+  if (running_) return;
+  running_ = true;
+  sim_->spawn(loop(), "metrics_sampler");
+}
+
+sim::Task<void> Sampler::loop() {
+  while (running_) {
+    co_await sim_->sleep(window_);
+    if (!running_) break;
+    times_.push_back(sim_->now());
+    std::vector<double> row;
+    row.reserve(fns_.size());
+    for (const auto& fn : fns_) row.push_back(fn());
+    samples_.push_back(std::move(row));
+  }
+}
+
+std::string Sampler::to_csv() const {
+  std::string out = "time_ms";
+  for (const auto& n : names_) out += ',' + n;
+  out += '\n';
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    char t[48];
+    std::snprintf(t, sizeof(t), "%.3f", sim::to_seconds(times_[i]) * 1e3);
+    out += t;
+    for (double v : samples_[i]) out += ',' + fmt_double(v);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace csar::obs

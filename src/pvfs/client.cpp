@@ -11,21 +11,45 @@
 
 namespace csar::pvfs {
 
+void Client::set_obs(obs::Tracer* tracer, obs::Registry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  pid_ = tracer != nullptr ? tracer->node_pid(node_) : 0;
+  if (metrics != nullptr) {
+    rpc_hist_ = &metrics->histogram("client.rpc_ns");
+    batch_hist_ =
+        &metrics->histogram("client.batch_subs", obs::Histogram::size_bounds());
+    timeout_ctr_ = &metrics->counter("client.rpc_timeouts");
+    retry_ctr_ = &metrics->counter("client.rpc_retries");
+  } else {
+    rpc_hist_ = nullptr;
+    batch_hist_ = nullptr;
+    timeout_ctr_ = nullptr;
+    retry_ctr_ = nullptr;
+  }
+}
+
 sim::Task<MetaResponse> Client::meta_rpc(MetaRequest r) {
   auto& sim = cluster_->sim();
   auto ch = std::make_shared<sim::Channel<MetaResponse>>(sim);
   r.from = node_;
   r.reply = ch;
+  obs::Span span;
+  if (obs::kEnabled && tracer_ != nullptr) {
+    span = tracer_->task_span(pid_, "rpc", "meta", "rpc", ambient_);
+  }
   const std::uint32_t attempts = std::max<std::uint32_t>(1, policy_.max_attempts);
   for (std::uint32_t attempt = 1; attempt <= attempts; ++attempt) {
     if (attempt > 1) {
       ++rpc_stats_.retries;
+      if (obs::kEnabled && retry_ctr_ != nullptr) retry_ctr_->add(1);
       co_await sim.sleep(backoff_pause(policy_, attempt));
     }
     MetaRequest req = r;
     ++rpc_stats_.sent;
     const auto d = co_await fabric_->transfer(
-        node_, manager_->node_id(), req.name.size() + sizeof(MetaRequest));
+        node_, manager_->node_id(), req.name.size() + sizeof(MetaRequest),
+        span.id());
     if (d == net::Delivery::reset) {
       ++rpc_stats_.resets;
       if (attempt == attempts) break;
@@ -36,6 +60,7 @@ sim::Task<MetaResponse> Client::meta_rpc(MetaRequest r) {
     auto got = co_await ch->recv_until(sim.now() + policy_.timeout);
     if (got) co_return std::move(*got);
     ++rpc_stats_.timeouts;
+    if (obs::kEnabled && timeout_ctr_ != nullptr) timeout_ctr_->add(1);
   }
   MetaResponse failed;
   failed.ok = false;
@@ -130,6 +155,19 @@ sim::Task<Response> Client::rpc(std::uint32_t s, Request r) {
 sim::Task<Response> Client::rpc(std::uint32_t s, Request r, RpcPolicy policy) {
   assert(s < servers_.size());
   auto& sim = cluster_->sim();
+  // The rpc span covers the full call (all attempts); the request carries
+  // its id so the server's handling span nests under it. A request that
+  // already has a span (batch sub) keeps that parent.
+  obs::Span span;
+  if (obs::kEnabled && tracer_ != nullptr) {
+    span = tracer_->task_span(pid_, "rpc", op_name(r.op), "rpc",
+                              r.tspan != 0 ? r.tspan : ambient_,
+                              "\"server\":" + std::to_string(s) +
+                                  ",\"bytes\":" +
+                                  std::to_string(r.wire_bytes()));
+    r.tspan = span.id();
+  }
+  const sim::Time t0 = sim.now();
   // The channel is shared with the server and kept alive across attempts:
   // a late reply to a timed-out attempt lands here harmlessly, and because
   // every I/O server op is idempotent it may even satisfy a later attempt.
@@ -142,12 +180,13 @@ sim::Task<Response> Client::rpc(std::uint32_t s, Request r, RpcPolicy policy) {
   for (std::uint32_t attempt = 1; attempt <= attempts; ++attempt) {
     if (attempt > 1) {
       ++rpc_stats_.retries;
+      if (obs::kEnabled && retry_ctr_ != nullptr) retry_ctr_->add(1);
       co_await sim.sleep(backoff_pause(policy, attempt));
     }
     Request req = r;  // each attempt resends a fresh copy
     ++rpc_stats_.sent;
-    const auto d =
-        co_await fabric_->transfer(node_, srv->node_id(), req.wire_bytes());
+    const auto d = co_await fabric_->transfer(node_, srv->node_id(),
+                                              req.wire_bytes(), span.id());
     if (d == net::Delivery::reset) {
       ++rpc_stats_.resets;
       last_err = Errc::conn_dropped;
@@ -158,20 +197,24 @@ sim::Task<Response> Client::rpc(std::uint32_t s, Request r, RpcPolicy policy) {
     if (policy.timeout == 0) {
       Response resp = co_await ch->recv();
       resp.server = static_cast<int>(s);
+      if (obs::kEnabled && rpc_hist_ != nullptr) rpc_hist_->add(sim.now() - t0);
       co_return resp;
     }
     auto got = co_await ch->recv_until(sim.now() + policy.timeout);
     if (got) {
       got->server = static_cast<int>(s);
+      if (obs::kEnabled && rpc_hist_ != nullptr) rpc_hist_->add(sim.now() - t0);
       co_return std::move(*got);
     }
     ++rpc_stats_.timeouts;
+    if (obs::kEnabled && timeout_ctr_ != nullptr) timeout_ctr_->add(1);
     last_err = Errc::timeout;
   }
   Response failed;
   failed.ok = false;
   failed.err = last_err;
   failed.server = static_cast<int>(s);
+  if (obs::kEnabled && rpc_hist_ != nullptr) rpc_hist_->add(sim.now() - t0);
   co_return failed;
 }
 
@@ -194,6 +237,9 @@ sim::Task<std::vector<Response>> Client::rpc_batch(std::uint32_t s,
       out.push_back(co_await rpc(s, std::move(sub), policy));
     }
     co_return out;
+  }
+  if (obs::kEnabled && batch_hist_ != nullptr) {
+    batch_hist_->add(static_cast<std::uint64_t>(n));
   }
   Request env;
   env.op = Op::batch;

@@ -15,6 +15,8 @@
 #include "common/rng.hpp"
 #include "hw/node.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pvfs/io_server.hpp"
 #include "pvfs/layout.hpp"
 #include "pvfs/manager.hpp"
@@ -89,6 +91,19 @@ class Client {
   void seed_retry_rng(std::uint64_t seed) { rng_.reseed(seed); }
 
   const RpcStats& rpc_stats() const { return rpc_stats_; }
+
+  // --- observability ---
+  /// Attach (or clear) the tracer / metrics registry. Caches the metric
+  /// handles so the hot path never does a name lookup.
+  void set_obs(obs::Tracer* tracer, obs::Registry* metrics);
+  obs::Tracer* tracer() { return tracer_; }
+  std::uint32_t obs_pid() const { return pid_; }
+
+  /// Ambient parent span for RPC spans issued while it is set — the
+  /// filesystem layer (raid::CsarFs) brackets each op with one span and
+  /// publishes it here so per-server RPCs nest under the op.
+  void set_ambient_span(obs::SpanId s) { ambient_ = s; }
+  obs::SpanId ambient_span() const { return ambient_; }
 
   // --- RPC building block ---
   /// Send `r` to server `s`, charging the network both ways; returns the
@@ -167,6 +182,16 @@ class Client {
   RpcStats rpc_stats_{};
   bool batching_ = true;
   Rng rng_{0xC5A2F001ULL};  ///< backoff jitter; reseed via seed_retry_rng
+
+  // Observability (all null/0 when detached; see set_obs).
+  obs::Tracer* tracer_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
+  std::uint32_t pid_ = 0;          ///< this client's trace process
+  obs::SpanId ambient_ = 0;        ///< see set_ambient_span
+  obs::Histogram* rpc_hist_ = nullptr;    ///< client.rpc_ns
+  obs::Histogram* batch_hist_ = nullptr;  ///< client.batch_subs
+  obs::Counter* timeout_ctr_ = nullptr;   ///< client.rpc_timeouts
+  obs::Counter* retry_ctr_ = nullptr;     ///< client.rpc_retries
 };
 
 }  // namespace csar::pvfs

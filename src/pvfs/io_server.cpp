@@ -68,6 +68,22 @@ IoServer::IoServer(hw::Cluster& cluster, net::Fabric& fabric, hw::NodeId node,
          "I/O servers need a disk+cache node");
 }
 
+void IoServer::set_obs(obs::Tracer* tracer, obs::Registry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  pid_ = tracer != nullptr ? tracer->node_pid(node_) : 0;
+  if (metrics != nullptr) {
+    req_hist_ = &metrics->histogram("server.req_ns");
+    lock_hist_ = &metrics->histogram("server.lock_wait_ns");
+    batch_hist_ =
+        &metrics->histogram("server.batch_subs", obs::Histogram::size_bounds());
+  } else {
+    req_hist_ = nullptr;
+    lock_hist_ = nullptr;
+    batch_hist_ = nullptr;
+  }
+}
+
 void IoServer::start() {
   if (started_) return;
   started_ = true;
@@ -132,7 +148,8 @@ void IoServer::apply_invalidation(const Request& r) {
   }
 }
 
-sim::Task<bool> IoServer::lock_parity(std::uint64_t key, hw::NodeId from) {
+sim::Task<bool> IoServer::lock_parity(std::uint64_t key, hw::NodeId from,
+                                      obs::Ctx ctx) {
   auto& lk = locks_[key];
   if (!lk.held) {
     lk.held = true;
@@ -140,6 +157,7 @@ sim::Task<bool> IoServer::lock_parity(std::uint64_t key, hw::NodeId from) {
     ++lk.gen;
     lk.acquired_at = cluster_->sim().now();
     ++lock_stats_.acquisitions;
+    if (obs::kEnabled && lock_hist_ != nullptr) lock_hist_->add(0);
     co_return true;
   }
   // §5.1: queue behind the in-flight read-modify-write. Arm the lease
@@ -151,13 +169,23 @@ sim::Task<bool> IoServer::lock_parity(std::uint64_t key, hw::NodeId from) {
   w.enq = cluster_->sim().now();
   lk.waiting.push_back(&w);
   arm_lease(key, lk);
+  obs::Span span;
+  if (obs::kEnabled && ctx.t != nullptr) {
+    span = ctx.t->span(ctx.pid, ctx.tid, "lock_wait", "lock", ctx.parent,
+                       "\"key\":" + std::to_string(key));
+  }
   struct Park {
     LockWaiter* w;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) const noexcept { w->h = h; }
     bool await_resume() const noexcept { return w->granted; }
   };
-  co_return co_await Park{&w};
+  const bool granted = co_await Park{&w};
+  if (obs::kEnabled && lock_hist_ != nullptr) {
+    lock_hist_->add(
+        static_cast<std::uint64_t>(cluster_->sim().now() - w.enq));
+  }
+  co_return granted;
 }
 
 void IoServer::pass_or_release(std::uint64_t key, ParityLock& lk) {
@@ -273,31 +301,51 @@ sim::Task<void> IoServer::handle(Request r) {
       co_return;
     }
   }
+  // The handling span parents under the client's rpc span (r.tspan rode the
+  // request over); every stage span below shares its lane via `ctx`.
+  obs::Span span;
+  obs::Ctx ctx;
+  if (obs::kEnabled && tracer_ != nullptr) {
+    span = tracer_->task_span(pid_, "req", op_name(r.op), "server", r.tspan,
+                              "\"handle\":" + std::to_string(r.handle));
+    ctx = obs::Ctx{tracer_, span.pid(), span.tid(), span.id()};
+  }
+  const sim::Time t0 = cluster_->sim().now();
   // Every request passes through the single-process iod dispatch loop;
   // under bursts, small parity operations queue behind bulk data here. A
   // batch is charged the sum of its subs' bytes but only one dispatch pass —
   // the per-message overhead batching exists to amortize.
-  co_await iod_.transfer(iod_cost(r));
+  {
+    obs::Span q;
+    if (obs::kEnabled && ctx.t != nullptr) {
+      q = ctx.t->span(ctx.pid, ctx.tid, "iod_queue", "server", ctx.parent);
+    }
+    co_await iod_.transfer(iod_cost(r));
+  }
   if (r.op == Op::shutdown) co_return;  // handled by the dispatcher
   Response resp;
   if (r.op == Op::batch) {
-    resp = co_await exec_batch(r);
+    resp = co_await exec_batch(r, ctx);
   } else {
-    resp = co_await exec_one(r, /*prelocked=*/false);
+    resp = co_await exec_one(r, /*prelocked=*/false, ctx);
+  }
+  if (obs::kEnabled && req_hist_ != nullptr) {
+    req_hist_->add(static_cast<std::uint64_t>(cluster_->sim().now() - t0));
   }
   co_await reply(r, std::move(resp), epoch);
 }
 
-sim::Task<Response> IoServer::exec_one(const Request& r, bool prelocked) {
+sim::Task<Response> IoServer::exec_one(const Request& r, bool prelocked,
+                                       obs::Ctx ctx) {
   switch (r.op) {
     case Op::read_data:
-      co_return co_await do_read_data(r);
+      co_return co_await do_read_data(r, ctx);
     case Op::write_data:
-      co_return co_await do_write_data(r);
+      co_return co_await do_write_data(r, ctx);
     case Op::read_red: {
       if (p_.parity_locking && r.lock && !prelocked) {
         const std::uint64_t key = lock_key(r.handle, r.off, r.su);
-        const bool got = co_await lock_parity(key, r.from);
+        const bool got = co_await lock_parity(key, r.from, ctx);
         if (!got) {
           // The lock vanished while we were queued (file removed, crash):
           // answer not_found so the client does not hang.
@@ -307,10 +355,10 @@ sim::Task<Response> IoServer::exec_one(const Request& r, bool prelocked) {
           co_return resp;
         }
       }
-      co_return co_await do_read_red(r);
+      co_return co_await do_read_red(r, ctx);
     }
     case Op::write_red: {
-      Response resp = co_await do_write_red(r);
+      Response resp = co_await do_write_red(r, ctx);
       // Release as soon as the parity write is applied; the ack to the
       // writer is asynchronous and need not extend the critical section.
       if (p_.parity_locking && r.unlock) {
@@ -411,9 +459,12 @@ sim::Task<Response> IoServer::exec_one(const Request& r, bool prelocked) {
   co_return bad;
 }
 
-sim::Task<Response> IoServer::exec_batch(const Request& r) {
+sim::Task<Response> IoServer::exec_batch(const Request& r, obs::Ctx ctx) {
   ++batch_stats_.batches;
   batch_stats_.subs += r.subs.size();
+  if (obs::kEnabled && batch_hist_ != nullptr) {
+    batch_hist_->add(static_cast<std::uint64_t>(r.subs.size()));
+  }
   // Sub-requests inherit the envelope's sender: owner tagging, stream
   // pacing and lock bookkeeping all go by `from`.
   std::vector<Request> subs = r.subs;
@@ -438,7 +489,7 @@ sim::Task<Response> IoServer::exec_batch(const Request& r) {
   std::vector<char> prelocked(subs.size(), 0);
   std::vector<char> lock_dead(subs.size(), 0);
   for (const auto& [key, i] : lock_plan) {
-    const bool got = co_await lock_parity(key, subs[i].from);
+    const bool got = co_await lock_parity(key, subs[i].from, ctx);
     if (got) {
       prelocked[i] = 1;
     } else {
@@ -471,7 +522,7 @@ sim::Task<Response> IoServer::exec_batch(const Request& r) {
         merged.len = end - merged.off;
         Response big;
         if (merged.op == Op::read_red) {
-          big = co_await do_read_red(merged);
+          big = co_await do_read_red(merged, ctx);
         } else {
           big = co_await do_read_data_raw(merged);
         }
@@ -489,12 +540,18 @@ sim::Task<Response> IoServer::exec_batch(const Request& r) {
         continue;
       }
     }
-    env.subs[i] = co_await exec_one(subs[i], prelocked[i] != 0);
+    env.subs[i] = co_await exec_one(subs[i], prelocked[i] != 0, ctx);
   }
   co_return env;
 }
 
-sim::Task<Response> IoServer::do_read_data(const Request& r) {
+sim::Task<Response> IoServer::do_read_data(const Request& r, obs::Ctx ctx) {
+  obs::Span span;
+  if (obs::kEnabled && ctx.t != nullptr) {
+    span = ctx.t->span(ctx.pid, ctx.tid, "read_data", "disk", ctx.parent,
+                       "\"off\":" + std::to_string(r.off) +
+                           ",\"len\":" + std::to_string(r.len));
+  }
   Response resp;
   auto base_out = co_await fs_.read_checked(data_name(r.handle), r.off, r.len);
   bool media_error = base_out.media_error;
@@ -540,7 +597,13 @@ sim::Task<Response> IoServer::do_read_data(const Request& r) {
   co_return resp;
 }
 
-sim::Task<Response> IoServer::do_write_data(const Request& r) {
+sim::Task<Response> IoServer::do_write_data(const Request& r, obs::Ctx ctx) {
+  obs::Span span;
+  if (obs::kEnabled && ctx.t != nullptr) {
+    span = ctx.t->span(ctx.pid, ctx.tid, "write_data", "disk", ctx.parent,
+                       "\"off\":" + std::to_string(r.off) +
+                           ",\"len\":" + std::to_string(r.payload.size()));
+  }
   handles_.try_emplace(r.handle);  // note the handle for storage accounting
   co_await pace(r, r.payload.size());
   const std::uint64_t off = r.off;
@@ -564,7 +627,13 @@ sim::Task<Response> IoServer::do_read_data_raw(const Request& r) {
   co_return resp;
 }
 
-sim::Task<Response> IoServer::do_read_red(const Request& r) {
+sim::Task<Response> IoServer::do_read_red(const Request& r, obs::Ctx ctx) {
+  obs::Span span;
+  if (obs::kEnabled && ctx.t != nullptr) {
+    span = ctx.t->span(ctx.pid, ctx.tid, "read_red", "disk", ctx.parent,
+                       "\"off\":" + std::to_string(r.off) +
+                           ",\"len\":" + std::to_string(r.len));
+  }
   Response resp;
   auto out =
       co_await fs_.read_checked(red_name(r.handle, r.red_gen), r.off, r.len);
@@ -577,7 +646,13 @@ sim::Task<Response> IoServer::do_read_red(const Request& r) {
   co_return resp;
 }
 
-sim::Task<Response> IoServer::do_write_red(const Request& r) {
+sim::Task<Response> IoServer::do_write_red(const Request& r, obs::Ctx ctx) {
+  obs::Span span;
+  if (obs::kEnabled && ctx.t != nullptr) {
+    span = ctx.t->span(ctx.pid, ctx.tid, "write_red", "disk", ctx.parent,
+                       "\"off\":" + std::to_string(r.off) +
+                           ",\"len\":" + std::to_string(r.payload.size()));
+  }
   auto& hs = handles_[r.handle];
   hs.max_red_gen = std::max(hs.max_red_gen, r.red_gen);
   co_await pace(r, r.payload.size());

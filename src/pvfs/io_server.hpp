@@ -24,6 +24,8 @@
 #include "hw/node.hpp"
 #include "localfs/local_fs.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pvfs/messages.hpp"
 #include "sim/channel.hpp"
 #include "sim/resource.hpp"
@@ -146,6 +148,13 @@ class IoServer {
   };
   const BatchStats& batch_stats() const { return batch_stats_; }
 
+  /// Attach (or clear) the tracer / metrics registry; caches the metric
+  /// handles so the hot path never looks up by name.
+  void set_obs(obs::Tracer* tracer, obs::Registry* metrics);
+
+  /// The iod dispatch-loop resource (utilization sampling).
+  const sim::BandwidthServer& iod() const { return iod_; }
+
   /// Aggregate storage across all handles on this server.
   StorageInfo total_storage() const;
 
@@ -217,14 +226,18 @@ class IoServer {
   sim::Task<void> handle(Request r);
   /// Execute one (non-batch) request and produce its response. `prelocked`
   /// means an enclosing batch already acquired this read_red's parity lock.
-  sim::Task<Response> exec_one(const Request& r, bool prelocked);
+  /// `ctx` (tracing only) carries the request span's lane so stage spans
+  /// nest under it; default = untraced.
+  sim::Task<Response> exec_one(const Request& r, bool prelocked,
+                               obs::Ctx ctx = {});
   /// Execute an Op::batch envelope: acquire every sub-lock in ascending
   /// key order, then run the subs in order, merging adjacent reads.
-  sim::Task<Response> exec_batch(const Request& r);
+  sim::Task<Response> exec_batch(const Request& r, obs::Ctx ctx = {});
   /// Acquire the parity lock at `key` for client `from`, queueing FIFO
   /// behind the holder. False when the lock vanished while queued (file
   /// removed, crash) — the caller must not proceed.
-  sim::Task<bool> lock_parity(std::uint64_t key, hw::NodeId from);
+  sim::Task<bool> lock_parity(std::uint64_t key, hw::NodeId from,
+                              obs::Ctx ctx = {});
   /// Hand a released (or expired) lock to the first queued waiter, or mark
   /// it free when nobody is waiting.
   void pass_or_release(std::uint64_t key, ParityLock& lk);
@@ -241,11 +254,11 @@ class IoServer {
   /// request was accepted (`epoch` mismatch) or the fabric lost the message.
   sim::Task<void> reply(const Request& r, Response resp, std::uint64_t epoch);
 
-  sim::Task<Response> do_read_data(const Request& r);
+  sim::Task<Response> do_read_data(const Request& r, obs::Ctx ctx = {});
   sim::Task<Response> do_read_data_raw(const Request& r);
-  sim::Task<Response> do_write_data(const Request& r);
-  sim::Task<Response> do_read_red(const Request& r);
-  sim::Task<Response> do_write_red(const Request& r);
+  sim::Task<Response> do_write_data(const Request& r, obs::Ctx ctx = {});
+  sim::Task<Response> do_read_red(const Request& r, obs::Ctx ctx = {});
+  sim::Task<Response> do_write_red(const Request& r, obs::Ctx ctx = {});
   sim::Task<Response> do_write_overflow(const Request& r);
   sim::Task<Response> do_read_mirror(const Request& r);
   sim::Task<Response> do_read_own_overflow(const Request& r);
@@ -283,6 +296,13 @@ class IoServer {
   std::unordered_map<std::uint64_t, ParityLock> locks_;
   LockStats lock_stats_;
   BatchStats batch_stats_;
+  // Observability (all null/0 when detached; see set_obs).
+  obs::Tracer* tracer_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
+  std::uint32_t pid_ = 0;                 ///< this server's trace process
+  obs::Histogram* req_hist_ = nullptr;    ///< server.req_ns
+  obs::Histogram* lock_hist_ = nullptr;   ///< server.lock_wait_ns
+  obs::Histogram* batch_hist_ = nullptr;  ///< server.batch_subs
   bool failed_ = false;
   bool crashed_ = false;
   /// Rejoined on a blank disk and not yet rebuilt: refuse reads/probes.

@@ -113,6 +113,12 @@ struct Request {
   Interval inval_own{0, 0};
   Interval inval_mirror{0, 0};
 
+  /// Tracing only: span id of the client-side RPC span this request belongs
+  /// to (0 = untraced). Server-side spans parent under it so one request's
+  /// client, fabric and server work nest in the trace viewer. Carries no
+  /// wire cost (excluded from wire_bytes) and never affects behaviour.
+  std::uint64_t tspan = 0;
+
   /// Op::batch: the sub-requests, executed by the server in this order over
   /// one channel. Sub-requests carry no `from`/`reply` of their own (the
   /// envelope's are used) and must not nest further batches.

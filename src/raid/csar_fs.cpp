@@ -20,6 +20,16 @@ bool failover_errc(Errc e) {
          e == Errc::conn_dropped || e == Errc::media_error;
 }
 
+/// Restores the client's ambient parent span when an fs-level op span closes
+/// (declare *after* the op Span so the restore runs first).
+struct AmbientGuard {
+  pvfs::Client* c = nullptr;
+  obs::SpanId prev = 0;
+  ~AmbientGuard() {
+    if (c != nullptr) c->set_ambient_span(prev);
+  }
+};
+
 using pvfs::Op;
 using pvfs::Request;
 using pvfs::StripeLayout;
@@ -158,6 +168,17 @@ sim::Task<Result<void>> CsarFs::write(const pvfs::OpenFile& f,
     p_.policy->note_write(f, p_.policy->scheme_of(f), full,
                           data.size() - full);
   }
+  obs::Span span;
+  AmbientGuard ambient;
+  if (obs::kEnabled && client_->tracer() != nullptr) {
+    span = client_->tracer()->task_span(
+        client_->obs_pid(), "fs", "fs.write", "fs", 0,
+        "\"off\":" + std::to_string(off) +
+            ",\"len\":" + std::to_string(data.size()));
+    ambient.c = client_;
+    ambient.prev = client_->ambient_span();
+    client_->set_ambient_span(span.id());
+  }
   if (listener_ == nullptr) co_return co_await write_guarded(f, off, std::move(data));
   const std::uint64_t len = data.size();
   listener_->on_write_begin(f);
@@ -222,6 +243,16 @@ sim::Task<Result<void>> CsarFs::degraded_write_observed(const pvfs::OpenFile& f,
 
 sim::Task<Result<Buffer>> CsarFs::read(const pvfs::OpenFile& f,
                                        std::uint64_t off, std::uint64_t len) {
+  obs::Span span;
+  AmbientGuard ambient;
+  if (obs::kEnabled && client_->tracer() != nullptr) {
+    span = client_->tracer()->task_span(
+        client_->obs_pid(), "fs", "fs.read", "fs", 0,
+        "\"off\":" + std::to_string(off) + ",\"len\":" + std::to_string(len));
+    ambient.c = client_;
+    ambient.prev = client_->ambient_span();
+    client_->set_ambient_span(span.id());
+  }
   if (mon_ == nullptr) co_return co_await client_->read(f, off, len);
   if (auto failed = mon_->first_failed()) {
     ++failover_stats_.degraded_reads;

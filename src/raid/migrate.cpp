@@ -32,7 +32,7 @@ void SchemeMigrator::start() {
   // Migration copies ride the rig's dedicated repair client; give it real
   // deadlines (a coexisting RebuildCoordinator installs the same defaults).
   rig_->repair_client().set_rpc_policy(p_.rpc);
-  sim().spawn(supervisor(gen_));
+  sim().spawn(supervisor(gen_), "migrate_supervisor");
 }
 
 void SchemeMigrator::stop() {
@@ -47,7 +47,7 @@ void SchemeMigrator::stop() {
 void SchemeMigrator::request(std::uint64_t handle, Scheme to) {
   auto it = files_.find(handle);
   if (it == files_.end() || it->second.migrating) return;
-  sim().spawn(migrate_task(handle, to));
+  sim().spawn(migrate_task(handle, to), "migrate_task");
 }
 
 void SchemeMigrator::on_write_begin(const pvfs::OpenFile& f) {
@@ -90,7 +90,7 @@ sim::Task<void> SchemeMigrator::supervisor(std::uint64_t my_gen) {
           // recommend() would return it forever.
           rig_->policy().dismiss(rec->handle);
         } else if (!it->second.migrating) {
-          sim().spawn(migrate_task(rec->handle, rec->to));
+          sim().spawn(migrate_task(rec->handle, rec->to), "migrate_task");
         }
       }
     }
@@ -110,6 +110,12 @@ sim::Task<void> SchemeMigrator::migrate_task(std::uint64_t handle, Scheme to) {
   ++active_;
   ++stats_.migrations_started;
   pol.note_migration_started(handle);
+  if (obs::kEnabled && rig_->tracer() != nullptr) {
+    rig_->tracer()->instant("migrate:start", "migrate",
+                            "\"handle\":" + std::to_string(handle) +
+                                ",\"to\":\"" + std::string(scheme_name(to)) +
+                                "\"");
+  }
 
   const std::uint32_t old_gen = pol.red_gen_of(t.f);
   const std::uint32_t new_gen = old_gen + 1;
@@ -137,6 +143,10 @@ sim::Task<void> SchemeMigrator::migrate_task(std::uint64_t handle, Scheme to) {
         // cooperative scheduler the pair is atomic, so no write can start
         // under the old scheme and land after the flip.
         pol.set_override(t.f, to, new_gen);
+        if (obs::kEnabled && rig_->tracer() != nullptr) {
+          rig_->tracer()->instant("migrate:flip", "migrate",
+                                  "\"handle\":" + std::to_string(handle));
+        }
         break;
       }
       co_await sim().sleep(p_.poll);
@@ -208,6 +218,10 @@ sim::Task<void> SchemeMigrator::migrate_task(std::uint64_t handle, Scheme to) {
 
   pol.note_migration_completed();
   ++stats_.migrations_completed;
+  if (obs::kEnabled && rig_->tracer() != nullptr) {
+    rig_->tracer()->instant("migrate:complete", "migrate",
+                            "\"handle\":" + std::to_string(handle));
+  }
   t.migrating = false;
   --active_;
 }

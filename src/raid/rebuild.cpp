@@ -44,11 +44,15 @@ void RebuildCoordinator::start() {
           if (o.phase == Phase::healthy) {
             o.phase = Phase::degraded;
             o.down_since = at;
+            if (obs::kEnabled && rig_->tracer() != nullptr) {
+              rig_->tracer()->instant("rebuild:degraded", "rebuild",
+                                      "\"server\":" + std::to_string(s));
+            }
           }
           if (stats_.first_down_at == 0) stats_.first_down_at = at;
         });
   }
-  sim().spawn(supervisor(gen_));
+  sim().spawn(supervisor(gen_), "rebuild_supervisor");
 }
 
 void RebuildCoordinator::stop() {
@@ -173,6 +177,11 @@ sim::Task<void> RebuildCoordinator::handle_rejoin(std::uint32_t s,
   } else {
     ++stats_.delta_rebuilds;
   }
+  if (obs::kEnabled && rig_->tracer() != nullptr) {
+    rig_->tracer()->instant("rebuild:start", "rebuild",
+                            "\"server\":" + std::to_string(s) +
+                                ",\"full\":" + (wiped ? "true" : "false"));
+  }
   const sim::Time t0 = sim().now();
   // Pass 0 is paced by the rate cap; dirty re-copy passes only tally their
   // bytes — their traffic is bounded by the foreground write rate, so
@@ -223,6 +232,10 @@ sim::Task<void> RebuildCoordinator::handle_rejoin(std::uint32_t s,
       o.next_attempt = 0;
       o.overflow_suspect = false;
       ++stats_.rebuilds_completed;
+      if (obs::kEnabled && rig_->tracer() != nullptr) {
+        rig_->tracer()->instant("rebuild:admit", "rebuild",
+                                "\"server\":" + std::to_string(s));
+      }
       if (stats_.first_admit_at == 0) stats_.first_admit_at = sim().now();
       stats_.last_admit_at = sim().now();
       stats_.last_rebuild_time = sim().now() - t0;
@@ -244,6 +257,10 @@ sim::Task<void> RebuildCoordinator::handle_rejoin(std::uint32_t s,
   // backoff.
   stats_.ok = false;
   ++stats_.rebuilds_failed;
+  if (obs::kEnabled && rig_->tracer() != nullptr) {
+    rig_->tracer()->instant("rebuild:failed", "rebuild",
+                            "\"server\":" + std::to_string(s));
+  }
   stats_.bytes_rebuilt += paced.taken() + tally.taken();
   for (const auto& [handle, set] : work) {
     for (const auto& iv : set.to_vector()) {

@@ -11,6 +11,8 @@
 #include "hw/node.hpp"
 #include "localfs/local_fs.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pvfs/client.hpp"
 #include "pvfs/io_server.hpp"
 #include "pvfs/manager.hpp"
@@ -126,8 +128,100 @@ class Rig {
           cluster, fabric, *manager, server_ptrs, node);
       repair_client_->set_rpc_batching(p.rpc_batching);
       repair_client_->seed_retry_rng(Rng(p.seed).next() ^ 0x9E8A17ULL);
+      if (obs::kEnabled && tracer_ != nullptr) {
+        tracer_->map_node(node, tracer_->process("repair"));
+      }
+      if (obs::kEnabled && (tracer_ != nullptr || metrics_ != nullptr)) {
+        repair_client_->set_obs(tracer_, metrics_);
+      }
     }
     return *repair_client_;
+  }
+
+  // --- observability ---
+  /// Attach a tracer and/or metrics registry to the whole deployment: the
+  /// tracer is attached to the simulation clock, gets one trace process per
+  /// node (manager, server N, client N), observes named simulator tasks,
+  /// and is installed on the fabric, every client and every server. Either
+  /// argument may be nullptr; call with both null to detach.
+  void set_obs(obs::Tracer* tracer, obs::Registry* metrics) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+    if (obs::kEnabled && tracer != nullptr) {
+      tracer->attach(sim);
+      tracer->map_node(manager->node_id(), tracer->process("manager"));
+      for (std::uint32_t s = 0; s < servers.size(); ++s) {
+        tracer->map_node(servers[s]->node_id(),
+                         tracer->process("server " + std::to_string(s)));
+      }
+      for (std::uint32_t c = 0; c < clients.size(); ++c) {
+        tracer->map_node(clients[c]->node_id(),
+                         tracer->process("client " + std::to_string(c)));
+      }
+      sim.set_task_observer(tracer);
+    } else {
+      sim.set_task_observer(nullptr);
+    }
+    fabric.set_tracer(obs::kEnabled ? tracer : nullptr);
+    for (auto& s : servers) s->set_obs(tracer, metrics);
+    for (auto& c : clients) c->set_obs(tracer, metrics);
+    if (repair_client_) repair_client_->set_obs(tracer, metrics);
+  }
+  obs::Tracer* tracer() { return obs::kEnabled ? tracer_ : nullptr; }
+  obs::Registry* metrics() { return obs::kEnabled ? metrics_ : nullptr; }
+
+  /// Dump end-of-run aggregates (lock/batch/rpc/cache/disk totals) into
+  /// `reg`. Complements the histograms/counters recorded live on the hot
+  /// path; call after the workload finishes.
+  void export_metrics(obs::Registry& reg) {
+    pvfs::IoServer::LockStats lk;
+    pvfs::IoServer::BatchStats bt;
+    std::uint64_t cache_hits = 0, cache_misses = 0;
+    std::uint64_t disk_reads = 0, disk_writes = 0;
+    double disk_busy = 0;
+    for (auto& s : servers) {
+      lk.acquisitions += s->lock_stats().acquisitions;
+      lk.waits += s->lock_stats().waits;
+      lk.wait_time += s->lock_stats().wait_time;
+      lk.lease_expirations += s->lock_stats().lease_expirations;
+      bt.batches += s->batch_stats().batches;
+      bt.subs += s->batch_stats().subs;
+      bt.merged_reads += s->batch_stats().merged_reads;
+      hw::Node& n = cluster.node(s->node_id());
+      if (n.cache() != nullptr) {
+        cache_hits += n.cache()->stats().hits;
+        cache_misses += n.cache()->stats().misses;
+      }
+      if (n.disk() != nullptr) {
+        const auto d = n.disk()->stats();
+        disk_reads += d.reads;
+        disk_writes += d.writes;
+        disk_busy += sim::to_seconds(d.busy_time);
+      }
+    }
+    pvfs::RpcStats rpc;
+    for (auto& c : clients) {
+      rpc.sent += c->rpc_stats().sent;
+      rpc.retries += c->rpc_stats().retries;
+      rpc.timeouts += c->rpc_stats().timeouts;
+      rpc.resets += c->rpc_stats().resets;
+    }
+    reg.counter("rig.lock_acquisitions").set(lk.acquisitions);
+    reg.counter("rig.lock_waits").set(lk.waits);
+    reg.counter("rig.lock_lease_expirations").set(lk.lease_expirations);
+    reg.gauge("rig.lock_wait_seconds").set(sim::to_seconds(lk.wait_time));
+    reg.counter("rig.batches").set(bt.batches);
+    reg.counter("rig.batch_subs").set(bt.subs);
+    reg.counter("rig.merged_reads").set(bt.merged_reads);
+    reg.counter("rig.rpc_sent").set(rpc.sent);
+    reg.counter("rig.rpc_retries").set(rpc.retries);
+    reg.counter("rig.rpc_timeouts").set(rpc.timeouts);
+    reg.counter("rig.rpc_resets").set(rpc.resets);
+    reg.counter("rig.cache_hits").set(cache_hits);
+    reg.counter("rig.cache_misses").set(cache_misses);
+    reg.counter("rig.disk_reads").set(disk_reads);
+    reg.counter("rig.disk_writes").set(disk_writes);
+    reg.gauge("rig.disk_busy_seconds").set(disk_busy);
   }
 
   Recovery repair_recovery() {
@@ -159,6 +253,8 @@ class Rig {
  private:
   std::unique_ptr<RedundancyPolicy> policy_;
   std::unique_ptr<pvfs::Client> repair_client_;
+  obs::Tracer* tracer_ = nullptr;     ///< not owned; see set_obs
+  obs::Registry* metrics_ = nullptr;  ///< not owned; see set_obs
   bool stopped_ = false;
 };
 

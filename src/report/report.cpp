@@ -25,9 +25,18 @@ void table(const std::string& caption, const TextTable& t) {
   }
 }
 
+namespace {
+bool g_check_failed = false;
+}  // namespace
+
 void check(const std::string& what, bool ok) {
   std::printf("CHECK %-60s %s\n", what.c_str(), ok ? "[ok]" : "[MISMATCH]");
+  if (!ok) g_check_failed = true;
 }
+
+bool any_check_failed() { return g_check_failed; }
+
+int exit_code() { return g_check_failed ? 1 : 0; }
 
 std::string mbps(double bytes_per_sec) {
   char buf[32];

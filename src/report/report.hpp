@@ -22,8 +22,17 @@ void expectations(const std::vector<std::string>& lines);
 /// Print a named result table (and its CSV form when CSAR_CSV is set).
 void table(const std::string& caption, const TextTable& t);
 
-/// Simple pass/fail line for a self-check on the reproduced shape.
+/// Simple pass/fail line for a self-check on the reproduced shape. A failed
+/// check also latches the process-wide failure flag below.
 void check(const std::string& what, bool ok);
+
+/// True once any check() in this process has failed.
+bool any_check_failed();
+
+/// Process exit status honouring the checks: 0 when every check passed,
+/// 1 otherwise. Bench mains `return report::exit_code();` so CI catches a
+/// reproduced shape drifting, not just a crash.
+int exit_code();
 
 /// Megabytes-per-second cell, one decimal.
 std::string mbps(double bytes_per_sec);

@@ -21,6 +21,18 @@ ProcessHandle Simulation::spawn(Task<void> t) {
   return ProcessHandle{st};
 }
 
+Task<void> Simulation::observed(TaskObserver* obs, Task<void> inner,
+                                const char* name) {
+  const std::uint64_t token = obs->on_task_start(name);
+  co_await std::move(inner);
+  obs->on_task_end(token);
+}
+
+ProcessHandle Simulation::spawn(Task<void> t, const char* name) {
+  if (observer_ == nullptr || name == nullptr) return spawn(std::move(t));
+  return spawn(observed(observer_, std::move(t), name));
+}
+
 void Simulation::schedule_at(Time t, std::coroutine_handle<> h) {
   assert(t >= now_ && "cannot schedule in the past");
   queue_.push(Event{t, next_seq_++, h, nullptr});

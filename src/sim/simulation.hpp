@@ -19,6 +19,19 @@ namespace csar::sim {
 
 class Simulation;
 
+/// Observer of *named* spawned processes (see Simulation::spawn(t, name)).
+/// Implemented by obs::Tracer to render long-lived simulator tasks as trace
+/// lanes. on_task_start returns a token handed back at completion. The
+/// wrapper that drives these callbacks runs inline on the spawning/finishing
+/// resume chain — it never schedules an event — so installing an observer
+/// cannot change simulated time or event counts.
+class TaskObserver {
+ public:
+  virtual ~TaskObserver() = default;
+  virtual std::uint64_t on_task_start(const char* name) = 0;
+  virtual void on_task_end(std::uint64_t token) = 0;
+};
+
 /// Shared completion state of a spawned process.
 struct ProcessState {
   bool done = false;
@@ -66,6 +79,16 @@ class Simulation {
   /// Start `t` as a process at the current time. The task body runs
   /// immediately (same timestamp) until its first suspension.
   ProcessHandle spawn(Task<void> t);
+
+  /// spawn() with a process name reported to the installed TaskObserver
+  /// (`name` must outlive the process — use a string literal). Without an
+  /// observer this is exactly spawn(): no wrapper, no extra frame.
+  ProcessHandle spawn(Task<void> t, const char* name);
+
+  /// Install (or clear, with nullptr) the named-spawn observer. Not owned;
+  /// must outlive every named process still running.
+  void set_task_observer(TaskObserver* o) { observer_ = o; }
+  TaskObserver* task_observer() const { return observer_; }
 
   /// Awaitable: resume after `d` simulated nanoseconds.
   auto sleep(Duration d) { return SleepAwaiter{this, now_ + d}; }
@@ -142,12 +165,15 @@ class Simulation {
     };
   };
   static RootCoro run_root(Task<void> t, std::shared_ptr<ProcessState> st);
+  static Task<void> observed(TaskObserver* obs, Task<void> inner,
+                             const char* name);
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t live_processes_ = 0;
   std::uint64_t events_executed_ = 0;
+  TaskObserver* observer_ = nullptr;
 };
 
 }  // namespace csar::sim
