@@ -26,6 +26,10 @@ const char* errc_name(Errc e) {
       return "media_error";
     case Errc::conn_dropped:
       return "conn_dropped";
+    case Errc::stale_generation:
+      return "stale_generation";
+    case Errc::stale_epoch:
+      return "stale_epoch";
   }
   return "unknown";
 }

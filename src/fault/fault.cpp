@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "hw/page_cache.hpp"
+#include "pvfs/manager.hpp"
 
 namespace csar::fault {
 
@@ -13,7 +14,15 @@ namespace {
 /// One executable step of the plan, in firing order.
 struct Step {
   sim::Time at;
-  enum Kind { crash, restart, plant, slow_on, slow_off } kind;
+  enum Kind {
+    crash,
+    restart,
+    plant,
+    slow_on,
+    slow_off,
+    mgr_crash,
+    mgr_restart
+  } kind;
   std::size_t idx;  ///< index into the plan vector the kind refers to
 };
 
@@ -54,6 +63,16 @@ void FaultInjector::note(const char* what, std::uint32_t server,
   }
 }
 
+void FaultInjector::note_manager(const char* what, const char* extra) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "t=%.3fms %s manager%s",
+                sim::to_seconds(cluster_->sim().now()) * 1e3, what, extra);
+  trace_.emplace_back(buf);
+  if (obs::kEnabled && tracer_ != nullptr) {
+    tracer_->instant(what, "fault", "\"manager\":1");
+  }
+}
+
 net::FabricHook::Verdict FaultInjector::on_transfer(
     hw::NodeId src, hw::NodeId dst, std::uint64_t /*payload_bytes*/) {
   Verdict v{};
@@ -89,6 +108,13 @@ sim::Task<void> FaultInjector::timeline() {
     steps.push_back({plan_.crashes[i].at, Step::crash, i});
     if (plan_.crashes[i].restart_at) {
       steps.push_back({*plan_.crashes[i].restart_at, Step::restart, i});
+    }
+  }
+  for (std::size_t i = 0; i < plan_.mgr_crashes.size(); ++i) {
+    steps.push_back({plan_.mgr_crashes[i].at, Step::mgr_crash, i});
+    if (plan_.mgr_crashes[i].restart_at) {
+      steps.push_back({*plan_.mgr_crashes[i].restart_at, Step::mgr_restart,
+                       i});
     }
   }
   for (std::size_t i = 0; i < plan_.media.size(); ++i) {
@@ -157,6 +183,24 @@ sim::Task<void> FaultInjector::timeline() {
           disk->set_service_factor(1.0);
           note("disk fail-slow ends", sd.server);
         }
+        break;
+      }
+      case Step::mgr_crash: {
+        assert(manager_ != nullptr && "set_manager() before mgr_crashes");
+        const auto& c = plan_.mgr_crashes[s.idx];
+        manager_->crash(c.wipe_unsynced);
+        ++stats_.mgr_crashes;
+        note_manager("crash", c.wipe_unsynced ? " (unsynced tail lost)" : "");
+        break;
+      }
+      case Step::mgr_restart: {
+        assert(manager_ != nullptr && "set_manager() before mgr_crashes");
+        // Replay runs inline on the timeline: any later step scheduled
+        // inside the replay window fires right after it completes, which
+        // keeps the step order (and the storm fingerprint) deterministic.
+        co_await manager_->restart();
+        ++stats_.mgr_restarts;
+        note_manager("restart (journal replayed)");
         break;
       }
     }

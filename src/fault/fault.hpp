@@ -28,6 +28,10 @@
 #include "sim/simulation.hpp"
 #include "sim/task.hpp"
 
+namespace csar::pvfs {
+class Manager;
+}
+
 namespace csar::fault {
 
 /// Hard-crash server `server` at time `at`; optionally bring it back.
@@ -39,6 +43,17 @@ struct ServerCrash {
   /// Restart onto a blank replacement disk (run Recovery::rebuild_server
   /// before trusting its contents) instead of the surviving on-disk state.
   bool wipe = false;
+};
+
+/// Hard-crash the metadata manager at `at`; optionally restart (journal
+/// replay) later. The crash drops all in-memory metadata; replay rebuilds it
+/// from the manager-disk checkpoint + journal.
+struct ManagerCrash {
+  sim::Time at = 0;
+  /// Absent: the manager stays down for the rest of the run.
+  std::optional<sim::Time> restart_at;
+  /// Lose the unsynced journal tail (dirty page-cache bytes) with the crash.
+  bool wipe_unsynced = false;
 };
 
 /// Transient message faults on the (a, b) link during [start, end).
@@ -78,6 +93,7 @@ struct SlowDisk {
 struct FaultPlan {
   std::uint64_t seed = 1;  ///< drives every probabilistic draw
   std::vector<ServerCrash> crashes;
+  std::vector<ManagerCrash> mgr_crashes;
   std::vector<LinkFault> links;
   std::vector<MediaFault> media;
   std::vector<SlowDisk> slow_disks;
@@ -86,6 +102,8 @@ struct FaultPlan {
 struct FaultStats {
   std::uint64_t crashes = 0;
   std::uint64_t restarts = 0;
+  std::uint64_t mgr_crashes = 0;
+  std::uint64_t mgr_restarts = 0;
   std::uint64_t msgs_dropped = 0;
   std::uint64_t msgs_reset = 0;
   std::uint64_t msgs_delayed = 0;
@@ -132,13 +150,21 @@ class FaultInjector final : public net::FabricHook {
   /// instant event on the sim timeline. Not owned.
   void set_tracer(obs::Tracer* t) { tracer_ = t; }
 
+  /// Attach the metadata manager so plan.mgr_crashes can be executed
+  /// (required iff the plan crashes the manager). Not owned. A manager
+  /// restart step awaits the full journal replay inline, so steps scheduled
+  /// during the replay window fire right after it completes.
+  void set_manager(pvfs::Manager* m) { manager_ = m; }
+
  private:
   sim::Task<void> timeline();
   void note(const char* what, std::uint32_t server, const char* extra = "");
+  void note_manager(const char* what, const char* extra = "");
 
   hw::Cluster* cluster_;
   net::Fabric* fabric_;
   std::vector<pvfs::IoServer*> servers_;
+  pvfs::Manager* manager_ = nullptr;  ///< see set_manager
   FaultPlan plan_;
   Rng rng_;
   FaultStats stats_{};

@@ -87,10 +87,13 @@ std::uint64_t fingerprint(const StormMetrics& m) {
         m.recopy_passes, m.rebuild_bytes, m.dirty_bytes_tracked,
         m.migrations_started, m.migrations_completed, m.migrations_failed,
         m.migrate_recopy_passes, m.migrate_dirty_bytes,
+        m.mgr_crashes, m.mgr_replays, m.mgr_replayed_records,
+        m.mgr_dedup_hits, m.mgr_dropped_replies, m.meta_mismatches,
         static_cast<std::uint64_t>(m.detection_latency),
         static_cast<std::uint64_t>(m.mttr), m.events_executed,
         static_cast<std::uint64_t>(m.finished_at), m.faults.crashes,
-        m.faults.restarts, m.faults.msgs_dropped, m.faults.msgs_reset,
+        m.faults.restarts, m.faults.mgr_crashes, m.faults.mgr_restarts,
+        m.faults.msgs_dropped, m.faults.msgs_reset,
         m.faults.msgs_delayed, m.faults.media_planted,
         m.faults.slow_periods}) {
     h = fnv1a(h, v);
@@ -214,6 +217,11 @@ sim::Task<void> driver(const StormParams& p, raid::Rig& rig,
       last_restart = *c.restart_at;
     }
   }
+  for (const auto& c : p.plan.mgr_crashes) {
+    if (c.restart_at && *c.restart_at > last_restart) {
+      last_restart = *c.restart_at;
+    }
+  }
   if (last_restart > sim.now()) co_await sim.sleep_until(last_restart);
   if (coord) {
     const sim::Time give_up = sim.now() + sim::sec(120);
@@ -226,6 +234,10 @@ sim::Task<void> driver(const StormParams& p, raid::Rig& rig,
     while (!mig->idle() && sim.now() < give_up) {
       co_await sim.sleep(sim::ms(5));
     }
+    // After a manager replay, cross-check every tracked file's durable
+    // scheme tag against the live state and repair whichever side is
+    // behind (resume a flip the crash stranded, adopt a persisted one).
+    if (!p.plan.mgr_crashes.empty()) co_await mig->reconcile();
   }
 
   // With every server healthy again, clear latent sector errors the plan
@@ -250,6 +262,30 @@ sim::Task<void> driver(const StormParams& p, raid::Rig& rig,
           std::min<std::uint64_t>(chunk, p.file_size - off);
       auto rd = co_await fs.read(files[i], off, len);
       if (!rd.ok() || !shadows[i].matches(off, *rd)) ++m.verify_mismatches;
+    }
+  }
+
+  // Metadata audit: after every replay and reconciliation, the manager's
+  // durable view of each file (handle, scheme tag, redundancy generation)
+  // must agree with the live state the clients are acting on. Skipped only
+  // when the plan leaves the manager down for good.
+  if (!rig.manager->crashed()) {
+    for (std::uint32_t i = 0; i < nfiles; ++i) {
+      auto f2 = co_await rig.client().open("storm" + std::to_string(i));
+      if (!f2.ok() || f2->handle != files[i].handle) {
+        ++m.meta_mismatches;
+        continue;
+      }
+      if (f2->red_gen != rig.policy().red_gen_of(files[i])) {
+        ++m.meta_mismatches;
+      }
+      // An unset tag means "layout default", which the policy may have
+      // overridden locally — only a *set* tag can contradict the live scheme.
+      if (f2->scheme != pvfs::kSchemeUnset &&
+          static_cast<raid::Scheme>(f2->scheme) !=
+              rig.policy().scheme_of(files[i])) {
+        ++m.meta_mismatches;
+      }
     }
   }
 
@@ -290,6 +326,7 @@ StormMetrics run_storm(const StormParams& params) {
   FaultInjector inj(rig.cluster, rig.fabric, std::move(server_ptrs),
                     params.plan);
   inj.set_tracer(rig.tracer());
+  inj.set_manager(rig.manager.get());
   for (auto& fs : rig.fs) fs->enable_failover(&mon);
   std::optional<raid::RebuildCoordinator> coord;
   if (params.rebuild_after) coord.emplace(rig, mon, params.rebuild);
@@ -411,6 +448,15 @@ StormMetrics run_storm(const StormParams& params) {
     m.migrations_failed = ms.migrations_failed;
     m.migrate_recopy_passes = ms.recopy_passes;
     m.migrate_dirty_bytes = ms.dirty_bytes;
+  }
+
+  {
+    const pvfs::ManagerStats& mg = rig.manager->stats();
+    m.mgr_crashes = mg.crashes;
+    m.mgr_replays = mg.replays;
+    m.mgr_replayed_records = mg.replayed_records;
+    m.mgr_dedup_hits = mg.dedup_hits;
+    m.mgr_dropped_replies = mg.dropped_replies;
   }
 
   m.faults = inj.stats();

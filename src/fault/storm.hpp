@@ -121,6 +121,17 @@ struct StormMetrics {
   std::uint64_t rebuild_bytes = 0;    ///< reconstruction traffic
   std::uint64_t dirty_bytes_tracked = 0;  ///< degraded-write bytes observed
 
+  // Metadata-manager outcome (all zero when the plan spares the manager).
+  std::uint64_t mgr_crashes = 0;
+  std::uint64_t mgr_replays = 0;
+  std::uint64_t mgr_replayed_records = 0;  ///< journal records re-applied
+  std::uint64_t mgr_dedup_hits = 0;        ///< retried meta-RPCs deduplicated
+  std::uint64_t mgr_dropped_replies = 0;   ///< meta replies lost on the wire
+  /// Final metadata audit: files whose manager-durable handle/scheme tag/
+  /// generation disagrees with the clients' live view after all replays and
+  /// reconciliation. Must be zero for a converged storm.
+  std::uint64_t meta_mismatches = 0;
+
   // Fault-tolerance figures of merit.
   sim::Duration detection_latency = 0;  ///< first crash -> monitor notices
   sim::Duration mttr = 0;  ///< first crash -> rebuilt & trusted again

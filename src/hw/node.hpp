@@ -114,6 +114,14 @@ class Cluster {
 
   NodeId add_server() { return add_node(profile_.server); }
   NodeId add_client() { return add_node(profile_.client); }
+  /// Manager node: client-class NIC/CPU (it is off the data path) but with a
+  /// server-class disk + page cache so metadata journaling cost is charged.
+  NodeId add_manager() {
+    NodeParams p = profile_.client;
+    p.disk = profile_.server.disk;
+    p.cache = profile_.server.cache;
+    return add_node(p);
+  }
 
   Node& node(NodeId id) { return *nodes_[id]; }
   std::size_t node_count() const { return nodes_.size(); }

@@ -56,9 +56,16 @@ sim::Task<MetaResponse> Client::meta_rpc(MetaRequest r) {
       continue;
     }
     if (d == net::Delivery::ok) manager_->inbox().send(std::move(req));
-    if (policy_.timeout == 0) co_return co_await ch->recv();
+    if (policy_.timeout == 0) {
+      MetaResponse resp = co_await ch->recv();
+      if (resp.mgr_epoch != 0) mgr_epoch_seen_ = resp.mgr_epoch;
+      co_return resp;
+    }
     auto got = co_await ch->recv_until(sim.now() + policy_.timeout);
-    if (got) co_return std::move(*got);
+    if (got) {
+      if (got->mgr_epoch != 0) mgr_epoch_seen_ = got->mgr_epoch;
+      co_return std::move(*got);
+    }
     ++rpc_stats_.timeouts;
     if (obs::kEnabled && timeout_ctr_ != nullptr) timeout_ctr_->add(1);
   }
@@ -92,6 +99,7 @@ sim::Task<Result<OpenFile>> Client::create(std::string name,
   r.name = std::move(name);
   r.layout = layout;
   r.scheme = scheme;
+  r.req_id = ++meta_req_seq_;  // one id per logical create, across retries
   MetaResponse resp = co_await meta_rpc(std::move(r));
   if (!resp.ok) co_return Error{resp.err, "create"};
   co_return resp.file;
@@ -99,12 +107,15 @@ sim::Task<Result<OpenFile>> Client::create(std::string name,
 
 sim::Task<Result<OpenFile>> Client::set_scheme(std::string name,
                                                std::uint8_t scheme,
-                                               std::uint32_t red_gen) {
+                                               std::uint32_t red_gen,
+                                               std::uint32_t fence_epoch) {
   MetaRequest r;
   r.op = MetaOp::set_scheme;
   r.name = std::move(name);
   r.scheme = scheme;
   r.red_gen = red_gen;
+  r.fence_epoch = fence_epoch;
+  r.req_id = ++meta_req_seq_;
   MetaResponse resp = co_await meta_rpc(std::move(r));
   if (!resp.ok) co_return Error{resp.err, "set_scheme"};
   co_return resp.file;
@@ -143,6 +154,7 @@ sim::Task<Result<void>> Client::remove(std::string name) {
   MetaRequest r;
   r.op = MetaOp::remove;
   r.name = std::move(name);
+  r.req_id = ++meta_req_seq_;
   MetaResponse resp = co_await meta_rpc(std::move(r));
   if (!resp.ok) co_return Error{resp.err, "remove"};
   co_return Result<void>::success();

@@ -78,9 +78,16 @@ class Client {
   sim::Task<Result<OpenFile>> open(std::string name);
   sim::Task<Result<void>> remove(std::string name);
   /// Record a scheme transition (and its redundancy generation) at the
-  /// manager, so later opens see the migrated file's metadata.
+  /// manager, so later opens see the migrated file's metadata. A nonzero
+  /// `fence_epoch` executes only against that manager incarnation
+  /// (Errc::stale_epoch otherwise) — the migrator fences its persist so a
+  /// pre-crash flip cannot clobber replayed state.
   sim::Task<Result<OpenFile>> set_scheme(std::string name, std::uint8_t scheme,
-                                         std::uint32_t red_gen);
+                                         std::uint32_t red_gen,
+                                         std::uint32_t fence_epoch = 0);
+
+  /// Latest manager incarnation observed in any meta reply (0 = none yet).
+  std::uint32_t manager_epoch() const { return mgr_epoch_seen_; }
 
   /// Default policy for every rpc()/meta_rpc() issued by this client.
   void set_rpc_policy(const RpcPolicy& p) { policy_ = p; }
@@ -91,6 +98,12 @@ class Client {
   void seed_retry_rng(std::uint64_t seed) { rng_.reseed(seed); }
 
   const RpcStats& rpc_stats() const { return rpc_stats_; }
+
+  /// Fresh identity for one parity read-modify-write: tags its locked
+  /// read_red, the paired unlocking write_red, and any abandon-time
+  /// unlock_red, so server-side lock ownership survives lost grant replies
+  /// (retries re-enter instead of queueing behind themselves).
+  std::uint64_t next_rmw_token() { return ++rmw_seq_; }
 
   // --- observability ---
   /// Attach (or clear) the tracer / metrics registry. Caches the metric
@@ -181,6 +194,11 @@ class Client {
   RpcPolicy policy_{};
   RpcStats rpc_stats_{};
   bool batching_ = true;
+  /// Per-client id for mutating meta ops; identical across retries of one
+  /// logical call so the manager can dedup (see MetaRequest::req_id).
+  std::uint64_t meta_req_seq_ = 0;
+  std::uint64_t rmw_seq_ = 0;  ///< see next_rmw_token()
+  std::uint32_t mgr_epoch_seen_ = 0;
   Rng rng_{0xC5A2F001ULL};  ///< backoff jitter; reseed via seed_retry_rng
 
   // Observability (all null/0 when detached; see set_obs).

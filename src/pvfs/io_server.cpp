@@ -149,14 +149,28 @@ void IoServer::apply_invalidation(const Request& r) {
 }
 
 sim::Task<bool> IoServer::lock_parity(std::uint64_t key, hw::NodeId from,
-                                      obs::Ctx ctx) {
+                                      std::uint64_t token, obs::Ctx ctx) {
   auto& lk = locks_[key];
   if (!lk.held) {
     lk.held = true;
     lk.owner = from;
+    lk.owner_token = token;
     ++lk.gen;
     lk.acquired_at = cluster_->sim().now();
     ++lock_stats_.acquisitions;
+    if (obs::kEnabled && lock_hist_ != nullptr) lock_hist_->add(0);
+    co_return true;
+  }
+  if (lk.owner == from && token != 0 && lk.owner_token == token) {
+    // Same RMW re-requesting its own lock: the grant reply to an earlier
+    // attempt was lost in flight and the client retried. Re-enter rather
+    // than queue — a waiter entry for an op that already owns the lock can
+    // only be satisfied by abandonment, and once granted it would hold the
+    // block as a zombie for a full lease. Fresh acquisition time (and a gen
+    // bump to invalidate any armed watchdog): the RMW is demonstrably live.
+    ++lk.gen;
+    lk.acquired_at = cluster_->sim().now();
+    ++lock_stats_.reentries;
     if (obs::kEnabled && lock_hist_ != nullptr) lock_hist_->add(0);
     co_return true;
   }
@@ -166,6 +180,7 @@ sim::Task<bool> IoServer::lock_parity(std::uint64_t key, hw::NodeId from,
   ++lock_stats_.waits;
   LockWaiter w;
   w.from = from;
+  w.token = token;
   w.enq = cluster_->sim().now();
   lk.waiting.push_back(&w);
   arm_lease(key, lk);
@@ -193,6 +208,7 @@ void IoServer::pass_or_release(std::uint64_t key, ParityLock& lk) {
   if (lk.waiting.empty()) {
     lk.held = false;
     lk.owner = 0;
+    lk.owner_token = 0;
     return;
   }
   // Hand the lock to the first queued waiter and resume its acquirer.
@@ -201,6 +217,7 @@ void IoServer::pass_or_release(std::uint64_t key, ParityLock& lk) {
   lock_stats_.wait_time += cluster_->sim().now() - w->enq;
   ++lock_stats_.acquisitions;
   lk.owner = w->from;
+  lk.owner_token = w->token;
   lk.acquired_at = cluster_->sim().now();
   if (!lk.waiting.empty()) arm_lease(key, lk);  // new holder, fresh lease
   w->granted = true;
@@ -345,7 +362,7 @@ sim::Task<Response> IoServer::exec_one(const Request& r, bool prelocked,
     case Op::read_red: {
       if (p_.parity_locking && r.lock && !prelocked) {
         const std::uint64_t key = lock_key(r.handle, r.off, r.su);
-        const bool got = co_await lock_parity(key, r.from, ctx);
+        const bool got = co_await lock_parity(key, r.from, r.rmw_token, ctx);
         if (!got) {
           // The lock vanished while we were queued (file removed, crash):
           // answer not_found so the client does not hang.
@@ -367,8 +384,12 @@ sim::Task<Response> IoServer::exec_one(const Request& r, bool prelocked,
         // A crash wipes the lock table: a writer that acquired the lock
         // before the crash legitimately unlocks a lock we no longer hold.
         // Forgetting a lock is safe (the RMW it protected was fenced by the
-        // epoch check), so treat the orphan unlock as a no-op.
-        if (it != locks_.end() && it->second.held) {
+        // epoch check), so treat the orphan unlock as a no-op. A tagged
+        // unlock whose token no longer matches is a duplicate retry of an
+        // already-released RMW — it must not release the lock a newer RMW
+        // now holds.
+        if (it != locks_.end() && it->second.held &&
+            (r.rmw_token == 0 || it->second.owner_token == r.rmw_token)) {
           pass_or_release(key, it->second);
         }
       }
@@ -384,7 +405,8 @@ sim::Task<Response> IoServer::exec_one(const Request& r, bool prelocked,
         const std::uint64_t key = lock_key(r.handle, r.off, r.su);
         auto it = locks_.find(key);
         if (it != locks_.end() && it->second.held &&
-            it->second.owner == r.from) {
+            it->second.owner == r.from &&
+            (r.rmw_token == 0 || it->second.owner_token == r.rmw_token)) {
           ++lock_stats_.explicit_releases;
           pass_or_release(key, it->second);
         }
@@ -489,7 +511,8 @@ sim::Task<Response> IoServer::exec_batch(const Request& r, obs::Ctx ctx) {
   std::vector<char> prelocked(subs.size(), 0);
   std::vector<char> lock_dead(subs.size(), 0);
   for (const auto& [key, i] : lock_plan) {
-    const bool got = co_await lock_parity(key, subs[i].from, ctx);
+    const bool got =
+        co_await lock_parity(key, subs[i].from, subs[i].rmw_token, ctx);
     if (got) {
       prelocked[i] = 1;
     } else {

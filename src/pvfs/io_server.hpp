@@ -137,6 +137,9 @@ class IoServer {
     sim::Duration wait_time = 0;     ///< total simulated queueing time
     std::uint64_t lease_expirations = 0;  ///< abandoned locks reclaimed
     std::uint64_t explicit_releases = 0;  ///< owner-verified unlock_red ops
+    /// Retried locked reads re-granted their own lock (the grant reply was
+    /// lost in flight, so the client resent the acquisition).
+    std::uint64_t reentries = 0;
   };
   const LockStats& lock_stats() const { return lock_stats_; }
 
@@ -182,6 +185,7 @@ class IoServer {
   struct LockWaiter {
     std::coroutine_handle<> h;
     hw::NodeId from = 0;
+    std::uint64_t token = 0;  ///< RMW identity carried into a handover
     sim::Time enq = 0;
     /// Set by the waker: true = lock handed over, false = lock vanished
     /// (file removed / crash) and the acquirer must not proceed.
@@ -195,6 +199,13 @@ class IoServer {
     /// cannot know whether its lock was ever granted; the owner check makes
     /// its abandon-release safe to send unconditionally).
     hw::NodeId owner = 0;
+    /// RMW transaction the holder tagged its acquisition with (0 =
+    /// untagged). A resent read_red carrying the same token is the *same*
+    /// in-flight RMW whose grant reply was lost — it re-enters the lock
+    /// instead of queueing behind itself, which would wedge the block:
+    /// the abandoned queue entries would each inherit the lock for a full
+    /// lease period, and every new writer of the group would feed it more.
+    std::uint64_t owner_token = 0;
     /// Bumped whenever ownership changes (acquire, handover, release) so a
     /// pending lease watchdog can tell "still the same stuck holder" from
     /// "lock has moved on since I was armed".
@@ -237,6 +248,7 @@ class IoServer {
   /// behind the holder. False when the lock vanished while queued (file
   /// removed, crash) — the caller must not proceed.
   sim::Task<bool> lock_parity(std::uint64_t key, hw::NodeId from,
+                              std::uint64_t token,
                               obs::Ctx ctx = {});
   /// Hand a released (or expired) lock to the first queued waiter, or mark
   /// it free when nobody is waiting.

@@ -100,6 +100,12 @@ struct Request {
   std::uint32_t su = 0;   ///< stripe unit (lock granularity / overflow alloc)
   bool lock = false;      ///< read_red: acquire the parity-block lock
   bool unlock = false;    ///< write_red: release the parity-block lock
+  /// Identity of the RMW transaction a lock/unlock belongs to (client-local
+  /// counter; 0 = untagged). A retried read_red whose grant reply was lost
+  /// re-enters its own lock instead of queueing behind itself, and a stale
+  /// duplicate unlock from an earlier, abandoned RMW cannot release a lock
+  /// a newer RMW of the same client now holds.
+  std::uint64_t rmw_token = 0;
   bool mirror = false;    ///< write_overflow: store as mirror copy
   std::uint32_t owner = 0;  ///< overflow ops: owning server index
   /// read_red / write_red / drop_red: redundancy-file generation. A scheme

@@ -437,6 +437,10 @@ sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
     std::uint32_t server;
     std::vector<std::size_t> cs;  // ctx indexes, ascending group order
   };
+  // One token identifies this whole RMW to the lock protocol: a retried
+  // lock read re-enters its own grant, and the paired (or abandon-time)
+  // release cannot be confused with a later RMW's lock.
+  const std::uint64_t rmw_token = locking ? client_->next_rmw_token() : 0;
   std::vector<LockBucket> lbuckets;
   for (std::size_t i = 0; i < ctx.size(); ++i) {
     const std::uint32_t srv = layout.parity_server(ctx[i].seg.group);
@@ -472,6 +476,7 @@ sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
       r.off = layout.parity_local_off(ctx[i].seg.group) + cr.lo;
       r.len = cr.hi - cr.lo;
       r.lock = locking;
+      r.rmw_token = rmw_token;
       r.su = layout.stripe_unit;
       r.red_gen = gen;
       subs.push_back(std::move(r));
@@ -508,6 +513,7 @@ sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
         u.op = Op::unlock_red;
         u.handle = f.handle;
         u.off = layout.parity_local_off(ctx[i].seg.group) + ctx[i].cols.lo;
+        u.rmw_token = rmw_token;
         u.su = layout.stripe_unit;
         u.red_gen = gen;
         rel.emplace_back(layout.parity_server(ctx[i].seg.group),
@@ -545,6 +551,7 @@ sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
     w.off = layout.parity_local_off(c.seg.group) + c.cols.lo;
     w.payload = std::move(c.parity);
     w.unlock = locking;
+    w.rmw_token = rmw_token;
     w.su = layout.stripe_unit;
     w.red_gen = gen;
     writes.emplace_back(layout.parity_server(c.seg.group), std::move(w));

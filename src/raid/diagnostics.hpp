@@ -55,6 +55,20 @@ inline void maybe_print_diagnostics(Rig& rig, const char* label) {
   if (std::getenv("CSAR_DIAG") == nullptr) return;
   std::printf("\n-- diagnostics: %s --\n", label);
   rig_stats_table(rig).print();
+  {
+    const pvfs::ManagerStats& mg = rig.manager->stats();
+    const pvfs::JournalStats jn = rig.manager->journal_stats();
+    std::printf(
+        "manager: served=%llu dropped_replies=%llu dedup_hits=%llu "
+        "journal_records=%llu checkpoints=%llu crashes=%llu replays=%llu\n",
+        static_cast<unsigned long long>(mg.served),
+        static_cast<unsigned long long>(mg.dropped_replies),
+        static_cast<unsigned long long>(mg.dedup_hits),
+        static_cast<unsigned long long>(jn.records_appended),
+        static_cast<unsigned long long>(jn.checkpoints),
+        static_cast<unsigned long long>(mg.crashes),
+        static_cast<unsigned long long>(mg.replays));
+  }
   if (!rig.policy().per_scheme().empty()) {
     std::printf("\n-- policy: %s --\n", label);
     policy_stats_table(rig.policy()).print();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "raid/recovery.hpp"
 #include "sim/sync.hpp"
@@ -122,6 +123,21 @@ sim::Task<void> SchemeMigrator::migrate_task(std::uint64_t handle, Scheme to) {
   const sim::Time t0 = sim().now();
   pvfs::Client& repair = rig_->repair_client();
 
+  // Sample the manager incarnation up front and fence the final persist to
+  // it: if the manager crashes and replays mid-migration, the (stale)
+  // persist is rejected instead of clobbering post-replay state, and
+  // reconcile() resolves the flip afterwards.
+  auto cur = co_await repair.open(t.name);
+  if (!cur.ok()) {
+    pol.note_migration_failed();
+    ++stats_.migrations_failed;
+    stats_.ok = false;
+    t.migrating = false;
+    --active_;
+    co_return;
+  }
+  const std::uint32_t fence = repair.manager_epoch();
+
   // Pass 0 is paced by the rate cap; dirty re-copy passes are bounded by
   // the foreground write rate, so pacing them could only delay convergence.
   sim::TokenBucket paced(sim(), p_.rate_cap, p_.burst);
@@ -187,13 +203,15 @@ sim::Task<void> SchemeMigrator::migrate_task(std::uint64_t handle, Scheme to) {
   // scheme tag and generation (the in-memory override already covers every
   // OpenFile copy taken before or during the migration).
   auto ns = co_await repair.set_scheme(t.name, static_cast<std::uint8_t>(to),
-                                       new_gen);
+                                       new_gen, fence);
   if (ns.ok()) {
     t.f = *ns;
   } else {
     // The flip stands (generation N+1 is complete and live); only the
     // durable tag is stale. Count the failure and keep the old generation
-    // so nothing is lost either way.
+    // so nothing is lost either way; reconcile() re-persists after the
+    // manager replays.
+    if (ns.error().code == Errc::stale_epoch) ++stats_.stale_persists;
     pol.note_migration_failed();
     ++stats_.migrations_failed;
     stats_.ok = false;
@@ -224,6 +242,84 @@ sim::Task<void> SchemeMigrator::migrate_task(std::uint64_t handle, Scheme to) {
   }
   t.migrating = false;
   --active_;
+}
+
+sim::Task<void> SchemeMigrator::reconcile() {
+  RedundancyPolicy& pol = rig_->policy();
+  pvfs::Client& repair = rig_->repair_client();
+  // Snapshot the handle set first: the map may gain entries while we await.
+  std::vector<std::uint64_t> handles;
+  for (const auto& [h, t] : files_) handles.push_back(h);
+
+  for (std::uint64_t handle : handles) {
+    auto it = files_.find(handle);
+    if (it == files_.end() || it->second.migrating) continue;
+    Tracked& t = it->second;
+
+    auto mgr = co_await repair.open(t.name);
+    // Re-check after every await: a migration may have started meanwhile,
+    // and reconciling under it could GC a generation it is building.
+    if (t.migrating) continue;
+    if (!mgr.ok()) continue;  // removed (or manager still down): nothing to do
+
+    const Scheme live_scheme = pol.scheme_of(t.f);
+    const std::uint32_t live_gen = pol.red_gen_of(t.f);
+    const std::uint32_t mgr_gen = mgr->red_gen;
+
+    if (live_gen > mgr_gen) {
+      // Crash landed between flip and persist: generation `live_gen` is
+      // complete and live but the durable tag still says `mgr_gen`. The
+      // flip stands — re-persist under the current incarnation, then GC the
+      // superseded generation the completed migration never got to drop.
+      auto ns = co_await repair.set_scheme(
+          t.name, static_cast<std::uint8_t>(live_scheme), live_gen,
+          repair.manager_epoch());
+      if (t.migrating) continue;
+      if (!ns.ok()) continue;  // manager crashed again; a later pass retries
+      t.f = *ns;
+      for (std::uint32_t s = 0; s < repair.nservers(); ++s) {
+        pvfs::Request r;
+        r.op = pvfs::Op::drop_red;
+        r.handle = handle;
+        r.red_gen = mgr_gen;
+        co_await repair.rpc(s, std::move(r), p_.rpc);
+        if (t.migrating) break;
+      }
+      ++stats_.reconcile_resumed;
+      if (obs::kEnabled && rig_->tracer() != nullptr) {
+        rig_->tracer()->instant("migrate:reconcile_resume", "migrate",
+                                "\"handle\":" + std::to_string(handle));
+      }
+      continue;
+    }
+
+    if (mgr_gen > live_gen) {
+      // The manager's durable state is ahead of this process (its replay
+      // carries a persisted flip our in-memory policy never saw). Adopt it.
+      if (mgr->scheme != pvfs::kSchemeUnset) {
+        pol.set_override(t.f, static_cast<Scheme>(mgr->scheme), mgr_gen);
+      }
+      t.f = *mgr;
+      ++stats_.reconcile_adopted;
+      if (obs::kEnabled && rig_->tracer() != nullptr) {
+        rig_->tracer()->instant("migrate:reconcile_adopt", "migrate",
+                                "\"handle\":" + std::to_string(handle));
+      }
+      continue;
+    }
+
+    // Generations agree: sweep partial next-generation redundancy left by a
+    // copy pass the crash aborted (drop_red of an absent generation is an
+    // idempotent no-op on every server).
+    for (std::uint32_t s = 0; s < repair.nservers(); ++s) {
+      pvfs::Request r;
+      r.op = pvfs::Op::drop_red;
+      r.handle = handle;
+      r.red_gen = live_gen + 1;
+      co_await repair.rpc(s, std::move(r), p_.rpc);
+      if (t.migrating) break;  // that generation is being built again — stop
+    }
+  }
 }
 
 }  // namespace csar::raid

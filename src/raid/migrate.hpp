@@ -71,6 +71,9 @@ struct MigrateStats {
   std::uint64_t recopy_passes = 0;  ///< passes re-copying dirtied regions
   std::uint64_t dirty_bytes = 0;    ///< concurrent-write bytes tracked
   std::uint64_t old_gens_dropped = 0;  ///< drop_red fan-outs completed
+  std::uint64_t stale_persists = 0;    ///< set_scheme fenced off post-crash
+  std::uint64_t reconcile_resumed = 0;  ///< flips re-persisted + GC'd
+  std::uint64_t reconcile_adopted = 0;  ///< manager state adopted locally
   bool ok = true;  ///< false once any migration attempt failed
 };
 
@@ -104,6 +107,20 @@ class SchemeMigrator final : public CsarFs::WriteListener {
 
   /// True when no migration is running.
   bool idle() const { return active_ == 0; }
+
+  /// Post-replay reconciliation: cross-check the manager's durable scheme
+  /// tag/generation for every tracked file against the live (in-memory
+  /// policy + on-server redundancy) state, and repair whichever side is
+  /// behind. Call after a manager restart:
+  ///  - live generation ahead (crash landed between flip and persist): the
+  ///    flip stands — re-persist it under the current incarnation, then GC
+  ///    the superseded generation (resume; `reconcile_resumed`).
+  ///  - manager generation ahead (this process lost the flip): adopt the
+  ///    durable tag via a policy override (`reconcile_adopted`).
+  ///  - equal: sweep partial next-generation redundancy a crashed copy pass
+  ///    may have left on the servers (idempotent drop_red).
+  /// Files with a migration currently in flight are skipped.
+  sim::Task<void> reconcile();
 
   const MigrateStats& stats() const { return stats_; }
   const MigrateParams& params() const { return p_; }

@@ -418,12 +418,15 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
       }
 
       // Read parity (locked) and all surviving units over [c0, c1).
+      const std::uint64_t rmw_token =
+          locking ? client_->next_rmw_token() : 0;
       Request pr;
       pr.op = Op::read_red;
       pr.handle = f.handle;
       pr.off = layout.parity_local_off(g) + c0;
       pr.len = c1 - c0;
       pr.lock = locking;
+      pr.rmw_token = rmw_token;
       pr.su = layout.stripe_unit;
       pr.red_gen = gen;
       auto presp = co_await client_->rpc(ps, std::move(pr));
@@ -452,6 +455,7 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
             ur.op = Op::unlock_red;
             ur.handle = f.handle;
             ur.off = layout.parity_local_off(g) + c0;
+            ur.rmw_token = rmw_token;
             ur.su = layout.stripe_unit;
             ur.red_gen = gen;
             (void)co_await client_->rpc(ps, std::move(ur));
@@ -498,6 +502,7 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
       pw.off = layout.parity_local_off(g) + c0;
       pw.payload = std::move(parity);
       pw.unlock = locking;
+      pw.rmw_token = rmw_token;
       pw.su = layout.stripe_unit;
       pw.red_gen = gen;
       writes.emplace_back(ps, std::move(pw));

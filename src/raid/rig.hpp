@@ -52,6 +52,9 @@ struct RigParams {
   /// always overwritten with `scheme` above, so single-scheme setups keep
   /// configuring just that one field.
   PolicyParams policy;
+  /// Metadata-manager durability knobs (journaling on by default; the A12
+  /// ablation flips it off for the legacy in-memory baseline).
+  pvfs::ManagerParams manager;
 };
 
 class Rig {
@@ -61,8 +64,9 @@ class Rig {
     PolicyParams pol = params.policy;
     pol.default_scheme = params.scheme;
     policy_ = std::make_unique<RedundancyPolicy>(std::move(pol));
-    const hw::NodeId manager_node = cluster.add_client();
-    manager = std::make_unique<pvfs::Manager>(cluster, fabric, manager_node);
+    const hw::NodeId manager_node = cluster.add_manager();
+    manager = std::make_unique<pvfs::Manager>(cluster, fabric, manager_node,
+                                              params.manager);
     manager->start();
 
     pvfs::IoServerParams sp;
@@ -163,6 +167,7 @@ class Rig {
       sim.set_task_observer(nullptr);
     }
     fabric.set_tracer(obs::kEnabled ? tracer : nullptr);
+    manager->set_obs(tracer, metrics);
     for (auto& s : servers) s->set_obs(tracer, metrics);
     for (auto& c : clients) c->set_obs(tracer, metrics);
     if (repair_client_) repair_client_->set_obs(tracer, metrics);
@@ -222,6 +227,17 @@ class Rig {
     reg.counter("rig.disk_reads").set(disk_reads);
     reg.counter("rig.disk_writes").set(disk_writes);
     reg.gauge("rig.disk_busy_seconds").set(disk_busy);
+    const pvfs::ManagerStats& mg = manager->stats();
+    const pvfs::JournalStats jn = manager->journal_stats();
+    reg.counter("rig.mgr_served").set(mg.served);
+    reg.counter("rig.mgr_dropped_replies").set(mg.dropped_replies);
+    reg.counter("rig.mgr_dedup_hits").set(mg.dedup_hits);
+    reg.counter("rig.mgr_crashes").set(mg.crashes);
+    reg.counter("rig.mgr_replays").set(mg.replays);
+    reg.counter("rig.mgr_replayed_records").set(mg.replayed_records);
+    reg.counter("rig.mgr_journal_records").set(jn.records_appended);
+    reg.counter("rig.mgr_journal_bytes").set(jn.bytes_appended);
+    reg.counter("rig.mgr_checkpoints").set(jn.checkpoints);
   }
 
   Recovery repair_recovery() {

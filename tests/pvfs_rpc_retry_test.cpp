@@ -125,6 +125,109 @@ TEST(RpcRetry, ResetSurfacesAsConnDropped) {
   }(rig, &inj));
 }
 
+// --- metadata path: retried meta-RPCs must be idempotent ---
+
+TEST(MetaRetry, RetriedCreateIsIdempotent) {
+  raid::Rig rig(rig_params());
+  std::vector<pvfs::IoServer*> servers;
+  for (auto& s : rig.servers) servers.push_back(s.get());
+  // Drop every manager->client reply for the first 40 ms: the create
+  // executes, its reply dies, and the retry must be answered from the
+  // manager's dedup table — not re-executed into `already_exists`.
+  FaultPlan plan;
+  LinkFault lf;
+  lf.a = rig.manager->node_id();
+  lf.b = rig.client().node_id();
+  lf.bidirectional = false;
+  lf.start = 0;
+  lf.end = sim::ms(40);
+  lf.drop_p = 1.0;
+  plan.links.push_back(lf);
+  FaultInjector inj(rig.cluster, rig.fabric, servers, plan);
+  inj.start();
+  run_sim_void(rig, [](raid::Rig& r) -> sim::Task<void> {
+    RpcPolicy policy;
+    policy.timeout = sim::ms(25);
+    policy.max_attempts = 4;
+    policy.jitter = 0.0;
+    r.client().set_rpc_policy(policy);
+    auto f = co_await r.client().create("idem", r.layout(64 * 1024));
+    CO_ASSERT_TRUE(f.ok());
+    EXPECT_EQ(r.manager->file_count(), 1u);
+    EXPECT_GE(r.manager->stats().dedup_hits, 1u);
+    EXPECT_GE(r.manager->stats().dropped_replies, 1u);
+    auto f2 = co_await r.client().open("idem");
+    CO_ASSERT_TRUE(f2.ok());
+    EXPECT_EQ(f2->handle, f->handle);
+  }(rig));
+}
+
+TEST(MetaRetry, LossyLinkCreateOpenSetScheme) {
+  raid::Rig rig(rig_params());
+  std::vector<pvfs::IoServer*> servers;
+  for (auto& s : rig.servers) servers.push_back(s.get());
+  // A coin-flip loss in both directions: committed ops must never surface
+  // as failures (already_exists / stale_generation) to the caller.
+  FaultPlan plan;
+  LinkFault lf;
+  lf.a = rig.client().node_id();
+  lf.b = rig.manager->node_id();
+  lf.start = 0;
+  lf.end = sim::ms(50);
+  lf.drop_p = 0.5;
+  plan.links.push_back(lf);
+  FaultInjector inj(rig.cluster, rig.fabric, servers, plan);
+  inj.start();
+  run_sim_void(rig, [](raid::Rig& r) -> sim::Task<void> {
+    RpcPolicy policy;
+    policy.timeout = sim::ms(20);
+    policy.max_attempts = 6;
+    r.client().set_rpc_policy(policy);
+    auto f = co_await r.client().create("lossy", r.layout(64 * 1024));
+    CO_ASSERT_TRUE(f.ok());
+    auto o = co_await r.client().open("lossy");
+    CO_ASSERT_TRUE(o.ok());
+    EXPECT_EQ(o->handle, f->handle);
+    auto s = co_await r.client().set_scheme(
+        "lossy", static_cast<std::uint8_t>(raid::Scheme::raid1), 1);
+    CO_ASSERT_TRUE(s.ok());
+    auto fin = co_await r.client().open("lossy");
+    CO_ASSERT_TRUE(fin.ok());
+    EXPECT_EQ(fin->red_gen, 1u);
+    EXPECT_EQ(r.manager->file_count(), 1u);
+  }(rig));
+}
+
+TEST(MetaRetry, ResettingLinkMetaOpsRecover) {
+  raid::Rig rig(rig_params());
+  std::vector<pvfs::IoServer*> servers;
+  for (auto& s : rig.servers) servers.push_back(s.get());
+  FaultPlan plan;
+  LinkFault lf;
+  lf.a = rig.client().node_id();
+  lf.b = rig.manager->node_id();
+  lf.start = 0;
+  lf.end = sim::ms(30);
+  lf.reset_p = 1.0;
+  plan.links.push_back(lf);
+  FaultInjector inj(rig.cluster, rig.fabric, servers, plan);
+  inj.start();
+  run_sim_void(rig, [](raid::Rig& r) -> sim::Task<void> {
+    RpcPolicy policy;
+    policy.timeout = sim::ms(20);
+    policy.max_attempts = 4;
+    policy.backoff = sim::ms(20);
+    policy.jitter = 0.0;
+    r.client().set_rpc_policy(policy);
+    // Resets until 30 ms; backoffs (20, 40 ms) carry a retry past the fault
+    // window, so the create lands exactly once.
+    auto f = co_await r.client().create("reset", r.layout(64 * 1024));
+    CO_ASSERT_TRUE(f.ok());
+    EXPECT_GE(r.client().rpc_stats().resets, 1u);
+    EXPECT_EQ(r.manager->file_count(), 1u);
+  }(rig));
+}
+
 TEST(RpcRetry, BackoffJitterIsDeterministicPerSeed) {
   // Two identically-seeded clients issue the same failing call; the total
   // elapsed time (which includes the jittered backoffs) must match exactly.
