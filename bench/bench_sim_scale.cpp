@@ -1,0 +1,176 @@
+// Simulator-scaling macro-bench: open-loop traffic over growing deployments.
+//
+// This is the one bench that measures the *simulator*, not the simulated
+// system: events/sec through the DES core, wall-clock per simulated second
+// and peak RSS while sweeping {servers} x {tenants}. Simulated results
+// (event counts, fingerprints) are deterministic and printed so a
+// run-twice diff catches nondeterminism; wall-clock numbers go to the
+// perf-trajectory JSON (BENCH_sim_throughput.json).
+//
+// Usage:
+//   bench_sim_scale [--quick] [--out=FILE.json]
+// --quick runs the single pinned small config the CI perf-smoke job uses.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "workloads/open_loop.hpp"
+
+namespace {
+
+struct Config {
+  std::uint32_t nservers;
+  std::uint32_t ntenants;
+  double sim_seconds;  ///< arrival-window length
+};
+
+long peak_rss_kib() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;  // KiB on Linux
+}
+
+struct Row {
+  Config cfg;
+  std::uint64_t events = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t fingerprint = 0;
+  double sim_elapsed_s = 0;
+  double wall_s = 0;
+  long rss_kib = 0;
+
+  double events_per_sec() const { return wall_s > 0 ? events / wall_s : 0; }
+  double wall_per_sim_sec() const {
+    return sim_elapsed_s > 0 ? wall_s / sim_elapsed_s : 0;
+  }
+};
+
+Row run_config(const Config& cfg) {
+  using csar::raid::Scheme;
+  Row row{cfg};
+
+  csar::raid::RigParams rp;
+  rp.scheme = Scheme::hybrid;
+  rp.nservers = cfg.nservers;
+  // Tenants share client endpoints round-robin; client nodes are the
+  // expensive part of the rig, tenants are cheap coroutines.
+  rp.nclients = std::min<std::uint32_t>(cfg.ntenants, 16);
+
+  csar::wl::OpenLoopParams olp;
+  olp.ntenants = cfg.ntenants;
+  olp.total_rate = 100.0 * cfg.ntenants;  // fixed per-tenant offered load
+  olp.duration = static_cast<csar::sim::Duration>(cfg.sim_seconds * 1e9);
+  olp.max_outstanding = 4;
+  olp.request_bytes = 16 * 1024;
+  olp.file_extent = 1ull << 20;
+  olp.seed = 0xC5A20123ULL + cfg.nservers;
+
+  const auto w0 = std::chrono::steady_clock::now();
+  {
+    csar::bench::Rig rig(rp);
+    const auto stats = csar::wl::run_on(rig, run_open_loop(rig, olp));
+    row.events = rig.sim.events_executed();
+    row.arrivals = stats.arrivals;
+    row.completed = stats.completed;
+    row.shed = stats.shed;
+    row.fingerprint = stats.fingerprint;
+    row.sim_elapsed_s = csar::sim::to_seconds(stats.elapsed);
+  }
+  const auto w1 = std::chrono::steady_clock::now();
+  row.wall_s = std::chrono::duration<double>(w1 - w0).count();
+  row.rss_kib = peak_rss_kib();
+  return row;
+}
+
+void print_row(const Row& r) {
+  // Deterministic line first (run-twice diffs key on "SIM " lines only:
+  // nothing wall-clock-dependent may appear on them).
+  std::printf("SIM  servers=%3u tenants=%4u events=%llu arrivals=%llu "
+              "completed=%llu shed=%llu fingerprint=0x%016llx\n",
+              r.cfg.nservers, r.cfg.ntenants,
+              static_cast<unsigned long long>(r.events),
+              static_cast<unsigned long long>(r.arrivals),
+              static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.shed),
+              static_cast<unsigned long long>(r.fingerprint));
+  std::printf("PERF servers=%3u tenants=%4u events/sec=%.3e "
+              "wall_per_sim_sec=%.3f peak_rss_mib=%.1f\n",
+              r.cfg.nservers, r.cfg.ntenants, r.events_per_sec(),
+              r.wall_per_sim_sec(), r.rss_kib / 1024.0);
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows,
+                bool quick) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::perror("bench_sim_scale: fopen");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sim_throughput\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"servers\": %u, \"tenants\": %u, \"events_executed\": %llu, "
+        "\"events_per_sec\": %.1f, \"wall_seconds\": %.4f, "
+        "\"sim_seconds\": %.4f, \"wall_per_sim_sec\": %.4f, "
+        "\"peak_rss_kib\": %ld, \"fingerprint\": \"0x%016llx\"}%s\n",
+        r.cfg.nservers, r.cfg.ntenants,
+        static_cast<unsigned long long>(r.events), r.events_per_sec(),
+        r.wall_s, r.sim_elapsed_s, r.wall_per_sim_sec(), r.rss_kib,
+        static_cast<unsigned long long>(r.fingerprint),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_sim_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out=FILE.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<Config> configs;
+  if (quick) {
+    // Pinned perf-smoke config: small enough for a debug/CI runner but
+    // large enough that the event queue sees all three wheel levels.
+    configs.push_back({8, 64, 4.0});
+  } else {
+    configs = {
+        {8, 16, 2.0},    {16, 64, 2.0},    {32, 256, 1.0},
+        {64, 1024, 0.5}, {128, 2048, 0.5},
+    };
+  }
+
+  std::printf("bench_sim_scale: open-loop DES throughput sweep (%s)\n",
+              quick ? "quick" : "full");
+  std::vector<Row> rows;
+  for (const Config& cfg : configs) {
+    rows.push_back(run_config(cfg));
+    print_row(rows.back());
+  }
+  write_json(out, rows, quick);
+  return 0;
+}

@@ -44,3 +44,4 @@ csar_add_bench(bench_ablate_rebuild)
 csar_add_bench(bench_ablate_mirror_reads)
 csar_add_bench(bench_ablate_obs_overhead)
 csar_add_bench(bench_ablate_manager_journal)
+csar_add_bench(bench_sim_scale)

@@ -11,7 +11,10 @@
 // the unreadable sectors from redundancy. Every acknowledged read is
 // verified against a shadow copy; the run is bit-deterministic, so the
 // numbers below are stable across machines and runs.
+#include <sys/resource.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -115,18 +118,28 @@ void traced_run(const std::string& trace_path,
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
+  bool perf = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
       metrics_path = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--perf") == 0) {
+      perf = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--trace=out.json] [--metrics=out.csv]\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--trace=out.json] [--metrics=out.csv] [--perf]\n",
+          argv[0]);
       return 2;
     }
   }
+
+  // --perf instruments the whole run from here; it only *appends* output, so
+  // the determinism diff on the default invocation is untouched.
+  const auto perf_t0 = std::chrono::steady_clock::now();
+  std::uint64_t perf_events = 0;
+  double perf_sim_seconds = 0;
 
   report::banner("fault-storm", "Deterministic fault storm, survived end to end",
                  "4 I/O servers, 1 client, 150 ms RPC deadline x4 attempts, "
@@ -145,6 +158,8 @@ int main(int argc, char** argv) {
     fault::StormParams p = storm_params(scheme);
     add_lossy_link(p);
     fault::StormMetrics m = fault::run_storm(p);
+    perf_events += m.events_executed;
+    perf_sim_seconds += sim::to_seconds(m.finished_at);
     char avail[16];
     std::snprintf(avail, sizeof(avail), "%.1f%%", 100.0 * m.availability);
     t.add_row({scheme_name(scheme), avail, std::to_string(m.rpc_retries),
@@ -180,6 +195,8 @@ int main(int argc, char** argv) {
     p.plan.seed = seed ^ 0xF00D;
     add_lossy_link(p);
     fault::StormMetrics m = fault::run_storm(p);
+    perf_events += m.events_executed;
+    perf_sim_seconds += sim::to_seconds(m.finished_at);
     sweep.add_row({std::to_string(seed),
                    std::to_string(m.dirty_bytes_tracked / KiB),
                    std::to_string(m.recopy_passes),
@@ -223,6 +240,9 @@ int main(int argc, char** argv) {
   };
   const fault::StormMetrics g1 = fault::run_storm(mgr_params());
   const fault::StormMetrics g2 = fault::run_storm(mgr_params());
+  perf_events += g1.events_executed + g2.events_executed;
+  perf_sim_seconds +=
+      sim::to_seconds(g1.finished_at) + sim::to_seconds(g2.finished_at);
   TextTable mt({"run", "avail", "mgr crashes", "replays", "replayed recs",
                 "migr started", "meta mismatch", "data mismatch"});
   for (const auto* m : {&g1, &g2}) {
@@ -256,6 +276,27 @@ int main(int argc, char** argv) {
                    "spans: rpc/net/server/lock/disk; instants: faults, "
                    "rebuild phases");
     traced_run(trace_path, metrics_path);
+  }
+
+  if (perf) {
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - perf_t0)
+                            .count();
+    struct rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    std::printf("\n");
+    report::banner("storm-perf", "Simulator throughput over all storm runs",
+                   "wall clock, host-dependent: not part of the "
+                   "determinism contract");
+    std::printf("  events executed      : %llu\n",
+                static_cast<unsigned long long>(perf_events));
+    std::printf("  wall seconds         : %.3f\n", wall);
+    std::printf("  events/sec           : %.3e\n",
+                wall > 0 ? perf_events / wall : 0.0);
+    std::printf("  wall per simulated s : %.4f\n",
+                perf_sim_seconds > 0 ? wall / perf_sim_seconds : 0.0);
+    std::printf("  peak RSS             : %.1f MiB\n",
+                ru.ru_maxrss / 1024.0);
   }
   return report::exit_code();
 }

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate for the DES hot path.
+
+Compares a fresh `bench_sim_scale --quick` run against the committed
+perf-trajectory baseline (BENCH_sim_throughput.json) and fails if
+events/sec regressed by more than the allowed fraction.
+
+The quick config (8 servers x 64 tenants) is not part of the committed
+full sweep, so the baseline is the committed row with the same tenant
+count (16 x 64): per-event cost is dominated by tenant coroutines and
+queue depth, so the two configs track each other closely while the
+quick config stays cheap enough for a CI runner.
+
+Usage: check_perf_smoke.py <quick.json> <committed_baseline.json> [max_regress]
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    quick_path, base_path = sys.argv[1], sys.argv[2]
+    max_regress = float(sys.argv[3]) if len(sys.argv) > 3 else 0.20
+
+    with open(quick_path) as f:
+        quick = json.load(f)
+    with open(base_path) as f:
+        base = json.load(f)
+
+    if quick.get("mode") != "quick" or len(quick["rows"]) != 1:
+        print(f"FAIL: {quick_path} is not a --quick run")
+        return 1
+    row = quick["rows"][0]
+
+    tenants = row["tenants"]
+    ref_rows = [r for r in base["rows"] if r["tenants"] == tenants]
+    if not ref_rows:
+        print(f"FAIL: no baseline row with tenants={tenants} in {base_path}")
+        return 1
+    ref = ref_rows[0]
+
+    got = row["events_per_sec"]
+    want = ref["events_per_sec"]
+    floor = want * (1.0 - max_regress)
+    verdict = "ok" if got >= floor else "REGRESSION"
+    print(f"perf-smoke: quick {row['servers']}x{tenants} = {got:.3e} ev/s; "
+          f"baseline {ref['servers']}x{tenants} = {want:.3e} ev/s; "
+          f"floor (-{max_regress:.0%}) = {floor:.3e} [{verdict}]")
+    return 0 if got >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

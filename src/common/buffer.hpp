@@ -6,10 +6,19 @@
 // Phantom buffers participate in all bookkeeping — sizes, extents, simulated
 // CPU/XOR charges — but carry no bytes. Mixing a phantom and a materialized
 // buffer in one mutating operation is a programming error (assert).
+//
+// Storage is copy-on-write: a materialized buffer is a [off, off+size) view
+// into shared backing bytes. Copying a buffer or taking a slice() shares the
+// backing (a refcount bump — payloads traverse the whole RPC stack without
+// byte copies); every mutating member first materializes an unshared copy of
+// its view, so two buffers can never observe each other's writes. Value
+// semantics are exactly those of the old deep-copy representation, minus the
+// copies.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -43,7 +52,9 @@ class Buffer {
   /// Mutable view of the bytes; requires a materialized buffer.
   std::span<std::byte> mutable_bytes();
 
-  /// Copy of the sub-range [off, off+len). Phantom stays phantom.
+  /// View of the sub-range [off, off+len); shares the backing bytes
+  /// (copy-on-write, so the slice behaves as an independent copy). Phantom
+  /// stays phantom.
   Buffer slice(std::uint64_t off, std::uint64_t len) const;
 
   /// Splice `src` into this buffer at `off`. Requires off+src.size()<=size().
@@ -65,9 +76,16 @@ class Buffer {
   bool operator==(const Buffer& other) const;
 
  private:
+  /// Reallocate the view into exclusively-owned backing if anyone else
+  /// shares it. After this, writes through data_ are invisible elsewhere.
+  void ensure_unique();
+
   std::uint64_t size_ = 0;
   bool materialized_ = true;
-  std::vector<std::byte> data_;
+  std::uint64_t off_ = 0;  ///< view start within *data_
+  /// Backing bytes; null for phantom and for empty buffers. May be larger
+  /// than the view and shared with other buffers (see ensure_unique).
+  std::shared_ptr<std::vector<std::byte>> data_;
 };
 
 }  // namespace csar

@@ -1,79 +1,99 @@
 #include "interval_set.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace csar {
 
+std::size_t IntervalSet::upper_idx(std::uint64_t start) const {
+  return static_cast<std::size_t>(
+      std::upper_bound(ranges_.begin(), ranges_.end(), start,
+                       [](std::uint64_t v, const Interval& iv) {
+                         return v < iv.start;
+                       }) -
+      ranges_.begin());
+}
+
 void IntervalSet::insert(std::uint64_t start, std::uint64_t end) {
   if (start >= end) return;
-  // Find the first range that could merge with us: the one before start, if
-  // it reaches start (adjacency merges too).
-  auto it = ranges_.upper_bound(start);
-  if (it != ranges_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second >= start) {
-      start = prev->first;
-      end = std::max(end, prev->second);
-      it = ranges_.erase(prev);
-    }
+  // First range that could merge with us: the one before start, if it
+  // reaches start (adjacency merges too).
+  std::size_t i = upper_idx(start);
+  if (i > 0 && ranges_[i - 1].end >= start) {
+    --i;
+    start = ranges_[i].start;
+    end = std::max(end, ranges_[i].end);
   }
   // Swallow every range that begins at or before the (growing) end.
-  while (it != ranges_.end() && it->first <= end) {
-    end = std::max(end, it->second);
-    it = ranges_.erase(it);
+  std::size_t j = i;
+  while (j < ranges_.size() && ranges_[j].start <= end) {
+    end = std::max(end, ranges_[j].end);
+    ++j;
   }
-  ranges_.emplace(start, end);
+  if (i == j) {
+    ranges_.insert(ranges_.begin() + static_cast<std::ptrdiff_t>(i),
+                   Interval{start, end});
+  } else {
+    ranges_[i] = Interval{start, end};
+    ranges_.erase(ranges_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  ranges_.begin() + static_cast<std::ptrdiff_t>(j));
+  }
 }
 
 void IntervalSet::erase(std::uint64_t start, std::uint64_t end) {
   if (start >= end) return;
-  auto it = ranges_.upper_bound(start);
-  if (it != ranges_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second > start) it = prev;
+  std::size_t i = upper_idx(start);
+  if (i > 0 && ranges_[i - 1].end > start) --i;
+  // [i, j) is the run of ranges overlapping [start, end); the first and
+  // last survivors (if any) become the clipped head/tail pieces.
+  std::size_t j = i;
+  Interval head{0, 0};
+  Interval tail{0, 0};
+  while (j < ranges_.size() && ranges_[j].start < end) {
+    if (ranges_[j].start < start) head = {ranges_[j].start, start};
+    if (ranges_[j].end > end) tail = {end, ranges_[j].end};
+    ++j;
   }
-  while (it != ranges_.end() && it->first < end) {
-    const std::uint64_t rs = it->first;
-    const std::uint64_t re = it->second;
-    it = ranges_.erase(it);
-    if (rs < start) ranges_.emplace(rs, start);
-    if (re > end) {
-      ranges_.emplace(end, re);
-      break;
+  if (i == j) return;
+  std::size_t keep = (head.empty() ? 0u : 1u) + (tail.empty() ? 0u : 1u);
+  if (keep == 2) {
+    if (j - i == 1) {  // splitting one range in two: make room
+      ranges_.insert(ranges_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                     Interval{});
+      ++j;
     }
+    ranges_[i] = head;
+    ranges_[i + 1] = tail;
+  } else if (keep == 1) {
+    ranges_[i] = head.empty() ? tail : head;
   }
+  ranges_.erase(ranges_.begin() + static_cast<std::ptrdiff_t>(i + keep),
+                ranges_.begin() + static_cast<std::ptrdiff_t>(j));
 }
 
 bool IntervalSet::covers(std::uint64_t start, std::uint64_t end) const {
   if (start >= end) return true;
-  auto it = ranges_.upper_bound(start);
-  if (it == ranges_.begin()) return false;
-  auto prev = std::prev(it);
-  return prev->first <= start && prev->second >= end;
+  const std::size_t i = upper_idx(start);
+  if (i == 0) return false;
+  return ranges_[i - 1].start <= start && ranges_[i - 1].end >= end;
 }
 
 bool IntervalSet::intersects(std::uint64_t start, std::uint64_t end) const {
   if (start >= end) return false;
-  auto it = ranges_.upper_bound(start);
-  if (it != ranges_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second > start) return true;
-  }
-  return it != ranges_.end() && it->first < end;
+  const std::size_t i = upper_idx(start);
+  if (i > 0 && ranges_[i - 1].end > start) return true;
+  return i < ranges_.size() && ranges_[i].start < end;
 }
 
 std::vector<Interval> IntervalSet::intersection(std::uint64_t start,
                                                 std::uint64_t end) const {
   std::vector<Interval> out;
   if (start >= end) return out;
-  auto it = ranges_.upper_bound(start);
-  if (it != ranges_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second > start) it = prev;
-  }
-  for (; it != ranges_.end() && it->first < end; ++it) {
-    out.push_back(
-        {std::max(it->first, start), std::min(it->second, end)});
+  std::size_t i = upper_idx(start);
+  if (i > 0 && ranges_[i - 1].end > start) --i;
+  for (; i < ranges_.size() && ranges_[i].start < end; ++i) {
+    out.push_back({std::max(ranges_[i].start, start),
+                   std::min(ranges_[i].end, end)});
   }
   return out;
 }
@@ -92,19 +112,12 @@ std::vector<Interval> IntervalSet::holes(std::uint64_t start,
 
 std::uint64_t IntervalSet::total() const {
   std::uint64_t sum = 0;
-  for (const auto& [s, e] : ranges_) sum += e - s;
+  for (const auto& iv : ranges_) sum += iv.end - iv.start;
   return sum;
 }
 
 std::uint64_t IntervalSet::upper_bound() const {
-  return ranges_.empty() ? 0 : ranges_.rbegin()->second;
-}
-
-std::vector<Interval> IntervalSet::to_vector() const {
-  std::vector<Interval> out;
-  out.reserve(ranges_.size());
-  for (const auto& [s, e] : ranges_) out.push_back({s, e});
-  return out;
+  return ranges_.empty() ? 0 : ranges_.back().end;
 }
 
 }  // namespace csar

@@ -64,4 +64,11 @@ double Rng::exponential(double mean) {
   return -mean * std::log(u);
 }
 
+double Rng::pareto(double alpha, double xm) {
+  double u = uniform();
+  // Guard against division by zero (u == 0 would be the infinite tail).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
 }  // namespace csar

@@ -39,6 +39,11 @@ class Rng {
   /// times for open-loop workloads).
   double exponential(double mean);
 
+  /// Pareto-distributed value with shape `alpha` and scale `xm` (minimum).
+  /// Heavy-tailed interarrival gaps and request sizes; the mean is
+  /// xm * alpha / (alpha - 1) for alpha > 1.
+  double pareto(double alpha, double xm);
+
   /// Derive an independent generator; deterministic in the parent's state.
   Rng split() { return Rng(next() ^ 0xD1B54A32D192ED03ULL); }
 

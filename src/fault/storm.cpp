@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <utility>
@@ -25,33 +26,39 @@ namespace {
 /// the contract is about acknowledged data only.
 class Shadow {
  public:
-  explicit Shadow(std::uint64_t size)
-      : bytes_(size, std::byte{0}), tainted_(size, false) {}
+  explicit Shadow(std::uint64_t size) : bytes_(size, std::byte{0}) {}
 
   void write(std::uint64_t off, const Buffer& data) {
     auto src = data.bytes();
-    std::copy(src.begin(), src.end(),
-              bytes_.begin() + static_cast<std::ptrdiff_t>(off));
-    std::fill(tainted_.begin() + static_cast<std::ptrdiff_t>(off),
-              tainted_.begin() + static_cast<std::ptrdiff_t>(off) +
-                  static_cast<std::ptrdiff_t>(data.size()),
-              false);
+    std::memcpy(bytes_.data() + off, src.data(), src.size());
+    if (taint_count_ != 0) {
+      const std::uint64_t end = off + data.size();
+      for (std::uint64_t i = off; i < end; ++i) {
+        taint_count_ -= tainted_[i];
+        tainted_[i] = 0;
+      }
+    }
   }
 
   void taint(std::uint64_t off, std::uint64_t len) {
+    if (tainted_.empty()) tainted_.assign(bytes_.size(), 0);
     const std::uint64_t end = std::min<std::uint64_t>(off + len,
                                                       tainted_.size());
-    for (std::uint64_t i = off; i < end; ++i) tainted_[i] = true;
+    for (std::uint64_t i = off; i < end; ++i) {
+      taint_count_ += 1u - tainted_[i];
+      tainted_[i] = 1;
+    }
   }
 
-  std::uint64_t tainted_bytes() const {
-    std::uint64_t n = 0;
-    for (bool t : tainted_) n += t ? 1 : 0;
-    return n;
-  }
+  std::uint64_t tainted_bytes() const { return taint_count_; }
 
   bool matches(std::uint64_t off, const Buffer& got) const {
     auto b = got.bytes();
+    // Fast path: no tainted bytes anywhere (the common case outside fault
+    // windows) — one memcmp instead of a per-byte masked walk.
+    if (taint_count_ == 0) {
+      return std::memcmp(bytes_.data() + off, b.data(), b.size()) == 0;
+    }
     for (std::size_t i = 0; i < b.size(); ++i) {
       if (tainted_[off + i]) continue;
       if (bytes_[off + i] != b[i]) return false;
@@ -61,7 +68,11 @@ class Shadow {
 
  private:
   std::vector<std::byte> bytes_;
-  std::vector<bool> tainted_;
+  /// 0/1 per byte; allocated lazily on the first taint so clean runs pay
+  /// nothing. taint_count_ is the number of 1s (kept exact so the fast
+  /// memcmp path in matches() is safe whenever it is zero).
+  std::vector<std::uint8_t> tainted_;
+  std::uint64_t taint_count_ = 0;
 };
 
 std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {

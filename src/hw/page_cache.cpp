@@ -8,25 +8,64 @@
 
 namespace csar::hw {
 
+void PageCache::lru_unlink(std::uint32_t s) {
+  Page& pg = pool_[s];
+  if (pg.prev != kNil) {
+    pool_[pg.prev].next = pg.next;
+  } else {
+    head_ = pg.next;
+  }
+  if (pg.next != kNil) {
+    pool_[pg.next].prev = pg.prev;
+  } else {
+    tail_ = pg.prev;
+  }
+  pg.prev = pg.next = kNil;
+}
+
+void PageCache::lru_push_back(std::uint32_t s) {
+  Page& pg = pool_[s];
+  pg.prev = tail_;
+  pg.next = kNil;
+  if (tail_ != kNil) {
+    pool_[tail_].next = s;
+  } else {
+    head_ = s;
+  }
+  tail_ = s;
+}
+
 void PageCache::touch(std::uint64_t key) {
   auto it = pages_.find(key);
   assert(it != pages_.end());
-  lru_.splice(lru_.end(), lru_, it->second.lru_it);
+  lru_unlink(it->second);
+  lru_push_back(it->second);
 }
 
 void PageCache::insert(std::uint64_t fid, std::uint64_t page, bool dirty) {
   const std::uint64_t key = key_of(fid, page);
   auto it = pages_.find(key);
   if (it != pages_.end()) {
-    if (dirty && !it->second.dirty) {
-      it->second.dirty = true;
+    Page& pg = pool_[it->second];
+    if (dirty && !pg.dirty) {
+      pg.dirty = true;
       ++dirty_count_;
     }
-    touch(key);
+    lru_unlink(it->second);
+    lru_push_back(it->second);
     return;
   }
-  lru_.push_back(key);
-  pages_.emplace(key, Page{fid, page, dirty, std::prev(lru_.end())});
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    pool_[slot] = Page{fid, page, dirty, true, kNil, kNil};
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(Page{fid, page, dirty, true, kNil, kNil});
+  }
+  lru_push_back(slot);
+  pages_.emplace(key, slot);
   if (dirty) ++dirty_count_;
 }
 
@@ -40,20 +79,20 @@ sim::Task<void> PageCache::ensure_room() {
   const std::uint64_t target =
       p_.capacity_bytes > batch_bytes ? p_.capacity_bytes - batch_bytes : 0;
   std::vector<std::uint64_t> dirty_addrs;
-  while (resident_bytes() > target && !lru_.empty()) {
-    const std::uint64_t key = lru_.front();
-    auto it = pages_.find(key);
-    assert(it != pages_.end());
-    if (it->second.dirty) {
-      dirty_addrs.push_back(
-          page_addr(it->second.fid, it->second.idx, p_.page_size));
+  while (resident_bytes() > target && head_ != kNil) {
+    const std::uint32_t slot = head_;
+    Page& pg = pool_[slot];
+    if (pg.dirty) {
+      dirty_addrs.push_back(page_addr(pg.fid, pg.idx, p_.page_size));
       --dirty_count_;
       ++stats_.dirty_evictions;
     } else {
       ++stats_.clean_evictions;
     }
-    lru_.pop_front();
-    pages_.erase(it);
+    lru_unlink(slot);
+    pages_.erase(key_of(pg.fid, pg.idx));
+    pg.live = false;
+    free_.push_back(slot);
   }
   std::sort(dirty_addrs.begin(), dirty_addrs.end());
   // Coalesce address-contiguous victims into single disk writes.
@@ -155,8 +194,8 @@ sim::Task<void> PageCache::write(std::uint64_t fid, std::uint64_t off,
 sim::Task<void> PageCache::flush_all() {
   std::vector<std::uint64_t> dirty_addrs;
   dirty_addrs.reserve(dirty_count_);
-  for (auto& [key, page] : pages_) {
-    if (page.dirty) {
+  for (Page& page : pool_) {
+    if (page.live && page.dirty) {
       dirty_addrs.push_back(page_addr(page.fid, page.idx, p_.page_size));
       page.dirty = false;
     }
@@ -178,7 +217,9 @@ sim::Task<void> PageCache::flush_all() {
 
 void PageCache::drop_all() {
   pages_.clear();
-  lru_.clear();
+  pool_.clear();   // capacity retained: steady state stays allocation-free
+  free_.clear();
+  head_ = tail_ = kNil;
   dirty_count_ = 0;
 }
 

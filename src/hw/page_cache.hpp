@@ -14,12 +14,17 @@
 //    stalls on evicting an old dirty page to disk, collapsing to disk rate.
 //  - §6.5 (overwrite runs): drop_all() models "contents removed from the
 //    cache" between the initial-write and overwrite phases.
+//
+// Hot-path layout: pages live in a slot pool (std::vector<Page>) threaded
+// into an intrusive doubly-linked LRU by 32-bit slot indices, with an
+// unordered_map from page key to slot. Insert/touch/evict move no memory and
+// allocate nothing in steady state (slots recycle through a free list; the
+// map's bucket array is pre-reserved and only rehashes on real growth).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -45,7 +50,10 @@ class PageCache {
   /// the moved bytes.
   PageCache(sim::Simulation& sim, Disk& disk, sim::BandwidthServer& mem,
             const CacheParams& params)
-      : sim_(&sim), disk_(&disk), mem_(&mem), p_(params) {}
+      : sim_(&sim), disk_(&disk), mem_(&mem), p_(params) {
+    pages_.reserve(kInitialReserve);
+    pool_.reserve(kInitialReserve);
+  }
   PageCache(const PageCache&) = delete;
   PageCache& operator=(const PageCache&) = delete;
 
@@ -109,9 +117,10 @@ class PageCache {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> dirty_ranges(
       std::uint64_t fid) const {
     std::vector<std::uint64_t> idx;
-    for (const auto& [key, page] : pages_) {
-      (void)key;
-      if (page.fid == fid && page.dirty) idx.push_back(page.idx);
+    for (const Page& page : pool_) {
+      if (page.live && page.fid == fid && page.dirty) {
+        idx.push_back(page.idx);
+      }
     }
     std::sort(idx.begin(), idx.end());
     std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
@@ -136,11 +145,16 @@ class PageCache {
   }
 
  private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::size_t kInitialReserve = 1024;
+
   struct Page {
     std::uint64_t fid;
     std::uint64_t idx;
     bool dirty;
-    std::list<std::uint64_t>::iterator lru_it;  // position in lru_
+    bool live;
+    std::uint32_t prev;  // toward LRU end
+    std::uint32_t next;  // toward MRU end
   };
 
   static std::uint64_t key_of(std::uint64_t fid, std::uint64_t page) {
@@ -148,6 +162,9 @@ class PageCache {
   }
 
   bool resident(std::uint64_t key) const { return pages_.contains(key); }
+  // --- intrusive LRU plumbing (head_ = LRU victim, tail_ = most recent) ---
+  void lru_unlink(std::uint32_t s);
+  void lru_push_back(std::uint32_t s);
   void touch(std::uint64_t key);
   void insert(std::uint64_t fid, std::uint64_t page, bool dirty);
   /// Evict LRU pages until under capacity; dirty victims are written to disk
@@ -158,8 +175,11 @@ class PageCache {
   Disk* disk_;
   sim::BandwidthServer* mem_;
   CacheParams p_;
-  std::unordered_map<std::uint64_t, Page> pages_;
-  std::list<std::uint64_t> lru_;  // front = least recently used
+  std::unordered_map<std::uint64_t, std::uint32_t> pages_;  // key -> slot
+  std::vector<Page> pool_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t head_ = kNil;  // least recently used
+  std::uint32_t tail_ = kNil;  // most recently used
   std::uint64_t dirty_count_ = 0;
   Stats stats_;
 };

@@ -125,6 +125,14 @@ sim::Task<LocalFs::ReadOutcome> LocalFs::read_checked(const std::string& name,
     if (!c.value->materialized()) phantom = true;
   }
   if (phantom) co_return ReadOutcome{Buffer::phantom(len), media_error};
+  if (chunks.size() == 1 && chunks[0].start == off &&
+      chunks[0].end == off + len) {
+    // One stored run covers the whole request: hand out a zero-copy view
+    // (the common case for block-aligned rereads of buffered writes).
+    co_return ReadOutcome{
+        chunks[0].value->slice(off - chunks[0].entry_start, len),
+        media_error};
+  }
   Buffer out = Buffer::real(len);
   for (const auto& c : chunks) {
     out.write_at(c.start - off,

@@ -165,6 +165,38 @@ sim::Task<Response> Client::rpc(std::uint32_t s, Request r) {
 }
 
 sim::Task<Response> Client::rpc(std::uint32_t s, Request r, RpcPolicy policy) {
+  auto ch = acquire_reply_channel();
+  Response resp = co_await rpc_attempts(s, std::move(r), policy, ch);
+  // The rpc_attempts frame (and the request copies holding ch) is gone by
+  // now; if no straggler server kept a reference, the channel goes back to
+  // the pool.
+  recycle_reply_channel(std::move(ch));
+  co_return resp;
+}
+
+std::shared_ptr<sim::Channel<Response>> Client::acquire_reply_channel() {
+  if (!reply_pool_.empty()) {
+    auto ch = std::move(reply_pool_.back());
+    reply_pool_.pop_back();
+    return ch;
+  }
+  return std::make_shared<sim::Channel<Response>>(cluster_->sim());
+}
+
+void Client::recycle_reply_channel(
+    std::shared_ptr<sim::Channel<Response>> ch) {
+  if (ch.use_count() != 1) return;  // a timed-out attempt is still in flight
+  while (ch->try_recv()) {
+    // Discard late replies to this call; they would have died with the
+    // channel in the unpooled scheme too.
+  }
+  constexpr std::size_t kReplyPoolMax = 64;
+  if (reply_pool_.size() < kReplyPoolMax) reply_pool_.push_back(std::move(ch));
+}
+
+sim::Task<Response> Client::rpc_attempts(
+    std::uint32_t s, Request r, RpcPolicy policy,
+    std::shared_ptr<sim::Channel<Response>> ch) {
   assert(s < servers_.size());
   auto& sim = cluster_->sim();
   // The rpc span covers the full call (all attempts); the request carries
@@ -183,7 +215,6 @@ sim::Task<Response> Client::rpc(std::uint32_t s, Request r, RpcPolicy policy) {
   // The channel is shared with the server and kept alive across attempts:
   // a late reply to a timed-out attempt lands here harmlessly, and because
   // every I/O server op is idempotent it may even satisfy a later attempt.
-  auto ch = std::make_shared<sim::Channel<Response>>(sim);
   r.from = node_;
   r.reply = ch;
   IoServer* srv = servers_[s];
@@ -400,6 +431,10 @@ sim::Task<Result<Buffer>> Client::read(const OpenFile& f, std::uint64_t off,
     if (!resps[i].data.materialized()) phantom = true;
   }
   if (phantom) co_return Buffer::phantom(len);
+  if (merged.size() == 1 && resps[0].data.size() == len) {
+    // Single-server read: the reply already is the file-order bytes.
+    co_return std::move(resps[0].data);
+  }
   // Scatter each server's locally-contiguous reply back into file order.
   Buffer out = Buffer::real(len);
   for (std::size_t i = 0; i < merged.size(); ++i) {

@@ -186,6 +186,20 @@ class Client {
   /// Backoff before send attempt `attempt` (2-based), jittered from rng_.
   sim::Duration backoff_pause(const RpcPolicy& policy, std::uint32_t attempt);
 
+  /// All attempts of one rpc() call, against the given reply channel. Split
+  /// out so rpc() can recycle the channel after this frame (and with it the
+  /// request's reply reference) is gone.
+  sim::Task<Response> rpc_attempts(std::uint32_t s, Request r,
+                                   RpcPolicy policy,
+                                   std::shared_ptr<sim::Channel<Response>> ch);
+
+  /// Reply-channel pool. Every data RPC needs a fresh-looking channel, but
+  /// a heap Channel per call is the hottest allocation in the stack; a
+  /// channel is recycled once it is uniquely owned (no server holds the
+  /// request any more, so no late reply can ever reach it) and drained.
+  std::shared_ptr<sim::Channel<Response>> acquire_reply_channel();
+  void recycle_reply_channel(std::shared_ptr<sim::Channel<Response>> ch);
+
   hw::Cluster* cluster_;
   net::Fabric* fabric_;
   Manager* manager_;
@@ -199,6 +213,8 @@ class Client {
   std::uint64_t meta_req_seq_ = 0;
   std::uint64_t rmw_seq_ = 0;  ///< see next_rmw_token()
   std::uint32_t mgr_epoch_seen_ = 0;
+  /// Recycled reply channels (each entry uniquely owned and empty).
+  std::vector<std::shared_ptr<sim::Channel<Response>>> reply_pool_;
   Rng rng_{0xC5A2F001ULL};  ///< backoff jitter; reseed via seed_retry_rng
 
   // Observability (all null/0 when detached; see set_obs).

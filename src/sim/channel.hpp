@@ -28,7 +28,7 @@ class Channel {
     if (!waiters_.empty()) {
       Waiter w = waiters_.front();
       waiters_.pop_front();
-      if (w.timer_cancel) *w.timer_cancel = true;
+      w.timer_cancel.cancel();  // no-op for plain recv() waiters
       w.slot->emplace(std::move(value));
       sim_->schedule_now(w.h);
       return;
@@ -50,7 +50,7 @@ class Channel {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        ch->waiters_.push_back(Waiter{h, &slot});
+        ch->waiters_.push_back(Waiter{h, &slot, {}});
       }
       T await_resume() {
         assert(slot.has_value());
@@ -70,7 +70,7 @@ class Channel {
       Channel* ch;
       Time deadline;
       std::optional<T> slot;
-      std::shared_ptr<bool> timer_cancel;
+      CancelToken timer_cancel;
       bool await_ready() noexcept {
         if (!ch->items_.empty()) {
           slot.emplace(std::move(ch->items_.front()));
@@ -85,7 +85,7 @@ class Channel {
       }
       std::optional<T> await_resume() {
         if (slot.has_value()) return std::move(slot);
-        if (timer_cancel) {
+        if (timer_cancel.armed()) {
           // Timer fired: unregister so a late send() doesn't write through
           // a dangling slot pointer.
           for (auto it = ch->waiters_.begin(); it != ch->waiters_.end();
@@ -99,7 +99,7 @@ class Channel {
         return std::nullopt;
       }
     };
-    return Awaiter{this, deadline, std::nullopt, nullptr};
+    return Awaiter{this, deadline, std::nullopt, {}};
   }
 
   /// Non-blocking receive.
@@ -118,7 +118,7 @@ class Channel {
   struct Waiter {
     std::coroutine_handle<> h;
     std::optional<T>* slot;
-    std::shared_ptr<bool> timer_cancel;  // set for recv_until waiters
+    CancelToken timer_cancel;  // armed only for recv_until waiters
   };
 
   Simulation* sim_;

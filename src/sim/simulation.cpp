@@ -4,21 +4,47 @@
 
 namespace csar::sim {
 
-Simulation::RootCoro Simulation::run_root(Task<void> t,
-                                          std::shared_ptr<ProcessState> st) {
+Simulation::RootCoro Simulation::run_root(Task<void> t, Simulation* sim,
+                                          std::uint32_t idx) {
   co_await std::move(t);
-  st->done = true;
-  --st->sim->live_processes_;
-  for (auto j : st->joiners) st->sim->schedule_now(j);
-  st->joiners.clear();
+  sim->finish_proc(idx);
+}
+
+std::uint32_t Simulation::alloc_proc() {
+  if (!proc_free_.empty()) {
+    const std::uint32_t idx = proc_free_.back();
+    proc_free_.pop_back();
+    procs_[idx].done = false;
+    return idx;
+  }
+  procs_.emplace_back();
+  return static_cast<std::uint32_t>(procs_.size() - 1);
+}
+
+void Simulation::finish_proc(std::uint32_t idx) {
+  ProcessState& st = procs_[idx];
+  st.done = true;
+  --live_processes_;
+  if (st.joiner0) {
+    schedule_now(st.joiner0);
+    st.joiner0 = {};
+    for (auto j : st.extra_joiners) schedule_now(j);
+    st.extra_joiners.clear();
+  }
+  // Recycle immediately: the generation bump makes surviving handles read
+  // as done without touching this slot's new occupant.
+  ++st.gen;
+  proc_free_.push_back(idx);
 }
 
 ProcessHandle Simulation::spawn(Task<void> t) {
-  auto st = std::make_shared<ProcessState>();
-  st->sim = this;
+  const std::uint32_t idx = alloc_proc();
+  const std::uint32_t gen = procs_[idx].gen;
   ++live_processes_;
-  run_root(std::move(t), st);
-  return ProcessHandle{st};
+  run_root(std::move(t), this, idx);
+  // If the body completed without suspending, the slot has already been
+  // recycled; the stale generation in the handle reads as done.
+  return ProcessHandle{this, idx, gen};
 }
 
 Task<void> Simulation::observed(TaskObserver* obs, Task<void> inner,
@@ -35,24 +61,29 @@ ProcessHandle Simulation::spawn(Task<void> t, const char* name) {
 
 void Simulation::schedule_at(Time t, std::coroutine_handle<> h) {
   assert(t >= now_ && "cannot schedule in the past");
-  queue_.push(Event{t, next_seq_++, h, nullptr});
+  queue_.push(EventQueue::Event{t, next_seq_++, h, EventQueue::kNoCancel, 0});
 }
 
-std::shared_ptr<bool> Simulation::schedule_cancellable_at(
-    Time t, std::coroutine_handle<> h) {
+CancelToken Simulation::schedule_cancellable_at(Time t,
+                                               std::coroutine_handle<> h) {
   assert(t >= now_ && "cannot schedule in the past");
-  auto flag = std::make_shared<bool>(false);
-  queue_.push(Event{t, next_seq_++, h, flag});
-  return flag;
+  const auto [idx, gen] = queue_.claim_cancel_slot();
+  queue_.push(EventQueue::Event{t, next_seq_++, h, idx, gen});
+  return CancelToken{&queue_, idx, gen};
 }
 
 bool Simulation::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    // A cancelled timer's handle may already be dead (resumed elsewhere);
-    // discard the event without touching it.
-    if (ev.cancelled && *ev.cancelled) continue;
+  while (queue_.ensure_ready()) {
+    EventQueue::Event ev = queue_.pop_ready();
+    if (ev.cancel_idx != EventQueue::kNoCancel) {
+      // A cancelled timer's handle may already be dead (resumed elsewhere);
+      // discard the event without touching it, and recycle the slot either
+      // way — the event it guarded is gone.
+      const bool dead =
+          queue_.cancel_slot_cancelled(ev.cancel_idx, ev.cancel_gen);
+      queue_.release_cancel_slot(ev.cancel_idx);
+      if (dead) continue;
+    }
     assert(ev.t >= now_);
     now_ = ev.t;
     ++events_executed_;
@@ -69,7 +100,7 @@ Time Simulation::run() {
 }
 
 Time Simulation::run_until(Time deadline) {
-  while (!queue_.empty() && queue_.top().t <= deadline) step();
+  while (queue_.ensure_ready() && queue_.ready_top_time() <= deadline) step();
   if (now_ < deadline) now_ = deadline;
   return now_;
 }

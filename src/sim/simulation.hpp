@@ -4,14 +4,21 @@
 // time only by awaiting (sleep, channels, resources). Events with equal
 // timestamps fire in schedule order (FIFO by sequence number), making every
 // run deterministic.
+//
+// The hot path is allocation-free in steady state: events live in a
+// hierarchical timer wheel (sim/event_queue.hpp), cancellable timers use a
+// generation-stamped recycling pool instead of shared_ptr flags, spawned
+// processes draw their completion state from a recycling pool, and coroutine
+// frames come from the slab allocator (sim/slab.hpp).
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <memory>
-#include <queue>
+#include <deque>
 #include <vector>
 
+#include "sim/event_queue.hpp"
+#include "sim/slab.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -32,39 +39,64 @@ class TaskObserver {
   virtual void on_task_end(std::uint64_t token) = 0;
 };
 
-/// Shared completion state of a spawned process.
+/// Completion state of a spawned process. Pool-backed: slots recycle as soon
+/// as the process finishes, with a generation stamp so handles to finished
+/// processes stay valid (a stale generation reads as "done"). The first
+/// joiner parks in an inline slot — the overwhelmingly common case — so
+/// joining allocates nothing.
 struct ProcessState {
+  std::uint32_t gen = 0;
   bool done = false;
-  Simulation* sim = nullptr;
-  std::vector<std::coroutine_handle<>> joiners;
+  std::coroutine_handle<> joiner0;  ///< inline single-joiner slot
+  std::vector<std::coroutine_handle<>> extra_joiners;
+};
+
+/// Cancellation token for schedule_cancellable_at. Cancelling after the
+/// event has fired (or was discarded) is a harmless no-op: the pool slot's
+/// generation has moved on and the stale token no longer matches.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// True iff this token was issued by schedule_cancellable_at (it may
+  /// still be stale).
+  bool armed() const { return q_ != nullptr; }
+
+  /// Discard the pending event without touching its coroutine handle.
+  void cancel() const {
+    if (q_ != nullptr) q_->cancel(idx_, gen_);
+  }
+
+ private:
+  friend class Simulation;
+  CancelToken(EventQueue* q, std::uint32_t idx, std::uint32_t gen)
+      : q_(q), idx_(idx), gen_(gen) {}
+
+  EventQueue* q_ = nullptr;
+  std::uint32_t idx_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// Handle to a spawned process; lets other coroutines await its completion.
 class ProcessHandle {
  public:
   ProcessHandle() = default;
-  explicit ProcessHandle(std::shared_ptr<ProcessState> st)
-      : state_(std::move(st)) {}
 
-  bool valid() const { return state_ != nullptr; }
-  bool done() const { return state_ && state_->done; }
+  bool valid() const { return sim_ != nullptr; }
+  inline bool done() const;
 
   /// Awaitable: suspends until the process finishes (no-op if it already
   /// has). Join order among multiple joiners is FIFO.
-  auto join() const {
-    struct Awaiter {
-      std::shared_ptr<ProcessState> st;
-      bool await_ready() const noexcept { return st->done; }
-      void await_suspend(std::coroutine_handle<> h) const {
-        st->joiners.push_back(h);
-      }
-      void await_resume() const noexcept {}
-    };
-    return Awaiter{state_};
-  }
+  inline auto join() const;
 
  private:
-  std::shared_ptr<ProcessState> state_;
+  friend class Simulation;
+  ProcessHandle(Simulation* sim, std::uint32_t idx, std::uint32_t gen)
+      : sim_(sim), idx_(idx), gen_(gen) {}
+
+  Simulation* sim_ = nullptr;
+  std::uint32_t idx_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Simulation {
@@ -109,12 +141,11 @@ class Simulation {
   /// queued same-time events.
   void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
 
-  /// Enqueue a cancellable resume at time `t`. Setting the returned flag to
-  /// true before the event fires discards it without touching the handle —
-  /// the building block for timeouts, where the same coroutine may instead
-  /// be resumed by the operation completing.
-  std::shared_ptr<bool> schedule_cancellable_at(Time t,
-                                                std::coroutine_handle<> h);
+  /// Enqueue a cancellable resume at time `t`. Calling cancel() on the
+  /// returned token before the event fires discards it without touching the
+  /// handle — the building block for timeouts, where the same coroutine may
+  /// instead be resumed by the operation completing.
+  CancelToken schedule_cancellable_at(Time t, std::coroutine_handle<> h);
 
   /// Run until the event queue is empty. Returns the final time.
   Time run();
@@ -134,6 +165,8 @@ class Simulation {
   std::uint64_t events_executed() const { return events_executed_; }
 
  private:
+  friend class ProcessHandle;
+
   struct SleepAwaiter {
     Simulation* sim;
     Time wake;
@@ -144,16 +177,6 @@ class Simulation {
     void await_resume() const noexcept {}
   };
 
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    std::coroutine_handle<> h;
-    std::shared_ptr<bool> cancelled;  // null for ordinary events
-    bool operator>(const Event& o) const {
-      return t != o.t ? t > o.t : seq > o.seq;
-    }
-  };
-
   // Detached, self-destroying wrapper that runs a Task as a root process.
   struct RootCoro {
     struct promise_type {
@@ -162,18 +185,62 @@ class Simulation {
       std::suspend_never final_suspend() const noexcept { return {}; }
       void return_void() const noexcept {}
       void unhandled_exception() const noexcept { std::terminate(); }
+
+      static void* operator new(std::size_t n) { return slab::allocate(n); }
+      static void operator delete(void* p) noexcept { slab::deallocate(p); }
+      static void operator delete(void* p, std::size_t) noexcept {
+        slab::deallocate(p);
+      }
     };
   };
-  static RootCoro run_root(Task<void> t, std::shared_ptr<ProcessState> st);
+  static RootCoro run_root(Task<void> t, Simulation* sim, std::uint32_t idx);
   static Task<void> observed(TaskObserver* obs, Task<void> inner,
                              const char* name);
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // --- process pool ---
+  std::uint32_t alloc_proc();
+  void finish_proc(std::uint32_t idx);
+  bool proc_done(std::uint32_t idx, std::uint32_t gen) const {
+    const ProcessState& st = procs_[idx];
+    return st.gen != gen || st.done;
+  }
+  void proc_add_joiner(std::uint32_t idx, std::coroutine_handle<> h) {
+    ProcessState& st = procs_[idx];
+    if (!st.joiner0) {
+      st.joiner0 = h;
+    } else {
+      st.extra_joiners.push_back(h);
+    }
+  }
+
+  EventQueue queue_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t live_processes_ = 0;
   std::uint64_t events_executed_ = 0;
   TaskObserver* observer_ = nullptr;
+  std::deque<ProcessState> procs_;  // deque: stable refs across growth
+  std::vector<std::uint32_t> proc_free_;
 };
+
+inline bool ProcessHandle::done() const {
+  return sim_ != nullptr && sim_->proc_done(idx_, gen_);
+}
+
+inline auto ProcessHandle::join() const {
+  struct Awaiter {
+    Simulation* sim;
+    std::uint32_t idx;
+    std::uint32_t gen;
+    bool await_ready() const noexcept {
+      return sim == nullptr || sim->proc_done(idx, gen);
+    }
+    void await_suspend(std::coroutine_handle<> h) const {
+      sim->proc_add_joiner(idx, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  return Awaiter{sim_, idx_, gen_};
+}
 
 }  // namespace csar::sim

@@ -17,6 +17,8 @@
 #include <optional>
 #include <utility>
 
+#include "sim/slab.hpp"
+
 namespace csar::sim {
 
 template <typename T>
@@ -43,6 +45,15 @@ struct PromiseBase {
   std::suspend_always initial_suspend() const noexcept { return {}; }
   FinalAwaiter final_suspend() const noexcept { return {}; }
   void unhandled_exception() noexcept { exception = std::current_exception(); }
+
+  // Coroutine frames are the simulator's dominant allocation; route them
+  // through the recycling slab (sim/slab.hpp). CSAR_SIM_SLAB=OFF falls back
+  // to ::operator new for sanitizer runs.
+  static void* operator new(std::size_t n) { return slab::allocate(n); }
+  static void operator delete(void* p) noexcept { slab::deallocate(p); }
+  static void operator delete(void* p, std::size_t) noexcept {
+    slab::deallocate(p);
+  }
 };
 
 template <typename T>

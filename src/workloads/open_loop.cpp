@@ -1,0 +1,165 @@
+#include "workloads/open_loop.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/sync.hpp"
+
+namespace csar::wl {
+
+namespace {
+
+struct TenantCtx {
+  pvfs::OpenFile file;
+  double rate = 0;             ///< requests per simulated second
+  std::uint32_t outstanding = 0;
+  std::uint64_t written_hwm = 0;  ///< bytes written so far (read ceiling)
+  Rng rng{0};
+};
+
+/// FNV-1a fold, one 64-bit word at a time.
+void fold(std::uint64_t& h, std::uint64_t v) {
+  if (h == 0) h = 0xCBF29CE484222325ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+}
+
+/// Next interarrival gap in nanoseconds (>= 1 so the clock always moves).
+sim::Duration next_gap(Rng& rng, const OpenLoopParams& p, double mean_sec) {
+  double gap;
+  if (p.arrivals == Arrivals::poisson) {
+    gap = rng.exponential(mean_sec);
+  } else {
+    // Bounded Pareto with shape alpha, scaled so the mean matches the
+    // Poisson configuration: xm = mean * (alpha-1)/alpha, capped at 50x.
+    const double alpha = std::max(1.05, p.pareto_alpha);
+    const double xm = mean_sec * (alpha - 1.0) / alpha;
+    gap = std::min(rng.pareto(alpha, xm), mean_sec * 50.0);
+  }
+  const double ns = gap * 1e9;
+  return ns < 1.0 ? 1 : static_cast<sim::Duration>(ns);
+}
+
+/// One admitted request, running detached under the outstanding cap.
+sim::Task<void> one_request(raid::Rig& rig, const OpenLoopParams& p,
+                            TenantCtx* t, std::uint32_t tenant_id,
+                            std::uint32_t client, bool is_read,
+                            std::uint64_t off, OpenLoopStats* stats,
+                            sim::WaitGroup* wg) {
+  const sim::Time issued = rig.sim.now();
+  bool ok;
+  if (is_read) {
+    auto r = co_await rig.client_fs(client).read(t->file, off,
+                                                 p.request_bytes);
+    ok = r.ok();
+    if (ok) stats->bytes_read += p.request_bytes;
+  } else {
+    auto r = co_await rig.client_fs(client).write(
+        t->file, off, Buffer::phantom(p.request_bytes));
+    ok = r.ok();
+    if (ok) {
+      stats->bytes_written += p.request_bytes;
+      t->written_hwm = std::max(t->written_hwm, off + p.request_bytes);
+    }
+  }
+  const sim::Duration lat = rig.sim.now() - issued;
+  if (ok) {
+    ++stats->completed;
+    stats->latency_sum += lat;
+    stats->latency_max = std::max(stats->latency_max, lat);
+  } else {
+    ++stats->failed;
+  }
+  fold(stats->fingerprint, tenant_id);
+  fold(stats->fingerprint, rig.sim.now());
+  fold(stats->fingerprint, ok ? p.request_bytes : 0);
+  --t->outstanding;
+  wg->done();
+}
+
+/// One tenant's arrival clock: sleep a gap, admit-or-shed, repeat until the
+/// window closes.
+sim::Task<void> tenant_loop(raid::Rig& rig, const OpenLoopParams& p,
+                            TenantCtx* t, std::uint32_t tenant_id,
+                            sim::Time t_end, OpenLoopStats* stats,
+                            sim::WaitGroup* wg) {
+  const std::uint32_t client =
+      tenant_id % static_cast<std::uint32_t>(rig.clients.size());
+  const double mean_sec = 1.0 / t->rate;
+  const std::uint64_t slots =
+      std::max<std::uint64_t>(1, p.file_extent / p.stripe_unit);
+  for (;;) {
+    co_await rig.sim.sleep(next_gap(t->rng, p, mean_sec));
+    if (rig.sim.now() >= t_end) break;
+    ++stats->arrivals;
+    if (t->outstanding >= p.max_outstanding) {
+      ++stats->shed;  // open loop: the clock keeps running regardless
+      continue;
+    }
+    // Reads target already-written data; until something is written, every
+    // arrival is a write.
+    bool is_read = t->rng.chance(p.read_fraction) &&
+                   t->written_hwm >= p.request_bytes;
+    std::uint64_t off =
+        t->rng.below(slots) * static_cast<std::uint64_t>(p.stripe_unit);
+    if (is_read) {
+      const std::uint64_t rslots =
+          std::max<std::uint64_t>(1, t->written_hwm / p.request_bytes);
+      off = t->rng.below(rslots) * p.request_bytes;
+    }
+    ++t->outstanding;
+    wg->add();
+    rig.sim.spawn(one_request(rig, p, t, tenant_id, client, is_read, off,
+                              stats, wg));
+  }
+  wg->done();  // balances the add() in run_open_loop
+}
+
+}  // namespace
+
+sim::Task<OpenLoopStats> run_open_loop(raid::Rig& rig,
+                                       const OpenLoopParams& params) {
+  assert(!rig.clients.empty());
+  OpenLoopStats stats;
+  // Zipf weights -> per-tenant rates (every tenant gets a strictly positive
+  // share so its arrival clock advances).
+  std::vector<double> weight(params.ntenants);
+  double wsum = 0;
+  for (std::uint32_t i = 0; i < params.ntenants; ++i) {
+    weight[i] = 1.0 / std::pow(static_cast<double>(i + 1), params.zipf_skew);
+    wsum += weight[i];
+  }
+
+  Rng root(params.seed);
+  std::vector<TenantCtx> tenants(params.ntenants);
+  for (std::uint32_t i = 0; i < params.ntenants; ++i) {
+    auto f = co_await rig.client_fs(i % rig.clients.size())
+                 .create("ol-" + std::to_string(i),
+                         rig.layout(params.stripe_unit));
+    assert(f.ok());
+    tenants[i].file = *f;
+    tenants[i].rate = params.total_rate * weight[i] / wsum;
+    tenants[i].rng = root.split();
+  }
+
+  const sim::Time t0 = rig.sim.now();
+  const sim::Time t_end = t0 + params.duration;
+  sim::WaitGroup wg(rig.sim);
+  wg.add(params.ntenants);  // one per arrival clock; requests add their own
+  for (std::uint32_t i = 0; i < params.ntenants; ++i) {
+    rig.sim.spawn(
+        tenant_loop(rig, params, &tenants[i], i, t_end, &stats, &wg));
+  }
+  co_await wg.wait();
+  stats.elapsed = rig.sim.now() - t0;
+  co_return stats;
+}
+
+}  // namespace csar::wl

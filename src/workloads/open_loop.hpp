@@ -1,0 +1,81 @@
+// Open-loop traffic generation for simulator scaling runs.
+//
+// Unlike the paper-reproduction workloads (closed loops: each client issues
+// the next request only when the previous one finishes), an OpenLoopSource
+// fires requests on a seeded arrival process regardless of completions —
+// the standard model for "offered load" experiments, and the shape of
+// traffic that actually stresses the simulator's event queue: tens of
+// thousands of concurrent timers, cancellations and channel hand-offs.
+//
+// Determinism: every random draw flows from params.seed through split
+// per-tenant streams, arrivals are scheduled in integer nanoseconds, and the
+// returned fingerprint folds every completion (tenant, time, bytes) in
+// completion order — two runs with equal params must return equal
+// fingerprints bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "raid/rig.hpp"
+#include "sim/task.hpp"
+
+namespace csar::wl {
+
+enum class Arrivals {
+  poisson,  ///< exponential interarrival gaps
+  pareto,   ///< bounded-Pareto gaps (heavy tail, same mean)
+};
+
+struct OpenLoopParams {
+  std::uint32_t stripe_unit = 64 * 1024;
+  std::uint32_t ntenants = 16;
+  /// Aggregate offered request rate across all tenants (requests per
+  /// simulated second), split between tenants by the Zipf skew below.
+  double total_rate = 2000.0;
+  Arrivals arrivals = Arrivals::poisson;
+  /// Shape for Arrivals::pareto; must be > 1 so the mean exists. Gaps are
+  /// capped at 50x the mean to keep the tail bounded.
+  double pareto_alpha = 1.5;
+  /// Zipf exponent for the per-tenant rate split: tenant i carries weight
+  /// 1/(i+1)^skew. 0 = uniform.
+  double zipf_skew = 0.8;
+  /// Request payload in bytes (write size; reads use the same size).
+  std::uint64_t request_bytes = 64 * 1024;
+  /// Fraction of requests that are reads (of previously written data).
+  double read_fraction = 0.3;
+  /// Per-tenant concurrent-request cap. An arrival finding the tenant at
+  /// the cap is shed and counted — open-loop semantics: the arrival clock
+  /// keeps running, modelling overload instead of silently back-pressuring.
+  std::uint32_t max_outstanding = 8;
+  /// Logical extent of each tenant's file; write offsets are drawn
+  /// uniformly from it (stripe-unit aligned).
+  std::uint64_t file_extent = 8ull << 20;
+  /// Simulated run length; arrivals stop after this, then in-flight
+  /// requests drain.
+  sim::Duration duration = sim::sec(2);
+  std::uint64_t seed = 0xC5A20123ULL;
+};
+
+struct OpenLoopStats {
+  std::uint64_t arrivals = 0;    ///< requests the arrival process generated
+  std::uint64_t completed = 0;   ///< requests that finished OK
+  std::uint64_t failed = 0;      ///< requests that returned an error
+  std::uint64_t shed = 0;        ///< arrivals dropped at the admission cap
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+  sim::Duration latency_sum = 0;  ///< issue -> completion, completed reqs
+  sim::Duration latency_max = 0;
+  sim::Duration elapsed = 0;      ///< start -> last completion drained
+  /// FNV-1a fold of every completion (tenant, completion time, bytes) in
+  /// completion order; equal-params runs must produce equal values.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Drive `params.ntenants` open-loop tenants against the rig (tenants map
+/// onto the rig's clients round-robin; each tenant owns one file). Returns
+/// once the arrival window closed and every admitted request completed.
+sim::Task<OpenLoopStats> run_open_loop(raid::Rig& rig,
+                                       const OpenLoopParams& params);
+
+}  // namespace csar::wl

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "common/buffer.hpp"
 #include "common/interval_map.hpp"
 #include "common/interval_set.hpp"
@@ -130,6 +132,100 @@ TEST(IntervalSetProperty, MatchesReferenceBitset) {
   }
 }
 
+// Node-based reference port of the pre-flat IntervalSet (std::map<start,end>
+// with the merge/split logic the old implementation used). The flat
+// sorted-vector version must agree with it on every observable after any
+// operation sequence.
+class MapIntervalSet {
+ public:
+  void insert(std::uint64_t start, std::uint64_t end) {
+    if (start >= end) return;
+    auto it = ranges_.upper_bound(start);
+    if (it != ranges_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= start) {  // adjacency merges too
+        start = prev->first;
+        end = std::max(end, prev->second);
+        it = ranges_.erase(prev);
+      }
+    }
+    while (it != ranges_.end() && it->first <= end) {
+      end = std::max(end, it->second);
+      it = ranges_.erase(it);
+    }
+    ranges_.emplace(start, end);
+  }
+
+  void erase(std::uint64_t start, std::uint64_t end) {
+    if (start >= end) return;
+    auto it = ranges_.upper_bound(start);
+    if (it != ranges_.begin() && std::prev(it)->second > start) --it;
+    while (it != ranges_.end() && it->first < end) {
+      const std::uint64_t rs = it->first;
+      const std::uint64_t re = it->second;
+      it = ranges_.erase(it);
+      if (rs < start) ranges_.emplace(rs, start);
+      if (re > end) {
+        ranges_.emplace(end, re);
+        break;
+      }
+    }
+  }
+
+  std::vector<Interval> to_vector() const {
+    std::vector<Interval> out;
+    for (const auto& [s, e] : ranges_) out.push_back({s, e});
+    return out;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> ranges_;
+};
+
+// Random operation sequences: the flat IntervalSet must stay exactly equal
+// to the node-based implementation it replaced, range list and all.
+TEST(IntervalSetProperty, MatchesLegacyMapImplementation) {
+  constexpr std::uint64_t kUniverse = 1u << 20;  // force uneven range sizes
+  Rng rng(0xF1A7);
+  for (int trial = 0; trial < 10; ++trial) {
+    IntervalSet flat;
+    MapIntervalSet legacy;
+    for (int op = 0; op < 400; ++op) {
+      const std::uint64_t a = rng.below(kUniverse);
+      const std::uint64_t len = rng.below(kUniverse / 8) + (op % 2);
+      const std::uint64_t lo = a;
+      const std::uint64_t hi = std::min(a + len, kUniverse);
+      if (rng.chance(0.6)) {
+        flat.insert(lo, hi);
+        legacy.insert(lo, hi);
+      } else {
+        flat.erase(lo, hi);
+        legacy.erase(lo, hi);
+      }
+      ASSERT_EQ(flat.to_vector(), legacy.to_vector())
+          << "trial " << trial << " op " << op;
+    }
+    // Spot-check the read-side API against the agreed range list.
+    const auto ranges = flat.to_vector();
+    for (int q = 0; q < 50; ++q) {
+      const std::uint64_t s = rng.below(kUniverse);
+      const std::uint64_t e = std::min(s + rng.below(kUniverse / 8) + 1,
+                                       kUniverse);
+      bool any = false, all = e > s;
+      for (std::uint64_t x = s; x < e; x += (e - s + 99) / 100) {
+        bool in = false;
+        for (const auto& r : ranges) in = in || (r.start <= x && x < r.end);
+        any = any || in;
+        all = all && in;
+      }
+      if (all) {
+        EXPECT_TRUE(flat.covers(s, e));
+      }
+      EXPECT_EQ(flat.intersects(s, e), !flat.intersection(s, e).empty());
+    }
+  }
+}
+
 // --- IntervalMap with Buffer payloads (the sparse-file use case) ---
 
 struct BufferSlicer {
@@ -230,6 +326,89 @@ TEST(IntervalMapProperty, LatestWriteWins) {
     std::uint64_t covered = 0;
     for (bool w : written) covered += w ? 1 : 0;
     ASSERT_EQ(m.covered_bytes(), covered);
+  }
+}
+
+// Node-based reference port of the pre-flat IntervalMap: std::map from
+// start to (end, value), same slicing rules on partial overwrites.
+class MapFileMap {
+ public:
+  void insert(std::uint64_t start, std::uint64_t end, Buffer value) {
+    if (start >= end) return;
+    erase(start, end);
+    entries_.emplace(start, Entry{end, std::move(value)});
+  }
+
+  void erase(std::uint64_t start, std::uint64_t end) {
+    if (start >= end) return;
+    auto it = entries_.upper_bound(start);
+    if (it != entries_.begin() && std::prev(it)->second.end > start) --it;
+    while (it != entries_.end() && it->first < end) {
+      const std::uint64_t rs = it->first;
+      const std::uint64_t re = it->second.end;
+      Buffer v = std::move(it->second.value);
+      it = entries_.erase(it);
+      if (rs < start) {
+        entries_.emplace(rs, Entry{start, v.slice(0, start - rs)});
+      }
+      if (re > end) {
+        entries_.emplace(end, Entry{re, v.slice(end - rs, re - end)});
+        break;
+      }
+    }
+  }
+
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, Buffer>> entries()
+      const {
+    std::vector<std::tuple<std::uint64_t, std::uint64_t, Buffer>> out;
+    for (const auto& [s, e] : entries_) out.emplace_back(s, e.end, e.value);
+    return out;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t end;
+    Buffer value;
+  };
+  std::map<std::uint64_t, Entry> entries_;
+};
+
+// Random insert/erase sequences: flat IntervalMap entry lists (bounds and
+// payload bytes) must match the node-based implementation step for step.
+TEST(IntervalMapProperty, MatchesLegacyMapImplementation) {
+  constexpr std::uint64_t kUniverse = 4096;
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 10; ++trial) {
+    FileMap flat;
+    MapFileMap legacy;
+    for (int op = 0; op < 200; ++op) {
+      const std::uint64_t a = rng.below(kUniverse);
+      const std::uint64_t len = rng.below(kUniverse / 4) + 1;
+      const std::uint64_t lo = a;
+      const std::uint64_t hi = std::min(a + len, kUniverse);
+      if (lo >= hi) continue;
+      if (rng.chance(0.7)) {
+        const std::uint64_t tag = rng.next();
+        flat.insert(lo, hi, Buffer::pattern(hi - lo, tag));
+        legacy.insert(lo, hi, Buffer::pattern(hi - lo, tag));
+      } else {
+        flat.erase(lo, hi);
+        legacy.erase(lo, hi);
+      }
+      std::vector<std::tuple<std::uint64_t, std::uint64_t, Buffer>> got;
+      flat.for_each([&](std::uint64_t s, std::uint64_t e, const Buffer& v) {
+        got.emplace_back(s, e, v);
+      });
+      const auto want = legacy.entries();
+      ASSERT_EQ(got.size(), want.size())
+          << "trial " << trial << " op " << op;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(std::get<0>(got[i]), std::get<0>(want[i]));
+        ASSERT_EQ(std::get<1>(got[i]), std::get<1>(want[i]));
+        ASSERT_EQ(std::get<2>(got[i]), std::get<2>(want[i]))
+            << "entry " << i << " payload mismatch";
+      }
+    }
   }
 }
 

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <queue>
 #include <string>
 #include <stdexcept>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulation.hpp"
 #include "sim/task.hpp"
@@ -367,6 +370,217 @@ TEST(Channel, TryRecv) {
   auto v = ch.try_recv();
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(*v, 9);
+}
+
+// --- timer-wheel edge cases ----------------------------------------------
+// The wheel levels cover ~1.05 ms / ~268 ms / ~68.7 s; events beyond that
+// wait in the overflow heap. These tests pin the determinism contract at
+// the seams: level crossings, cascades, the overflow drain, run_until at a
+// slot boundary, and cancellation-slot generation reuse.
+
+TEST(TimerWheel, EqualTimestampFifoAcrossLevels) {
+  // Eight processes converge on one far-future timestamp, each scheduling
+  // its final wake from a different simulated time (so the target event is
+  // filed at a different wheel level / cascades a different number of
+  // times per process). Execution at the shared timestamp must still be
+  // FIFO by schedule order.
+  Simulation sim;
+  std::vector<int> order;
+  const Time target = sec(100);  // beyond the level-2 horizon at t=0
+  for (int i = 0; i < 8; ++i) {
+    sim.spawn([](Simulation& s, std::vector<int>& ord, Time t,
+                 int id) -> Task<void> {
+      // Stagger: id 0 schedules from t=0 (overflow), id 7 from 70 s
+      // (level 2), so the same target lands via different paths.
+      co_await s.sleep(sec(id * 10));
+      co_await s.sleep_until(t);
+      ord.push_back(id);
+    }(sim, order, target, i));
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(sim.now(), target);
+}
+
+TEST(TimerWheel, FarFutureOverflowOrdering) {
+  // Events past the 68.7 s wheel horizon park in the overflow heap and
+  // must drain back in exact time order, interleaved with near events.
+  Simulation sim;
+  std::vector<Time> fired;
+  for (Time t : {sec(200), us(1), sec(70), sec(500), ms(5)}) {
+    sim.spawn([](Simulation& s, std::vector<Time>& f, Time w) -> Task<void> {
+      co_await s.sleep_until(w);
+      f.push_back(s.now());
+    }(sim, fired, t));
+  }
+  sim.run();
+  const std::vector<Time> want = {us(1), ms(5), sec(70), sec(200), sec(500)};
+  EXPECT_EQ(fired, want);
+  EXPECT_EQ(sim.now(), sec(500));
+}
+
+TEST(TimerWheel, RunUntilAtWheelBoundary) {
+  // 2^20 ns is exactly the level-0 horizon (256 slots x 4096 ns): events
+  // at multiples of it sit at the first slot of a fresh level-0 window.
+  // run_until at those boundaries must fire exactly the due events and
+  // leave the rest queued for the next call.
+  Simulation sim;
+  std::vector<Time> fired;
+  const Time b = 1u << 20;
+  for (Time t : {b, 2 * b, 2 * b + 1, 3 * b}) {
+    sim.spawn([](Simulation& s, std::vector<Time>& f, Time w) -> Task<void> {
+      co_await s.sleep_until(w);
+      f.push_back(s.now());
+    }(sim, fired, t));
+  }
+  sim.run_until(b);
+  EXPECT_EQ(fired, std::vector<Time>{b});
+  EXPECT_EQ(sim.now(), b);
+  sim.run_until(2 * b);
+  EXPECT_EQ(fired, (std::vector<Time>{b, 2 * b}));
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<Time>{b, 2 * b, 2 * b + 1, 3 * b}));
+}
+
+namespace {
+/// Parks a coroutine and publishes its handle so tests can drive
+/// schedule_cancellable_at directly.
+struct Park {
+  std::coroutine_handle<>* out;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const { *out = h; }
+  void await_resume() const noexcept {}
+};
+}  // namespace
+
+TEST(TimerWheel, CancellationGenerationReuse) {
+  Simulation sim;
+  std::coroutine_handle<> parked;
+  int resumed = 0;
+  sim.spawn([](std::coroutine_handle<>* out, int* r) -> Task<void> {
+    co_await Park{out};
+    ++*r;
+  }(&parked, &resumed));
+  ASSERT_TRUE(parked);
+
+  // Arm and cancel a timer; once its discarded event pops, the pool slot
+  // recycles with a bumped generation.
+  CancelToken tok1 = sim.schedule_cancellable_at(ms(1), parked);
+  EXPECT_TRUE(tok1.armed());
+  tok1.cancel();
+  sim.run_until(ms(2));
+  EXPECT_EQ(resumed, 0);
+
+  // The next claim reuses the slot. Cancelling through the stale token
+  // again must NOT kill the new timer.
+  CancelToken tok2 = sim.schedule_cancellable_at(ms(5), parked);
+  (void)tok2;
+  tok1.cancel();  // stale generation: no-op
+  sim.run();
+  EXPECT_EQ(resumed, 1);
+  EXPECT_EQ(sim.now(), ms(5));
+}
+
+TEST(Simulation, StaleProcessHandleReadsDone) {
+  // Process-state slots recycle immediately on completion; a handle to the
+  // finished process keeps reading done() through the generation check,
+  // even after a new process takes the slot.
+  Simulation sim;
+  ProcessHandle h1 = sim.spawn([](Simulation& s) -> Task<void> {
+    co_await s.sleep(ms(1));
+  }(sim));
+  sim.run();
+  EXPECT_TRUE(h1.done());
+  ProcessHandle h2 = sim.spawn([](Simulation& s) -> Task<void> {
+    co_await s.sleep(ms(1));
+  }(sim));
+  EXPECT_TRUE(h1.done());   // stale handle: still done
+  EXPECT_FALSE(h2.done());  // new tenant of the slot: not done
+  sim.run();
+  EXPECT_TRUE(h2.done());
+}
+
+TEST(Simulation, MultipleJoinersWakeFifo) {
+  // First joiner parks in the inline slot, the rest in the spill vector;
+  // wake order must be join order regardless.
+  Simulation sim;
+  std::vector<int> order;
+  ProcessHandle target = sim.spawn([](Simulation& s) -> Task<void> {
+    co_await s.sleep(ms(10));
+  }(sim));
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](ProcessHandle t, std::vector<int>& ord,
+                 int id) -> Task<void> {
+      co_await t.join();
+      ord.push_back(id);
+    }(target, order, i));
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// Brute-force determinism fuzz: M processes x K sleeps with pseudo-random
+// delays spanning every wheel level and the overflow heap, checked against
+// a plain (time, seq) min-heap reference model that mirrors the eager-spawn
+// / schedule-on-await semantics exactly.
+TEST(TimerWheelFuzz, MatchesReferenceHeapOrdering) {
+  constexpr int kProcs = 64;
+  constexpr int kSleeps = 40;
+  Rng rng(20260808);
+  // Log-uniform delays: anything from 1 ns to ~137 s.
+  std::vector<std::vector<Duration>> delay(kProcs,
+                                           std::vector<Duration>(kSleeps));
+  for (auto& row : delay) {
+    for (auto& d : row) {
+      const std::uint32_t shift = static_cast<std::uint32_t>(rng.below(37));
+      d = 1 + (rng.next() & ((1ull << shift) - 1));
+    }
+  }
+
+  // Reference: each scheduled wake is (t, seq); seq increments in schedule
+  // order. Spawns run eagerly (first sleep scheduled at spawn), later
+  // sleeps are scheduled when the previous wake fires.
+  struct RefEv {
+    Time t;
+    std::uint64_t seq;
+    int p;
+    int k;
+    bool operator>(const RefEv& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+  std::priority_queue<RefEv, std::vector<RefEv>, std::greater<RefEv>> heap;
+  std::uint64_t seq = 0;
+  for (int p = 0; p < kProcs; ++p) heap.push({delay[p][0], seq++, p, 0});
+  std::vector<std::pair<Time, int>> want;
+  while (!heap.empty()) {
+    const RefEv ev = heap.top();
+    heap.pop();
+    want.emplace_back(ev.t, ev.p);
+    if (ev.k + 1 < kSleeps) {
+      heap.push({ev.t + delay[ev.p][ev.k + 1], seq++, ev.p, ev.k + 1});
+    }
+  }
+
+  Simulation sim;
+  std::vector<std::pair<Time, int>> got;
+  for (int p = 0; p < kProcs; ++p) {
+    sim.spawn([](Simulation& s, const std::vector<Duration>& ds,
+                 std::vector<std::pair<Time, int>>& out,
+                 int id) -> Task<void> {
+      for (Duration d : ds) {
+        co_await s.sleep(d);
+        out.emplace_back(s.now(), id);
+      }
+    }(sim, delay[p], got, p));
+  }
+  sim.run();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "divergence at event " << i;
+  }
+  EXPECT_EQ(sim.live_processes(), 0u);
 }
 
 TEST(Simulation, DeadlockLeavesLiveProcesses) {
