@@ -61,7 +61,7 @@ MetaRunResult run_meta_workload(bool journaling) {
       (void)f;
       if (i % 4 == 0) {
         auto s = co_await r.client().set_scheme(
-            name, static_cast<std::uint8_t>(raid::Scheme::raid1), 1);
+            name, raid::scheme_tag(raid::Scheme::raid1), 1);
         assert(s.ok());
         (void)s;
       }

@@ -41,6 +41,7 @@ csar_add_bench(bench_ablate_rpc_batching)
 csar_add_bench(bench_ablate_raid4)
 csar_add_bench(bench_ablate_collective)
 csar_add_bench(bench_ablate_rebuild)
+csar_add_bench(bench_ablate_erasure)
 csar_add_bench(bench_ablate_mirror_reads)
 csar_add_bench(bench_ablate_obs_overhead)
 csar_add_bench(bench_ablate_manager_journal)

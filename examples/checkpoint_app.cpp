@@ -107,7 +107,7 @@ int main() {
       raid::Scheme::hybrid};
   for (raid::Scheme s : schemes) {
     const Outcome o = run(s);
-    std::printf("%-8s %14.2f s %12.2f s %12s\n", raid::scheme_name(s),
+    std::printf("%-8s %14.2f s %12.2f s %12s\n", raid::scheme_name(s).c_str(),
                 o.checkpoint_secs, o.restore_secs,
                 format_bytes(o.stored_bytes).c_str());
   }

@@ -101,7 +101,7 @@ int main() {
        {raid::Scheme::raid0, raid::Scheme::raid1, raid::Scheme::raid5,
         raid::Scheme::raid5_nolock, raid::Scheme::hybrid}) {
     const RunResult r = run(s);
-    std::printf("%-11s %8.3f s %12llu %18s\n", raid::scheme_name(s), r.secs,
+    std::printf("%-11s %8.3f s %12llu %18s\n", raid::scheme_name(s).c_str(), r.secs,
                 static_cast<unsigned long long>(r.lock_waits),
                 !raid::uses_parity(s)  ? "n/a"
                 : r.parity_consistent ? "yes"

@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed_counter = 1;
 
   std::printf("csar shell: %u I/O servers, %s scheme (type 'help')\n",
-              nservers, raid::scheme_name(scheme));
+              nservers, raid::scheme_name(scheme).c_str());
 
   std::string line;
   while (std::printf("csar> "), std::fflush(stdout),

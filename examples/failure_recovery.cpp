@@ -96,7 +96,7 @@ bool demo(raid::Scheme scheme) {
 int main() {
   for (raid::Scheme s :
        {raid::Scheme::raid1, raid::Scheme::raid5, raid::Scheme::hybrid}) {
-    std::printf("%s:\n", raid::scheme_name(s));
+    std::printf("%s:\n", raid::scheme_name(s).c_str());
     const bool ok = demo(s);
     std::printf("  => %s\n\n", ok ? "recovered" : "DATA LOSS");
   }

@@ -1,0 +1,359 @@
+#include "codec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define CSAR_CODEC_X86 1
+#else
+#define CSAR_CODEC_X86 0
+#endif
+
+namespace csar {
+
+// --- XOR kernels (moved from common/parity.cpp) ---
+
+void xor_bytes(std::span<std::byte> dst, std::span<const std::byte> src) {
+  assert(src.size() <= dst.size());
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] ^= src[i];
+}
+
+void xor_words_single(std::span<std::byte> dst,
+                      std::span<const std::byte> src) {
+  assert(src.size() <= dst.size());
+  std::size_t n = src.size();
+  std::size_t i = 0;
+  constexpr std::size_t W = sizeof(std::uint64_t);
+  for (; i + W <= n; i += W) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, dst.data() + i, W);
+    std::memcpy(&b, src.data() + i, W);
+    a ^= b;
+    std::memcpy(dst.data() + i, &a, W);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void xor_words(std::span<std::byte> dst, std::span<const std::byte> src) {
+  assert(src.size() <= dst.size());
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  constexpr std::size_t W = sizeof(std::uint64_t);
+  // 32-byte blocks (4 independent words per iteration) measure fastest
+  // here: wide enough to keep multiple XORs in flight, narrow enough that
+  // GCC still vectorizes the block instead of spilling the local arrays.
+  constexpr std::size_t B = 4 * W;
+  for (; i + B <= n; i += B) {
+    std::uint64_t a[4];
+    std::uint64_t b[4];
+    std::memcpy(a, dst.data() + i, B);
+    std::memcpy(b, src.data() + i, B);
+    a[0] ^= b[0];
+    a[1] ^= b[1];
+    a[2] ^= b[2];
+    a[3] ^= b[3];
+    std::memcpy(dst.data() + i, a, B);
+  }
+  for (; i + W <= n; i += W) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, dst.data() + i, W);
+    std::memcpy(&b, src.data() + i, W);
+    a ^= b;
+    std::memcpy(dst.data() + i, &a, W);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void xor_accumulate(std::span<std::byte> dst,
+                    std::span<const std::span<const std::byte>> sources) {
+  for (const auto& s : sources) {
+    xor_words(dst, s.subspan(0, std::min(s.size(), dst.size())));
+  }
+}
+
+// --- GF(2^8) region kernels ---
+
+namespace {
+
+/// One 256-entry product row for a fixed constant c: row[b] = c * b.
+/// Building it costs 256 table walks; the scalar region loop then does one
+/// load per byte instead of two log lookups and an exp lookup.
+struct MulRow {
+  std::uint8_t row[256];
+  explicit MulRow(std::uint8_t c) {
+    row[0] = 0;
+    if (c == 0) {
+      std::memset(row, 0, sizeof(row));
+      return;
+    }
+    const std::uint32_t lc = gf_log[c];
+    for (std::uint32_t b = 1; b < 256; ++b) {
+      row[b] = gf_exp[lc + gf_log[b]];
+    }
+  }
+};
+
+void muladd_scalar(std::byte* dst, const std::byte* src, std::size_t n,
+                   std::uint8_t c) {
+  const MulRow t(c);
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] ^= static_cast<std::byte>(
+        t.row[static_cast<std::uint8_t>(src[i])]);
+  }
+}
+
+void mul_scalar(std::byte* dst, const std::byte* src, std::size_t n,
+                std::uint8_t c) {
+  const MulRow t(c);
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<std::byte>(t.row[static_cast<std::uint8_t>(src[i])]);
+  }
+}
+
+#if CSAR_CODEC_X86
+
+/// Split nibble tables for the PSHUFB kernel: lo[v] = c*v, hi[v] = c*(v<<4)
+/// for v in [0,16). A product byte is lo[b & 0xF] ^ hi[b >> 4] because GF
+/// multiplication distributes over the XOR split b = (b & 0xF) ^ (b & 0xF0).
+struct NibbleTables {
+  alignas(16) std::uint8_t lo[16];
+  alignas(16) std::uint8_t hi[16];
+  explicit NibbleTables(std::uint8_t c) {
+    for (std::uint32_t v = 0; v < 16; ++v) {
+      lo[v] = gf_mul(c, static_cast<std::uint8_t>(v));
+      hi[v] = gf_mul(c, static_cast<std::uint8_t>(v << 4));
+    }
+  }
+};
+
+__attribute__((target("ssse3"))) void muladd_ssse3(std::byte* dst,
+                                                   const std::byte* src,
+                                                   std::size_t n,
+                                                   std::uint8_t c) {
+  const NibbleTables t(c);
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+    const __m128i ph =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    const __m128i prod = _mm_xor_si128(pl, ph);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, prod));
+  }
+  if (i < n) muladd_scalar(dst + i, src + i, n - i, c);
+}
+
+__attribute__((target("avx2"))) void muladd_avx2(std::byte* dst,
+                                                 const std::byte* src,
+                                                 std::size_t n,
+                                                 std::uint8_t c) {
+  const NibbleTables t(c);
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i pl = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+    const __m256i ph = _mm256_shuffle_epi8(
+        hi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+    const __m256i prod = _mm256_xor_si256(pl, ph);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, prod));
+  }
+  if (i < n) muladd_scalar(dst + i, src + i, n - i, c);
+}
+
+#endif  // CSAR_CODEC_X86
+
+using MulAddFn = void (*)(std::byte*, const std::byte*, std::size_t,
+                          std::uint8_t);
+
+struct Dispatch {
+  MulAddFn muladd = &muladd_scalar;
+  const char* name = "scalar";
+};
+
+/// Single runtime-dispatch point for the codec: resolved once, at first
+/// use, from CPU feature bits. All variants are bit-identical (GF and XOR
+/// arithmetic are exact), so the choice never affects simulated results.
+const Dispatch& dispatch() {
+  static const Dispatch d = [] {
+    Dispatch r;
+#if CSAR_CODEC_X86
+    if (__builtin_cpu_supports("avx2")) {
+      r.muladd = &muladd_avx2;
+      r.name = "avx2";
+    } else if (__builtin_cpu_supports("ssse3")) {
+      r.muladd = &muladd_ssse3;
+      r.name = "ssse3";
+    }
+#endif
+    return r;
+  }();
+  return d;
+}
+
+}  // namespace
+
+const char* codec_dispatch_name() { return dispatch().name; }
+
+void gf_muladd_region(std::span<std::byte> dst, std::span<const std::byte> src,
+                      std::uint8_t c) {
+  assert(src.size() <= dst.size());
+  if (c == 0) return;
+  if (c == 1) {
+    xor_words(dst, src);
+    return;
+  }
+  dispatch().muladd(dst.data(), src.data(), src.size(), c);
+}
+
+void gf_mul_region(std::span<std::byte> dst, std::span<const std::byte> src,
+                   std::uint8_t c) {
+  assert(src.size() <= dst.size());
+  if (c == 0) {
+    std::memset(dst.data(), 0, src.size());
+    return;
+  }
+  if (c == 1) {
+    std::memcpy(dst.data(), src.data(), src.size());
+    return;
+  }
+  // dst = c*src as muladd into a zeroed destination keeps one dispatch
+  // point; the memset is cheap next to the multiply.
+  std::memset(dst.data(), 0, src.size());
+  dispatch().muladd(dst.data(), src.data(), src.size(), c);
+}
+
+void gf_muladd_region_scalar(std::span<std::byte> dst,
+                             std::span<const std::byte> src, std::uint8_t c) {
+  assert(src.size() <= dst.size());
+  if (c == 0) return;
+  muladd_scalar(dst.data(), src.data(), src.size(), c);
+}
+
+void gf_mul_region_scalar(std::span<std::byte> dst,
+                          std::span<const std::byte> src, std::uint8_t c) {
+  assert(src.size() <= dst.size());
+  mul_scalar(dst.data(), src.data(), src.size(), c);
+}
+
+// --- Reed-Solomon coefficients ---
+
+std::uint8_t rs_coeff(CodeSpec spec, std::uint32_t j, std::uint32_t i) {
+  assert(spec.k >= 1 && spec.m >= 1 && spec.fragments() <= kMaxCodeFragments);
+  assert(j < spec.m && i < spec.k);
+  // Cauchy matrix over the disjoint index sets x_j = k+j, y_i = i, with
+  // column i scaled by (x_0 ^ y_i) so row 0 is all ones (coding fragment 0
+  // == XOR parity; RS(k,1) is byte-identical to the RAID5 parity path).
+  const std::uint8_t xj = static_cast<std::uint8_t>(spec.k + j);
+  const std::uint8_t yi = static_cast<std::uint8_t>(i);
+  const std::uint8_t cauchy = gf_inv(xj ^ yi);
+  const std::uint8_t scale = static_cast<std::uint8_t>(spec.k) ^ yi;
+  return gf_mul(cauchy, scale);
+}
+
+std::vector<std::uint8_t> rs_reconstruct_coeffs(
+    CodeSpec spec, std::span<const std::uint32_t> present,
+    std::uint32_t target) {
+  const std::uint32_t k = spec.k;
+  if (present.size() != k || target >= spec.fragments()) std::abort();
+
+  // Trivial selector when the target is itself present.
+  for (std::uint32_t r = 0; r < k; ++r) {
+    if (present[r] == target) {
+      std::vector<std::uint8_t> sel(k, 0);
+      sel[r] = 1;
+      return sel;
+    }
+  }
+
+  // Row r of A is the [I; G] row of fragment present[r], restricted to the
+  // k data columns; invert A by Gauss-Jordan with the identity augmented.
+  std::vector<std::uint8_t> a(k * k, 0);
+  std::vector<std::uint8_t> inv(k * k, 0);
+  for (std::uint32_t r = 0; r < k; ++r) {
+    const std::uint32_t f = present[r];
+    if (f >= spec.fragments()) std::abort();
+    for (std::uint32_t r2 = r + 1; r2 < k; ++r2) {
+      if (present[r2] == f) std::abort();  // duplicate fragment index
+    }
+    if (f < k) {
+      a[r * k + f] = 1;
+    } else {
+      for (std::uint32_t i = 0; i < k; ++i) a[r * k + i] = rs_coeff(spec, f - k, i);
+    }
+    inv[r * k + r] = 1;
+  }
+  for (std::uint32_t col = 0; col < k; ++col) {
+    std::uint32_t piv = col;
+    while (piv < k && a[piv * k + col] == 0) ++piv;
+    if (piv == k) std::abort();  // singular: impossible for an MDS code
+    if (piv != col) {
+      for (std::uint32_t i = 0; i < k; ++i) {
+        std::swap(a[piv * k + i], a[col * k + i]);
+        std::swap(inv[piv * k + i], inv[col * k + i]);
+      }
+    }
+    const std::uint8_t pinv = gf_inv(a[col * k + col]);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      a[col * k + i] = gf_mul(a[col * k + i], pinv);
+      inv[col * k + i] = gf_mul(inv[col * k + i], pinv);
+    }
+    for (std::uint32_t r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const std::uint8_t f = a[r * k + col];
+      if (f == 0) continue;
+      for (std::uint32_t i = 0; i < k; ++i) {
+        a[r * k + i] ^= gf_mul(f, a[col * k + i]);
+        inv[r * k + i] ^= gf_mul(f, inv[col * k + i]);
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> coeffs(k, 0);
+  if (target < k) {
+    // data_target = row `target` of A^{-1} applied to the present fragments.
+    for (std::uint32_t r = 0; r < k; ++r) coeffs[r] = inv[target * k + r];
+  } else {
+    // coding_j = G_j · data = (G_j · A^{-1}) applied to the present
+    // fragments.
+    const std::uint32_t j = target - k;
+    for (std::uint32_t r = 0; r < k; ++r) {
+      std::uint8_t acc = 0;
+      for (std::uint32_t d = 0; d < k; ++d) {
+        acc ^= gf_mul(rs_coeff(spec, j, d), inv[d * k + r]);
+      }
+      coeffs[r] = acc;
+    }
+  }
+  return coeffs;
+}
+
+void rs_encode_delta(CodeSpec spec, std::uint32_t data_index,
+                     std::span<const std::byte> src,
+                     std::span<const std::span<std::byte>> coding) {
+  assert(coding.size() == spec.m);
+  for (std::uint32_t j = 0; j < spec.m; ++j) {
+    gf_muladd_region(coding[j], src, rs_coeff(spec, j, data_index));
+  }
+}
+
+}  // namespace csar

@@ -1,0 +1,157 @@
+// Unified redundancy codec: XOR parity kernels plus the GF(2^8)
+// Reed-Solomon encode/decode kernel, behind one runtime-dispatch point.
+//
+// The XOR half reproduces the Swift/RAID observation (§3 of the CSAR paper)
+// that word-wise parity beats byte-wise parity; the byte-wise kernel is kept
+// for the ablation benchmark. The GF half generalizes parity to k+m erasure
+// codes: coding fragment j of a group is sum_i g[j][i] * data_i over
+// GF(2^8), with the generator matrix chosen so its first row is all ones —
+// RS(k,1) therefore produces byte-identical output to the XOR parity path,
+// and every classic scheme is a special case of the code (RAID1 ≈ RS(1,1),
+// RAID4/5 ≈ RS(k,1)).
+//
+// Region kernels (gf_mul_region / gf_muladd_region) follow the same layout
+// discipline as xor_words: a 32-byte-block main loop over unaligned-safe
+// memcpy loads, then word and byte tails. The SIMD variant (PSHUFB over
+// split nibble tables, SSSE3/AVX2) and the scalar table walk are
+// bit-identical by construction — GF arithmetic is exact — so runtime
+// dispatch never perturbs simulated results. Dispatch is resolved once, at
+// the first region call, for both the XOR and GF kernels (codec_dispatch()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace csar {
+
+// --- XOR kernels (formerly common/parity.hpp) ---
+
+/// dst[i] ^= src[i], one byte at a time (deliberately naive baseline).
+void xor_bytes(std::span<std::byte> dst, std::span<const std::byte> src);
+
+/// dst[i] ^= src[i], one 64-bit word at a time with a byte tail (the
+/// pre-blocking kernel, kept for the ablation benchmark).
+void xor_words_single(std::span<std::byte> dst, std::span<const std::byte> src);
+
+/// dst[i] ^= src[i], 32-byte blocks of four independent 64-bit words per
+/// iteration (autovectorizer-friendly at the default -O2), then a word tail
+/// and a byte tail. Handles unaligned buffers via memcpy word loads, which
+/// GCC lowers to plain loads on x86.
+void xor_words(std::span<std::byte> dst, std::span<const std::byte> src);
+
+/// Parity of `sources` accumulated into `dst` (dst must be zero-filled or
+/// hold the first source). Sources shorter than dst contribute only their
+/// prefix; this matches parity of zero-padded stripe units.
+void xor_accumulate(std::span<std::byte> dst,
+                    std::span<const std::span<const std::byte>> sources);
+
+// --- GF(2^8) scalar arithmetic ---
+// Field: GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1 (0x11d),
+// the conventional choice for storage RS codes. gf_exp is doubled so
+// gf_exp[gf_log[a] + gf_log[b]] never needs a mod-255 reduction. The tables
+// are constexpr — computed at compile time, immune to static-init order.
+
+namespace gf_detail {
+struct Tables {
+  std::uint8_t log[256] = {};
+  std::uint8_t exp[512] = {};
+};
+constexpr Tables make_tables() {
+  Tables t{};
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < 255; ++i) {
+    t.exp[i] = static_cast<std::uint8_t>(x);
+    t.log[x] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= 0x11d;
+  }
+  for (std::uint32_t i = 255; i < 512; ++i) t.exp[i] = t.exp[i - 255];
+  t.log[0] = 0;  // log(0) is undefined; gf_mul guards the zero cases
+  return t;
+}
+inline constexpr Tables kTables = make_tables();
+}  // namespace gf_detail
+
+inline constexpr const std::uint8_t* gf_log = gf_detail::kTables.log;
+inline constexpr const std::uint8_t* gf_exp = gf_detail::kTables.exp;
+
+constexpr std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return gf_exp[gf_log[a] + gf_log[b]];
+}
+
+/// Multiplicative inverse; a must be nonzero.
+constexpr std::uint8_t gf_inv(std::uint8_t a) {
+  return gf_exp[255 - gf_log[a]];
+}
+
+// --- GF(2^8) region kernels ---
+
+/// dst[i] ^= c * src[i] over GF(2^8). c == 0 is a no-op; c == 1 degrades to
+/// xor_words. Runtime-dispatched (see codec_dispatch()).
+void gf_muladd_region(std::span<std::byte> dst, std::span<const std::byte> src,
+                      std::uint8_t c);
+
+/// dst[i] = c * src[i] over GF(2^8) (no accumulate).
+void gf_mul_region(std::span<std::byte> dst, std::span<const std::byte> src,
+                   std::uint8_t c);
+
+/// Scalar (per-byte table walk) variants, exposed for the parity-kernel
+/// ablation benchmark and for bit-identity tests against the SIMD path.
+void gf_muladd_region_scalar(std::span<std::byte> dst,
+                             std::span<const std::byte> src, std::uint8_t c);
+void gf_mul_region_scalar(std::span<std::byte> dst,
+                          std::span<const std::byte> src, std::uint8_t c);
+
+/// The instruction set the region kernels resolved to at runtime:
+/// "avx2", "ssse3" or "scalar". Resolved once per process.
+const char* codec_dispatch_name();
+
+// --- Reed-Solomon code over the fragments of one group ---
+
+/// A k+m erasure code: k data fragments, m coding fragments, any k of the
+/// k+m suffice to recover everything (MDS). Fragment indices are global:
+/// data fragments are [0, k), coding fragments are [k, k+m).
+struct CodeSpec {
+  std::uint32_t k = 1;
+  std::uint32_t m = 0;
+  std::uint32_t fragments() const { return k + m; }
+  friend bool operator==(const CodeSpec&, const CodeSpec&) = default;
+};
+
+/// Hard bounds for CodeSpec validation. k+m <= 255 is the field-size limit
+/// of the Cauchy construction; the persisted scheme-tag packing is tighter
+/// (k <= 16, m <= 7, see raid/scheme.hpp) and is what parse_scheme enforces.
+inline constexpr std::uint32_t kMaxCodeFragments = 255;
+
+/// Generator coefficient g[j][i]: the factor data fragment i contributes to
+/// coding fragment j (j in [0, m), i in [0, k)). Built from a Cauchy matrix
+/// with columns scaled so row 0 is all ones: coding fragment 0 is exactly
+/// the XOR parity of the data fragments, and any k rows of [I; G] stay
+/// invertible (column scaling preserves the Cauchy MDS property). Requires
+/// spec.fragments() <= kMaxCodeFragments.
+std::uint8_t rs_coeff(CodeSpec spec, std::uint32_t j, std::uint32_t i);
+
+/// Coefficients reconstructing fragment `target` from the k fragments
+/// listed in `present` (distinct indices in [0, k+m), any order; exactly k
+/// of them). Returns one coefficient per present fragment:
+///   frag[target] = sum_r coeffs[r] * frag[present[r]].
+/// If target itself appears in `present` the result is the trivial
+/// selector. The k x k system is always invertible for an MDS code, so this
+/// never fails for valid input; it aborts on malformed input (duplicate or
+/// out-of-range indices, wrong count).
+std::vector<std::uint8_t> rs_reconstruct_coeffs(
+    CodeSpec spec, std::span<const std::uint32_t> present,
+    std::uint32_t target);
+
+/// Accumulate `coeff * src` into every coding region: for each j in [0, m),
+/// coding[j] ^= rs_coeff(j, data_index) * src. The delta form of the RS
+/// small-write update — pass src = old ^ new.
+void rs_encode_delta(CodeSpec spec, std::uint32_t data_index,
+                     std::span<const std::byte> src,
+                     std::span<const std::span<std::byte>> coding);
+
+}  // namespace csar

@@ -1,35 +1,7 @@
-// XOR parity kernels.
-//
-// The Swift/RAID paper (and §3 of the CSAR paper) reports that computing
-// parity one machine word at a time instead of one byte at a time
-// significantly improves RAID5/Hybrid performance. We keep both kernels: the
-// word-wise one is the production path; the byte-wise one exists for the
-// ablation benchmark reproducing that observation.
+// Compatibility shim: the XOR parity kernels moved into the unified
+// redundancy codec (common/codec.hpp) alongside the GF(2^8) Reed-Solomon
+// routines, so both share one runtime-dispatch point. Include codec.hpp in
+// new code.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
-#include <span>
-
-namespace csar {
-
-/// dst[i] ^= src[i], one byte at a time (deliberately naive baseline).
-void xor_bytes(std::span<std::byte> dst, std::span<const std::byte> src);
-
-/// dst[i] ^= src[i], one 64-bit word at a time with a byte tail (the
-/// pre-blocking kernel, kept for the ablation benchmark).
-void xor_words_single(std::span<std::byte> dst, std::span<const std::byte> src);
-
-/// dst[i] ^= src[i], 32-byte blocks of four independent 64-bit words per
-/// iteration (autovectorizer-friendly at the default -O2), then a word tail
-/// and a byte tail. Handles unaligned buffers via memcpy word loads, which
-/// GCC lowers to plain loads on x86.
-void xor_words(std::span<std::byte> dst, std::span<const std::byte> src);
-
-/// Parity of `sources` accumulated into `dst` (dst must be zero-filled or
-/// hold the first source). Sources shorter than dst contribute only their
-/// prefix; this matches parity of zero-padded stripe units.
-void xor_accumulate(std::span<std::byte> dst,
-                    std::span<const std::span<const std::byte>> sources);
-
-}  // namespace csar
+#include "common/codec.hpp"

@@ -200,7 +200,12 @@ sim::Task<void> driver(const StormParams& p, raid::Rig& rig,
         // tear at most their own range.
         const raid::Scheme sch = rig.policy().scheme_of(files[fi]);
         if (sch != raid::Scheme::raid0 && sch != raid::Scheme::raid1) {
-          const std::uint64_t w = files[fi].layout.stripe_width();
+          // rs groups are k units wide; every parity scheme's group is the
+          // full stripe. A torn write can desynchronize the whole group.
+          const std::uint64_t w =
+              sch.kind == raid::SchemeKind::rs
+                  ? files[fi].layout.rs_group_width(sch.k)
+                  : files[fi].layout.stripe_width();
           lo = lo / w * w;
           hi = std::min<std::uint64_t>(p.file_size, (hi + w - 1) / w * w);
         }
@@ -293,7 +298,7 @@ sim::Task<void> driver(const StormParams& p, raid::Rig& rig,
       // An unset tag means "layout default", which the policy may have
       // overridden locally — only a *set* tag can contradict the live scheme.
       if (f2->scheme != pvfs::kSchemeUnset &&
-          static_cast<raid::Scheme>(f2->scheme) !=
+          raid::scheme_from_tag(f2->scheme) !=
               rig.policy().scheme_of(files[i])) {
         ++m.meta_mismatches;
       }

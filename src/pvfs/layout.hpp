@@ -116,6 +116,52 @@ struct StripeLayout {
     return parity_local_unit(g) * stripe_unit;
   }
 
+  // --- rs (k+m) group math ---
+  // Reed-Solomon generalizes the parity geometry: an rs group is k
+  // *consecutive* stripe units (occupying k distinct servers under the
+  // rotating data layout, which rs always uses — data placement stays
+  // byte-identical to plain PVFS), and the group's m coding fragments go to
+  // the next m servers after the group's data in rotation order, so the
+  // k+m fragments of a group sit on k+m distinct servers (requires
+  // k+m <= N). With k = N-1 and m = 1 this reduces exactly to the rotating
+  // parity placement above. Coding fragment j of group g lives in server
+  // rs_coding_server(g,k,j)'s redundancy file at a slot-per-group offset
+  // (one unit-sized slot per group index, like RAID4's fixed placement) —
+  // sparse per server, but collision-free without closed-form density math.
+  std::uint64_t rs_group_of_unit(std::uint64_t u, std::uint32_t k) const {
+    return u / k;
+  }
+  std::uint64_t rs_group_of_off(std::uint64_t off, std::uint32_t k) const {
+    return rs_group_of_unit(unit_of(off), k);
+  }
+  std::uint64_t rs_group_width(std::uint32_t k) const {
+    return static_cast<std::uint64_t>(k) * stripe_unit;
+  }
+  /// Global byte range [start, end) covered by rs group g.
+  std::uint64_t rs_group_start(std::uint64_t g, std::uint32_t k) const {
+    return g * rs_group_width(k);
+  }
+  std::uint64_t rs_group_end(std::uint64_t g, std::uint32_t k) const {
+    return (g + 1) * rs_group_width(k);
+  }
+  /// Server holding coding fragment j of rs group g.
+  std::uint32_t rs_coding_server(std::uint64_t g, std::uint32_t k,
+                                 std::uint32_t j) const {
+    assert(placement == ParityPlacement::rotating);
+    return static_cast<std::uint32_t>((base + g * k + k + j) % nservers);
+  }
+  /// Server-local byte offset of group g's coding fragment inside the
+  /// holder's redundancy file (at most one fragment per (server, group), so
+  /// the group index is the slot).
+  std::uint64_t rs_coding_local_off(std::uint64_t g) const {
+    return g * stripe_unit;
+  }
+  /// Server holding data fragment i (unit g*k + i) of rs group g.
+  std::uint32_t rs_data_server(std::uint64_t g, std::uint32_t k,
+                               std::uint32_t i) const {
+    return server_of_unit(g * k + i);
+  }
+
   // --- request decomposition ---
   struct Extent {
     std::uint32_t server;      ///< I/O server holding this piece
@@ -141,6 +187,31 @@ struct StripeLayout {
     std::uint64_t tail_start = 0, tail_end = 0;  ///< partial group at end
   };
   WriteSplit split_write(std::uint64_t off, std::uint64_t len) const;
+
+  /// split_write generalized to an arbitrary group width `w` — the rs(k,m)
+  /// paths pass w = rs_group_width(k); split_write(off, len) is exactly
+  /// split_write_w(off, len, stripe_width()).
+  WriteSplit split_write_w(std::uint64_t off, std::uint64_t len,
+                           std::uint64_t w) const {
+    WriteSplit ws;
+    const std::uint64_t end = off + len;
+    const std::uint64_t gs = align_up(off, w);
+    const std::uint64_t ge = align_down(end, w);
+    if (gs <= ge) {
+      ws.head_start = off;
+      ws.head_end = gs;
+      ws.full_start = gs;
+      ws.full_end = ge;
+      ws.tail_start = ge;
+      ws.tail_end = end;
+    } else {
+      ws.head_start = off;
+      ws.head_end = end;
+      ws.full_start = ws.full_end = end;
+      ws.tail_start = ws.tail_end = end;
+    }
+    return ws;
+  }
 };
 
 }  // namespace csar::pvfs

@@ -87,9 +87,13 @@ Buffer match_materialization(Buffer b, bool materialized) {
 sim::Task<Result<pvfs::OpenFile>> CsarFs::create(std::string name,
                                                  pvfs::StripeLayout layout) {
   const Scheme s = p_.policy->assign(name);
+  if (s.kind == SchemeKind::rs && s.k + s.m > layout.nservers) {
+    // rs(k,m) places k+m fragments on distinct servers; a narrower rig
+    // would silently double-place fragments and void the fault tolerance.
+    co_return Error{Errc::invalid_argument, "rs(k,m) needs k+m servers"};
+  }
   layout.placement = placement_for(s);
-  auto f = co_await client_->create(std::move(name), layout,
-                                    static_cast<std::uint8_t>(s));
+  auto f = co_await client_->create(std::move(name), layout, scheme_tag(s));
   if (f.ok()) p_.policy->note_created(*f, s);
   co_return f;
 }
@@ -192,10 +196,11 @@ sim::Task<Result<void>> CsarFs::write(const pvfs::OpenFile& f,
 sim::Task<Result<void>> CsarFs::write_guarded(const pvfs::OpenFile& f,
                                               std::uint64_t off, Buffer data) {
   if (mon_ != nullptr) {
-    if (auto failed = mon_->first_failed()) {
+    std::vector<std::uint32_t> down = mon_->failed_set();
+    if (!down.empty()) {
       ++failover_stats_.degraded_writes;
       co_return co_await degraded_write_observed(f, off, std::move(data),
-                                                 *failed);
+                                                 std::move(down));
     }
   }
   auto wr = co_await dispatch_write(f, off, data);
@@ -224,20 +229,30 @@ sim::Task<Result<void>> CsarFs::write_guarded(const pvfs::OpenFile& f,
   }
   if (!failed.has_value()) co_return wr;
   ++failover_stats_.degraded_writes;
-  co_return co_await degraded_write_observed(f, off, std::move(data), *failed);
+  std::vector<std::uint32_t> down;
+  down.push_back(*failed);
+  co_return co_await degraded_write_observed(f, off, std::move(data),
+                                             std::move(down));
 }
 
-sim::Task<Result<void>> CsarFs::degraded_write_observed(const pvfs::OpenFile& f,
-                                                        std::uint64_t off,
-                                                        Buffer data,
-                                                        std::uint32_t failed) {
+sim::Task<Result<void>> CsarFs::degraded_write_observed(
+    const pvfs::OpenFile& f, std::uint64_t off, Buffer data,
+    std::vector<std::uint32_t> failed) {
   const std::uint64_t len = data.size();
-  if (observer_ != nullptr) observer_->on_degraded_write_begin(failed);
+  // Hooks fire once per victim: each down server's rebuild pass must treat
+  // the written region as dirtied.
+  if (observer_ != nullptr) {
+    for (const std::uint32_t s : failed) observer_->on_degraded_write_begin(s);
+  }
   Recovery rec(*client_, p_.policy);
   auto wr = co_await rec.degraded_write(f, off, std::move(data), failed);
   // The end hook fires on failure too: a torn degraded write may still have
   // updated some redundancy, so the region must count as dirtied.
-  if (observer_ != nullptr) observer_->on_degraded_write_end(f, off, len, failed);
+  if (observer_ != nullptr) {
+    for (const std::uint32_t s : failed) {
+      observer_->on_degraded_write_end(f, off, len, s);
+    }
+  }
   co_return wr;
 }
 
@@ -254,10 +269,11 @@ sim::Task<Result<Buffer>> CsarFs::read(const pvfs::OpenFile& f,
     client_->set_ambient_span(span.id());
   }
   if (mon_ == nullptr) co_return co_await client_->read(f, off, len);
-  if (auto failed = mon_->first_failed()) {
+  std::vector<std::uint32_t> down = mon_->failed_set();
+  if (!down.empty()) {
     ++failover_stats_.degraded_reads;
     Recovery rec(*client_, p_.policy);
-    co_return co_await rec.degraded_read(f, off, len, *failed);
+    co_return co_await rec.degraded_read(f, off, len, std::move(down));
   }
   auto rd = co_await client_->read(f, off, len);
   if (rd.ok() || !failover_errc(rd.error().code)) co_return rd;
@@ -272,18 +288,20 @@ sim::Task<Result<void>> CsarFs::dispatch_write(const pvfs::OpenFile& f,
   // whole writes (the flip requires zero writes in flight), so a single
   // resolution per dispatch can never straddle two schemes.
   const Scheme sch = p_.policy->scheme_of(f);
-  switch (sch) {
-    case Scheme::raid0:
+  switch (sch.kind) {
+    case SchemeKind::raid0:
       co_return co_await client_->write_striped(f, off, data);
-    case Scheme::raid1:
+    case SchemeKind::raid1:
       co_return co_await write_raid1(f, off, data);
-    case Scheme::raid4:
-    case Scheme::raid5:
-    case Scheme::raid5_nolock:
-    case Scheme::raid5_npc:
+    case SchemeKind::raid4:
+    case SchemeKind::raid5:
+    case SchemeKind::raid5_nolock:
+    case SchemeKind::raid5_npc:
       co_return co_await write_raid5(f, off, data, sch);
-    case Scheme::hybrid:
+    case SchemeKind::hybrid:
       co_return co_await write_hybrid(f, off, data);
+    case SchemeKind::rs:
+      co_return co_await write_rs(f, off, data, sch);
   }
   co_return Error{Errc::invalid_argument, "unknown scheme"};
 }
@@ -594,6 +612,303 @@ sim::Task<Result<void>> CsarFs::write_raid5(const pvfs::OpenFile& f,
   auto resps = co_await client_->rpc_all(std::move(writes));
   for (const auto& resp : resps) {
     if (!resp.ok) co_return Error{resp.err, "raid5 write", resp.server};
+  }
+  co_return Result<void>::success();
+}
+
+sim::Task<Result<void>> CsarFs::write_rs(const pvfs::OpenFile& f,
+                                         std::uint64_t off, const Buffer& data,
+                                         Scheme sch) {
+  // rs(k,m) generalizes the RAID5 path: a group is k consecutive units with
+  // m coding fragments on the next m servers in rotation. Full groups
+  // compute all m fragments fresh; partial groups run the same batched RMW
+  // protocol with one locked read+update per (group, coding fragment) — the
+  // XOR delta becomes m GF-scaled deltas, one per fragment (coding_j ^=
+  // coeff(j,i) * (old ^ new) for a write to data fragment i).
+  const StripeLayout& layout = f.layout;
+  const std::uint64_t su = layout.su();
+  const std::uint64_t len = data.size();
+  const CodeSpec spec = sch.code(layout);
+  const std::uint32_t k = spec.k;
+  const std::uint32_t m = spec.m;
+  if (std::uint64_t{k} + m > layout.n()) {
+    co_return Error{Errc::invalid_argument, "rs placement needs k+m <= N"};
+  }
+  const std::uint64_t W = layout.rs_group_width(k);
+  const auto ws = layout.split_write_w(off, len, W);
+  const std::uint32_t gen = p_.policy->red_gen_of(f);
+  std::uint64_t xor_bytes = 0;
+
+  // Partial segments in ascending group order (head group < tail group):
+  // the §5.1 ordered-acquisition rule, applied to coding-server visits.
+  std::vector<PartialSeg> segs;
+  if (ws.head_end > ws.head_start) {
+    segs.push_back({ws.head_start, ws.head_end,
+                    layout.rs_group_of_off(ws.head_start, k)});
+  }
+  if (ws.tail_end > ws.tail_start) {
+    segs.push_back({ws.tail_start, ws.tail_end,
+                    layout.rs_group_of_off(ws.tail_start, k)});
+  }
+
+  struct SegCtx {
+    PartialSeg seg;
+    ColRange cols;
+    std::vector<Buffer> coding;  // old fragment columns, updated in place
+  };
+  std::vector<SegCtx> ctx;
+  ctx.reserve(segs.size());
+  for (const auto& seg : segs) {
+    ColRange cr;
+    const std::uint64_t u0 = layout.unit_of(seg.start);
+    const std::uint64_t u1 = layout.unit_of(seg.end - 1);
+    if (u0 == u1) {
+      cr = {seg.start % su, (seg.end - 1) % su + 1};
+    } else {
+      cr = {0, su};
+    }
+    ctx.push_back({seg, cr, std::vector<Buffer>(m)});
+  }
+
+  // Old-data readers: one per extent, each folding old ^ new the moment its
+  // response lands (identical streaming shape to the RAID5 path; the
+  // GF-scaled fold into each coding fragment happens after the join).
+  std::vector<std::pair<std::uint32_t, Request>> reads;
+  std::vector<std::pair<std::size_t, StripeLayout::Extent>> read_meta;
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    const auto& seg = ctx[i].seg;
+    for (const auto& e : layout.decompose(seg.start, seg.end - seg.start)) {
+      Request r;
+      r.op = Op::read_data_raw;
+      r.handle = f.handle;
+      r.off = e.local_off;
+      r.len = e.len;
+      reads.emplace_back(e.server, std::move(r));
+      read_meta.emplace_back(i, e);
+    }
+  }
+  struct OldReadShared {
+    CsarFs* self;
+    const std::vector<std::pair<std::size_t, StripeLayout::Extent>>* meta;
+    const Buffer* data;
+    std::uint64_t off;
+    bool materialized;
+    Scheme sch;
+    std::vector<Buffer> deltas;
+    bool failed = false;
+    Errc errc = Errc::ok;
+    int err_server = -1;
+  };
+  OldReadShared shared{this,          &read_meta, &data, off,
+                       data.materialized(), sch,   {},    false, Errc::ok,
+                       -1};
+  shared.deltas.resize(read_meta.size());
+  auto read_one = [](OldReadShared* sh, std::uint32_t srv, Request req,
+                     std::size_t x) -> sim::Task<void> {
+    auto resp = co_await sh->self->client_->rpc(srv, std::move(req));
+    if (!resp.ok) {
+      if (!sh->failed) {
+        sh->failed = true;
+        sh->errc = resp.err;
+        sh->err_server = resp.server;
+      }
+      co_return;
+    }
+    const auto& e = (*sh->meta)[x].second;
+    Buffer delta =
+        match_materialization(std::move(resp.data), sh->materialized);
+    delta.xor_with(sh->data->slice(e.global_off - sh->off, e.len));
+    sh->deltas[x] = std::move(delta);
+    co_await sh->self->charge_xor(sh->sch, e.len);
+  };
+  std::vector<sim::ProcessHandle> readers;
+  readers.reserve(reads.size());
+  for (std::size_t x = 0; x < reads.size(); ++x) {
+    readers.push_back(client_->cluster().sim().spawn(
+        read_one(&shared, reads[x].first, std::move(reads[x].second), x)));
+  }
+
+  // Coding-lock phase: one batched lock+read RPC per coding server, servers
+  // visited sequentially in first-seen (ascending group, ascending fragment)
+  // order — the deadlock-avoidance rule across writers.
+  struct LockBucket {
+    std::uint32_t server;
+    std::vector<std::pair<std::size_t, std::uint32_t>> cs;  // (ctx, j)
+  };
+  const std::uint64_t rmw_token =
+      ctx.empty() ? 0 : client_->next_rmw_token();
+  std::vector<LockBucket> lbuckets;
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    for (std::uint32_t j = 0; j < m; ++j) {
+      const std::uint32_t srv =
+          layout.rs_coding_server(ctx[i].seg.group, k, j);
+      LockBucket* b = nullptr;
+      for (auto& cand : lbuckets) {
+        if (cand.server == srv) {
+          b = &cand;
+          break;
+        }
+      }
+      if (b == nullptr) {
+        lbuckets.push_back({srv, {}});
+        b = &lbuckets.back();
+      }
+      b->cs.emplace_back(i, j);
+    }
+  }
+
+  bool coding_error = false;
+  Errc coding_errc = Errc::ok;
+  int coding_err_server = -1;
+  std::vector<char> lock_sent(ctx.size() * m, 0);
+  for (auto& b : lbuckets) {
+    std::vector<Request> subs;
+    subs.reserve(b.cs.size());
+    for (const auto& [i, j] : b.cs) {
+      const ColRange cr = ctx[i].cols;
+      Request r;
+      r.op = Op::read_red;
+      r.handle = f.handle;
+      r.off = layout.rs_coding_local_off(ctx[i].seg.group) + cr.lo;
+      r.len = cr.hi - cr.lo;
+      r.lock = true;
+      r.rmw_token = rmw_token;
+      r.su = layout.stripe_unit;
+      r.red_gen = gen;
+      subs.push_back(std::move(r));
+      lock_sent[i * m + j] = 1;
+    }
+    auto resps = co_await client_->rpc_batch(b.server, std::move(subs));
+    for (std::size_t x = 0; x < resps.size(); ++x) {
+      if (!resps[x].ok) {
+        if (!coding_error) {
+          coding_error = true;
+          coding_errc = resps[x].err;
+          coding_err_server = resps[x].server;
+        }
+        continue;
+      }
+      ctx[b.cs[x].first].coding[b.cs[x].second] = match_materialization(
+          std::move(resps[x].data), data.materialized());
+    }
+    if (coding_error) break;
+  }
+  for (auto& h : readers) co_await h.join();
+
+  if (coding_error || shared.failed) {
+    std::vector<std::pair<std::uint32_t, Request>> rel;
+    for (std::size_t i = 0; i < ctx.size(); ++i) {
+      for (std::uint32_t j = 0; j < m; ++j) {
+        if (lock_sent[i * m + j] == 0) continue;
+        Request u;
+        u.op = Op::unlock_red;
+        u.handle = f.handle;
+        u.off = layout.rs_coding_local_off(ctx[i].seg.group) + ctx[i].cols.lo;
+        u.rmw_token = rmw_token;
+        u.su = layout.stripe_unit;
+        u.red_gen = gen;
+        rel.emplace_back(layout.rs_coding_server(ctx[i].seg.group, k, j),
+                         std::move(u));
+      }
+    }
+    (void)co_await client_->rpc_all(std::move(rel));
+    if (coding_error) {
+      co_return Error{coding_errc, "rs coding read", coding_err_server};
+    }
+    co_return Error{shared.errc, "rs old data", shared.err_server};
+  }
+
+  // Fold the streamed deltas: coding_j ^= coeff(j, i) * delta, at the
+  // extent's column offset.
+  for (std::size_t x = 0; x < read_meta.size(); ++x) {
+    const std::size_t i = read_meta[x].first;
+    const auto& e = read_meta[x].second;
+    const std::uint32_t frag =
+        static_cast<std::uint32_t>(layout.unit_of(e.global_off) % k);
+    const std::uint64_t colofs = e.global_off % su - ctx[i].cols.lo;
+    for (std::uint32_t j = 0; j < m; ++j) {
+      if (ctx[i].coding[j].materialized() && shared.deltas[x].materialized()) {
+        gf_muladd_region(
+            ctx[i].coding[j].mutable_bytes().subspan(colofs, e.len),
+            shared.deltas[x].bytes(), rs_coeff(spec, j, frag));
+      }
+      xor_bytes += e.len;
+    }
+  }
+
+  // Writes: updated coding fragments first (their transfer releases the
+  // locks), then the data range in place, then fresh coding for fully
+  // covered groups. rs coding slots are one unit per (server, group) and
+  // consecutive groups rotate servers, so full-group coding writes go out
+  // per group rather than merged per server.
+  std::vector<std::pair<std::uint32_t, Request>> writes;
+  for (auto& c : ctx) {
+    for (std::uint32_t j = 0; j < m; ++j) {
+      Request w;
+      w.op = Op::write_red;
+      w.handle = f.handle;
+      w.off = layout.rs_coding_local_off(c.seg.group) + c.cols.lo;
+      w.payload = std::move(c.coding[j]);
+      w.unlock = true;
+      w.rmw_token = rmw_token;
+      w.su = layout.stripe_unit;
+      w.red_gen = gen;
+      writes.emplace_back(layout.rs_coding_server(c.seg.group, k, j),
+                          std::move(w));
+    }
+  }
+  const bool inval = p_.policy->overflow_possible(f);
+  for (const auto& e : layout.decompose_merged(off, len)) {
+    Request w;
+    w.op = Op::write_data;
+    w.handle = f.handle;
+    w.off = e.local_off;
+    w.payload = pvfs::Client::gather_for_server(layout, off, data, e.server);
+    w.su = layout.stripe_unit;
+    if (inval) {
+      w.inval_own = Interval{e.local_off, e.local_off + e.len};
+      Request inv;
+      inv.op = Op::write_data;
+      inv.handle = f.handle;
+      inv.off = e.local_off;
+      inv.su = layout.stripe_unit;
+      inv.inval_mirror = Interval{e.local_off, e.local_off + e.len};
+      writes.emplace_back((e.server + 1) % layout.n(), std::move(inv));
+    }
+    writes.emplace_back(e.server, std::move(w));
+  }
+  if (ws.full_end > ws.full_start) {
+    for (std::uint64_t g = ws.full_start / W; g < ws.full_end / W; ++g) {
+      for (std::uint32_t j = 0; j < m; ++j) {
+        Buffer coding = data.materialized() ? Buffer::real(su)
+                                            : Buffer::phantom(su);
+        if (data.materialized()) {
+          auto dst = coding.mutable_bytes();
+          for (std::uint32_t i = 0; i < k; ++i) {
+            const std::uint64_t pos =
+                layout.rs_group_start(g, k) + std::uint64_t{i} * su;
+            gf_muladd_region(dst, data.slice(pos - off, su).bytes(),
+                             rs_coeff(spec, j, i));
+          }
+        }
+        xor_bytes += W;
+        Request w;
+        w.op = Op::write_red;
+        w.handle = f.handle;
+        w.off = layout.rs_coding_local_off(g);
+        w.payload = std::move(coding);
+        w.su = layout.stripe_unit;
+        w.red_gen = gen;
+        writes.emplace_back(layout.rs_coding_server(g, k, j), std::move(w));
+      }
+    }
+  }
+  if (!ctx.empty()) p_.policy->note_rmw(sch, ctx.size());
+  p_.policy->note_ec_encode(xor_bytes);
+  co_await charge_xor(sch, xor_bytes);
+  auto resps = co_await client_->rpc_all(std::move(writes));
+  for (const auto& resp : resps) {
+    if (!resp.ok) co_return Error{resp.err, "rs write", resp.server};
   }
   co_return Result<void>::success();
 }

@@ -179,11 +179,11 @@ class CsarFs {
                                          std::uint64_t off,
                                          const Buffer& data);
 
-  /// Recovery::degraded_write bracketed by the WriteObserver hooks.
-  sim::Task<Result<void>> degraded_write_observed(const pvfs::OpenFile& f,
-                                                  std::uint64_t off,
-                                                  Buffer data,
-                                                  std::uint32_t failed);
+  /// Recovery::degraded_write bracketed by the WriteObserver hooks (fired
+  /// once per down server — every victim's rebuild tracks the dirty region).
+  sim::Task<Result<void>> degraded_write_observed(
+      const pvfs::OpenFile& f, std::uint64_t off, Buffer data,
+      std::vector<std::uint32_t> failed);
 
   /// Resolve which server caused `err` (hint, else probe) and re-serve the
   /// read through Recovery::degraded_read; returns `err` unchanged when no
@@ -201,6 +201,11 @@ class CsarFs {
                                       Scheme sch);
   sim::Task<Result<void>> write_hybrid(const pvfs::OpenFile& f,
                                        std::uint64_t off, const Buffer& data);
+  /// rs(k,m) write path: full groups compute all m coding fragments fresh;
+  /// partial groups run the batched RMW protocol (one locked read+update per
+  /// touched coding server, ascending order) folding per-fragment GF deltas.
+  sim::Task<Result<void>> write_rs(const pvfs::OpenFile& f, std::uint64_t off,
+                                   const Buffer& data, Scheme sch);
 
   /// Charge the client CPU for XOR-ing `bytes` (skipped for RAID5-npc).
   sim::Task<void> charge_xor(Scheme sch, std::uint64_t bytes);

@@ -50,10 +50,29 @@ inline TextTable policy_stats_table(const RedundancyPolicy& policy) {
   return t;
 }
 
+/// Erasure-coding activity: decode/encode traffic of the rs(k,m) paths.
+/// The fragments/read column is the degraded-read cost the MDS property
+/// promises: exactly k fragments fetched per decoded piece.
+inline TextTable ec_stats_table(const RedundancyPolicy& policy) {
+  const EcStats& e = policy.ec_stats();
+  TextTable t({"degraded reads", "fragments", "frags/read", "decode bytes",
+               "encode bytes", "rebuild decodes"});
+  const double per_read =
+      e.degraded_reads == 0
+          ? 0.0
+          : static_cast<double>(e.fragments_fetched) /
+                static_cast<double>(e.degraded_reads + e.rebuild_decodes);
+  t.add_row({TextTable::num(e.degraded_reads),
+             TextTable::num(e.fragments_fetched), TextTable::num(per_read, 2),
+             format_bytes(e.decode_bytes), format_bytes(e.encode_bytes),
+             TextTable::num(e.rebuild_decodes)});
+  return t;
+}
+
 /// Print the tables when the CSAR_DIAG environment variable is set.
-inline void maybe_print_diagnostics(Rig& rig, const char* label) {
+inline void maybe_print_diagnostics(Rig& rig, const std::string& label) {
   if (std::getenv("CSAR_DIAG") == nullptr) return;
-  std::printf("\n-- diagnostics: %s --\n", label);
+  std::printf("\n-- diagnostics: %s --\n", label.c_str());
   rig_stats_table(rig).print();
   {
     const pvfs::ManagerStats& mg = rig.manager->stats();
@@ -69,8 +88,15 @@ inline void maybe_print_diagnostics(Rig& rig, const char* label) {
         static_cast<unsigned long long>(mg.crashes),
         static_cast<unsigned long long>(mg.replays));
   }
+  {
+    const EcStats& e = rig.policy().ec_stats();
+    if (e.degraded_reads + e.rebuild_decodes + e.encode_bytes != 0) {
+      std::printf("\n-- erasure coding: %s --\n", label.c_str());
+      ec_stats_table(rig.policy()).print();
+    }
+  }
   if (!rig.policy().per_scheme().empty()) {
-    std::printf("\n-- policy: %s --\n", label);
+    std::printf("\n-- policy: %s --\n", label.c_str());
     policy_stats_table(rig.policy()).print();
     const auto& ps = rig.policy().stats();
     std::printf(

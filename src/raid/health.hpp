@@ -71,6 +71,17 @@ class HealthMonitor {
     return std::nullopt;
   }
 
+  /// All servers currently believed down, ascending. Multi-failure callers
+  /// (the rs(k,m) degraded paths tolerate up to m concurrent victims) need
+  /// the whole set; first_failed() remains the single-failure fast path.
+  std::vector<std::uint32_t> failed_set() const {
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t s = 0; s < status_.size(); ++s) {
+      if (!status_[s]) out.push_back(s);
+    }
+    return out;
+  }
+
   /// Simulated time at which the server's current status was first
   /// observed (0 = never changed from the initial alive assumption).
   sim::Time status_since(std::uint32_t server) const {

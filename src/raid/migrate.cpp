@@ -48,6 +48,10 @@ void SchemeMigrator::stop() {
 void SchemeMigrator::request(std::uint64_t handle, Scheme to) {
   auto it = files_.find(handle);
   if (it == files_.end() || it->second.migrating) return;
+  if (to.kind == SchemeKind::rs &&
+      to.k + to.m > it->second.f.layout.nservers) {
+    return;  // rs(k,m) needs k+m distinct servers; refuse, don't corrupt
+  }
   sim().spawn(migrate_task(handle, to), "migrate_task");
 }
 
@@ -202,7 +206,7 @@ sim::Task<void> SchemeMigrator::migrate_task(std::uint64_t handle, Scheme to) {
   // Persist the transition at the manager so later opens carry the new
   // scheme tag and generation (the in-memory override already covers every
   // OpenFile copy taken before or during the migration).
-  auto ns = co_await repair.set_scheme(t.name, static_cast<std::uint8_t>(to),
+  auto ns = co_await repair.set_scheme(t.name, scheme_tag(to),
                                        new_gen, fence);
   if (ns.ok()) {
     t.f = *ns;
@@ -272,8 +276,7 @@ sim::Task<void> SchemeMigrator::reconcile() {
       // flip stands — re-persist under the current incarnation, then GC the
       // superseded generation the completed migration never got to drop.
       auto ns = co_await repair.set_scheme(
-          t.name, static_cast<std::uint8_t>(live_scheme), live_gen,
-          repair.manager_epoch());
+          t.name, scheme_tag(live_scheme), live_gen, repair.manager_epoch());
       if (t.migrating) continue;
       if (!ns.ok()) continue;  // manager crashed again; a later pass retries
       t.f = *ns;
@@ -297,7 +300,7 @@ sim::Task<void> SchemeMigrator::reconcile() {
       // The manager's durable state is ahead of this process (its replay
       // carries a persisted flip our in-memory policy never saw). Adopt it.
       if (mgr->scheme != pvfs::kSchemeUnset) {
-        pol.set_override(t.f, static_cast<Scheme>(mgr->scheme), mgr_gen);
+        pol.set_override(t.f, scheme_from_tag(mgr->scheme), mgr_gen);
       }
       t.f = *mgr;
       ++stats_.reconcile_adopted;

@@ -37,11 +37,23 @@ std::optional<RedundancyPolicy::Transition> RedundancyPolicy::recommend()
     }
     const std::uint64_t total = t.full_bytes + t.partial_bytes;
     if (total < a.min_observed_bytes) continue;
-    if (static_cast<double>(t.partial_bytes) <
-        a.partial_ratio_threshold * static_cast<double>(total)) {
-      continue;
+    const bool small_write_heavy =
+        static_cast<double>(t.partial_bytes) >=
+        a.partial_ratio_threshold * static_cast<double>(total);
+    if (small_write_heavy) {
+      return Transition{h, cur, a.small_write_target};
     }
-    return Transition{h, cur, a.small_write_target};
+    // Multi-disk risk: with repeated down transitions a single-parity scheme
+    // is one failure away from data loss during its own rebuild window.
+    // Full-stripe-heavy files encode cheaply (no RMW on the common path), so
+    // they move to the m>=2 erasure-code target. rs files already there (or
+    // RAID1, whose rebuild is already minimal) are left alone.
+    if (stats_.down_transitions >= a.multi_fault_threshold &&
+        a.multi_fault_target.kind == SchemeKind::rs &&
+        cur != a.multi_fault_target && cur.kind != SchemeKind::rs &&
+        cur != Scheme::raid1 && uses_parity(cur)) {
+      return Transition{h, cur, a.multi_fault_target};
+    }
   }
   return std::nullopt;
 }

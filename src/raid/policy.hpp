@@ -56,6 +56,14 @@ struct AdaptiveParams {
   std::uint64_t min_observed_bytes = 256 * 1024;
   /// Where small-write-heavy parity/Hybrid files go under fault pressure.
   Scheme small_write_target = Scheme::raid1;
+  /// Multi-disk-risk gate: once this many alive->down transitions have been
+  /// observed, a single-parity scheme leaves no margin for the *next*
+  /// failure during a rebuild — full-stripe-heavy parity/Hybrid files are
+  /// worth migrating to an rs(k,m) code that survives m concurrent losses.
+  /// Small-write-heavy files still prefer the mirror target above (an rs
+  /// small write pays m coding RMWs).
+  std::uint64_t multi_fault_threshold = 2;
+  Scheme multi_fault_target = Scheme::rs(4, 2);
 };
 
 struct PolicyParams {
@@ -81,6 +89,18 @@ struct PolicyStats {
   std::uint64_t rpc_pressure = 0;      ///< client RPC timeouts + resets
 };
 
+/// Erasure-coding activity counters (rs(k,m) paths). Kept on the policy —
+/// the one object shared by every CsarFs and every per-op Recovery in a
+/// deployment — so degraded-read accounting survives the short-lived
+/// Recovery instances the failover paths construct.
+struct EcStats {
+  std::uint64_t degraded_reads = 0;     ///< rs pieces served by decode
+  std::uint64_t fragments_fetched = 0;  ///< fragments read for those decodes
+  std::uint64_t decode_bytes = 0;       ///< bytes fed through the GF decoder
+  std::uint64_t encode_bytes = 0;       ///< bytes fed through the GF encoder
+  std::uint64_t rebuild_decodes = 0;    ///< fragment decodes done by rebuilds
+};
+
 class RedundancyPolicy {
  public:
   explicit RedundancyPolicy(PolicyParams params = {}) : p_(std::move(params)) {}
@@ -102,7 +122,7 @@ class RedundancyPolicy {
     if (auto it = overrides_.find(f.handle); it != overrides_.end()) {
       return it->second.scheme;
     }
-    if (f.scheme != pvfs::kSchemeUnset) return static_cast<Scheme>(f.scheme);
+    if (f.scheme != pvfs::kSchemeUnset) return scheme_from_tag(f.scheme);
     return p_.default_scheme;
   }
 
@@ -169,6 +189,24 @@ class RedundancyPolicy {
     per_scheme_[s].overflow_bytes += bytes;
   }
 
+  // --- erasure-coding telemetry ---
+  // const (with mutable storage): Recovery instances hold the policy const —
+  // they only ever *account* through it, never change routing state.
+  void note_ec_degraded_read(std::uint64_t fragments,
+                             std::uint64_t bytes) const {
+    ++ec_.degraded_reads;
+    ec_.fragments_fetched += fragments;
+    ec_.decode_bytes += bytes;
+  }
+  void note_ec_rebuild_decode(std::uint64_t fragments,
+                              std::uint64_t bytes) const {
+    ++ec_.rebuild_decodes;
+    ec_.fragments_fetched += fragments;
+    ec_.decode_bytes += bytes;
+  }
+  void note_ec_encode(std::uint64_t bytes) const { ec_.encode_bytes += bytes; }
+  const EcStats& ec_stats() const { return ec_; }
+
   // --- migration bookkeeping (SchemeMigrator) ---
   void note_migration_started(std::uint64_t handle) {
     attempted_.insert(handle);
@@ -214,6 +252,7 @@ class RedundancyPolicy {
   std::set<std::uint64_t> attempted_;
   std::map<Scheme, SchemeCounters> per_scheme_;
   PolicyStats stats_;
+  mutable EcStats ec_;
 };
 
 }  // namespace csar::raid

@@ -197,10 +197,23 @@ sim::Task<void> RebuildCoordinator::handle_rejoin(std::uint32_t s,
       ok = false;
       break;
     }
+    // Other servers still out while this one rebuilds: rs(k,m) files decode
+    // around them (any k live fragments); classic schemes ignore the list.
+    // Recomputed per pass — a concurrent outage may heal or appear between
+    // passes.
+    std::vector<std::uint32_t> also_down;
+    for (std::uint32_t s2 = 0; s2 < outages_.size(); ++s2) {
+      if (s2 == s) continue;
+      auto& srv2 = rig_->server(s2);
+      if (srv2.crashed() || srv2.fenced() || !mon_->is_alive(s2)) {
+        also_down.push_back(s2);
+      }
+    }
     for (const auto& t : files_) {
       RebuildOptions opt;
       opt.throttle = pass == 0 ? &paced : &tally;
       opt.restore_all_overflow = o.overflow_suspect;
+      opt.also_down = also_down;
       const bool full = wiped && pass == 0;
       if (!full) {
         auto it = work.find(t.f.handle);
@@ -336,6 +349,23 @@ void RebuildCoordinator::merge_crash_losses(std::uint32_t s) {
               o.stale[t.f.handle].insert(gs,
                                          std::min(lay.group_end(g), t.size));
             }
+          }
+        } else if (sch.kind == SchemeKind::rs) {
+          // rs coding slots: group g's fragments live at local offset g*su
+          // (rs_coding_local_off), so local unit q ↔ group q. The server
+          // may hold several of group q's m fragments only when fragments
+          // wrap, which rs placement forbids (k+m <= N), so one hit per j
+          // suffices: taint the whole group span.
+          for (std::uint64_t q = iv.start / su; q * su < iv.end; ++q) {
+            bool holds = false;
+            for (std::uint32_t j = 0; j < sch.m && !holds; ++j) {
+              holds = lay.rs_coding_server(q, sch.k, j) == s;
+            }
+            if (!holds) continue;
+            const std::uint64_t gs = lay.rs_group_start(q, sch.k);
+            if (gs >= t.size) continue;
+            o.stale[t.f.handle].insert(
+                gs, std::min(lay.rs_group_end(q, sch.k), t.size));
           }
         }
       }

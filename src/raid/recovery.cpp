@@ -1,5 +1,6 @@
 #include "raid/recovery.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <utility>
@@ -14,6 +15,40 @@ namespace {
 using pvfs::Op;
 using pvfs::Request;
 using pvfs::StripeLayout;
+
+bool contains(const std::vector<std::uint32_t>& v, std::uint32_t s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+/// Server holding fragment `frag` of rs group g (data fragments [0,k),
+/// coding fragments [k, k+m)).
+std::uint32_t rs_fragment_server(const StripeLayout& lay, std::uint32_t k,
+                                 std::uint64_t g, std::uint32_t frag) {
+  return frag < k ? lay.rs_data_server(g, k, frag)
+                  : lay.rs_coding_server(g, k, frag - k);
+}
+
+/// Read request for columns [c0, c0+len) of fragment `frag` of rs group g:
+/// raw data-file read for data fragments, redundancy-file read at the
+/// group's slot for coding fragments.
+Request rs_fragment_read(const pvfs::OpenFile& f, const StripeLayout& lay,
+                         std::uint32_t k, std::uint32_t gen, std::uint64_t g,
+                         std::uint32_t frag, std::uint64_t c0,
+                         std::uint64_t len) {
+  Request r;
+  r.handle = f.handle;
+  r.len = len;
+  r.su = lay.stripe_unit;
+  if (frag < k) {
+    r.op = Op::read_data_raw;
+    r.off = lay.local_unit(g * k + frag) * lay.su() + c0;
+  } else {
+    r.op = Op::read_red;
+    r.off = lay.rs_coding_local_off(g) + c0;
+    r.red_gen = gen;
+  }
+  return r;
+}
 }  // namespace
 
 sim::Task<Result<Buffer>> Recovery::reconstruct_base(const pvfs::OpenFile& f,
@@ -127,10 +162,119 @@ sim::Task<Result<Buffer>> Recovery::reconstruct_piece(const pvfs::OpenFile& f,
   co_return out;
 }
 
+sim::Task<Result<Buffer>> Recovery::reconstruct_rs(
+    const pvfs::OpenFile& f, Scheme sch, std::uint64_t g, std::uint32_t target,
+    std::uint64_t c0, std::uint64_t len, const std::vector<std::uint32_t>& down,
+    bool for_rebuild) {
+  const StripeLayout& layout = f.layout;
+  const CodeSpec spec = sch.code(layout);
+  const std::uint32_t k = spec.k;
+  const std::uint32_t gen = red_gen_of(f);
+  // The minimal k-subset, deterministically: data fragments first (their
+  // reads spread over the group's own servers and most coefficients are
+  // cheap), then coding fragments, both ascending. Exactly k fragments are
+  // fetched — never more — which is the degraded-read cost the A14 ablation
+  // measures.
+  std::vector<std::uint32_t> present;
+  for (std::uint32_t frag = 0;
+       frag < spec.fragments() && present.size() < k; ++frag) {
+    if (frag == target) continue;  // the fragment being (re)built
+    if (contains(down, rs_fragment_server(layout, k, g, frag))) continue;
+    present.push_back(frag);
+  }
+  if (present.size() < k) {
+    co_return Error{Errc::server_failed, "rs: fewer than k live fragments"};
+  }
+  const auto coeffs = rs_reconstruct_coeffs(spec, present, target);
+  std::vector<std::pair<std::uint32_t, Request>> reads;
+  reads.reserve(k);
+  for (const std::uint32_t frag : present) {
+    reads.emplace_back(rs_fragment_server(layout, k, g, frag),
+                       rs_fragment_read(f, layout, k, gen, g, frag, c0, len));
+  }
+  auto resps = co_await client_->rpc_all(std::move(reads));
+  bool phantom = false;
+  for (const auto& resp : resps) {
+    if (!resp.ok) co_return Error{resp.err, "rs fragment read", resp.server};
+    if (!resp.data.materialized()) phantom = true;
+  }
+  Buffer out = phantom ? Buffer::phantom(len) : Buffer::real(len);
+  if (!phantom) {
+    auto dst = out.mutable_bytes();
+    for (std::size_t r = 0; r < resps.size(); ++r) {
+      gf_muladd_region(dst, resps[r].data.bytes(), coeffs[r]);
+    }
+  }
+  // Decode cost: k fragment-sized inputs through the GF kernel on the
+  // recovering client (same memory-pipeline charge as reconstruct_base).
+  auto& node = client_->cluster().node(client_->node_id());
+  co_await node.mem().occupy(
+      sim::transfer_time(len * k, node.params().xor_bytes_per_sec));
+  if (policy_ != nullptr) {
+    if (for_rebuild) {
+      policy_->note_ec_rebuild_decode(k, len * k);
+    } else {
+      policy_->note_ec_degraded_read(k, len * k);
+    }
+  }
+  co_return out;
+}
+
+sim::Task<Result<Buffer>> Recovery::reconstruct_rs_piece(
+    const pvfs::OpenFile& f, Scheme sch, const std::vector<std::uint32_t>& down,
+    std::uint64_t global_off, std::uint64_t len) {
+  const StripeLayout& layout = f.layout;
+  const std::uint64_t su = layout.su();
+  const std::uint64_t u = layout.unit_of(global_off);
+  assert(layout.unit_of(global_off + len - 1) == u &&
+         "piece must lie within one stripe unit");
+  const std::uint32_t k = sch.k;
+  const std::uint64_t g = layout.rs_group_of_unit(u, k);
+  auto base = co_await reconstruct_rs(f, sch, g,
+                                      static_cast<std::uint32_t>(u % k),
+                                      global_off % su, len, down,
+                                      /*for_rebuild=*/false);
+  if (!base.ok()) co_return base;
+  Buffer out = std::move(base.value());
+  if (overlay_overflow(f)) {
+    // A file migrated onto rs from Hybrid keeps its overflow overlay live;
+    // the mirror copies on the owner's successor are the only ones left
+    // while the owner is down.
+    const std::uint32_t owner = layout.server_of_unit(u);
+    const std::uint32_t successor = (owner + 1) % layout.n();
+    if (contains(down, successor)) {
+      co_return Error{Errc::server_failed,
+                      "rs overlay: owner and successor both down"};
+    }
+    const std::uint64_t local = layout.local_off(global_off);
+    Request r;
+    r.op = Op::read_mirror;
+    r.handle = f.handle;
+    r.off = local;
+    r.len = len;
+    r.owner = owner;
+    auto resp = co_await client_->rpc(successor, std::move(r));
+    if (!resp.ok) co_return Error{resp.err, "mirror overflow read"};
+    for (const auto& piece : resp.pieces) {
+      if (out.materialized() && piece.data.materialized()) {
+        out.write_at(piece.local_off - local, piece.data);
+      } else {
+        out = Buffer::phantom(len);
+      }
+    }
+  }
+  co_return out;
+}
+
 sim::Task<Result<Buffer>> Recovery::degraded_read(const pvfs::OpenFile& f,
                                                   std::uint64_t off,
                                                   std::uint64_t len,
                                                   std::uint32_t failed) {
+  if (const Scheme sch = scheme_of(f); sch.kind == SchemeKind::rs) {
+    std::vector<std::uint32_t> down;
+    down.push_back(failed);
+    co_return co_await degraded_read_rs(f, sch, off, len, std::move(down));
+  }
   if (len == 0) co_return Buffer::real(0);
   Buffer out = Buffer::real(len);
   bool phantom = false;
@@ -176,6 +320,75 @@ sim::Task<Result<Buffer>> Recovery::degraded_read(const pvfs::OpenFile& f,
   co_return out;
 }
 
+sim::Task<Result<Buffer>> Recovery::degraded_read(
+    const pvfs::OpenFile& f, std::uint64_t off, std::uint64_t len,
+    std::vector<std::uint32_t> failed) {
+  if (failed.empty()) co_return co_await client_->read(f, off, len);
+  const Scheme sch = scheme_of(f);
+  if (sch.kind == SchemeKind::rs) {
+    co_return co_await degraded_read_rs(f, sch, off, len, std::move(failed));
+  }
+  if (failed.size() == 1) {
+    co_return co_await degraded_read(f, off, len, failed.front());
+  }
+  co_return Error{Errc::server_failed,
+                  "multiple concurrent failures exceed the scheme's "
+                  "redundancy"};
+}
+
+sim::Task<Result<Buffer>> Recovery::degraded_read_rs(
+    const pvfs::OpenFile& f, Scheme sch, std::uint64_t off, std::uint64_t len,
+    std::vector<std::uint32_t> failed) {
+  if (len == 0) co_return Buffer::real(0);
+  if (failed.size() > sch.m) {
+    co_return Error{Errc::server_failed,
+                    "rs: more concurrent failures than coding fragments"};
+  }
+  Buffer out = Buffer::real(len);
+  bool phantom = false;
+  bool error = false;
+  Error first_error;
+  std::vector<sim::Task<void>> tasks;
+  for (const auto& e : f.layout.decompose(off, len)) {
+    tasks.push_back(
+        [](Recovery* self, const pvfs::OpenFile* file, Scheme sch,
+           StripeLayout::Extent ext, const std::vector<std::uint32_t>* down,
+           std::uint64_t base, Buffer* sink, bool* phant, bool* err,
+           Error* ferr) -> sim::Task<void> {
+          Result<Buffer> piece = Buffer::real(0);
+          if (contains(*down, ext.server)) {
+            piece = co_await self->reconstruct_rs_piece(
+                *file, sch, *down, ext.global_off, ext.len);
+          } else {
+            Request r;
+            r.op = Op::read_data;
+            r.handle = file->handle;
+            r.off = ext.local_off;
+            r.len = ext.len;
+            r.su = file->layout.stripe_unit;
+            auto resp = co_await self->client_->rpc(ext.server, std::move(r));
+            piece = resp.ok ? Result<Buffer>(std::move(resp.data))
+                            : Result<Buffer>(Error{resp.err, "read"});
+          }
+          if (!piece.ok()) {
+            if (!*err) *ferr = piece.error();
+            *err = true;
+            co_return;
+          }
+          if (!piece.value().materialized()) {
+            *phant = true;
+          } else if (sink->materialized()) {
+            sink->write_at(ext.global_off - base, piece.value());
+          }
+        }(this, &f, sch, e, &failed, off, &out, &phantom, &error,
+          &first_error));
+  }
+  co_await sim::when_all(client_->cluster().sim(), std::move(tasks));
+  if (error) co_return first_error;
+  if (phantom) co_return Buffer::phantom(len);
+  co_return out;
+}
+
 namespace {
 
 /// A partial-stripe segment [start, end) of a degraded write.
@@ -209,6 +422,12 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
   const std::uint64_t len = data.size();
   if (len == 0) co_return Result<void>::success();
   const Scheme sch = scheme_of(f);
+  if (sch.kind == SchemeKind::rs) {
+    std::vector<std::uint32_t> down;
+    down.push_back(failed);
+    co_return co_await degraded_write_rs(f, sch, off, std::move(data),
+                                         std::move(down));
+  }
   const std::uint32_t gen = red_gen_of(f);
 
   if (sch == Scheme::raid0) {
@@ -540,6 +759,337 @@ sim::Task<Result<void>> Recovery::degraded_write(const pvfs::OpenFile& f,
   co_return Result<void>::success();
 }
 
+sim::Task<Result<void>> Recovery::degraded_write(
+    const pvfs::OpenFile& f, std::uint64_t off, Buffer data,
+    std::vector<std::uint32_t> failed) {
+  if (failed.empty()) {
+    co_return Error{Errc::invalid_argument, "degraded write with no failure"};
+  }
+  const Scheme sch = scheme_of(f);
+  if (sch.kind == SchemeKind::rs) {
+    co_return co_await degraded_write_rs(f, sch, off, std::move(data),
+                                         std::move(failed));
+  }
+  if (failed.size() == 1) {
+    co_return co_await degraded_write(f, off, std::move(data),
+                                      failed.front());
+  }
+  co_return Error{Errc::server_failed,
+                  "multiple concurrent failures exceed the scheme's "
+                  "redundancy"};
+}
+
+sim::Task<Result<void>> Recovery::degraded_write_rs(
+    const pvfs::OpenFile& f, Scheme sch, std::uint64_t off, Buffer data,
+    std::vector<std::uint32_t> failed) {
+  const StripeLayout& layout = f.layout;
+  const std::uint32_t n = layout.n();
+  const std::uint64_t su = layout.su();
+  const std::uint64_t len = data.size();
+  if (len == 0) co_return Result<void>::success();
+  const CodeSpec spec = sch.code(layout);
+  const std::uint32_t k = spec.k;
+  const std::uint32_t m = spec.m;
+  if (failed.size() > m) {
+    co_return Error{Errc::server_failed,
+                    "rs: more concurrent failures than coding fragments"};
+  }
+  const std::uint32_t gen = red_gen_of(f);
+  const bool inval = overlay_overflow(f);
+  const bool mat = data.materialized();
+  const std::uint64_t W = layout.rs_group_width(k);
+  const auto ws = layout.split_write_w(off, len, W);
+  std::vector<std::pair<std::uint32_t, Request>> writes;
+  std::uint64_t gf_bytes = 0;
+
+  // Mirror-overflow invalidation interval a write on server `s` owes for its
+  // predecessor's unit within group g (ex-Hybrid files only) — same logic as
+  // the parity schemes' degraded path.
+  auto mirror_inval = [&](std::uint64_t g, std::uint32_t s,
+                          Request& w) {
+    const std::uint32_t prev = (s + n - 1) % n;
+    for (std::uint64_t v = g * k; v < (g + 1) * k; ++v) {
+      if (layout.server_of_unit(v) == prev) {
+        w.inval_mirror = {layout.local_unit(v) * su,
+                          layout.local_unit(v) * su + su};
+      }
+    }
+  };
+
+  // --- full groups: fresh coding fragments to every live coding server;
+  //     data in place on the live data servers. A lost fragment's content
+  //     stays representable through the survivors (at most m are down). ---
+  if (ws.full_end > ws.full_start) {
+    for (std::uint64_t g = ws.full_start / W; g < ws.full_end / W; ++g) {
+      for (std::uint32_t j = 0; j < m; ++j) {
+        const std::uint32_t cs = layout.rs_coding_server(g, k, j);
+        if (contains(failed, cs)) continue;
+        Buffer coding = mat ? Buffer::real(su) : Buffer::phantom(su);
+        if (mat) {
+          auto dst = coding.mutable_bytes();
+          for (std::uint32_t i = 0; i < k; ++i) {
+            const std::uint64_t pos =
+                layout.rs_group_start(g, k) + std::uint64_t{i} * su;
+            gf_muladd_region(dst, data.slice(pos - off, su).bytes(),
+                             rs_coeff(spec, j, i));
+          }
+        }
+        gf_bytes += std::uint64_t{k} * su;
+        Request w;
+        w.op = Op::write_red;
+        w.handle = f.handle;
+        w.off = layout.rs_coding_local_off(g);
+        w.payload = std::move(coding);
+        w.su = layout.stripe_unit;
+        w.red_gen = gen;
+        if (inval) mirror_inval(g, cs, w);
+        writes.emplace_back(cs, std::move(w));
+      }
+      for (std::uint64_t u = g * k; u < (g + 1) * k; ++u) {
+        const std::uint32_t s = layout.server_of_unit(u);
+        if (contains(failed, s)) continue;
+        Request w;
+        w.op = Op::write_data;
+        w.handle = f.handle;
+        w.off = layout.local_unit(u) * su;
+        w.payload = data.slice(u * su - off, su);
+        w.su = layout.stripe_unit;
+        if (inval) {
+          w.inval_own = {w.off, w.off + su};
+          mirror_inval(g, s, w);
+        }
+        writes.emplace_back(s, std::move(w));
+      }
+    }
+  }
+
+  // --- partial segments (ascending group order): reconstruct-write. Lock
+  //     and read every live coding fragment of the group, read the live
+  //     data units' old columns, decode any lost unit's old content from k
+  //     live fragments, overlay the new bytes, and re-encode every live
+  //     coding fragment outright. ---
+  std::vector<Seg> segs;
+  if (ws.head_end > ws.head_start) segs.push_back({ws.head_start, ws.head_end});
+  if (ws.tail_end > ws.tail_start) segs.push_back({ws.tail_start, ws.tail_end});
+
+  for (const auto& seg : segs) {
+    const std::uint64_t g = layout.rs_group_of_off(seg.start, k);
+    std::vector<std::uint32_t> live_j;
+    for (std::uint32_t j = 0; j < m; ++j) {
+      if (!contains(failed, layout.rs_coding_server(g, k, j))) {
+        live_j.push_back(j);
+      }
+    }
+    // Column range: the whole span touched within the group.
+    std::uint64_t c0 = su;
+    std::uint64_t c1 = 0;
+    bool lost_touched = false;
+    for (const auto& e : layout.decompose(seg.start, seg.end - seg.start)) {
+      c0 = std::min(c0, e.global_off % su);
+      c1 = std::max(c1, e.global_off % su + e.len);
+      if (contains(failed, e.server)) lost_touched = true;
+    }
+
+    if (live_j.empty()) {
+      // Every coding fragment of this group is down (all failures sit on
+      // its coding servers, so all data servers are live): update the data
+      // in place; the rebuild recomputes the coding. A write to a lost data
+      // unit would be unrecordable — but none can be lost here.
+      if (lost_touched) {
+        co_return Error{Errc::server_failed,
+                        "rs degraded write with no live coding fragment"};
+      }
+      for (const auto& e : layout.decompose(seg.start, seg.end - seg.start)) {
+        Request w;
+        w.op = Op::write_data;
+        w.handle = f.handle;
+        w.off = e.local_off;
+        w.payload = data.slice(e.global_off - off, e.len);
+        w.su = layout.stripe_unit;
+        if (inval) {
+          w.inval_own = Interval{e.local_off, e.local_off + e.len};
+          const std::uint32_t ms = (e.server + 1) % n;
+          if (!contains(failed, ms)) {
+            Request iv;
+            iv.op = Op::write_data;
+            iv.handle = f.handle;
+            iv.off = e.local_off;
+            iv.su = layout.stripe_unit;
+            iv.inval_mirror = Interval{e.local_off, e.local_off + e.len};
+            writes.emplace_back(ms, std::move(iv));
+          }
+        }
+        writes.emplace_back(e.server, std::move(w));
+      }
+      continue;
+    }
+
+    // Locked coding reads, ascending j — the §5.1 ordered-acquisition rule
+    // generalized: within a group the coding servers are visited in
+    // fragment order, and segments arrive in ascending group order.
+    const std::uint64_t rmw_token = client_->next_rmw_token();
+    std::vector<Buffer> coding_old(live_j.size());
+    auto release_locks = [&](std::size_t upto) -> sim::Task<void> {
+      std::vector<std::pair<std::uint32_t, Request>> rel;
+      for (std::size_t x = 0; x < upto; ++x) {
+        Request u;
+        u.op = Op::unlock_red;
+        u.handle = f.handle;
+        u.off = layout.rs_coding_local_off(g) + c0;
+        u.rmw_token = rmw_token;
+        u.su = layout.stripe_unit;
+        u.red_gen = gen;
+        rel.emplace_back(layout.rs_coding_server(g, k, live_j[x]),
+                         std::move(u));
+      }
+      (void)co_await client_->rpc_all(std::move(rel));
+    };
+    bool lock_failed = false;
+    Errc lock_errc = Errc::ok;
+    for (std::size_t idx = 0; idx < live_j.size(); ++idx) {
+      Request pr;
+      pr.op = Op::read_red;
+      pr.handle = f.handle;
+      pr.off = layout.rs_coding_local_off(g) + c0;
+      pr.len = c1 - c0;
+      pr.lock = true;
+      pr.rmw_token = rmw_token;
+      pr.su = layout.stripe_unit;
+      pr.red_gen = gen;
+      auto presp = co_await client_->rpc(
+          layout.rs_coding_server(g, k, live_j[idx]), std::move(pr));
+      if (!presp.ok) {
+        // Release what we hold (including this one: the envelope may have
+        // taken the lock server-side before failing).
+        co_await release_locks(idx + 1);
+        lock_failed = true;
+        lock_errc = presp.err;
+        break;
+      }
+      coding_old[idx] = std::move(presp.data);
+    }
+    if (lock_failed) {
+      co_return Error{lock_errc, "rs degraded coding read"};
+    }
+
+    // Old columns of every live data unit.
+    std::vector<std::pair<std::uint32_t, Request>> reads;
+    std::vector<std::uint32_t> read_frags;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const std::uint64_t u = g * k + i;
+      if (contains(failed, layout.server_of_unit(u))) continue;
+      Request r;
+      r.op = Op::read_data_raw;
+      r.handle = f.handle;
+      r.off = layout.local_unit(u) * su + c0;
+      r.len = c1 - c0;
+      reads.emplace_back(layout.server_of_unit(u), std::move(r));
+      read_frags.push_back(i);
+    }
+    auto old = co_await client_->rpc_all(std::move(reads));
+    for (const auto& resp : old) {
+      if (!resp.ok) {
+        co_await release_locks(live_j.size());
+        co_return Error{resp.err, "rs degraded old-data read"};
+      }
+    }
+
+    std::vector<Buffer> coding_new(live_j.size());
+    if (mat) {
+      // After-content of every data fragment: live ones straight from the
+      // reads, lost ones decoded from k live fragments; then overlay the
+      // segment's new bytes.
+      std::vector<Buffer> after(k);
+      for (std::size_t r = 0; r < read_frags.size(); ++r) {
+        after[read_frags[r]] = old[r].data.slice(0, c1 - c0);
+      }
+      std::vector<std::uint32_t> present;
+      for (const std::uint32_t i : read_frags) present.push_back(i);
+      for (std::size_t x = 0; x < live_j.size() && present.size() < k; ++x) {
+        present.push_back(k + live_j[x]);
+      }
+      for (std::uint32_t i = 0; i < k; ++i) {
+        if (!after[i].empty()) continue;  // live fragment, already read
+        const auto coeffs = rs_reconstruct_coeffs(spec, present, i);
+        Buffer lost_old = Buffer::real(c1 - c0);
+        auto dst = lost_old.mutable_bytes();
+        for (std::size_t r = 0; r < present.size(); ++r) {
+          const std::uint32_t frag = present[r];
+          const Buffer& src =
+              frag < k ? after[frag]
+                       : coding_old[std::find(live_j.begin(), live_j.end(),
+                                              frag - k) -
+                                    live_j.begin()];
+          gf_muladd_region(dst, src.bytes(), coeffs[r]);
+        }
+        gf_bytes += std::uint64_t{k} * (c1 - c0);
+        after[i] = std::move(lost_old);
+      }
+      for (std::uint32_t i = 0; i < k; ++i) {
+        overlay_new(layout, off, data, seg, g * k + i, c0, after[i]);
+      }
+      for (std::size_t x = 0; x < live_j.size(); ++x) {
+        coding_new[x] = Buffer::real(c1 - c0);
+        auto dst = coding_new[x].mutable_bytes();
+        for (std::uint32_t i = 0; i < k; ++i) {
+          gf_muladd_region(dst, after[i].bytes(),
+                           rs_coeff(spec, live_j[x], i));
+        }
+        gf_bytes += std::uint64_t{k} * (c1 - c0);
+      }
+    } else {
+      for (auto& c : coding_new) c = Buffer::phantom(c1 - c0);
+    }
+    auto& node = client_->cluster().node(client_->node_id());
+    co_await node.tx().occupy(sim::transfer_time(
+        (c1 - c0) * (k + m), node.params().xor_bytes_per_sec));
+
+    for (std::size_t x = 0; x < live_j.size(); ++x) {
+      Request pw;
+      pw.op = Op::write_red;
+      pw.handle = f.handle;
+      pw.off = layout.rs_coding_local_off(g) + c0;
+      pw.payload = std::move(coding_new[x]);
+      pw.unlock = true;
+      pw.rmw_token = rmw_token;
+      pw.su = layout.stripe_unit;
+      pw.red_gen = gen;
+      writes.emplace_back(layout.rs_coding_server(g, k, live_j[x]),
+                          std::move(pw));
+    }
+    for (const auto& e : layout.decompose(seg.start, seg.end - seg.start)) {
+      if (contains(failed, e.server)) continue;
+      Request w;
+      w.op = Op::write_data;
+      w.handle = f.handle;
+      w.off = e.local_off;
+      w.payload = data.slice(e.global_off - off, e.len);
+      w.su = layout.stripe_unit;
+      if (inval) {
+        w.inval_own = Interval{e.local_off, e.local_off + e.len};
+        const std::uint32_t ms = (e.server + 1) % n;
+        if (!contains(failed, ms)) {
+          Request iv;
+          iv.op = Op::write_data;
+          iv.handle = f.handle;
+          iv.off = e.local_off;
+          iv.su = layout.stripe_unit;
+          iv.inval_mirror = Interval{e.local_off, e.local_off + e.len};
+          writes.emplace_back(ms, std::move(iv));
+        }
+      }
+      writes.emplace_back(e.server, std::move(w));
+    }
+  }
+
+  if (policy_ != nullptr && gf_bytes > 0) policy_->note_ec_encode(gf_bytes);
+  auto resps = co_await client_->rpc_all(std::move(writes));
+  for (const auto& resp : resps) {
+    if (!resp.ok) co_return Error{resp.err, "rs degraded write"};
+  }
+  co_return Result<void>::success();
+}
+
 sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
                                                  std::uint32_t failed,
                                                  std::uint64_t file_size,
@@ -559,6 +1109,16 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
     co_return Result<void>::success();
   }
 
+  // rs(k,m): data and coding fragments are both decoded from any k live
+  //   fragments (around concurrent outages in opt.also_down), in a dedicated
+  //   pass; the overflow overlay of an ex-Hybrid rs file is then restored by
+  //   the shared step 3 below.
+  const bool rs = sch.kind == SchemeKind::rs;
+  if (rs) {
+    auto rb = co_await rebuild_server_rs(f, sch, failed, file_size, opt);
+    if (!rb.ok()) co_return rb;
+  }
+
   // 1. Data file: reconstruct every unit the failed server held. For parity
   //    schemes this restores the *base* content (data file only), keeping
   //    the surviving parity consistent; overflow entries are restored
@@ -566,7 +1126,7 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
   //    the survivor reads and replacement writes stream concurrently — the
   //    rebuilding node's links become the bottleneck, as in a real rebuild.
   const std::uint32_t dn = layout.data_servers();
-  {
+  if (!rs) {
     constexpr std::uint32_t kWindow = 16;
     sim::Semaphore window(client_->cluster().sim(), kWindow);
     sim::WaitGroup wg(client_->cluster().sim());
@@ -641,7 +1201,7 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
   }
 
   // 2. Redundancy file (pipelined like step 1).
-  {
+  if (!rs) {
     constexpr std::uint32_t kWindow = 16;
     sim::Semaphore window(client_->cluster().sim(), kWindow);
     sim::WaitGroup wg(client_->cluster().sim());
@@ -909,6 +1469,143 @@ sim::Task<Result<void>> Recovery::rebuild_server(const pvfs::OpenFile& f,
   co_return Result<void>::success();
 }
 
+sim::Task<Result<void>> Recovery::rebuild_server_rs(const pvfs::OpenFile& f,
+                                                    Scheme sch,
+                                                    std::uint32_t failed,
+                                                    std::uint64_t file_size,
+                                                    const RebuildOptions& opt) {
+  const StripeLayout& layout = f.layout;
+  const std::uint64_t su = layout.su();
+  const CodeSpec spec = sch.code(layout);
+  const std::uint32_t k = spec.k;
+  const std::uint32_t m = spec.m;
+  // Servers unreadable during this pass: the rebuild target itself plus any
+  // concurrent outages — decodes route around all of them (any k live
+  // fragments suffice, up to m may be gone).
+  std::vector<std::uint32_t> down = opt.also_down;
+  if (!contains(down, failed)) down.push_back(failed);
+  std::sort(down.begin(), down.end());
+
+  // 1. Data units the failed server held: decode each from k live fragments
+  //    of its group and write the replacement, pipelined like the classic
+  //    pass.
+  const std::uint32_t dn = layout.data_servers();
+  {
+    constexpr std::uint32_t kWindow = 16;
+    sim::Semaphore window(client_->cluster().sim(), kWindow);
+    sim::WaitGroup wg(client_->cluster().sim());
+    bool error = false;
+    Error first_error;
+    const std::uint64_t u0 =
+        (failed + dn - layout.base % dn) % dn;  // first unit on `failed`
+    for (std::uint64_t u = u0; u * su < file_size; u += dn) {
+      const std::uint64_t len = std::min<std::uint64_t>(su, file_size - u * su);
+      if (opt.delta && !opt.delta->intersects(u * su, u * su + len)) continue;
+      if (opt.throttle) {
+        // k fragment reads + one replacement write, all unit-sized.
+        co_await opt.throttle->take(std::uint64_t{k + 1} * len);
+      }
+      co_await window.acquire();
+      wg.add();
+      client_->cluster().sim().spawn(
+          [](Recovery* self, pvfs::OpenFile file, Scheme scheme,
+             std::uint32_t fsrv, std::uint64_t unit, std::uint64_t len,
+             std::vector<std::uint32_t> down, sim::Semaphore* sem,
+             sim::WaitGroup* done, bool* err, Error* ferr) -> sim::Task<void> {
+            const StripeLayout& lay = file.layout;
+            const std::uint32_t kk = scheme.code(lay).k;
+            auto piece = co_await self->reconstruct_rs(
+                file, scheme, lay.rs_group_of_unit(unit, kk),
+                static_cast<std::uint32_t>(unit % kk), 0, len, down,
+                /*for_rebuild=*/true);
+            if (!piece.ok()) {
+              if (!*err) *ferr = piece.error();
+              *err = true;
+            } else {
+              Request w;
+              w.op = Op::write_data;
+              w.handle = file.handle;
+              w.off = lay.local_unit(unit) * lay.su();
+              w.payload = std::move(piece.value());
+              w.su = lay.stripe_unit;
+              auto resp = co_await self->client_->rpc(fsrv, std::move(w));
+              if (!resp.ok) {
+                if (!*err) *ferr = Error{resp.err, "rs rebuild data write"};
+                *err = true;
+              }
+            }
+            sem->release();
+            done->done();
+          }(this, f, sch, failed, u, len, down, &window, &wg, &error,
+            &first_error));
+    }
+    co_await wg.wait();
+    if (error) co_return first_error;
+  }
+
+  // 2. Coding fragments whose placement lands on the failed server: same
+  //    decode machinery, targeting fragment k+j instead of a data fragment.
+  {
+    constexpr std::uint32_t kWindow = 16;
+    sim::Semaphore window(client_->cluster().sim(), kWindow);
+    sim::WaitGroup wg(client_->cluster().sim());
+    bool error = false;
+    Error first_error;
+    const std::uint64_t ngroups =
+        div_ceil(file_size, layout.rs_group_width(k));
+    for (std::uint64_t g = 0; g < ngroups; ++g) {
+      for (std::uint32_t j = 0; j < m; ++j) {
+        if (layout.rs_coding_server(g, k, j) != failed) continue;
+        if (opt.delta &&
+            !opt.delta->intersects(
+                layout.rs_group_start(g, k),
+                std::min(layout.rs_group_end(g, k), file_size))) {
+          continue;
+        }
+        if (opt.throttle) {
+          co_await opt.throttle->take(std::uint64_t{k + 1} * su);
+        }
+        co_await window.acquire();
+        wg.add();
+        client_->cluster().sim().spawn(
+            [](Recovery* self, pvfs::OpenFile file, Scheme scheme,
+               std::uint32_t fsrv, std::uint64_t group, std::uint32_t frag,
+               std::vector<std::uint32_t> down, sim::Semaphore* sem,
+               sim::WaitGroup* done, bool* err,
+               Error* ferr) -> sim::Task<void> {
+              const StripeLayout& lay = file.layout;
+              auto piece = co_await self->reconstruct_rs(
+                  file, scheme, group, frag, 0, lay.su(), down,
+                  /*for_rebuild=*/true);
+              if (!piece.ok()) {
+                if (!*err) *ferr = piece.error();
+                *err = true;
+              } else {
+                Request w;
+                w.op = Op::write_red;
+                w.handle = file.handle;
+                w.off = lay.rs_coding_local_off(group);
+                w.payload = std::move(piece.value());
+                w.su = lay.stripe_unit;
+                w.red_gen = self->red_gen_of(file);
+                auto wr = co_await self->client_->rpc(fsrv, std::move(w));
+                if (!wr.ok) {
+                  if (!*err) *ferr = Error{wr.err, "rs rebuild coding write"};
+                  *err = true;
+                }
+              }
+              sem->release();
+              done->done();
+            }(this, f, sch, failed, g, k + j, down, &window, &wg, &error,
+              &first_error));
+      }
+    }
+    co_await wg.wait();
+    if (error) co_return first_error;
+  }
+  co_return Result<void>::success();
+}
+
 sim::Task<Result<void>> Recovery::build_redundancy(const pvfs::OpenFile& f,
                                                    Scheme to,
                                                    std::uint32_t red_gen,
@@ -974,6 +1671,97 @@ sim::Task<Result<void>> Recovery::build_redundancy(const pvfs::OpenFile& f,
             sem->release();
             done->done();
           }(this, f, u, len, red_gen, &window, &wg, &error, &first_error));
+    }
+  } else if (to.kind == SchemeKind::rs) {
+    // rs(k,m) target: per group, read the k raw data units and write the m
+    // coding fragments into the generation-`red_gen` redundancy files of
+    // their placement servers. Overflow stays excluded, exactly like the
+    // parity branch.
+    const CodeSpec spec = to.code(layout);
+    if (spec.fragments() > n) {
+      co_return Error{Errc::invalid_argument,
+                      "rs placement needs k+m <= N servers"};
+    }
+    const std::uint64_t ngroups =
+        div_ceil(file_size, layout.rs_group_width(spec.k));
+    for (std::uint64_t g = 0; g < ngroups; ++g) {
+      if (delta && !delta->intersects(
+                       layout.rs_group_start(g, spec.k),
+                       std::min(layout.rs_group_end(g, spec.k), file_size))) {
+        continue;
+      }
+      if (throttle) {
+        co_await throttle->take(std::uint64_t{spec.fragments()} * su);
+      }
+      co_await window.acquire();
+      wg.add();
+      client_->cluster().sim().spawn(
+          [](Recovery* self, pvfs::OpenFile file, Scheme scheme,
+             std::uint64_t group, std::uint32_t gen, sim::Semaphore* sem,
+             sim::WaitGroup* done, bool* err, Error* ferr) -> sim::Task<void> {
+            const StripeLayout& lay = file.layout;
+            const CodeSpec sp = scheme.code(lay);
+            const std::uint64_t unit_sz = lay.su();
+            std::vector<std::pair<std::uint32_t, Request>> reads;
+            for (std::uint32_t i = 0; i < sp.k; ++i) {
+              Request r;
+              r.op = Op::read_data_raw;
+              r.handle = file.handle;
+              r.off = lay.local_unit(group * sp.k + i) * unit_sz;
+              r.len = unit_sz;
+              reads.emplace_back(lay.rs_data_server(group, sp.k, i),
+                                 std::move(r));
+            }
+            auto resps = co_await self->client_->rpc_all(std::move(reads));
+            bool bad = false;
+            bool mat = true;
+            for (const auto& resp : resps) {
+              if (!resp.ok) {
+                if (!*err) *ferr = Error{resp.err, "migrate rs read"};
+                *err = true;
+                bad = true;
+                break;
+              }
+              if (!resp.data.materialized()) mat = false;
+            }
+            if (!bad) {
+              std::vector<std::pair<std::uint32_t, Request>> writes;
+              for (std::uint32_t j = 0; j < sp.m; ++j) {
+                Buffer coding =
+                    mat ? Buffer::real(unit_sz) : Buffer::phantom(unit_sz);
+                if (mat) {
+                  auto dst = coding.mutable_bytes();
+                  for (std::uint32_t i = 0; i < sp.k; ++i) {
+                    gf_muladd_region(dst, resps[i].data.bytes(),
+                                     rs_coeff(sp, j, i));
+                  }
+                }
+                Request w;
+                w.op = Op::write_red;
+                w.handle = file.handle;
+                w.off = lay.rs_coding_local_off(group);
+                w.payload = std::move(coding);
+                w.su = lay.stripe_unit;
+                w.red_gen = gen;
+                writes.emplace_back(lay.rs_coding_server(group, sp.k, j),
+                                    std::move(w));
+              }
+              if (self->policy_ != nullptr) {
+                self->policy_->note_ec_encode(std::uint64_t{sp.k} * unit_sz *
+                                              sp.m);
+              }
+              auto wrs = co_await self->client_->rpc_all(std::move(writes));
+              for (const auto& wr : wrs) {
+                if (!wr.ok) {
+                  if (!*err) *ferr = Error{wr.err, "migrate rs coding write"};
+                  *err = true;
+                  break;
+                }
+              }
+            }
+            sem->release();
+            done->done();
+          }(this, f, to, g, red_gen, &window, &wg, &error, &first_error));
     }
   } else {
     // Parity target (RAID5 variants / Hybrid): fresh parity per group from

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/buffer.hpp"
 #include "common/interval_set.hpp"
@@ -44,6 +45,11 @@ struct RebuildOptions {
   /// data/parity scan (set when the overflow content itself is suspect,
   /// e.g. lost dirty pages under the overflow file).
   bool restore_all_overflow = false;
+  /// Other servers that are *also* unavailable while this one rebuilds
+  /// (concurrent outages). rs(k,m) files decode around them — any k live
+  /// fragments suffice; the classic single-redundancy schemes ignore the
+  /// list (their survivor reads fail loudly if one is actually needed).
+  std::vector<std::uint32_t> also_down;
 };
 
 class Recovery {
@@ -66,6 +72,16 @@ class Recovery {
                                           std::uint64_t len,
                                           std::uint32_t failed);
 
+  /// Multi-failure degraded read: `failed` lists every server currently
+  /// down (ascending, at least one). rs(k,m) files tolerate up to m
+  /// concurrent victims — each lost piece is decoded client-side from the
+  /// minimal k-subset of live fragments; the classic schemes delegate to
+  /// the single-failure path when exactly one server is down and error
+  /// beyond their single-redundancy budget.
+  sim::Task<Result<Buffer>> degraded_read(const pvfs::OpenFile& f,
+                                          std::uint64_t off, std::uint64_t len,
+                                          std::vector<std::uint32_t> failed);
+
   /// Write [off, off+data.size()) of `f` while server `failed` is down —
   /// continued operation in degraded mode. Redundancy is maintained so the
   /// write survives: RAID1 updates whichever of the two copies is alive;
@@ -76,6 +92,13 @@ class Recovery {
   sim::Task<Result<void>> degraded_write(const pvfs::OpenFile& f,
                                          std::uint64_t off, Buffer data,
                                          std::uint32_t failed);
+
+  /// Multi-failure degraded write (see the degraded_read overload): rs
+  /// files keep all live coding fragments consistent as long as at most m
+  /// servers are down; classic schemes accept exactly one victim.
+  sim::Task<Result<void>> degraded_write(const pvfs::OpenFile& f,
+                                         std::uint64_t off, Buffer data,
+                                         std::vector<std::uint32_t> failed);
 
   /// Rebuild everything server `failed` stored for `f` — its data file,
   /// its redundancy file (mirror blocks or parity units), its own overflow
@@ -95,7 +118,7 @@ class Recovery {
   /// (re-copy passes over regions dirtied by concurrent writes) and
   /// `throttle` paces the copy traffic. No locks are taken: until the flip
   /// only the migrator writes generation `red_gen`, and data reads are raw.
-  /// Only RAID1 and the parity-rotating schemes are buildable targets.
+  /// RAID1, the parity-rotating schemes and rs(k,m) are buildable targets.
   sim::Task<Result<void>> build_redundancy(const pvfs::OpenFile& f, Scheme to,
                                            std::uint32_t red_gen,
                                            std::uint64_t file_size,
@@ -130,6 +153,35 @@ class Recovery {
                                              std::uint32_t failed,
                                              std::uint64_t global_off,
                                              std::uint64_t len);
+
+  /// rs(k,m): rebuild fragment `target` (data fragments [0,k), coding
+  /// fragments [k,k+m)) of group `g` over unit columns [c0, c0+len) by
+  /// fetching exactly k live fragments — data fragments first, then coding,
+  /// both ascending, skipping every server in `down` — and combining them
+  /// with rs_reconstruct_coeffs. Errors if fewer than k fragments are live.
+  sim::Task<Result<Buffer>> reconstruct_rs(
+      const pvfs::OpenFile& f, Scheme sch, std::uint64_t g,
+      std::uint32_t target, std::uint64_t c0, std::uint64_t len,
+      const std::vector<std::uint32_t>& down, bool for_rebuild);
+
+  /// reconstruct_rs for the lost *data* piece at `global_off`, plus the
+  /// overflow overlay an ex-Hybrid rs file still carries.
+  sim::Task<Result<Buffer>> reconstruct_rs_piece(
+      const pvfs::OpenFile& f, Scheme sch,
+      const std::vector<std::uint32_t>& down, std::uint64_t global_off,
+      std::uint64_t len);
+
+  /// The rs branches of degraded_read / degraded_write / rebuild_server.
+  sim::Task<Result<Buffer>> degraded_read_rs(
+      const pvfs::OpenFile& f, Scheme sch, std::uint64_t off,
+      std::uint64_t len, std::vector<std::uint32_t> failed);
+  sim::Task<Result<void>> degraded_write_rs(
+      const pvfs::OpenFile& f, Scheme sch, std::uint64_t off, Buffer data,
+      std::vector<std::uint32_t> failed);
+  sim::Task<Result<void>> rebuild_server_rs(const pvfs::OpenFile& f,
+                                            Scheme sch, std::uint32_t failed,
+                                            std::uint64_t file_size,
+                                            const RebuildOptions& opt);
 
   pvfs::Client* client_;
   const RedundancyPolicy* policy_ = nullptr;

@@ -238,6 +238,12 @@ class Rig {
     reg.counter("rig.mgr_journal_records").set(jn.records_appended);
     reg.counter("rig.mgr_journal_bytes").set(jn.bytes_appended);
     reg.counter("rig.mgr_checkpoints").set(jn.checkpoints);
+    const EcStats& ec = policy().ec_stats();
+    reg.counter("rig.ec_degraded_reads").set(ec.degraded_reads);
+    reg.counter("rig.ec_fragments_fetched").set(ec.fragments_fetched);
+    reg.counter("rig.ec_decode_bytes").set(ec.decode_bytes);
+    reg.counter("rig.ec_encode_bytes").set(ec.encode_bytes);
+    reg.counter("rig.ec_rebuild_decodes").set(ec.rebuild_decodes);
   }
 
   Recovery repair_recovery() {

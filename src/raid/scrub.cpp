@@ -27,29 +27,28 @@ sim::Task<Result<Scrubber::Report>> Scrubber::run(const pvfs::OpenFile& f,
   Report report;
   if (file_size == 0) co_return report;
   const Scheme sch = scheme_of(f);
-  switch (sch) {
-    case Scheme::raid0:
+  switch (sch.kind) {
+    case SchemeKind::raid0:
       co_return report;  // nothing to audit
-    case Scheme::raid1: {
+    case SchemeKind::raid1: {
       auto r = co_await scrub_mirrors(f, file_size, repair, report);
       if (!r.ok()) co_return r.error();
       break;
     }
-    case Scheme::raid4:
-    case Scheme::raid5:
-    case Scheme::raid5_nolock:
-    case Scheme::raid5_npc: {
+    case SchemeKind::raid4:
+    case SchemeKind::raid5:
+    case SchemeKind::raid5_nolock:
+    case SchemeKind::raid5_npc:
+    case SchemeKind::hybrid: {
       auto r = co_await scrub_parity(f, file_size, repair, report);
       if (!r.ok()) co_return r.error();
       break;
     }
-    case Scheme::hybrid: {
-      auto r = co_await scrub_parity(f, file_size, repair, report);
+    case SchemeKind::rs: {
+      auto r = co_await scrub_rs(f, file_size, repair, report);
       if (!r.ok()) co_return r.error();
       break;
     }
-    default:
-      co_return Error{Errc::invalid_argument, "unknown scheme"};
   }
   // Overflow entries outlive a migration away from Hybrid (the overlay stays
   // authoritative over the new base redundancy), so the pairwise overflow
@@ -186,6 +185,134 @@ sim::Task<Result<void>> Scrubber::scrub_parity(const pvfs::OpenFile& f,
       auto wr = co_await client_->rpc(layout.parity_server(g), std::move(w));
       if (!wr.ok) co_return Error{wr.err, "scrub parity rewrite"};
       ++report.repaired;
+    }
+  }
+  co_return Result<void>::success();
+}
+
+sim::Task<Result<void>> Scrubber::scrub_rs(const pvfs::OpenFile& f,
+                                           std::uint64_t file_size,
+                                           bool repair, Report& report) {
+  // The parity audit generalized to rs(k,m): per group, read the k data
+  // units and all m coding fragments; recompute each fragment and compare.
+  // Up to m latent-sector losses per group decode from the k live
+  // fragments; more is unrepairable.
+  const StripeLayout& layout = f.layout;
+  const std::uint64_t su = layout.su();
+  const std::uint32_t gen = red_gen_of(f);
+  const Scheme sch = scheme_of(f);
+  const CodeSpec spec = sch.code(layout);
+  const std::uint32_t k = spec.k;
+  const std::uint32_t m = spec.m;
+  const std::uint64_t ngroups = div_ceil(file_size, layout.rs_group_width(k));
+  for (std::uint64_t g = 0; g < ngroups; ++g) {
+    std::vector<std::pair<std::uint32_t, Request>> reads;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      Request r;
+      r.op = Op::read_data_raw;
+      r.handle = f.handle;
+      r.off = layout.local_unit(g * k + i) * su;
+      r.len = su;
+      reads.emplace_back(layout.rs_data_server(g, k, i), std::move(r));
+    }
+    for (std::uint32_t j = 0; j < m; ++j) {
+      Request r;
+      r.op = Op::read_red;
+      r.handle = f.handle;
+      r.off = layout.rs_coding_local_off(g);
+      r.len = su;
+      r.su = layout.stripe_unit;
+      r.red_gen = gen;
+      reads.emplace_back(layout.rs_coding_server(g, k, j), std::move(r));
+    }
+    auto resps = co_await client_->rpc_all(std::move(reads));
+    std::vector<std::uint32_t> lost;  // fragment indexes, data then coding
+    for (std::size_t i = 0; i < resps.size(); ++i) {
+      if (resps[i].ok) continue;
+      if (resps[i].err == Errc::media_error) {
+        ++report.media_errors;
+        lost.push_back(static_cast<std::uint32_t>(i));
+        continue;
+      }
+      co_return Error{resps[i].err, "scrub rs read", resps[i].server};
+    }
+    ++report.groups_checked;
+    bool materialized = true;
+    for (const auto& resp : resps) {
+      if (resp.ok && !resp.data.materialized()) materialized = false;
+    }
+    if (lost.size() > m) {
+      report.unrepairable += lost.size();
+      continue;
+    }
+    if (!lost.empty()) {
+      if (!repair) continue;  // verify-only: the findings are recorded
+      // Decode each lost fragment from the first k live fragments.
+      std::vector<std::uint32_t> present;
+      for (std::uint32_t frag = 0; frag < spec.fragments() && present.size() < k;
+           ++frag) {
+        bool is_lost = false;
+        for (const std::uint32_t l : lost) is_lost = is_lost || l == frag;
+        if (!is_lost) present.push_back(frag);
+      }
+      for (const std::uint32_t bad : lost) {
+        Buffer rebuilt = materialized ? Buffer::real(su) : Buffer::phantom(su);
+        if (materialized) {
+          const auto coeffs = rs_reconstruct_coeffs(spec, present, bad);
+          auto dst = rebuilt.mutable_bytes();
+          for (std::size_t r = 0; r < present.size(); ++r) {
+            gf_muladd_region(dst, resps[present[r]].data.bytes(), coeffs[r]);
+          }
+          auto& node = client_->cluster().node(client_->node_id());
+          co_await node.tx().occupy(sim::transfer_time(
+              su * (k + 1), node.params().xor_bytes_per_sec));
+        }
+        Request w;
+        w.handle = f.handle;
+        w.payload = std::move(rebuilt);
+        w.su = layout.stripe_unit;
+        std::uint32_t target;
+        if (bad >= k) {
+          w.op = Op::write_red;
+          w.off = layout.rs_coding_local_off(g);
+          w.red_gen = gen;
+          target = layout.rs_coding_server(g, k, bad - k);
+        } else {
+          w.op = Op::write_data;
+          w.off = layout.local_unit(g * k + bad) * su;
+          target = layout.rs_data_server(g, k, bad);
+        }
+        auto wr = co_await client_->rpc(target, std::move(w));
+        if (!wr.ok) co_return Error{wr.err, "scrub rs rewrite", wr.server};
+        ++report.repaired;
+      }
+      continue;
+    }
+    if (!materialized) continue;  // phantom content: nothing to compare
+    for (std::uint32_t j = 0; j < m; ++j) {
+      Buffer expect = Buffer::real(su);
+      auto dst = expect.mutable_bytes();
+      for (std::uint32_t i = 0; i < k; ++i) {
+        gf_muladd_region(dst, resps[i].data.bytes(), rs_coeff(spec, j, i));
+      }
+      auto& node = client_->cluster().node(client_->node_id());
+      co_await node.tx().occupy(sim::transfer_time(
+          su * (k + 1), node.params().xor_bytes_per_sec));
+      if (resps[k + j].data == expect) continue;
+      ++report.parity_mismatches;
+      if (repair) {
+        Request w;
+        w.op = Op::write_red;
+        w.handle = f.handle;
+        w.off = layout.rs_coding_local_off(g);
+        w.payload = std::move(expect);
+        w.su = layout.stripe_unit;
+        w.red_gen = gen;
+        auto wr = co_await client_->rpc(layout.rs_coding_server(g, k, j),
+                                        std::move(w));
+        if (!wr.ok) co_return Error{wr.err, "scrub rs coding rewrite"};
+        ++report.repaired;
+      }
     }
   }
   co_return Result<void>::success();

@@ -79,6 +79,9 @@ class Scrubber {
   sim::Task<Result<void>> scrub_parity(const pvfs::OpenFile& f,
                                        std::uint64_t file_size, bool repair,
                                        Report& report);
+  sim::Task<Result<void>> scrub_rs(const pvfs::OpenFile& f,
+                                   std::uint64_t file_size, bool repair,
+                                   Report& report);
   sim::Task<Result<void>> scrub_mirrors(const pvfs::OpenFile& f,
                                         std::uint64_t file_size, bool repair,
                                         Report& report);

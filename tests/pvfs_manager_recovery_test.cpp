@@ -25,7 +25,7 @@ TEST(ManagerRecovery, JournalReplayRestoresFileTable) {
     auto b = co_await c.create("b", layout);
     CO_ASSERT_TRUE(b.ok());
     auto bs = co_await c.set_scheme(
-        "b", static_cast<std::uint8_t>(raid::Scheme::raid1), 1);
+        "b", raid::scheme_tag(raid::Scheme::raid1), 1);
     CO_ASSERT_TRUE(bs.ok());
     // A created-then-removed file exercises replay of both record kinds.
     auto tmp = co_await c.create("tmp", layout);
@@ -47,7 +47,7 @@ TEST(ManagerRecovery, JournalReplayRestoresFileTable) {
     auto b2 = co_await c.open("b");
     CO_ASSERT_TRUE(b2.ok());
     EXPECT_EQ(b2->handle, b->handle);
-    EXPECT_EQ(b2->scheme, static_cast<std::uint8_t>(raid::Scheme::raid1));
+    EXPECT_EQ(b2->scheme, raid::scheme_tag(raid::Scheme::raid1));
     EXPECT_EQ(b2->red_gen, 1u);
     auto gone = co_await c.open("tmp");
     EXPECT_FALSE(gone.ok());
@@ -63,6 +63,49 @@ TEST(ManagerRecovery, JournalReplayRestoresFileTable) {
     EXPECT_EQ(r.manager->stats().replays, 1u);
     EXPECT_GE(r.manager->stats().replayed_records, 5u);
     EXPECT_EQ(r.manager->incarnation(), 2u);
+  }(rig));
+}
+
+TEST(ManagerRecovery, RsSchemeTagSurvivesCrashAndReplay) {
+  // rs(k,m) persists through the same one-byte tag as the classic schemes
+  // (0x80 | (k-1)<<3 | (m-1)); a crash and journal replay must hand back
+  // the exact code parameters, not just "some rs".
+  raid::Rig rig(raid::RigParams{});
+  run_sim_void(rig, [](raid::Rig& r) -> sim::Task<void> {
+    auto& c = r.client();
+    const auto layout = r.layout(64 * 1024);
+    auto f = co_await c.create("ec", layout);
+    CO_ASSERT_TRUE(f.ok());
+    auto s1 = co_await c.set_scheme(
+        "ec", raid::scheme_tag(raid::Scheme::rs(4, 2)), 1);
+    CO_ASSERT_TRUE(s1.ok());
+    // A second flip to different parameters: the replay must restore the
+    // *latest* tag, and the tag bounds (k=16, m=7) must survive intact.
+    auto g = co_await c.create("wide", layout);
+    CO_ASSERT_TRUE(g.ok());
+    auto s2 = co_await c.set_scheme(
+        "wide", raid::scheme_tag(raid::Scheme::rs(16, 7)), 3);
+    CO_ASSERT_TRUE(s2.ok());
+
+    r.manager->crash(/*wipe_unsynced=*/false);
+    co_await r.manager->restart();
+
+    auto f2 = co_await c.open("ec");
+    CO_ASSERT_TRUE(f2.ok());
+    EXPECT_EQ(f2->scheme, raid::scheme_tag(raid::Scheme::rs(4, 2)));
+    EXPECT_EQ(raid::scheme_from_tag(f2->scheme), raid::Scheme::rs(4, 2));
+    EXPECT_EQ(f2->red_gen, 1u);
+    auto g2 = co_await c.open("wide");
+    CO_ASSERT_TRUE(g2.ok());
+    EXPECT_EQ(raid::scheme_from_tag(g2->scheme), raid::Scheme::rs(16, 7));
+    EXPECT_EQ(g2->red_gen, 3u);
+
+    // A second crash replays the same state idempotently.
+    r.manager->crash(/*wipe_unsynced=*/false);
+    co_await r.manager->restart();
+    auto f3 = co_await c.open("ec");
+    CO_ASSERT_TRUE(f3.ok());
+    EXPECT_EQ(raid::scheme_from_tag(f3->scheme), raid::Scheme::rs(4, 2));
   }(rig));
 }
 
@@ -117,7 +160,7 @@ TEST(ManagerRecovery, EpochFencingRejectsStaleSetScheme) {
 
     // A mutation fenced to the pre-crash incarnation must not execute.
     auto stale = co_await c.set_scheme(
-        "x", static_cast<std::uint8_t>(raid::Scheme::raid1), 1,
+        "x", raid::scheme_tag(raid::Scheme::raid1), 1,
         /*fence_epoch=*/1);
     EXPECT_FALSE(stale.ok());
     EXPECT_EQ(stale.error().code, Errc::stale_epoch);
@@ -129,7 +172,7 @@ TEST(ManagerRecovery, EpochFencingRejectsStaleSetScheme) {
 
     // Re-fenced to the live incarnation, the same mutation goes through.
     auto ok = co_await c.set_scheme(
-        "x", static_cast<std::uint8_t>(raid::Scheme::raid1), 1,
+        "x", raid::scheme_tag(raid::Scheme::raid1), 1,
         c.manager_epoch());
     EXPECT_TRUE(ok.ok());
     EXPECT_EQ(ok->red_gen, 1u);
@@ -143,12 +186,12 @@ TEST(ManagerRecovery, SetSchemeRejectsNonMonotonicGeneration) {
     auto f = co_await c.create("y", r.layout(64 * 1024));
     CO_ASSERT_TRUE(f.ok());
     auto up = co_await c.set_scheme(
-        "y", static_cast<std::uint8_t>(raid::Scheme::raid5), 2);
+        "y", raid::scheme_tag(raid::Scheme::raid5), 2);
     CO_ASSERT_TRUE(up.ok());
 
     // Rolling the generation backwards would resurrect dropped redundancy.
     auto back = co_await c.set_scheme(
-        "y", static_cast<std::uint8_t>(raid::Scheme::raid1), 1);
+        "y", raid::scheme_tag(raid::Scheme::raid1), 1);
     EXPECT_FALSE(back.ok());
     EXPECT_EQ(back.error().code, Errc::stale_generation);
     EXPECT_EQ(r.manager->stats().stale_gen_rejects, 1u);
@@ -156,7 +199,7 @@ TEST(ManagerRecovery, SetSchemeRejectsNonMonotonicGeneration) {
     // Same generation + same scheme is an idempotent re-persist, not an
     // error (reconciliation relies on this).
     auto same = co_await c.set_scheme(
-        "y", static_cast<std::uint8_t>(raid::Scheme::raid5), 2);
+        "y", raid::scheme_tag(raid::Scheme::raid5), 2);
     EXPECT_TRUE(same.ok());
     EXPECT_EQ(same->red_gen, 2u);
   }(rig));
@@ -210,7 +253,7 @@ TEST(ManagerRecovery, CrashBetweenFlipAndPersistResolvedByReconciliation) {
     EXPECT_EQ(mig.stats().reconcile_resumed, 1u);
     auto after = co_await r.client().open("m");
     CO_ASSERT_TRUE(after.ok());
-    EXPECT_EQ(after->scheme, static_cast<std::uint8_t>(raid::Scheme::raid1));
+    EXPECT_EQ(after->scheme, raid::scheme_tag(raid::Scheme::raid1));
     EXPECT_EQ(after->red_gen, 1u);
 
     // Generation-1 mirrors exist, and the data survived byte-exact.

@@ -189,7 +189,7 @@ TEST(MetaRetry, LossyLinkCreateOpenSetScheme) {
     CO_ASSERT_TRUE(o.ok());
     EXPECT_EQ(o->handle, f->handle);
     auto s = co_await r.client().set_scheme(
-        "lossy", static_cast<std::uint8_t>(raid::Scheme::raid1), 1);
+        "lossy", raid::scheme_tag(raid::Scheme::raid1), 1);
     CO_ASSERT_TRUE(s.ok());
     auto fin = co_await r.client().open("lossy");
     CO_ASSERT_TRUE(fin.ok());

@@ -65,7 +65,7 @@ TEST(RaidPolicyTest, PerFileSchemesAcrossCrashRestart) {
     for (const auto& s : specs) {
       auto f = co_await r.client_fs().create(s.name, r.layout(kSu));
       CO_ASSERT_TRUE(f.ok());
-      EXPECT_EQ(static_cast<Scheme>(f->scheme), s.scheme) << s.name;
+      EXPECT_EQ(scheme_from_tag(f->scheme), s.scheme) << s.name;
       EXPECT_EQ(f->layout.placement, placement_for(s.scheme)) << s.name;
       EXPECT_EQ(r.policy().scheme_of(*f), s.scheme) << s.name;
       files.push_back(*f);
@@ -111,7 +111,7 @@ TEST(RaidPolicyTest, PerFileSchemesAcrossCrashRestart) {
     for (std::size_t i = 0; i < files.size(); ++i) {
       auto f2 = co_await r.client().open(specs[i].name);
       CO_ASSERT_TRUE(f2.ok());
-      EXPECT_EQ(static_cast<Scheme>(f2->scheme), specs[i].scheme);
+      EXPECT_EQ(scheme_from_tag(f2->scheme), specs[i].scheme);
       EXPECT_EQ(f2->red_gen, 0u);
       auto rd = co_await r.client_fs().read(*f2, 0, refs[i].size());
       CO_ASSERT_TRUE(rd.ok());
@@ -186,7 +186,7 @@ TEST(RaidPolicyTest, OnlineMigrationByteExactUnderConcurrentWrites) {
     // The manager persisted the transition: fresh opens see RAID1 @ gen 1.
     auto f2 = co_await r.client().open("hot");
     CO_ASSERT_TRUE(f2.ok());
-    EXPECT_EQ(static_cast<Scheme>(f2->scheme), Scheme::raid1);
+    EXPECT_EQ(scheme_from_tag(f2->scheme), Scheme::raid1);
     EXPECT_EQ(f2->red_gen, 1u);
 
     // The new base redundancy + retained overflow overlay carry the loss of
