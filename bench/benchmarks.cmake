@@ -46,3 +46,6 @@ csar_add_bench(bench_ablate_mirror_reads)
 csar_add_bench(bench_ablate_obs_overhead)
 csar_add_bench(bench_ablate_manager_journal)
 csar_add_bench(bench_sim_scale)
+
+csar_add_bench(bench_ablate_fleet)
+target_link_libraries(bench_ablate_fleet PRIVATE csar_fleet)

@@ -18,15 +18,21 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "fault/fault.hpp"
 #include "fault/storm.hpp"
+#include "fleet/fleet.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pvfs/io_server.hpp"
+#include "raid/migrate.hpp"
 #include "raid/rig.hpp"
 #include "report/report.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/open_loop.hpp"
 
 using namespace csar;
 
@@ -113,6 +119,104 @@ void traced_run(const std::string& trace_path,
   }
 }
 
+// --- opt-in fleet storm (--fleet) ------------------------------------
+// The PACEMAKER controller under the fault classes the A15 ablation
+// deliberately keeps out of its latency contrast: transient server crashes
+// and whole-domain (rack) outages, all derived from the fleet's own bathtub
+// AFR curves. Budgeted rs(4,2)<->rs(6,3) transitions run concurrently with
+// the outages; the run is bit-deterministic and executed twice to prove it.
+
+fleet::FleetParams fleet_storm_params() {
+  fleet::FleetParams fp;
+  fp.group_size = 3;
+  // Cohort ages at t=0: g0 = 3.0y (hits wearout mid-run), g1 = 1.0y
+  // (useful life), g2 = 0y (infancy). 4 s at 0.5 y/s = two fleet-years.
+  fp.group0_age_years = 3.0;
+  fp.group_age_step_years = 2.0;
+  fp.years_per_sim_sec = 0.5;
+  fp.lead_years = 0.1;
+  fp.decision_interval = sim::ms(50);
+  fp.transition_budget_bps = 8e6;
+  fp.max_concurrent = 2;
+  fp.fault_boost = 25.0;          // compressed timeline needs visible events
+  fp.media_fraction = 0.4;        // latent sector errors AND server crashes
+  fp.group_outage_per_year = 1.0; // plus shared rack/power outages
+  return fp;
+}
+
+struct FleetOutcome {
+  wl::OpenLoopStats ol;
+  fleet::FleetStats fs;
+  std::uint64_t migs_completed = 0;
+  std::uint64_t budget_bytes = 0;
+  fault::FaultStats faults;
+  std::uint64_t events = 0;
+  double sim_seconds = 0;
+};
+
+FleetOutcome run_fleet_storm() {
+  constexpr std::uint32_t kTenants = 16;
+  const sim::Duration kRun = sim::ms(4000);
+
+  raid::RigParams rp;
+  rp.scheme = raid::Scheme::rs(4, 2);
+  rp.nservers = 9;
+  rp.nclients = 4;
+  rp.rpc.timeout = sim::ms(150);
+  rp.rpc.max_attempts = 4;
+  rp.rpc.backoff = sim::ms(5);
+  raid::Rig rig(rp);
+
+  fleet::FleetParams fp = fleet_storm_params();
+  fleet::FleetModel model(rig, fp);
+
+  fault::FaultPlan plan = model.derive_fault_plan(kRun, sim::ms(20), kTenants);
+  std::vector<pvfs::IoServer*> server_ptrs;
+  for (auto& s : rig.servers) server_ptrs.push_back(s.get());
+  fault::FaultInjector inj(rig.cluster, rig.fabric, std::move(server_ptrs),
+                           std::move(plan));
+  inj.start();
+
+  raid::SchemeMigrator mig(rig);
+  fleet::FleetController ctl(rig, mig, model, fp);
+
+  wl::OpenLoopParams olp;
+  olp.ntenants = kTenants;
+  olp.total_rate = 25.0 * kTenants;
+  olp.duration = kRun;
+  olp.max_outstanding = 8;
+  olp.request_bytes = 16 * KiB;
+  olp.stripe_unit = 64 * KiB;
+  olp.file_extent = 2 * MiB;
+  olp.seed = 0x57042F1EE7ULL;
+  olp.rotate_base = true;
+  olp.on_file_created = [&ctl](std::uint32_t tenant, const std::string& name,
+                               const pvfs::OpenFile& f, std::uint64_t extent) {
+    ctl.register_file(tenant, name, f, extent);
+  };
+  mig.start();
+  ctl.start();
+
+  FleetOutcome o;
+  o.ol = wl::run_on(
+      rig,
+      [](raid::Rig& r, const wl::OpenLoopParams& p, raid::SchemeMigrator& m,
+         fleet::FleetController& c) -> sim::Task<wl::OpenLoopStats> {
+        wl::OpenLoopStats stats = co_await wl::run_open_loop(r, p);
+        while (!m.idle()) co_await r.sim.sleep(sim::ms(5));
+        c.stop();
+        m.stop();
+        co_return stats;
+      }(rig, olp, mig, ctl));
+  o.fs = ctl.stats();
+  o.migs_completed = mig.stats().migrations_completed;
+  o.budget_bytes = ctl.budget_bytes_taken();
+  o.faults = inj.stats();
+  o.events = rig.sim.events_executed();
+  o.sim_seconds = sim::to_seconds(rig.sim.now());
+  return o;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -122,6 +226,7 @@ int main(int argc, char** argv) {
   // splits on depth-0 commas only — "rs(4,2)" is one element, not two.
   std::string scheme_list = "rs(4,2),raid1,rs(4,2)";
   bool perf = false;
+  bool fleet = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
@@ -131,10 +236,12 @@ int main(int argc, char** argv) {
       scheme_list = argv[i] + 10;
     } else if (std::strcmp(argv[i], "--perf") == 0) {
       perf = true;
+    } else if (std::strcmp(argv[i], "--fleet") == 0) {
+      fleet = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trace=out.json] [--metrics=out.csv] "
-                   "[--schemes=rs(4,2),raid1,...] [--perf]\n",
+                   "[--schemes=rs(4,2),raid1,...] [--fleet] [--perf]\n",
                    argv[0]);
       return 2;
     }
@@ -342,6 +449,61 @@ int main(int argc, char** argv) {
                 e1.fingerprint == e2.fingerprint &&
                     e1.finished_at == e2.finished_at &&
                     e1.events_executed == e2.events_executed);
+
+  if (fleet) {
+    std::printf("\n");
+    report::banner("fleet-storm",
+                   "PACEMAKER controller under crashes + rack outages",
+                   "9 servers in 3 age cohorts; AFR-derived crashes, latent "
+                   "sector errors and whole-domain outages; budgeted "
+                   "rs(4,2)<->rs(6,3) transitions");
+    {
+      raid::RigParams rp;
+      rp.scheme = raid::Scheme::rs(4, 2);
+      rp.nservers = 9;
+      raid::Rig probe(rp);
+      fleet::FleetModel model(probe, fleet_storm_params());
+      report::table("disk groups at t=0 (2 fleet-years simulated)",
+                    fleet::fleet_groups_table(model, 0.0));
+      std::printf("\n");
+    }
+    const FleetOutcome f1 = run_fleet_storm();
+    const FleetOutcome f2 = run_fleet_storm();
+    perf_events += f1.events + f2.events;
+    perf_sim_seconds += f1.sim_seconds + f2.sim_seconds;
+    TextTable ft({"run", "completed", "failed", "shed", "transitions",
+                  "urgent", "migs done", "budget MiB", "crashes", "rack out",
+                  "media"});
+    for (const auto* o : {&f1, &f2}) {
+      ft.add_row({o == &f1 ? "A" : "B", std::to_string(o->ol.completed),
+                  std::to_string(o->ol.failed), std::to_string(o->ol.shed),
+                  std::to_string(o->fs.transitions_requested),
+                  std::to_string(o->fs.urgent_requested),
+                  std::to_string(o->migs_completed),
+                  TextTable::num(static_cast<double>(o->budget_bytes) /
+                                     static_cast<double>(MiB),
+                                 1),
+                  std::to_string(o->faults.crashes),
+                  std::to_string(o->faults.group_crashes),
+                  std::to_string(o->faults.media_planted)});
+    }
+    report::table("same AFR-derived storm, run twice", ft);
+    report::check("the derived plan exercised every fault class "
+                  "(crash, rack outage, latent sector error)",
+                  f1.faults.crashes > 0 && f1.faults.group_crashes > 0 &&
+                      f1.faults.media_planted > 0);
+    report::check("the controller transitioned schemes through the outages",
+                  f1.fs.urgent_requested > 0 && f1.migs_completed > 0);
+    report::check("every tenant file's rgroup persisted at the manager",
+                  f1.fs.rgroup_persists >= 16);
+    report::check("transition copies drew from the shared budget",
+                  f1.budget_bytes > 0);
+    report::check("fleet storm is bit-deterministic",
+                  f1.ol.fingerprint == f2.ol.fingerprint &&
+                      f1.events == f2.events &&
+                      f1.fs.transitions_requested ==
+                          f2.fs.transitions_requested);
+  }
 
   if (!trace_path.empty() || !metrics_path.empty()) {
     std::printf("\n");

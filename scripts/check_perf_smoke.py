@@ -11,34 +11,107 @@ count (16 x 64): per-event cost is dominated by tenant coroutines and
 queue depth, so the two configs track each other closely while the
 quick config stays cheap enough for a CI runner.
 
-Usage: check_perf_smoke.py <quick.json> <committed_baseline.json> [max_regress]
+Every malformed input fails with a one-line FAIL message, never a
+traceback: a missing or truncated baseline is a repo bug CI should
+report crisply, not a Python stack to dig through.
+
+Usage:
+  check_perf_smoke.py <quick.json> <committed_baseline.json> [max_regress]
+      CI gate mode (exit 1 on regression or malformed input).
+  check_perf_smoke.py --append-trajectory <full.json> <baseline.json> <label>
+      Record a PR's fresh `bench_sim_scale --out=full.json` sweep as one
+      trajectory point in the baseline's "trajectory" history (the "rows"
+      the CI gate compares against are left untouched).
 """
 import json
 import sys
 
 
-def main() -> int:
-    if len(sys.argv) < 3:
-        print(__doc__)
-        return 2
-    quick_path, base_path = sys.argv[1], sys.argv[2]
-    max_regress = float(sys.argv[3]) if len(sys.argv) > 3 else 0.20
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
 
-    with open(quick_path) as f:
-        quick = json.load(f)
-    with open(base_path) as f:
-        base = json.load(f)
 
-    if quick.get("mode") != "quick" or len(quick["rows"]) != 1:
-        print(f"FAIL: {quick_path} is not a --quick run")
-        return 1
-    row = quick["rows"][0]
+def load_json(path, what):
+    """Parse `path` or exit with a clear one-line message."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        fail(f"{what} {path} is missing")
+    except IsADirectoryError:
+        fail(f"{what} {path} is a directory, not a JSON file")
+    except json.JSONDecodeError as e:
+        fail(f"{what} {path} is not valid JSON ({e})")
+
+
+def checked_rows(doc, path, what):
+    """The document's "rows", validated just enough to use downstream."""
+    if not isinstance(doc, dict) or not isinstance(doc.get("rows"), list):
+        fail(f'{what} {path} is malformed: expected an object with a '
+             f'"rows" list')
+    rows = doc["rows"]
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict) or not all(
+                isinstance(row.get(k), (int, float))
+                for k in ("servers", "tenants", "events_per_sec")):
+            fail(f"{what} {path} is malformed: rows[{i}] lacks numeric "
+                 f"servers/tenants/events_per_sec")
+    return rows
+
+
+def dump_baseline(doc):
+    """Serialize in the bench's own style: one compact row per line."""
+    out = ["{"]
+    items = list(doc.items())
+    for i, (key, value) in enumerate(items):
+        comma = "," if i + 1 < len(items) else ""
+        if isinstance(value, list):
+            out.append(f'  "{key}": [')
+            for j, row in enumerate(value):
+                out.append("    " + json.dumps(row) +
+                           ("," if j + 1 < len(value) else ""))
+            out.append("  ]" + comma)
+        else:
+            out.append(f'  "{key}": {json.dumps(value)}{comma}')
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+def append_trajectory(full_path, base_path, label):
+    full = load_json(full_path, "fresh full-sweep run")
+    base = load_json(base_path, "committed baseline")
+    rows = checked_rows(full, full_path, "fresh full-sweep run")
+    checked_rows(base, base_path, "committed baseline")
+    point = {
+        "label": label,
+        "events_per_sec": {
+            f"{r['servers']}x{r['tenants']}": r["events_per_sec"]
+            for r in rows
+        },
+    }
+    base.setdefault("trajectory", []).append(point)
+    with open(base_path, "w") as f:
+        f.write(dump_baseline(base))
+    print(f"trajectory: appended '{label}' "
+          f"({len(point['events_per_sec'])} configs) to {base_path}")
+    return 0
+
+
+def gate(quick_path, base_path, max_regress):
+    quick = load_json(quick_path, "quick run")
+    base = load_json(base_path, "committed baseline")
+    quick_rows = checked_rows(quick, quick_path, "quick run")
+    base_rows = checked_rows(base, base_path, "committed baseline")
+
+    if quick.get("mode") != "quick" or len(quick_rows) != 1:
+        fail(f"{quick_path} is not a --quick run")
+    row = quick_rows[0]
 
     tenants = row["tenants"]
-    ref_rows = [r for r in base["rows"] if r["tenants"] == tenants]
+    ref_rows = [r for r in base_rows if r["tenants"] == tenants]
     if not ref_rows:
-        print(f"FAIL: no baseline row with tenants={tenants} in {base_path}")
-        return 1
+        fail(f"no baseline row with tenants={tenants} in {base_path}")
     ref = ref_rows[0]
 
     got = row["events_per_sec"]
@@ -49,6 +122,22 @@ def main() -> int:
           f"baseline {ref['servers']}x{tenants} = {want:.3e} ev/s; "
           f"floor (-{max_regress:.0%}) = {floor:.3e} [{verdict}]")
     return 0 if got >= floor else 1
+
+
+def main() -> int:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--append-trajectory":
+        if len(sys.argv) != 5:
+            print(__doc__)
+            return 2
+        return append_trajectory(sys.argv[2], sys.argv[3], sys.argv[4])
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    try:
+        max_regress = float(sys.argv[3]) if len(sys.argv) > 3 else 0.20
+    except ValueError:
+        fail(f"max_regress must be a number, got {sys.argv[3]!r}")
+    return gate(sys.argv[1], sys.argv[2], max_regress)
 
 
 if __name__ == "__main__":

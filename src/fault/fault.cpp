@@ -16,7 +16,9 @@ struct Step {
   sim::Time at;
   enum Kind {
     crash,
+    group_crash,
     restart,
+    group_restart,
     plant,
     slow_on,
     slow_off,
@@ -45,6 +47,9 @@ std::optional<sim::Time> FaultInjector::first_crash_time() const {
   std::optional<sim::Time> t;
   for (const auto& c : plan_.crashes) {
     if (!t || c.at < *t) t = c.at;
+  }
+  for (const auto& g : plan_.group_crashes) {
+    if (!g.servers.empty() && (!t || g.at < *t)) t = g.at;
   }
   return t;
 }
@@ -110,6 +115,13 @@ sim::Task<void> FaultInjector::timeline() {
       steps.push_back({*plan_.crashes[i].restart_at, Step::restart, i});
     }
   }
+  for (std::size_t i = 0; i < plan_.group_crashes.size(); ++i) {
+    steps.push_back({plan_.group_crashes[i].at, Step::group_crash, i});
+    if (plan_.group_crashes[i].restart_at) {
+      steps.push_back({*plan_.group_crashes[i].restart_at,
+                       Step::group_restart, i});
+    }
+  }
   for (std::size_t i = 0; i < plan_.mgr_crashes.size(); ++i) {
     steps.push_back({plan_.mgr_crashes[i].at, Step::mgr_crash, i});
     if (plan_.mgr_crashes[i].restart_at) {
@@ -145,6 +157,27 @@ sim::Task<void> FaultInjector::timeline() {
         servers_[c.server]->restart(c.wipe);
         ++stats_.restarts;
         note("restart", c.server, c.wipe ? " (blank disk)" : "");
+        break;
+      }
+      case Step::group_crash: {
+        // The whole failure domain dies in one step, no await between
+        // members: every scheme sees the outage as simultaneous.
+        const auto& g = plan_.group_crashes[s.idx];
+        for (std::uint32_t sv : g.servers) {
+          servers_[sv]->crash();
+          ++stats_.crashes;
+          note("group crash", sv, " (failure domain)");
+        }
+        ++stats_.group_crashes;
+        break;
+      }
+      case Step::group_restart: {
+        const auto& g = plan_.group_crashes[s.idx];
+        for (std::uint32_t sv : g.servers) {
+          servers_[sv]->restart(g.wipe);
+          ++stats_.restarts;
+          note("group restart", sv, g.wipe ? " (blank disk)" : "");
+        }
         break;
       }
       case Step::plant: {

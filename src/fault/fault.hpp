@@ -45,6 +45,21 @@ struct ServerCrash {
   bool wipe = false;
 };
 
+/// Correlated failure domain: every server in `servers` crashes at `at` in
+/// one step — a shared rack or power unit dying (cf. SCR's NODE groups).
+/// All of them restart together at `restart_at` (power restored). Distinct
+/// from N independent ServerCrash entries only in that the plan declares
+/// the correlation: the whole domain is down for one contiguous window, so
+/// a scheme must tolerate |servers| concurrent failures to stay readable.
+struct GroupCrash {
+  sim::Time at = 0;
+  std::vector<std::uint32_t> servers;
+  /// Absent: the domain stays down for the rest of the run.
+  std::optional<sim::Time> restart_at;
+  /// Restart every member onto a blank replacement disk.
+  bool wipe = false;
+};
+
 /// Hard-crash the metadata manager at `at`; optionally restart (journal
 /// replay) later. The crash drops all in-memory metadata; replay rebuilds it
 /// from the manager-disk checkpoint + journal.
@@ -93,6 +108,7 @@ struct SlowDisk {
 struct FaultPlan {
   std::uint64_t seed = 1;  ///< drives every probabilistic draw
   std::vector<ServerCrash> crashes;
+  std::vector<GroupCrash> group_crashes;
   std::vector<ManagerCrash> mgr_crashes;
   std::vector<LinkFault> links;
   std::vector<MediaFault> media;
@@ -102,6 +118,7 @@ struct FaultPlan {
 struct FaultStats {
   std::uint64_t crashes = 0;
   std::uint64_t restarts = 0;
+  std::uint64_t group_crashes = 0;  ///< whole-domain outages executed
   std::uint64_t mgr_crashes = 0;
   std::uint64_t mgr_restarts = 0;
   std::uint64_t msgs_dropped = 0;

@@ -34,6 +34,74 @@ struct DiskParams {
   sim::Duration per_op = sim::us(50);///< command/controller overhead per I/O
 };
 
+/// Bathtub segment a disk is in at a given age. Fleet-scale redundancy
+/// planning (PACEMAKER) keys transitions off this class, not off individual
+/// failures: infancy and wearout disks run elevated annualized failure
+/// rates, useful-life disks run the flat bottom of the curve.
+enum class AfrClass : std::uint8_t { infancy, useful_life, wearout };
+
+inline const char* afr_class_name(AfrClass c) {
+  switch (c) {
+    case AfrClass::infancy:
+      return "infancy";
+    case AfrClass::useful_life:
+      return "useful";
+    case AfrClass::wearout:
+      return "wearout";
+  }
+  return "?";
+}
+
+/// Per-disk bathtub parameters: the disk's age when the simulation starts
+/// and the piecewise-constant AFR curve (annualized failure rate per
+/// segment). Real fleets are heterogeneous — see hw::aging_profile for the
+/// seeded per-disk jitter that models make/batch variation.
+struct AgingParams {
+  double age_years = 0.0;       ///< age at sim time 0
+  double infancy_years = 0.5;   ///< infancy ends at this age
+  double wearout_years = 4.0;   ///< wearout begins at this age
+  double afr_infancy = 0.045;   ///< AFR while age < infancy_years
+  double afr_useful = 0.012;    ///< AFR on the flat bottom
+  double afr_wearout = 0.080;   ///< AFR past wearout_years
+
+  /// Class at `age_years + added_years`.
+  AfrClass afr_class(double added_years = 0.0) const {
+    const double a = age_years + added_years;
+    if (a < infancy_years) return AfrClass::infancy;
+    if (a < wearout_years) return AfrClass::useful_life;
+    return AfrClass::wearout;
+  }
+
+  /// Annualized failure rate at `age_years + added_years`.
+  double afr(double added_years = 0.0) const {
+    switch (afr_class(added_years)) {
+      case AfrClass::infancy:
+        return afr_infancy;
+      case AfrClass::useful_life:
+        return afr_useful;
+      case AfrClass::wearout:
+        return afr_wearout;
+    }
+    return afr_useful;
+  }
+
+  /// Years until the class next changes (from `added_years`), or a large
+  /// sentinel once in wearout (the terminal segment).
+  double years_to_next_class(double added_years = 0.0) const {
+    const double a = age_years + added_years;
+    if (a < infancy_years) return infancy_years - a;
+    if (a < wearout_years) return wearout_years - a;
+    return 1e9;
+  }
+};
+
+/// Deterministic per-disk heterogeneity: jitter the bathtub boundaries and
+/// per-segment AFRs around their defaults from (seed, disk_index), with
+/// `base_age_years` as the disk's purchase-batch age. Same inputs, same
+/// params — the fleet layer's whole timeline derives from this.
+AgingParams aging_profile(std::uint64_t seed, std::uint32_t disk_index,
+                          double base_age_years);
+
 class Disk {
  public:
   Disk(sim::Simulation& sim, const DiskParams& params)
@@ -76,6 +144,11 @@ class Disk {
   /// Bytes currently covered by planted-but-unrepaired sector errors.
   std::uint64_t bad_bytes() const { return bad_.total(); }
 
+  /// Aging state (bathtub position): pure bookkeeping the fleet layer reads;
+  /// the device model itself never consults it.
+  void set_aging(const AgingParams& a) { aging_ = a; }
+  const AgingParams& aging() const { return aging_; }
+
   struct Stats {
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
@@ -84,10 +157,15 @@ class Disk {
     std::uint64_t seeks = 0;
     sim::Duration busy_time = 0;
     std::uint64_t media_errors = 0;
+    /// Share of busy_time attributable to fail-slow inflation alone (the
+    /// actual-minus-nominal service time while service_factor > 1). Lets a
+    /// controller tell fail-slow drag apart from plain load: a loaded
+    /// healthy disk has high busy_time and zero slow_busy_time.
+    sim::Duration slow_busy_time = 0;
   };
   Stats stats() const {
     return {reads_,        writes_, bytes_read_, bytes_written_,
-            seeks_,        busy_,   media_errors_};
+            seeks_,        busy_,   media_errors_, slow_busy_};
   }
 
   const DiskParams& params() const { return p_; }
@@ -101,8 +179,10 @@ class Disk {
       ++seeks_;
     }
     if (service_factor_ != 1.0) {
+      const sim::Duration nominal = dur;
       dur = static_cast<sim::Duration>(static_cast<double>(dur) *
                                        service_factor_);
+      if (dur > nominal) slow_busy_ += dur - nominal;
     }
     head_ = addr + len;
     busy_ += dur;
@@ -120,7 +200,9 @@ class Disk {
   std::uint64_t seeks_ = 0;
   sim::Duration busy_ = 0;
   std::uint64_t media_errors_ = 0;
+  sim::Duration slow_busy_ = 0;
   double service_factor_ = 1.0;
+  AgingParams aging_;
   IntervalSet bad_;
 };
 

@@ -1,7 +1,29 @@
+#include "common/rng.hpp"
 #include "common/units.hpp"
 #include "hw/node.hpp"
 
 namespace csar::hw {
+
+AgingParams aging_profile(std::uint64_t seed, std::uint32_t disk_index,
+                          double base_age_years) {
+  // One derived stream per disk, independent of draw order elsewhere. The
+  // jitters model make/firmware/batch variation: boundaries move ±20%, the
+  // segment AFRs ±30%, and the disk's own age spreads ±10% of a year around
+  // the batch age (drives from one purchase order ship weeks apart).
+  Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * (disk_index + 1)));
+  auto jitter = [&rng](double v, double frac) {
+    return v * (1.0 + frac * (2.0 * rng.uniform() - 1.0));
+  };
+  AgingParams a;
+  a.age_years = base_age_years + 0.1 * (2.0 * rng.uniform() - 1.0);
+  if (a.age_years < 0.0) a.age_years = 0.0;
+  a.infancy_years = jitter(a.infancy_years, 0.2);
+  a.wearout_years = jitter(a.wearout_years, 0.2);
+  a.afr_infancy = jitter(a.afr_infancy, 0.3);
+  a.afr_useful = jitter(a.afr_useful, 0.3);
+  a.afr_wearout = jitter(a.afr_wearout, 0.3);
+  return a;
+}
 
 HwProfile profile_experimental2003() {
   HwProfile p;

@@ -121,6 +121,18 @@ sim::Task<Result<OpenFile>> Client::set_scheme(std::string name,
   co_return resp.file;
 }
 
+sim::Task<Result<OpenFile>> Client::set_rgroup(std::string name,
+                                               std::uint8_t rgroup) {
+  MetaRequest r;
+  r.op = MetaOp::set_rgroup;
+  r.name = std::move(name);
+  r.rgroup = rgroup;
+  r.req_id = ++meta_req_seq_;
+  MetaResponse resp = co_await meta_rpc(std::move(r));
+  if (!resp.ok) co_return Error{resp.err, "set_rgroup"};
+  co_return resp.file;
+}
+
 sim::Task<Result<OpenFile>> Client::open(std::string name) {
   MetaRequest r;
   r.op = MetaOp::open;

@@ -86,6 +86,11 @@ class Client {
                                          std::uint32_t red_gen,
                                          std::uint32_t fence_epoch = 0);
 
+  /// Durably tag the file with a redundancy-class (rgroup) id at the
+  /// manager. Idempotent; the tag survives manager crashes like scheme tags.
+  sim::Task<Result<OpenFile>> set_rgroup(std::string name,
+                                         std::uint8_t rgroup);
+
   /// Latest manager incarnation observed in any meta reply (0 = none yet).
   std::uint32_t manager_epoch() const { return mgr_epoch_seen_; }
 

@@ -63,13 +63,14 @@ sim::Task<void> Manager::restart() {
     next_handle_ = rec.snapshot.next_handle;
     durable_inc = std::max(durable_inc, rec.snapshot.incarnation);
     for (const SnapshotFile& f : rec.snapshot.files) {
-      files_[f.name] = OpenFile{f.handle, f.layout, f.scheme, f.red_gen};
+      files_[f.name] =
+          OpenFile{f.handle, f.layout, f.scheme, f.red_gen, f.rgroup};
     }
     for (const SnapshotDedup& d : rec.snapshot.dedup) {
       MetaResponse resp;
       resp.ok = d.ok;
       resp.err = static_cast<Errc>(d.err);
-      resp.file = OpenFile{d.handle, d.layout, d.scheme, d.red_gen};
+      resp.file = OpenFile{d.handle, d.layout, d.scheme, d.red_gen, d.rgroup};
       dedup_put(d.from, d.req_id, resp);
     }
     for (const JournalRecord& r : rec.records) {
@@ -219,6 +220,25 @@ sim::Task<MetaResponse> Manager::serve(const MetaRequest& r,
       mutates = true;
       break;
     }
+    case MetaOp::set_rgroup: {
+      auto it = files_.find(r.name);
+      if (it == files_.end()) {
+        resp.ok = false;
+        resp.err = Errc::not_found;
+        break;
+      }
+      if (r.rgroup == it->second.rgroup) {
+        // Idempotent re-tag: already durable, nothing to journal.
+        resp.file = it->second;
+        break;
+      }
+      rec.kind = JournalRecord::Kind::set_rgroup;
+      rec.name = r.name;
+      rec.rgroup = r.rgroup;
+      rec.handle = it->second.handle;
+      mutates = true;
+      break;
+    }
     case MetaOp::shutdown:
       break;
   }
@@ -273,6 +293,11 @@ void Manager::apply_record(const JournalRecord& rec) {
       }
       break;
     }
+    case JournalRecord::Kind::set_rgroup: {
+      auto it = files_.find(rec.name);
+      if (it != files_.end()) it->second.rgroup = rec.rgroup;
+      break;
+    }
   }
 }
 
@@ -281,7 +306,8 @@ MetaSnapshot Manager::snapshot() const {
   s.next_handle = next_handle_;
   s.incarnation = incarnation_;
   for (const auto& [name, f] : files_) {
-    s.files.push_back({name, f.handle, f.layout, f.scheme, f.red_gen});
+    s.files.push_back(
+        {name, f.handle, f.layout, f.scheme, f.red_gen, f.rgroup});
   }
   for (const auto& [from, cd] : dedup_) {
     for (std::uint64_t id : cd.order) {
@@ -289,7 +315,7 @@ MetaSnapshot Manager::snapshot() const {
       s.dedup.push_back({from, id, resp.ok, static_cast<std::uint8_t>(
                                                 resp.err),
                          resp.file.handle, resp.file.layout, resp.file.scheme,
-                         resp.file.red_gen});
+                         resp.file.red_gen, resp.file.rgroup});
     }
   }
   return s;

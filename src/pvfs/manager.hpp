@@ -41,6 +41,10 @@ namespace csar::pvfs {
 /// deployment default (files created through the raw pvfs::Client path).
 inline constexpr std::uint8_t kSchemeUnset = 0xFF;
 
+/// Sentinel rgroup id: the file belongs to no redundancy class (fleet layer
+/// never tagged it).
+inline constexpr std::uint8_t kRgroupUnset = 0xFF;
+
 struct OpenFile {
   std::uint64_t handle = 0;
   StripeLayout layout;
@@ -49,10 +53,14 @@ struct OpenFile {
   std::uint8_t scheme = kSchemeUnset;
   /// Current redundancy-file generation (bumped by scheme migrations).
   std::uint32_t red_gen = 0;
+  /// Redundancy-class (rgroup) id the fleet layer filed this file under —
+  /// another opaque byte; transitions are planned per class, and the tag
+  /// must survive manager crashes so the fleet can rebuild its view.
+  std::uint8_t rgroup = kRgroupUnset;
 };
 
 enum class MetaOp : std::uint8_t { create, open, remove, set_scheme,
-                                   shutdown };
+                                   set_rgroup, shutdown };
 
 struct MetaRequest {
   MetaOp op{};
@@ -60,6 +68,7 @@ struct MetaRequest {
   StripeLayout layout;
   std::uint8_t scheme = kSchemeUnset;  ///< create / set_scheme
   std::uint32_t red_gen = 0;           ///< set_scheme
+  std::uint8_t rgroup = kRgroupUnset;  ///< set_rgroup
   hw::NodeId from = 0;
   /// Per-client id of the *logical* operation, identical across retries of
   /// the same call (0 = unguarded). The manager dedups on (from, req_id).

@@ -86,6 +86,7 @@ std::vector<std::byte> encode_record(const JournalRecord& r) {
   std::vector<std::byte> p;
   put_u8(p, static_cast<std::uint8_t>(r.kind));
   put_u8(p, r.scheme);
+  put_u8(p, r.rgroup);
   put_layout(p, r.layout);
   put_u32(p, r.red_gen);
   put_u32(p, r.from);
@@ -99,6 +100,7 @@ bool decode_record(std::span<const std::byte> payload, JournalRecord* out) {
   Reader rd{payload};
   out->kind = static_cast<JournalRecord::Kind>(rd.u8());
   out->scheme = rd.u8();
+  out->rgroup = rd.u8();
   out->layout = rd.layout();
   out->red_gen = rd.u32();
   out->from = rd.u32();
@@ -121,6 +123,7 @@ std::vector<std::byte> encode_snapshot(std::uint64_t seq,
     put_layout(p, f.layout);
     put_u8(p, f.scheme);
     put_u32(p, f.red_gen);
+    put_u8(p, f.rgroup);
   }
   put_u32(p, static_cast<std::uint32_t>(s.dedup.size()));
   for (const SnapshotDedup& d : s.dedup) {
@@ -132,6 +135,7 @@ std::vector<std::byte> encode_snapshot(std::uint64_t seq,
     put_layout(p, d.layout);
     put_u8(p, d.scheme);
     put_u32(p, d.red_gen);
+    put_u8(p, d.rgroup);
   }
   return p;
 }
@@ -150,6 +154,7 @@ bool decode_snapshot(std::span<const std::byte> payload, std::uint64_t* seq,
     f.layout = rd.layout();
     f.scheme = rd.u8();
     f.red_gen = rd.u32();
+    f.rgroup = rd.u8();
     out->files.push_back(std::move(f));
   }
   const std::uint32_t ndedup = rd.u32();
@@ -163,6 +168,7 @@ bool decode_snapshot(std::span<const std::byte> payload, std::uint64_t* seq,
     d.layout = rd.layout();
     d.scheme = rd.u8();
     d.red_gen = rd.u32();
+    d.rgroup = rd.u8();
     out->dedup.push_back(d);
   }
   return rd.ok && rd.off == payload.size();

@@ -45,14 +45,15 @@ void SchemeMigrator::stop() {
   }
 }
 
-void SchemeMigrator::request(std::uint64_t handle, Scheme to) {
+bool SchemeMigrator::request(std::uint64_t handle, Scheme to) {
   auto it = files_.find(handle);
-  if (it == files_.end() || it->second.migrating) return;
+  if (it == files_.end() || it->second.migrating) return false;
   if (to.kind == SchemeKind::rs &&
       to.k + to.m > it->second.f.layout.nservers) {
-    return;  // rs(k,m) needs k+m distinct servers; refuse, don't corrupt
+    return false;  // rs(k,m) needs k+m distinct servers; refuse, don't corrupt
   }
   sim().spawn(migrate_task(handle, to), "migrate_task");
+  return true;
 }
 
 void SchemeMigrator::on_write_begin(const pvfs::OpenFile& f) {
@@ -142,9 +143,12 @@ sim::Task<void> SchemeMigrator::migrate_task(std::uint64_t handle, Scheme to) {
   }
   const std::uint32_t fence = repair.manager_epoch();
 
-  // Pass 0 is paced by the rate cap; dirty re-copy passes are bounded by
-  // the foreground write rate, so pacing them could only delay convergence.
+  // Pass 0 is paced by the rate cap (or, when a fleet-level budget is
+  // installed, by the one bucket every concurrent migration shares); dirty
+  // re-copy passes are bounded by the foreground write rate, so pacing them
+  // could only delay convergence.
   sim::TokenBucket paced(sim(), p_.rate_cap, p_.burst);
+  sim::TokenBucket* pace = shared_bucket_ ? shared_bucket_ : &paced;
   Recovery rec = rig_->repair_recovery();
 
   std::uint32_t passes = 0;
@@ -177,7 +181,7 @@ sim::Task<void> SchemeMigrator::migrate_task(std::uint64_t handle, Scheme to) {
     if (!initial) ++stats_.recopy_passes;
     auto r = co_await rec.build_redundancy(t.f, to, new_gen, t.size,
                                            initial ? nullptr : &snap,
-                                           initial ? &paced : nullptr);
+                                           initial ? pace : nullptr);
     if (!r.ok()) {
       failed = true;
       break;

@@ -37,6 +37,7 @@
 #include "common/interval_set.hpp"
 #include "raid/csar_fs.hpp"
 #include "raid/rig.hpp"
+#include "sim/sync.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -101,12 +102,25 @@ class SchemeMigrator final : public CsarFs::WriteListener {
   /// Act on RedundancyPolicy::recommend() from the supervisor loop.
   void enable_adaptive() { adaptive_ = true; }
 
-  /// Manually request a migration of a tracked handle (spawned async;
-  /// ignored if the handle is unknown or already migrating).
-  void request(std::uint64_t handle, Scheme to);
+  /// Manually request a migration of a tracked handle (spawned async).
+  /// Returns false — and spawns nothing — if the handle is unknown, already
+  /// migrating, or the target scheme does not fit the deployment; true means
+  /// the migration task was spawned (callers budgeting transitions can count
+  /// on exactly one started/failed/completed event following).
+  bool request(std::uint64_t handle, Scheme to);
 
   /// True when no migration is running.
   bool idle() const { return active_ == 0; }
+
+  /// Number of migrations currently in flight.
+  std::uint32_t active() const { return active_; }
+
+  /// Fleet-level transition-IO budget: when set, initial copy passes of
+  /// *every* migration draw from this one bucket (shared across concurrent
+  /// migrations) instead of a per-migration bucket built from rate_cap.
+  /// Not owned; clear with nullptr. Dirty re-copy passes stay exempt.
+  void set_shared_bucket(sim::TokenBucket* b) { shared_bucket_ = b; }
+  sim::TokenBucket* shared_bucket() const { return shared_bucket_; }
 
   /// Post-replay reconciliation: cross-check the manager's durable scheme
   /// tag/generation for every tracked file against the live (in-memory
@@ -154,6 +168,7 @@ class SchemeMigrator final : public CsarFs::WriteListener {
   std::uint64_t gen_ = 0;
   std::uint32_t active_ = 0;
   std::uint64_t rpc_pressure_seen_ = 0;  ///< last sampled timeouts+resets
+  sim::TokenBucket* shared_bucket_ = nullptr;  ///< see set_shared_bucket
   bool running_ = false;
   bool attached_ = false;
   bool adaptive_ = false;

@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
 #include "sim/sync.hpp"
 
 namespace csar::wl {
@@ -52,7 +53,7 @@ sim::Task<void> one_request(raid::Rig& rig, const OpenLoopParams& p,
                             TenantCtx* t, std::uint32_t tenant_id,
                             std::uint32_t client, bool is_read,
                             std::uint64_t off, OpenLoopStats* stats,
-                            sim::WaitGroup* wg) {
+                            obs::Histogram* lat_hist, sim::WaitGroup* wg) {
   const sim::Time issued = rig.sim.now();
   bool ok;
   if (is_read) {
@@ -74,6 +75,7 @@ sim::Task<void> one_request(raid::Rig& rig, const OpenLoopParams& p,
     ++stats->completed;
     stats->latency_sum += lat;
     stats->latency_max = std::max(stats->latency_max, lat);
+    lat_hist->add(static_cast<std::uint64_t>(lat));
   } else {
     ++stats->failed;
   }
@@ -89,7 +91,7 @@ sim::Task<void> one_request(raid::Rig& rig, const OpenLoopParams& p,
 sim::Task<void> tenant_loop(raid::Rig& rig, const OpenLoopParams& p,
                             TenantCtx* t, std::uint32_t tenant_id,
                             sim::Time t_end, OpenLoopStats* stats,
-                            sim::WaitGroup* wg) {
+                            obs::Histogram* lat_hist, sim::WaitGroup* wg) {
   const std::uint32_t client =
       tenant_id % static_cast<std::uint32_t>(rig.clients.size());
   const double mean_sec = 1.0 / t->rate;
@@ -117,7 +119,7 @@ sim::Task<void> tenant_loop(raid::Rig& rig, const OpenLoopParams& p,
     ++t->outstanding;
     wg->add();
     rig.sim.spawn(one_request(rig, p, t, tenant_id, client, is_read, off,
-                              stats, wg));
+                              stats, lat_hist, wg));
   }
   wg->done();  // balances the add() in run_open_loop
 }
@@ -140,25 +142,33 @@ sim::Task<OpenLoopStats> run_open_loop(raid::Rig& rig,
   Rng root(params.seed);
   std::vector<TenantCtx> tenants(params.ntenants);
   for (std::uint32_t i = 0; i < params.ntenants; ++i) {
+    const std::string name = "ol-" + std::to_string(i);
+    pvfs::StripeLayout layout = rig.layout(params.stripe_unit);
+    if (params.rotate_base) layout.base = i % layout.nservers;
     auto f = co_await rig.client_fs(i % rig.clients.size())
-                 .create("ol-" + std::to_string(i),
-                         rig.layout(params.stripe_unit));
+                 .create(name, layout);
     assert(f.ok());
     tenants[i].file = *f;
     tenants[i].rate = params.total_rate * weight[i] / wsum;
     tenants[i].rng = root.split();
+    if (params.on_file_created) {
+      params.on_file_created(i, name, *f, params.file_extent);
+    }
   }
 
+  obs::Histogram lat_hist(obs::Histogram::latency_bounds());
   const sim::Time t0 = rig.sim.now();
   const sim::Time t_end = t0 + params.duration;
   sim::WaitGroup wg(rig.sim);
   wg.add(params.ntenants);  // one per arrival clock; requests add their own
   for (std::uint32_t i = 0; i < params.ntenants; ++i) {
-    rig.sim.spawn(
-        tenant_loop(rig, params, &tenants[i], i, t_end, &stats, &wg));
+    rig.sim.spawn(tenant_loop(rig, params, &tenants[i], i, t_end, &stats,
+                              &lat_hist, &wg));
   }
   co_await wg.wait();
   stats.elapsed = rig.sim.now() - t0;
+  stats.latency_p50 = static_cast<sim::Duration>(lat_hist.percentile(0.50));
+  stats.latency_p99 = static_cast<sim::Duration>(lat_hist.percentile(0.99));
   co_return stats;
 }
 

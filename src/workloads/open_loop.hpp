@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "raid/rig.hpp"
@@ -55,6 +57,17 @@ struct OpenLoopParams {
   /// requests drain.
   sim::Duration duration = sim::sec(2);
   std::uint64_t seed = 0xC5A20123ULL;
+  /// Rotate each tenant file's placement base across the servers (tenant i
+  /// gets base i mod nservers) instead of basing every layout at server 0.
+  /// Spreads the tenants' primary placement groups across failure domains —
+  /// the fleet layer keys a file's rgroup off its base.
+  bool rotate_base = false;
+  /// Synchronous hook invoked right after each tenant file is created
+  /// (tenant id, manager path, open handle, logical extent). The fleet
+  /// controller registers files here; must not block.
+  std::function<void(std::uint32_t, const std::string&, const pvfs::OpenFile&,
+                     std::uint64_t)>
+      on_file_created;
 };
 
 struct OpenLoopStats {
@@ -66,6 +79,10 @@ struct OpenLoopStats {
   std::uint64_t bytes_read = 0;
   sim::Duration latency_sum = 0;  ///< issue -> completion, completed reqs
   sim::Duration latency_max = 0;
+  /// Bucketed percentiles over completed-request latency (obs::Histogram
+  /// with the standard latency bounds; deterministic, bucket upper bounds).
+  sim::Duration latency_p50 = 0;
+  sim::Duration latency_p99 = 0;
   sim::Duration elapsed = 0;      ///< start -> last completion drained
   /// FNV-1a fold of every completion (tenant, completion time, bytes) in
   /// completion order; equal-params runs must produce equal values.

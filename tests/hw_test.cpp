@@ -64,6 +64,80 @@ TEST(Disk, ConcurrentRequestsSerializeFifo) {
   EXPECT_EQ(done[1], sim::ms(20));
 }
 
+TEST(Disk, ServiceFactorRoundTripAndSlowBusyTime) {
+  sim::Simulation sim;
+  DiskParams p;
+  p.bytes_per_sec = 100e6;
+  p.seek = sim::ms(10);
+  p.per_op = 0;
+  Disk disk(sim, p);
+  // Round-trip: the setter stores exactly, clamping negatives to 0.
+  EXPECT_EQ(disk.service_factor(), 1.0);
+  disk.set_service_factor(3.5);
+  EXPECT_EQ(disk.service_factor(), 3.5);
+  disk.set_service_factor(-2.0);
+  EXPECT_EQ(disk.service_factor(), 0.0);
+  disk.set_service_factor(1.0);
+  EXPECT_EQ(disk.service_factor(), 1.0);
+
+  sim.spawn([](Disk& d) -> sim::Task<void> {
+    co_await d.write(0, 1'000'000);  // seek 10ms + 10ms transfer, healthy
+    d.set_service_factor(2.0);
+    co_await d.write(1'000'000, 1'000'000);  // sequential 10ms -> 20ms
+    d.set_service_factor(1.0);
+    co_await d.write(2'000'000, 1'000'000);  // healthy again
+  }(disk));
+  sim.run();
+  const auto st = disk.stats();
+  EXPECT_EQ(st.busy_time, sim::ms(20) + sim::ms(20) + sim::ms(10));
+  // Only the inflated op's actual-minus-nominal share is attributed: a
+  // loaded healthy disk keeps slow_busy_time at zero.
+  EXPECT_EQ(st.slow_busy_time, sim::ms(10));
+}
+
+TEST(Aging, BathtubClassBoundaries) {
+  AgingParams a;  // defaults: infancy ends 0.5y, wearout begins 4.0y
+  a.age_years = 0.0;
+  EXPECT_EQ(a.afr_class(0.0), AfrClass::infancy);
+  EXPECT_EQ(a.afr_class(0.49), AfrClass::infancy);
+  EXPECT_EQ(a.afr_class(0.5), AfrClass::useful_life);
+  EXPECT_EQ(a.afr_class(3.99), AfrClass::useful_life);
+  EXPECT_EQ(a.afr_class(4.0), AfrClass::wearout);
+  EXPECT_EQ(a.afr(0.0), a.afr_infancy);
+  EXPECT_EQ(a.afr(1.0), a.afr_useful);
+  EXPECT_EQ(a.afr(5.0), a.afr_wearout);
+  EXPECT_DOUBLE_EQ(a.years_to_next_class(0.1), 0.4);
+  EXPECT_DOUBLE_EQ(a.years_to_next_class(1.0), 3.0);
+  EXPECT_GT(a.years_to_next_class(5.0), 1e8);  // terminal segment
+  // A disk that starts mid-life skips infancy entirely.
+  a.age_years = 2.0;
+  EXPECT_EQ(a.afr_class(0.0), AfrClass::useful_life);
+  EXPECT_EQ(a.afr_class(2.0), AfrClass::wearout);
+}
+
+TEST(Aging, ProfileDeterministicPerSeedAndIndex) {
+  const AgingParams a = aging_profile(42, 7, 2.0);
+  const AgingParams b = aging_profile(42, 7, 2.0);
+  EXPECT_EQ(a.age_years, b.age_years);
+  EXPECT_EQ(a.infancy_years, b.infancy_years);
+  EXPECT_EQ(a.wearout_years, b.wearout_years);
+  EXPECT_EQ(a.afr_infancy, b.afr_infancy);
+  EXPECT_EQ(a.afr_useful, b.afr_useful);
+  EXPECT_EQ(a.afr_wearout, b.afr_wearout);
+  // Different disks from the same seed are heterogeneous.
+  const AgingParams c = aging_profile(42, 8, 2.0);
+  EXPECT_NE(a.afr_useful, c.afr_useful);
+  // Sanity: jitter keeps the curve well-formed and age non-negative.
+  EXPECT_GE(a.age_years, 0.0);
+  EXPECT_GT(a.wearout_years, a.infancy_years);
+  EXPECT_GT(a.afr_infancy, 0.0);
+  EXPECT_GT(a.afr_wearout, a.afr_useful);
+  // A zero batch age never jitters negative (clamped).
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_GE(aging_profile(42, i, 0.0).age_years, 0.0) << i;
+  }
+}
+
 struct CacheFixture {
   sim::Simulation sim;
   Disk disk;

@@ -210,6 +210,40 @@ TEST(SchemeSpec, ListParserKeepsCommasInsideParens) {
   }
 }
 
+TEST(SchemeSpec, ListParserEdgeCases) {
+  // Nested parens: the splitter keeps "rs(rs(4,2),2)" whole (balanced), and
+  // parse_scheme then rejects the non-numeric k.
+  EXPECT_FALSE(parse_scheme_list("rs(rs(4,2),2)").has_value());
+  // Unbalanced parens fail even when each shorn element might parse.
+  EXPECT_FALSE(parse_scheme_list("rs(4,2").has_value());
+  EXPECT_FALSE(parse_scheme_list("rs(4,2))").has_value());
+  EXPECT_FALSE(parse_scheme_list(")raid5(").has_value());
+  EXPECT_FALSE(parse_scheme_list("rs((4,2)").has_value());
+  // Empty items: leading, trailing and doubled commas all reject.
+  EXPECT_FALSE(parse_scheme_list(",raid5").has_value());
+  EXPECT_FALSE(parse_scheme_list("raid5,").has_value());
+  EXPECT_FALSE(parse_scheme_list("raid5,,raid1").has_value());
+  EXPECT_FALSE(parse_scheme_list("   ").has_value());
+  EXPECT_FALSE(parse_scheme_list(" , ").has_value());
+  // Whitespace around elements (spaces and tabs) is tolerated; whitespace
+  // inside a spec is not.
+  const auto ws = parse_scheme_list("  rs(4,2)\t,\t raid1  ");
+  ASSERT_TRUE(ws.has_value());
+  ASSERT_EQ(ws->size(), 2u);
+  EXPECT_EQ((*ws)[0], Scheme::rs(4, 2));
+  EXPECT_EQ((*ws)[1], Scheme::raid1);
+  EXPECT_FALSE(parse_scheme_list("rs (4,2)").has_value());
+  // Duplicate prefixes: raid5 / raid5_nolock / raid5_npc are distinct
+  // spellings, and literal duplicates are allowed list entries.
+  const auto dup = parse_scheme_list("raid5,raid5_nolock,raid5_npc,raid5");
+  ASSERT_TRUE(dup.has_value());
+  ASSERT_EQ(dup->size(), 4u);
+  EXPECT_EQ((*dup)[0], Scheme::raid5);
+  EXPECT_EQ((*dup)[1], Scheme::raid5_nolock);
+  EXPECT_EQ((*dup)[2], Scheme::raid5_npc);
+  EXPECT_EQ((*dup)[3], Scheme::raid5);
+}
+
 // ---------- end-to-end rs(k,m) on the full stack ----------
 
 /// Verify the rs invariant directly on the servers' disks: every coding
